@@ -1,0 +1,53 @@
+// Command rmbbench regenerates the paper's tables and figures and the
+// extension experiments as terminal output.
+//
+// Usage:
+//
+//	rmbbench            # list available experiments
+//	rmbbench -exp T1    # print one experiment's artifact
+//	rmbbench -all       # print every artifact in DESIGN.md order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (T1, T2, F1..F11, L1, TH1, A1..A4, P1, P2, C1, C2, AB1..AB3)")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			fmt.Printf("==== %s — %s ====\n\n", e.ID, e.Title)
+			out, err := e.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmbbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rmbbench: unknown experiment %q; run without flags to list\n", *exp)
+			os.Exit(2)
+		}
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	default:
+		fmt.Println("available experiments (use -exp <id> or -all):")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Title)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command rmbcompare prints the Section 3.2 structural comparison (links,
+// cross points, layout area, bisection bandwidth) between the RMB and the
+// hypercube family, the fat tree and the mesh, for one or more (N, k)
+// design points.
+//
+// Usage:
+//
+//	rmbcompare -n 256 -k 8
+//	rmbcompare -sweep           # the paper-style sweep over N and k
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmb/internal/analysis"
+	"rmb/internal/report"
+)
+
+func printPoint(n, k int, extended bool) {
+	tb := report.NewTable(
+		fmt.Sprintf("structural costs to support a %d-permutation over %d processors", k, n),
+		"architecture", "links", "cross points", "area", "bisection(B)", "uniform wires", "notes")
+	rows := analysis.Compare(n, k)
+	if extended {
+		rows = analysis.CompareExtended(n, k)
+	}
+	for _, c := range rows {
+		tb.AddRowf(string(c.Arch), c.Links, c.CrossPoints, c.Area, c.Bisection, c.UniformWires, c.Notes)
+	}
+	fmt.Println(tb.Render())
+}
+
+func main() {
+	n := flag.Int("n", 256, "number of processors N")
+	k := flag.Int("k", 8, "permutation capability / bus count k")
+	sweep := flag.Bool("sweep", false, "print the full sweep over N in {64,256,1024} and k in {4,8,16}")
+	extended := flag.Bool("extended", false, "append the Section 4 reference rows (2-D torus, conventional global buses)")
+	flag.Parse()
+
+	if *sweep {
+		for _, nn := range []int{64, 256, 1024} {
+			for _, kk := range []int{4, 8, 16} {
+				printPoint(nn, kk, *extended)
+			}
+		}
+		return
+	}
+	if *n < 2 || *k < 1 {
+		fmt.Fprintln(os.Stderr, "rmbcompare: need n >= 2 and k >= 1")
+		os.Exit(2)
+	}
+	printPoint(*n, *k, *extended)
+}

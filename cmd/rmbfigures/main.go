@@ -1,0 +1,43 @@
+// Command rmbfigures regenerates the paper's figures as text art.
+//
+// Usage:
+//
+//	rmbfigures           # all figures
+//	rmbfigures -fig 7    # one figure (1..11)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmb/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to render (1..11; 0 renders all)")
+	flag.Parse()
+
+	render := func(num int) {
+		id := fmt.Sprintf("F%d", num)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rmbfigures: no figure %d\n", num)
+			os.Exit(2)
+		}
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbfigures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *fig != 0 {
+		render(*fig)
+		return
+	}
+	for num := 1; num <= 11; num++ {
+		render(num)
+	}
+}

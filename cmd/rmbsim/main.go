@@ -1,0 +1,177 @@
+// Command rmbsim runs one RMB simulation from the command line: it
+// generates a workload, routes it on the cycle-stepped simulator, and
+// prints completion statistics, the off-line comparison, and optionally a
+// live occupancy trace.
+//
+// Usage examples:
+//
+//	rmbsim -nodes 16 -buses 4 -pattern permutation -payload 8
+//	rmbsim -nodes 32 -buses 2 -pattern shift -shift 5 -trace
+//	rmbsim -nodes 16 -buses 4 -pattern hotspot -messages 64 -mode async
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmb/internal/core"
+	"rmb/internal/report"
+	"rmb/internal/results"
+	"rmb/internal/schedule"
+	"rmb/internal/sim"
+	"rmb/internal/trace"
+	"rmb/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "ring size N")
+	buses := flag.Int("buses", 4, "bus count k")
+	pattern := flag.String("pattern", "permutation", "workload: permutation, shift, uniform, hotspot, neighbour, bitrev, transpose, shuffle, butterfly, complement, tornado, alltoall")
+	shift := flag.Int("shift", 1, "shift distance for -pattern shift")
+	messages := flag.Int("messages", 32, "message count for uniform/hotspot")
+	payload := flag.Int("payload", 8, "data flits per message")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	mode := flag.String("mode", "lockstep", "compaction cycle mode: lockstep or async")
+	headRule := flag.String("head", "flexible", "header advance rule: flexible, straight, strict-top")
+	noCompact := flag.Bool("no-compaction", false, "disable the compaction protocol")
+	traceNet := flag.Bool("trace", false, "print occupancy snapshots while routing")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
+	gantt := flag.Bool("gantt", false, "render per-message lifecycle timelines after the run")
+	maxTicks := flag.Int64("max-ticks", 5_000_000, "tick budget")
+	flag.Parse()
+
+	rng := sim.NewRNG(*seed)
+	var (
+		p   workload.Pattern
+		err error
+	)
+	switch *pattern {
+	case "permutation":
+		p = workload.RandomPermutation(*nodes, rng)
+	case "shift":
+		p = workload.RingShift(*nodes, *shift)
+	case "uniform":
+		p = workload.UniformRandom(*nodes, *messages, rng)
+	case "hotspot":
+		p = workload.Hotspot(*nodes, *messages, 0, 0.5, rng)
+	case "neighbour":
+		p = workload.NearestNeighbour(*nodes)
+	case "bitrev":
+		p, err = workload.BitReversal(*nodes)
+	case "transpose":
+		p, err = workload.Transpose(*nodes)
+	case "shuffle":
+		p, err = workload.PerfectShuffle(*nodes)
+	case "butterfly":
+		p, err = workload.Butterfly(*nodes)
+	case "complement":
+		p, err = workload.BitComplement(*nodes)
+	case "tornado":
+		p = workload.Tornado(*nodes)
+	case "alltoall":
+		p = workload.AllToAll(*nodes)
+	default:
+		fmt.Fprintf(os.Stderr, "rmbsim: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Nodes: *nodes, Buses: *buses, Seed: *seed,
+		DisableCompaction: *noCompact,
+	}
+	switch *mode {
+	case "lockstep":
+		cfg.Mode = core.Lockstep
+	case "async":
+		cfg.Mode = core.Async
+	default:
+		fmt.Fprintf(os.Stderr, "rmbsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *headRule {
+	case "flexible":
+		cfg.HeadRule = core.HeadFlexible
+	case "straight":
+		cfg.HeadRule = core.HeadStraightOnly
+	case "strict-top":
+		cfg.HeadRule = core.HeadStrictTop
+	default:
+		fmt.Fprintf(os.Stderr, "rmbsim: unknown head rule %q\n", *headRule)
+		os.Exit(2)
+	}
+
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+		os.Exit(2)
+	}
+	data := make([]uint64, *payload)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	for _, d := range p.Demands {
+		if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), data); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if !*jsonOut {
+		fmt.Printf("routing %s on N=%d k=%d (%s compaction, %s heads)\n\n",
+			p.Name, *nodes, *buses, map[bool]string{false: cfg.Mode.String(), true: "disabled"}[*noCompact], cfg.HeadRule)
+	}
+
+	if *traceNet {
+		for i := int64(0); i < *maxTicks && !n.Idle(); i++ {
+			n.Step()
+			if i%8 == 0 {
+				fmt.Print(trace.RenderOccupancy(n.Snapshot()))
+				fmt.Println()
+			}
+		}
+	} else if err := n.Drain(sim.Tick(*maxTicks)); err != nil {
+		fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		rep := results.FromNetwork(n, p.Name, true, true)
+		if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	st := n.Stats()
+	tb := report.NewTable("results", "metric", "value")
+	tb.AddRowf("messages", st.MessagesSubmitted)
+	tb.AddRowf("delivered", st.Delivered)
+	tb.AddRowf("completion ticks", int64(n.Now()))
+	tb.AddRowf("insertions", st.Insertions)
+	tb.AddRowf("nacks", st.Nacks)
+	tb.AddRowf("retries", st.Retries)
+	tb.AddRowf("head timeouts", st.HeadTimeouts)
+	tb.AddRowf("compaction moves", st.CompactionMoves)
+	tb.AddRowf("odd/even cycles", n.GlobalCycle())
+	tb.AddRowf("mean delivery latency", st.MeanDeliverLatency())
+	tb.AddRowf("mean utilization", st.MeanUtilization(*nodes**buses))
+	tb.AddRowf("peak virtual buses", st.PeakActiveVBs)
+	fmt.Println(tb.Render())
+
+	off := schedule.Greedy(p, *buses).Makespan(*payload)
+	lb := schedule.LowerBoundTicks(p, *buses, *payload)
+	fmt.Printf("off-line greedy makespan: %d ticks (lower bound %d)\n", off, lb)
+	if off > 0 {
+		fmt.Printf("competitive ratio: %.2f\n", float64(n.Now())/float64(off))
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt{}.Render(n.Records()))
+	}
+}

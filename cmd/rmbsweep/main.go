@@ -1,0 +1,115 @@
+// Command rmbsweep produces latency-versus-offered-load curves for the
+// RMB under open-loop traffic, printing one table per bus count plus a
+// text chart of mean latency.
+//
+// Usage:
+//
+//	rmbsweep -nodes 16 -buses 1,2,4 -rates 0.0005,0.002,0.005,0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rmb/internal/core"
+	"rmb/internal/loadgen"
+	"rmb/internal/report"
+	"rmb/internal/sim"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	nodes := flag.Int("nodes", 16, "ring size N")
+	busesFlag := flag.String("buses", "1,2,4", "comma-separated bus counts to sweep")
+	ratesFlag := flag.String("rates", "0.0005,0.002,0.005,0.01,0.02", "comma-separated offered loads (msgs/node/tick)")
+	payload := flag.Int("payload", 4, "data flits per message")
+	warmup := flag.Int64("warmup", 300, "warmup ticks")
+	measure := flag.Int64("measure", 2500, "measurement ticks")
+	pattern := flag.String("pattern", "uniform", "destination pattern: uniform, neighbour, hotspot")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	buses, err := parseInts(*busesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbsweep: bad -buses: %v\n", err)
+		os.Exit(2)
+	}
+	rates, err := parseFloats(*ratesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbsweep: bad -rates: %v\n", err)
+		os.Exit(2)
+	}
+	var dest loadgen.DestFn
+	switch *pattern {
+	case "uniform":
+		dest = loadgen.UniformDest
+	case "neighbour":
+		dest = loadgen.NeighbourDest
+	case "hotspot":
+		dest = loadgen.HotspotDest
+	default:
+		fmt.Fprintf(os.Stderr, "rmbsweep: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	chart := report.NewChart(fmt.Sprintf("mean latency by (k, offered load) — N=%d, %s traffic", *nodes, *pattern))
+	for _, k := range buses {
+		tb := report.NewTable(fmt.Sprintf("k=%d", k),
+			"offered", "accepted", "mean latency", "p50", "p95", "p99", "util", "saturated")
+		for _, rate := range rates {
+			n, err := core.NewNetwork(core.Config{Nodes: *nodes, Buses: k, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmbsweep: %v\n", err)
+				os.Exit(1)
+			}
+			res, err := loadgen.Run(n, loadgen.Config{
+				Rate: rate, PayloadLen: *payload,
+				Warmup: sim.Tick(*warmup), Measure: sim.Tick(*measure),
+				Pattern: dest, Seed: *seed + uint64(k)*1000,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmbsweep: %v\n", err)
+				os.Exit(1)
+			}
+			tb.AddRowf(
+				fmt.Sprintf("%.4f", rate),
+				fmt.Sprintf("%.4f", res.AcceptedRate),
+				fmt.Sprintf("%.1f", res.Latency.Mean()),
+				fmt.Sprintf("%.0f", res.Latency.Percentile(50)),
+				fmt.Sprintf("%.0f", res.Latency.Percentile(95)),
+				fmt.Sprintf("%.0f", res.Latency.Percentile(99)),
+				fmt.Sprintf("%.2f", res.MeanUtilization),
+				res.Saturated,
+			)
+			chart.Add(fmt.Sprintf("k=%d @ %.4f", k, rate), res.Latency.Mean())
+		}
+		fmt.Println(tb.Render())
+	}
+	fmt.Println(chart.Render(48))
+}

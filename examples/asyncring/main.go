@@ -1,0 +1,54 @@
+// Async ring: the goroutine/channel implementation in action. Every INC
+// is a goroutine and every bus segment is a pair of Go channels carrying
+// wire-encoded flits; this example routes a full permutation through real
+// message passing and verifies the payloads.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rmb"
+)
+
+func main() {
+	const n = 12
+
+	net, err := rmb.NewAsync(rmb.AsyncConfig{Nodes: n, Buses: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Stop()
+
+	// Build a random permutation workload; each payload encodes its
+	// endpoints so delivery can be verified end to end.
+	rng := rmb.NewRNG(2026)
+	p := rmb.RandomPermutation(n, rng)
+	var demands []rmb.AsyncDemand
+	for _, d := range p.Demands {
+		demands = append(demands, rmb.AsyncDemand{
+			Src: rmb.NodeID(d.Src), Dst: rmb.NodeID(d.Dst),
+			Payload: []uint64{uint64(d.Src), uint64(d.Dst), uint64(d.Src * d.Dst)},
+		})
+	}
+
+	start := time.Now()
+	delivered, err := net.SendAndAwait(demands, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	ok := 0
+	for _, m := range delivered {
+		if m.Payload[0] == uint64(m.Src) && m.Payload[1] == uint64(m.Dst) {
+			ok++
+		} else {
+			fmt.Printf("CORRUPT: %+v\n", m)
+		}
+	}
+	fmt.Printf("routed %d/%d messages of a random permutation through %d INC goroutines in %v\n",
+		ok, len(demands), n, elapsed.Round(time.Millisecond))
+	fmt.Println("every flit crossed real Go channels as wire-encoded frames (see internal/flit)")
+}

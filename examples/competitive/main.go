@@ -1,0 +1,61 @@
+// Competitiveness study: the research direction the paper's conclusion
+// proposes. Measures the on-line RMB protocol's completion time against
+// the off-line greedy schedule for random communication patterns, and
+// reports the distribution of competitive ratios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmb"
+)
+
+func main() {
+	const (
+		nodes   = 16
+		payload = 8
+		trials  = 10
+	)
+
+	fmt.Println("on-line RMB routing vs off-line optimal-style schedule")
+	fmt.Printf("N=%d, payload=%d flits, %d random permutations per k\n\n", nodes, payload, trials)
+
+	for _, k := range []int{2, 4, 8} {
+		var worst, sum float64
+		for seed := uint64(1); seed <= trials; seed++ {
+			rng := rmb.NewRNG(seed * 101)
+			p := rmb.RandomPermutation(nodes, rng)
+			net, err := rmb.New(rmb.Config{Nodes: nodes, Buses: k, Seed: seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := rmb.RunPattern(net, p, payload, 5_000_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.CompetitiveRatio
+			if res.CompetitiveRatio > worst {
+				worst = res.CompetitiveRatio
+			}
+		}
+		fmt.Printf("k=%d: mean competitive ratio %.2f, worst %.2f\n", k, sum/trials, worst)
+	}
+
+	fmt.Println()
+	fmt.Println("per-pattern detail for k=4:")
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := rmb.NewRNG(seed * 101)
+		p := rmb.RandomPermutation(nodes, rng)
+		net, err := rmb.New(rmb.Config{Nodes: nodes, Buses: 4, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rmb.RunPattern(net, p, payload, 5_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  seed %2d: online %5d ticks, offline %5d, lower bound %5d, ratio %.2f\n",
+			seed, res.Ticks, res.OfflineMakespan, res.LowerBoundTicks, res.CompetitiveRatio)
+	}
+}

@@ -1,0 +1,44 @@
+// Open-loop traffic: instead of a fixed batch, messages arrive over time
+// at a configured rate, producing the classic latency-versus-offered-load
+// curve. The saturation point scales with the bus count — the runtime
+// form of the paper's k-permutation capacity argument.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmb"
+)
+
+func main() {
+	const nodes = 16
+	fmt.Printf("open-loop uniform traffic on a %d-node RMB (payload 4 flits)\n\n", nodes)
+	fmt.Printf("%-4s %-10s %-10s %-14s %-10s %s\n", "k", "offered", "accepted", "mean latency", "p95", "state")
+	for _, k := range []int{1, 2, 4} {
+		for _, rate := range []float64{0.0005, 0.002, 0.008} {
+			net, err := rmb.New(rmb.Config{Nodes: nodes, Buses: k, Seed: 7})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := rmb.RunOpenLoop(net, rmb.OpenLoopConfig{
+				Rate: rate, PayloadLen: 4,
+				Warmup: 300, Measure: 2000,
+				Pattern: rmb.UniformDest, Seed: uint64(k),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			state := "stable"
+			if res.Saturated {
+				state = "SATURATED"
+			}
+			fmt.Printf("%-4d %-10.4f %-10.4f %-14.1f %-10.0f %s\n",
+				k, res.OfferedRate, res.AcceptedRate,
+				res.Latency.Mean(), res.Latency.Percentile(95), state)
+		}
+	}
+	fmt.Println()
+	fmt.Println("below saturation every message sees the uncontended 3d+p-1 latency;")
+	fmt.Println("past it the backlog grows without bound and latency is queue-dominated")
+}

@@ -1,0 +1,81 @@
+package rmb
+
+// Re-exports for the future-work extensions the paper names: the duplex
+// (two parallel unidirectional rings) organization of Section 2.1, the
+// multicast/broadcast capability of Section 1, the 2-D grid of RMB rings
+// and the module-based scaling of Sections 1 and 4, and the k-ary n-cube
+// comparison target of Section 4.
+
+import (
+	"rmb/internal/baseline/torus"
+	"rmb/internal/duplex"
+	"rmb/internal/grid"
+	"rmb/internal/module"
+)
+
+// Duplex organization: two parallel unidirectional rings.
+type (
+	// DuplexConfig parameterizes a duplex RMB (the total bus budget is
+	// split between the two directions).
+	DuplexConfig = duplex.Config
+	// DuplexNetwork routes each message along the shorter direction.
+	DuplexNetwork = duplex.Network
+	// DuplexHandle identifies a message sent through a duplex network.
+	DuplexHandle = duplex.Handle
+)
+
+// Duplex direction-selection policies.
+const (
+	// ShortestPath picks the direction with fewer hops (default).
+	ShortestPath = duplex.ShortestPath
+	// AlwaysClockwise degenerates to a single ring, for comparisons.
+	AlwaysClockwise = duplex.AlwaysClockwise
+)
+
+// NewDuplex builds a two-ring RMB.
+func NewDuplex(cfg DuplexConfig) (*DuplexNetwork, error) { return duplex.New(cfg) }
+
+// Grid organization: every row and column of a W×H array is an RMB ring.
+type (
+	// GridConfig parameterizes a 2-D grid of RMB rings.
+	GridConfig = grid.Config
+	// GridNetwork routes messages row-ring-first, column-ring-second.
+	GridNetwork = grid.Network
+	// GridDelivery is one completed grid message.
+	GridDelivery = grid.Delivery
+)
+
+// NewGrid builds a W×H grid of RMB rings.
+func NewGrid(cfg GridConfig) (*GridNetwork, error) { return grid.New(cfg) }
+
+// 3-D grid organization.
+type (
+	// Grid3DConfig parameterizes an X×Y×Z grid of RMB rings.
+	Grid3DConfig = grid.Config3D
+	// Grid3DNetwork routes messages axis by axis (X, then Y, then Z).
+	Grid3DNetwork = grid.Network3D
+	// Grid3DDelivery is one completed 3-D grid message.
+	Grid3DDelivery = grid.Delivery3D
+)
+
+// NewGrid3D builds an X×Y×Z grid of RMB rings.
+func NewGrid3D(cfg Grid3DConfig) (*Grid3DNetwork, error) { return grid.New3D(cfg) }
+
+// Module organization: M RMB rings joined by an inter-module RMB ring.
+type (
+	// ModuleConfig parameterizes a modular RMB system.
+	ModuleConfig = module.Config
+	// ModuleNetwork routes inter-module messages through gateways.
+	ModuleNetwork = module.Network
+	// ModuleDelivery is one completed system-level message.
+	ModuleDelivery = module.Delivery
+)
+
+// NewModular builds a ring-of-rings RMB system.
+func NewModular(cfg ModuleConfig) (*ModuleNetwork, error) { return module.New(cfg) }
+
+// Torus is the k-ary n-cube comparison target.
+type Torus = torus.Torus
+
+// NewTorus builds a k-ary n-cube with the given per-channel capacity.
+func NewTorus(arity, dims, capacity int) (*Torus, error) { return torus.New(arity, dims, capacity) }

@@ -1,0 +1,3 @@
+module rmb
+
+go 1.22

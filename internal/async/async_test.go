@@ -1,0 +1,167 @@
+package async
+
+import (
+	"testing"
+	"time"
+
+	"rmb/internal/flit"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestSingleDelivery(t *testing.T) {
+	n, err := New(Config{Nodes: 8, Buses: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	got, err := n.SendAndAwait([]Demand{{Src: 0, Dst: 5, Payload: []uint64{1, 2, 3}}}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("SendAndAwait: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	m := got[0]
+	if m.Src != 0 || m.Dst != 5 || len(m.Payload) != 3 {
+		t.Fatalf("delivered %+v", m)
+	}
+	for i, w := range []uint64{1, 2, 3} {
+		if m.Payload[i] != w {
+			t.Errorf("payload[%d] = %d, want %d", i, m.Payload[i], w)
+		}
+	}
+}
+
+func TestAllPairsSequential(t *testing.T) {
+	n, err := New(Config{Nodes: 6, Buses: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	for s := 0; s < 6; s++ {
+		for d := 0; d < 6; d++ {
+			if s == d {
+				continue
+			}
+			got, err := n.SendAndAwait([]Demand{{
+				Src: flit.NodeID(s), Dst: flit.NodeID(d),
+				Payload: []uint64{uint64(s*10 + d)},
+			}}, 5*time.Second)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", s, d, err)
+			}
+			if got[0].Payload[0] != uint64(s*10+d) {
+				t.Errorf("%d->%d payload %d", s, d, got[0].Payload[0])
+			}
+		}
+	}
+}
+
+func TestConcurrentPermutation(t *testing.T) {
+	const N = 16
+	n, err := New(Config{Nodes: N, Buses: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	rng := sim.NewRNG(99)
+	p := workload.RandomPermutation(N, rng)
+	var demands []Demand
+	for _, d := range p.Demands {
+		demands = append(demands, Demand{
+			Src: flit.NodeID(d.Src), Dst: flit.NodeID(d.Dst),
+			Payload: []uint64{uint64(d.Src), uint64(d.Dst)},
+		})
+	}
+	got, err := n.SendAndAwait(demands, 20*time.Second)
+	if err != nil {
+		t.Fatalf("SendAndAwait: %v", err)
+	}
+	if len(got) != len(demands) {
+		t.Fatalf("delivered %d, want %d", len(got), len(demands))
+	}
+	for _, m := range got {
+		if m.Payload[0] != uint64(m.Src) || m.Payload[1] != uint64(m.Dst) {
+			t.Errorf("message %d corrupted: %+v", m.ID, m)
+		}
+	}
+}
+
+func TestContentionToSameDestination(t *testing.T) {
+	// Several senders target one node; the single receive port forces
+	// Nack-and-retry, and all must eventually deliver.
+	const N = 8
+	n, err := New(Config{Nodes: N, Buses: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	var demands []Demand
+	for s := 1; s < N; s++ {
+		demands = append(demands, Demand{
+			Src: flit.NodeID(s), Dst: 0,
+			Payload: []uint64{uint64(s)},
+		})
+	}
+	got, err := n.SendAndAwait(demands, 30*time.Second)
+	if err != nil {
+		t.Fatalf("SendAndAwait: %v", err)
+	}
+	if len(got) != N-1 {
+		t.Fatalf("delivered %d, want %d", len(got), N-1)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range got {
+		seen[m.Payload[0]] = true
+	}
+	for s := 1; s < N; s++ {
+		if !seen[uint64(s)] {
+			t.Errorf("sender %d never delivered", s)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1, Buses: 2}); err == nil {
+		t.Error("Nodes=1 accepted")
+	}
+	if _, err := New(Config{Nodes: 4, Buses: 0}); err == nil {
+		t.Error("Buses=0 accepted")
+	}
+	n, err := New(Config{Nodes: 4, Buses: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	if _, err := n.Send(0, 0, nil); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := n.Send(0, 9, nil); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	n, err := New(Config{Nodes: 4, Buses: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Stop()
+	got, err := n.SendAndAwait([]Demand{{Src: 1, Dst: 3}}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("SendAndAwait: %v", err)
+	}
+	if len(got) != 1 || len(got[0].Payload) != 0 {
+		t.Fatalf("delivered %+v", got)
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	n, err := New(Config{Nodes: 4, Buses: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n.Stop()
+	n.Stop()
+}

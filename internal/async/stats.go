@@ -1,0 +1,47 @@
+package async
+
+import "sync/atomic"
+
+// Stats are aggregate counters over a running asynchronous network. All
+// fields are updated atomically by the INC goroutines and may be read at
+// any time.
+type Stats struct {
+	// HeadersForwarded counts header flits an INC connected and passed on.
+	HeadersForwarded int64
+	// HeadersHeld counts headers that had to wait for a free output line.
+	HeadersHeld int64
+	// HeadersExpired counts held headers refused by the timeout.
+	HeadersExpired int64
+	// FlitsForwarded counts data/final flits relayed by intermediate INCs.
+	FlitsForwarded int64
+	// NacksSent counts refusals issued by destination INCs.
+	NacksSent int64
+	// Delivered counts messages reassembled at destinations.
+	Delivered int64
+	// Retries counts local reinsertion attempts after a Nack.
+	Retries int64
+}
+
+// counters is the atomic backing store on the Network.
+type counters struct {
+	headersForwarded atomic.Int64
+	headersHeld      atomic.Int64
+	headersExpired   atomic.Int64
+	flitsForwarded   atomic.Int64
+	nacksSent        atomic.Int64
+	delivered        atomic.Int64
+	retries          atomic.Int64
+}
+
+// Stats returns a consistent-enough snapshot of the counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		HeadersForwarded: n.ctr.headersForwarded.Load(),
+		HeadersHeld:      n.ctr.headersHeld.Load(),
+		HeadersExpired:   n.ctr.headersExpired.Load(),
+		FlitsForwarded:   n.ctr.flitsForwarded.Load(),
+		NacksSent:        n.ctr.nacksSent.Load(),
+		Delivered:        n.ctr.delivered.Load(),
+		Retries:          n.ctr.retries.Load(),
+	}
+}

@@ -1,0 +1,241 @@
+// Package circuit provides a generic circuit-switched network simulator
+// used by the baseline architectures (hypercube, fat tree, mesh) the
+// paper compares against in Section 3. A topology exposes a directed
+// channel graph with per-channel capacities and a deterministic routing
+// function; the engine then routes a workload pattern with wormhole-style
+// path acquisition (the head claims one channel per tick, holds its
+// partial path, and the whole path is released after the payload has
+// drained), including the same starvation safety valve (timeout, release,
+// randomized-backoff retry) the RMB simulator uses, so completion-time
+// comparisons are apples to apples.
+package circuit
+
+import (
+	"fmt"
+
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+// Topology describes a circuit-switched network.
+type Topology interface {
+	// Name identifies the topology for reports.
+	Name() string
+	// Nodes reports the number of addressable endpoints.
+	Nodes() int
+	// ChannelCount reports how many directed channels exist.
+	ChannelCount() int
+	// ChannelCapacity reports how many simultaneous circuits channel c
+	// carries (a fat tree's channel is a bundle of wires).
+	ChannelCapacity(c int) int
+	// Route returns the channel sequence a message from src to dst
+	// claims, using the topology's deterministic routing algorithm.
+	Route(src, dst int) ([]int, error)
+}
+
+// Options tunes the engine.
+type Options struct {
+	// Payload is the number of data flits per message.
+	Payload int
+	// HeadTimeout converts a head blocked this many consecutive ticks
+	// into release-and-retry (0 selects 16×Nodes; -1 disables).
+	HeadTimeout int
+	// RetryBase and RetryCap bound the randomized exponential backoff.
+	RetryBase, RetryCap int
+	// Seed drives the backoff randomness.
+	Seed uint64
+	// MaxTicks caps the run (0 means 1<<32).
+	MaxTicks int64
+}
+
+type msgState uint8
+
+const (
+	msgPending msgState = iota
+	msgExtending
+	msgTransferring
+	msgDone
+)
+
+type message struct {
+	id       int
+	src, dst int
+	path     []int
+	state    msgState
+	// claimed is how many channels of the path the head holds.
+	claimed int
+	// doneAt is the tick the transfer (payload + drain) completes.
+	doneAt int64
+	// notBefore delays retries.
+	notBefore int64
+	waitTicks int
+	attempts  int
+	started   int64
+	finished  int64
+}
+
+// Result reports a completed routing run.
+type Result struct {
+	Topology string
+	// Ticks is the completion time of the whole pattern.
+	Ticks int64
+	// Delivered counts completed messages (always the full pattern on
+	// success).
+	Delivered int
+	// Retries counts release-and-retry events.
+	Retries int
+	// MeanPathLen is the average claimed path length (hops).
+	MeanPathLen float64
+	// MeanLatency is the average start-to-finish latency per message.
+	MeanLatency float64
+	// MaxLatency is the worst message latency.
+	MaxLatency int64
+}
+
+// Engine routes patterns over one topology.
+type Engine struct {
+	topo Topology
+	opts Options
+	use  []int
+}
+
+// NewEngine builds an engine for the topology.
+func NewEngine(t Topology, opts Options) *Engine {
+	if opts.HeadTimeout == 0 {
+		opts.HeadTimeout = 16 * t.Nodes()
+	} else if opts.HeadTimeout < 0 {
+		opts.HeadTimeout = 1 << 30
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 4
+	}
+	if opts.RetryCap <= 0 {
+		opts.RetryCap = 256
+	}
+	if opts.MaxTicks == 0 {
+		opts.MaxTicks = 1 << 32
+	}
+	return &Engine{topo: t, opts: opts, use: make([]int, t.ChannelCount())}
+}
+
+// Route runs the pattern to completion and reports timing.
+func (e *Engine) Route(p workload.Pattern, rng *sim.RNG) (Result, error) {
+	if p.Nodes > e.topo.Nodes() {
+		return Result{}, fmt.Errorf("circuit: pattern addresses %d nodes but %s has %d", p.Nodes, e.topo.Name(), e.topo.Nodes())
+	}
+	if rng == nil {
+		rng = sim.NewRNG(e.opts.Seed ^ 0xc1c71)
+	}
+	for i := range e.use {
+		e.use[i] = 0
+	}
+	msgs := make([]*message, 0, len(p.Demands))
+	for i, d := range p.Demands {
+		path, err := e.topo.Route(d.Src, d.Dst)
+		if err != nil {
+			return Result{}, err
+		}
+		msgs = append(msgs, &message{id: i, src: d.Src, dst: d.Dst, path: path})
+	}
+	res := Result{Topology: e.topo.Name(), Delivered: 0}
+	remaining := len(msgs)
+	var now int64
+	for remaining > 0 {
+		if now >= e.opts.MaxTicks {
+			return res, fmt.Errorf("circuit: %s did not finish %d messages within %d ticks", e.topo.Name(), remaining, e.opts.MaxTicks)
+		}
+		for _, m := range msgs {
+			switch m.state {
+			case msgPending:
+				if now < m.notBefore {
+					continue
+				}
+				m.state = msgExtending
+				m.attempts++
+				if m.started == 0 {
+					m.started = now
+				}
+				fallthrough
+			case msgExtending:
+				e.extend(m, now, rng)
+			case msgTransferring:
+				if now >= m.doneAt {
+					e.release(m, len(m.path))
+					m.state = msgDone
+					m.finished = now
+					remaining--
+					res.Delivered++
+				}
+			}
+		}
+		now++
+	}
+	res.Ticks = now
+	var sumPath, sumLat float64
+	for _, m := range msgs {
+		sumPath += float64(len(m.path))
+		lat := m.finished - m.started
+		sumLat += float64(lat)
+		if lat > res.MaxLatency {
+			res.MaxLatency = lat
+		}
+		res.Retries += m.attempts - 1
+	}
+	if len(msgs) > 0 {
+		res.MeanPathLen = sumPath / float64(len(msgs))
+		res.MeanLatency = sumLat / float64(len(msgs))
+	}
+	return res, nil
+}
+
+// extend advances a head one channel if the next channel has spare
+// capacity, applying the timeout valve otherwise.
+func (e *Engine) extend(m *message, now int64, rng *sim.RNG) {
+	if m.claimed == len(m.path) {
+		e.beginTransfer(m, now)
+		return
+	}
+	c := m.path[m.claimed]
+	if e.use[c] < e.topo.ChannelCapacity(c) {
+		e.use[c]++
+		m.claimed++
+		m.waitTicks = 0
+		if m.claimed == len(m.path) {
+			e.beginTransfer(m, now)
+		}
+		return
+	}
+	m.waitTicks++
+	if m.waitTicks >= e.opts.HeadTimeout {
+		e.release(m, m.claimed)
+		m.claimed = 0
+		m.waitTicks = 0
+		m.state = msgPending
+		backoff := e.opts.RetryBase
+		for i := 1; i < m.attempts && backoff < e.opts.RetryCap; i++ {
+			backoff *= 2
+		}
+		if backoff > e.opts.RetryCap {
+			backoff = e.opts.RetryCap
+		}
+		m.notBefore = now + 1 + int64(rng.Intn(backoff))
+	}
+}
+
+// beginTransfer charges the circuit's occupancy time: acknowledgement
+// return, payload drain and teardown, matching the RMB simulator's
+// 3·len + payload delivery shape.
+func (e *Engine) beginTransfer(m *message, now int64) {
+	m.state = msgTransferring
+	m.doneAt = now + int64(2*len(m.path)+e.opts.Payload)
+}
+
+// release returns the first n claimed channels of the path.
+func (e *Engine) release(m *message, n int) {
+	for i := 0; i < n; i++ {
+		e.use[m.path[i]]--
+		if e.use[m.path[i]] < 0 {
+			panic(fmt.Sprintf("circuit: channel %d usage underflow", m.path[i]))
+		}
+	}
+}

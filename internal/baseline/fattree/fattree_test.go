@@ -1,0 +1,185 @@
+package fattree
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/baseline/circuit"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 1, UniformK(1)); err == nil {
+		t.Error("1 processor accepted")
+	}
+	if _, err := New(8, 0, UniformK(1)); err == nil {
+		t.Error("zero leaf size accepted")
+	}
+	if _, err := New(8, 2, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	tr, err := NewKPermutation(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 8 || tr.Height() != 3 {
+		t.Errorf("leaves=%d height=%d, want 8 and 3", tr.Leaves(), tr.Height())
+	}
+}
+
+func TestLeafRoundsUpToPowerOfTwo(t *testing.T) {
+	tr, err := New(24, 4, UniformK(4)) // 6 leaves -> rounds to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 8 {
+		t.Errorf("leaves = %d, want 8", tr.Leaves())
+	}
+}
+
+func TestRouteProperties(t *testing.T) {
+	tr, _ := NewKPermutation(32, 4)
+	f := func(src, dst uint8) bool {
+		s, d := int(src)%32, int(dst)%32
+		path, err := tr.Route(s, d)
+		if err != nil {
+			return false
+		}
+		if s == d {
+			return path == nil
+		}
+		// Access ports bracket the path.
+		if len(path) < 2 {
+			return false
+		}
+		// Unique channels.
+		seen := map[int]bool{}
+		for _, ch := range path {
+			if seen[ch] {
+				return false
+			}
+			seen[ch] = true
+		}
+		// O(log N) length: at most 2 access + 2·height tree edges.
+		return len(path) <= 2+2*tr.Height()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraLeafRouteIsShort(t *testing.T) {
+	tr, _ := NewKPermutation(32, 4)
+	// PEs 0 and 1 share leaf 0: route is just the two access ports.
+	path, err := tr.Route(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("intra-leaf path %v, want 2 access channels", path)
+	}
+}
+
+func TestCrossRootRouteLength(t *testing.T) {
+	tr, _ := NewKPermutation(32, 4) // 8 leaves, height 3
+	// PE 0 (leaf 0) to PE 31 (leaf 7) crosses the root: 3 up + 3 down + 2.
+	path, err := tr.Route(0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2+2*tr.Height() {
+		t.Errorf("cross-root path length %d, want %d", len(path), 2+2*tr.Height())
+	}
+}
+
+func TestChannelCapacities(t *testing.T) {
+	tr, _ := NewKPermutation(32, 4)
+	// Access channels capacity 1.
+	if got := tr.ChannelCapacity(0); got != 1 {
+		t.Errorf("access capacity %d", got)
+	}
+	// All tree channels capacity k=4.
+	for c := 2 * tr.Nodes(); c < tr.ChannelCount(); c++ {
+		if got := tr.ChannelCapacity(c); got != 4 {
+			t.Errorf("tree channel %d capacity %d, want 4", c, got)
+		}
+	}
+}
+
+func TestDoublingProfile(t *testing.T) {
+	tr, err := New(16, 1, Doubling(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf edges capacity 1, root edges capacity min(2^(h-1), 8).
+	caps := map[int]bool{}
+	for c := 2 * tr.Nodes(); c < tr.ChannelCount(); c++ {
+		caps[tr.ChannelCapacity(c)] = true
+	}
+	if !caps[1] {
+		t.Error("no capacity-1 leaf channels with doubling profile")
+	}
+	if !caps[8] {
+		t.Errorf("no capacity-8 channels: %v", caps)
+	}
+	for c := range caps {
+		if c > 8 {
+			t.Errorf("capacity %d exceeds cap", c)
+		}
+	}
+}
+
+func TestLinksAccounting(t *testing.T) {
+	// Paper formula: N·log k + N − 2k. Exact sum: tree edges contribute
+	// (2·leaves−2)·k = 2N−2k wires plus leaf-internal trees N·log k.
+	n, k := 64, 8
+	tr, _ := NewKPermutation(n, k)
+	if got, want := tr.PaperLinks(k), n*3+n-2*k; got != want {
+		t.Errorf("paper links %d, want %d", got, want)
+	}
+	if got, want := tr.Links(), n*3+2*n-2*k; got != want {
+		t.Errorf("exact links %d, want %d", got, want)
+	}
+	// The paper's count is an undercount of the exact edge sum.
+	if tr.PaperLinks(k) >= tr.Links() {
+		t.Error("paper accounting should undercount the exact bundle sum")
+	}
+}
+
+func TestKPermutationRoutesWithoutRetriesAtCapacity(t *testing.T) {
+	// The Figure 11 tree must carry any k-permutation; with load k spread
+	// across distinct leaves the capacity-k channels suffice.
+	const N, K = 32, 4
+	tr, _ := NewKPermutation(N, K)
+	rng := sim.NewRNG(3)
+	for trial := 0; trial < 5; trial++ {
+		p := workload.RandomHPermutation(N, K, rng)
+		res, err := circuit.NewEngine(tr, circuit.Options{Payload: 4, Seed: uint64(trial)}).Route(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != len(p.Demands) {
+			t.Errorf("trial %d: delivered %d/%d", trial, res.Delivered, len(p.Demands))
+		}
+	}
+}
+
+func TestFullPermutationOnKTree(t *testing.T) {
+	const N, K = 32, 8
+	tr, _ := NewKPermutation(N, K)
+	rng := sim.NewRNG(5)
+	p := workload.RandomPermutation(N, rng)
+	res, err := circuit.NewEngine(tr, circuit.Options{Payload: 4, Seed: 9}).Route(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != len(p.Demands) {
+		t.Errorf("delivered %d/%d", res.Delivered, len(p.Demands))
+	}
+	// O(log N) mean path: every route is at most 2 + 2·log2(leaves).
+	if max := float64(2 + 2*bits.Len(uint(tr.Leaves()-1))); res.MeanPathLen > max {
+		t.Errorf("mean path %v above bound %v", res.MeanPathLen, max)
+	}
+}

@@ -1,0 +1,115 @@
+// Package hypercube implements the binary n-cube baseline of Section 3.1
+// with deterministic e-cube (dimension-ordered) routing, plus the
+// enhanced hypercube (EHC) variant with duplicated links in one
+// dimension, as a circuit.Topology for completion-time comparisons and as
+// cost-model inputs (see internal/analysis for the closed forms).
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Cube is an n-dimensional binary hypercube with 2^n nodes. Each
+// undirected link contributes two directed channels. With Enhanced true,
+// dimension 0's links are duplicated (capacity 2), the paper's EHC.
+type Cube struct {
+	dims     int
+	nodes    int
+	enhanced bool
+}
+
+// New builds a hypercube over nodes processors; nodes must be a power of
+// two and at least 2.
+func New(nodes int, enhanced bool) (*Cube, error) {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("hypercube: node count %d is not a power of two >= 2", nodes)
+	}
+	return &Cube{dims: bits.Len(uint(nodes)) - 1, nodes: nodes, enhanced: enhanced}, nil
+}
+
+// Name identifies the topology.
+func (c *Cube) Name() string {
+	if c.enhanced {
+		return fmt.Sprintf("EHC(%d-cube)", c.dims)
+	}
+	return fmt.Sprintf("hypercube(%d-cube)", c.dims)
+}
+
+// Nodes reports 2^n.
+func (c *Cube) Nodes() int { return c.nodes }
+
+// Dims reports the dimension count n.
+func (c *Cube) Dims() int { return c.dims }
+
+// ChannelCount reports the directed channel count: one channel per node
+// per dimension (node u's channel in dimension d leads to u XOR 2^d).
+func (c *Cube) ChannelCount() int { return c.nodes * c.dims }
+
+// channelID computes the directed channel from u along dimension d.
+func (c *Cube) channelID(u, d int) int { return u*c.dims + d }
+
+// ChannelCapacity reports 1, or 2 for dimension-0 channels of an EHC.
+func (c *Cube) ChannelCapacity(ch int) int {
+	if c.enhanced && ch%c.dims == 0 {
+		return 2
+	}
+	return 1
+}
+
+// Route implements e-cube routing: correct differing address bits from
+// least significant to most significant. The path is unique and at most n
+// channels long.
+func (c *Cube) Route(src, dst int) ([]int, error) {
+	if src < 0 || src >= c.nodes || dst < 0 || dst >= c.nodes {
+		return nil, fmt.Errorf("hypercube: route %d->%d outside [0,%d)", src, dst, c.nodes)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	var path []int
+	u := src
+	for d := 0; d < c.dims; d++ {
+		if (u^dst)&(1<<d) != 0 {
+			path = append(path, c.channelID(u, d))
+			u ^= 1 << d
+		}
+	}
+	return path, nil
+}
+
+// Distance reports the Hamming distance between two node addresses.
+func Distance(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// Links reports the undirected link count N·n/2·2 = N·n accounted the
+// paper's way (each node has degree n; the paper charges N·log N links,
+// i.e. directed accounting). Enhanced cubes add N/2 duplicate links in
+// dimension 0 for degree n+1.
+func (c *Cube) Links() int {
+	l := c.nodes * c.dims
+	if c.enhanced {
+		l += c.nodes
+	}
+	return l
+}
+
+// SubcubeDecompose splits the cube's node set into 2^(n-m) disjoint
+// m-dimensional subcubes, demonstrating the recursive decomposition
+// property Section 3.1 cites. Each subcube is returned as its node list.
+func (c *Cube) SubcubeDecompose(m int) ([][]int, error) {
+	if m < 0 || m > c.dims {
+		return nil, fmt.Errorf("hypercube: subcube dimension %d outside [0,%d]", m, c.dims)
+	}
+	size := 1 << m
+	count := c.nodes / size
+	out := make([][]int, count)
+	for i := 0; i < count; i++ {
+		base := i << m
+		sub := make([]int, size)
+		for j := 0; j < size; j++ {
+			sub[j] = base | j
+		}
+		out[i] = sub
+	}
+	return out, nil
+}

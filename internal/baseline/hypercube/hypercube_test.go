@@ -1,0 +1,180 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/baseline/circuit"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 100} {
+		if _, err := New(n, false); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+	c, err := New(16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims() != 4 || c.Nodes() != 16 {
+		t.Errorf("dims=%d nodes=%d", c.Dims(), c.Nodes())
+	}
+}
+
+func TestECubeRouteProperties(t *testing.T) {
+	c, _ := New(32, false)
+	f := func(src, dst uint8) bool {
+		s, d := int(src)%32, int(dst)%32
+		path, err := c.Route(s, d)
+		if err != nil {
+			return false
+		}
+		// Path length equals Hamming distance.
+		if len(path) != Distance(s, d) {
+			return false
+		}
+		// Channels are distinct (a unique minimal path never revisits).
+		seen := map[int]bool{}
+		for _, ch := range path {
+			if seen[ch] {
+				return false
+			}
+			seen[ch] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECubeDimensionOrder(t *testing.T) {
+	c, _ := New(16, false)
+	// 0 -> 15 corrects bits 0,1,2,3 in order: 0 ->1 ->3 ->7 ->15.
+	path, err := c.Route(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := []int{0, 1, 3, 7}
+	for i, u := range wantNodes {
+		if path[i] != u*c.Dims()+i {
+			t.Errorf("hop %d channel %d, want node %d dim %d", i, path[i], u, i)
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	c, _ := New(8, false)
+	if _, err := c.Route(-1, 3); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := c.Route(0, 8); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if p, err := c.Route(5, 5); err != nil || len(p) != 0 {
+		t.Errorf("self route %v, %v", p, err)
+	}
+}
+
+func TestEHCCapacities(t *testing.T) {
+	e, _ := New(8, true)
+	if e.Name() != "EHC(3-cube)" {
+		t.Errorf("name %q", e.Name())
+	}
+	// Dimension-0 channels have capacity 2, others 1.
+	for u := 0; u < 8; u++ {
+		for d := 0; d < 3; d++ {
+			want := 1
+			if d == 0 {
+				want = 2
+			}
+			if got := e.ChannelCapacity(u*3 + d); got != want {
+				t.Errorf("node %d dim %d capacity %d, want %d", u, d, got, want)
+			}
+		}
+	}
+	if e.Links() != 8*3+8 {
+		t.Errorf("EHC links %d, want N(n+1)=32", e.Links())
+	}
+	p, _ := New(8, false)
+	if p.Links() != 24 {
+		t.Errorf("cube links %d, want 24", p.Links())
+	}
+}
+
+func TestSubcubeDecompose(t *testing.T) {
+	c, _ := New(16, false)
+	subs, err := c.SubcubeDecompose(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 4 {
+		t.Fatalf("%d subcubes, want 4", len(subs))
+	}
+	seen := map[int]bool{}
+	for _, sub := range subs {
+		if len(sub) != 4 {
+			t.Fatalf("subcube size %d, want 4", len(sub))
+		}
+		// Every pair within a subcube is within Hamming distance 2.
+		for _, a := range sub {
+			if seen[a] {
+				t.Fatalf("node %d in two subcubes", a)
+			}
+			seen[a] = true
+			for _, b := range sub {
+				if Distance(a, b) > 2 {
+					t.Errorf("nodes %d,%d in one 2-subcube at distance %d", a, b, Distance(a, b))
+				}
+			}
+		}
+	}
+	if _, err := c.SubcubeDecompose(5); err == nil {
+		t.Error("oversized subcube accepted")
+	}
+}
+
+func TestRoutePermutationThroughEngine(t *testing.T) {
+	c, _ := New(16, false)
+	eng := circuit.NewEngine(c, circuit.Options{Payload: 4, Seed: 1})
+	rng := sim.NewRNG(7)
+	p := workload.RandomPermutation(16, rng)
+	res, err := eng.Route(p, rng)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if res.Delivered != len(p.Demands) {
+		t.Errorf("delivered %d, want %d", res.Delivered, len(p.Demands))
+	}
+	if res.Ticks <= 0 || res.MeanLatency <= 0 {
+		t.Errorf("suspicious result %+v", res)
+	}
+}
+
+func TestEHCOutperformsPlainCubeUnderPermutations(t *testing.T) {
+	// The EHC's duplicated dimension relieves the e-cube bottleneck; over
+	// several random permutations it must finish no slower on average.
+	plain, _ := New(32, false)
+	enhanced, _ := New(32, true)
+	var sumPlain, sumEHC int64
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRNG(seed)
+		p := workload.RandomPermutation(32, rng)
+		rp, err := circuit.NewEngine(plain, circuit.Options{Payload: 8, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := circuit.NewEngine(enhanced, circuit.Options{Payload: 8, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumPlain += rp.Ticks
+		sumEHC += re.Ticks
+	}
+	if sumEHC > sumPlain {
+		t.Errorf("EHC total %d slower than plain cube %d", sumEHC, sumPlain)
+	}
+}

@@ -1,0 +1,119 @@
+// Package mesh implements the 2-D mesh baseline of Section 3.1 with
+// deterministic XY (dimension-ordered) routing as a circuit.Topology.
+// An expansion factor widens every link into a bundle, modelling the
+// paper's √k-per-dimension expansion for k-permutation support.
+package mesh
+
+import "fmt"
+
+// Mesh is a width×height grid. Node (r, c) has index r*width + c. Each
+// neighbouring pair contributes two directed channels; every channel has
+// the same capacity (the expansion bundle width).
+type Mesh struct {
+	width, height int
+	capacity      int
+}
+
+// New builds a width×height mesh whose links carry capacity circuits
+// each (capacity 1 is the plain mesh).
+func New(width, height, capacity int) (*Mesh, error) {
+	if width < 1 || height < 1 || width*height < 2 {
+		return nil, fmt.Errorf("mesh: %dx%d is not a usable grid", width, height)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("mesh: capacity %d must be positive", capacity)
+	}
+	return &Mesh{width: width, height: height, capacity: capacity}, nil
+}
+
+// NewSquare builds the smallest side×side mesh with at least nodes
+// processors.
+func NewSquare(nodes, capacity int) (*Mesh, error) {
+	side := 1
+	for side*side < nodes {
+		side++
+	}
+	return New(side, side, capacity)
+}
+
+// Name identifies the topology.
+func (m *Mesh) Name() string {
+	return fmt.Sprintf("mesh(%dx%d,cap=%d)", m.width, m.height, m.capacity)
+}
+
+// Nodes reports width×height.
+func (m *Mesh) Nodes() int { return m.width * m.height }
+
+// Width and Height report the grid dimensions.
+func (m *Mesh) Width() int  { return m.width }
+func (m *Mesh) Height() int { return m.height }
+
+// Directions index the four channels leaving each node.
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+	dirCount
+)
+
+// ChannelCount reports 4 directed channels per node (edge channels exist
+// but are never routed over).
+func (m *Mesh) ChannelCount() int { return m.Nodes() * dirCount }
+
+// ChannelCapacity reports the uniform bundle width.
+func (m *Mesh) ChannelCapacity(int) int { return m.capacity }
+
+func (m *Mesh) channelID(node, dir int) int { return node*dirCount + dir }
+
+// Route implements XY routing: correct the column first (east/west), then
+// the row (south/north). The path is unique.
+func (m *Mesh) Route(src, dst int) ([]int, error) {
+	n := m.Nodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("mesh: route %d->%d outside [0,%d)", src, dst, n)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	var path []int
+	r, c := src/m.width, src%m.width
+	dr, dc := dst/m.width, dst%m.width
+	for c < dc {
+		path = append(path, m.channelID(r*m.width+c, dirEast))
+		c++
+	}
+	for c > dc {
+		path = append(path, m.channelID(r*m.width+c, dirWest))
+		c--
+	}
+	for r < dr {
+		path = append(path, m.channelID(r*m.width+c, dirSouth))
+		r++
+	}
+	for r > dr {
+		path = append(path, m.channelID(r*m.width+c, dirNorth))
+		r--
+	}
+	return path, nil
+}
+
+// Distance reports the Manhattan distance between two nodes.
+func (m *Mesh) Distance(a, b int) int {
+	ra, ca := a/m.width, a%m.width
+	rb, cb := b/m.width, b%m.width
+	return abs(ra-rb) + abs(ca-cb)
+}
+
+// Links reports the undirected link count 2·W·H − W − H (the paper's 2N
+// for large square meshes), multiplied by the bundle capacity.
+func (m *Mesh) Links() int {
+	return (2*m.width*m.height - m.width - m.height) * m.capacity
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,136 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/baseline/circuit"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(1, 1, 1); err == nil {
+		t.Error("1x1 accepted")
+	}
+	if _, err := New(4, 4, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	m, err := NewSquare(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width() != 4 || m.Height() != 4 {
+		t.Errorf("NewSquare(10) = %dx%d, want 4x4", m.Width(), m.Height())
+	}
+}
+
+func TestXYRouteProperties(t *testing.T) {
+	m, _ := New(6, 5, 1)
+	f := func(src, dst uint8) bool {
+		s, d := int(src)%30, int(dst)%30
+		path, err := m.Route(s, d)
+		if err != nil {
+			return false
+		}
+		if len(path) != m.Distance(s, d) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, ch := range path {
+			if seen[ch] {
+				return false
+			}
+			seen[ch] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXYOrdering(t *testing.T) {
+	m, _ := New(4, 4, 1)
+	// (0,0) -> (2,3): first 3 east moves, then 2 south moves.
+	path, err := m.Route(0, 2*4+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 {
+		t.Fatalf("path length %d, want 5", len(path))
+	}
+	for i := 0; i < 3; i++ {
+		if path[i]%dirCount != dirEast {
+			t.Errorf("hop %d not east", i)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if path[i]%dirCount != dirSouth {
+			t.Errorf("hop %d not south", i)
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	m, _ := New(3, 3, 1)
+	if _, err := m.Route(-1, 0); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := m.Route(0, 9); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if p, err := m.Route(4, 4); err != nil || p != nil {
+		t.Errorf("self route %v, %v", p, err)
+	}
+}
+
+func TestLinksFormula(t *testing.T) {
+	m, _ := New(4, 4, 1)
+	if got := m.Links(); got != 2*16-4-4 {
+		t.Errorf("links %d, want 24", got)
+	}
+	wide, _ := New(4, 4, 3)
+	if got := wide.Links(); got != 24*3 {
+		t.Errorf("expanded links %d, want 72", got)
+	}
+}
+
+func TestCapacityExpansionSpeedsPermutations(t *testing.T) {
+	narrow, _ := New(6, 6, 1)
+	wide, _ := New(6, 6, 4)
+	var sumNarrow, sumWide int64
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRNG(seed)
+		p := workload.RandomPermutation(36, rng)
+		rn, err := circuit.NewEngine(narrow, circuit.Options{Payload: 8, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := circuit.NewEngine(wide, circuit.Options{Payload: 8, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumNarrow += rn.Ticks
+		sumWide += rw.Ticks
+	}
+	if sumWide >= sumNarrow {
+		t.Errorf("k-expanded mesh total %d not faster than base %d", sumWide, sumNarrow)
+	}
+}
+
+func TestEnginePermutationOnMesh(t *testing.T) {
+	m, _ := New(5, 5, 2)
+	rng := sim.NewRNG(11)
+	p := workload.RandomPermutation(25, rng)
+	res, err := circuit.NewEngine(m, circuit.Options{Payload: 2, Seed: 2}).Route(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != len(p.Demands) {
+		t.Errorf("delivered %d/%d", res.Delivered, len(p.Demands))
+	}
+}

@@ -1,0 +1,154 @@
+// Package multibus implements the conventional multiple-bus architecture
+// of the paper's related work (Mudge, Hayes & Winsor, "Multiple bus
+// architectures", reference [5]): k global buses spanning all N
+// processors, with a central arbiter granting each free bus to one
+// waiting transaction per cycle. A granted transaction holds its bus for
+// the whole transfer regardless of how far apart the endpoints are.
+//
+// This is the system the paper contrasts the RMB against in Section 4:
+// "an RMB with k buses should not be considered equivalent of a k bus
+// system. An RMB with k buses can support more than ... k virtual buses
+// simultaneously" — because RMB circuits occupy only the segments
+// between their endpoints, while a global bus is consumed end to end.
+// The use of reconfiguration also eliminates this package's arbiter.
+package multibus
+
+import (
+	"fmt"
+
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+// Config parameterizes a conventional multiple-bus system.
+type Config struct {
+	// Nodes is the processor count; Buses the global bus count.
+	Nodes, Buses int
+	// Payload is the data flit count per message.
+	Payload int
+	// ArbitrationTicks is the arbiter's decision latency per grant
+	// (default 1).
+	ArbitrationTicks int
+}
+
+// Result reports one routed pattern.
+type Result struct {
+	// Ticks is the completion time.
+	Ticks int64
+	// Delivered counts completed messages.
+	Delivered int
+	// PeakConcurrent is the maximum simultaneously granted transactions —
+	// never more than the bus count, the structural contrast with the
+	// RMB's virtual buses.
+	PeakConcurrent int
+	// MeanWait is the average queueing delay before a bus grant.
+	MeanWait float64
+}
+
+// System simulates the arbitrated backplane.
+type System struct {
+	cfg Config
+}
+
+// New builds a system.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("multibus: need at least 2 processors, got %d", cfg.Nodes)
+	}
+	if cfg.Buses < 1 {
+		return nil, fmt.Errorf("multibus: need at least 1 bus, got %d", cfg.Buses)
+	}
+	if cfg.ArbitrationTicks == 0 {
+		cfg.ArbitrationTicks = 1
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// transaction is one message moving through request/grant/transfer.
+type transaction struct {
+	src, dst int
+	// grantedAt is when the arbiter assigned a bus (-1 while waiting).
+	grantedAt int64
+	// doneAt is when the bus frees.
+	doneAt int64
+	queued int64
+}
+
+// busTicks is the bus occupancy per transaction: address/selection phase
+// plus one tick per payload flit (a global bus reaches every node in one
+// tick — its wires span the machine, which is exactly the wire-length
+// cost Section 3.2 charges against it).
+func (s *System) busTicks() int64 {
+	return int64(2 + s.cfg.Payload)
+}
+
+// Route runs the pattern to completion under FIFO arbitration.
+func (s *System) Route(p workload.Pattern, _ *sim.RNG) (Result, error) {
+	if p.Nodes > s.cfg.Nodes {
+		return Result{}, fmt.Errorf("multibus: pattern spans %d nodes but system has %d", p.Nodes, s.cfg.Nodes)
+	}
+	// FIFO request queue; sender ports are single like the RMB's.
+	var queue []*transaction
+	senderBusy := make([]int64, s.cfg.Nodes) // tick the sender frees
+	for _, d := range p.Demands {
+		queue = append(queue, &transaction{src: d.Src, dst: d.Dst, grantedAt: -1})
+	}
+	busFree := make([]int64, s.cfg.Buses)
+	res := Result{}
+	var now int64
+	remaining := len(queue)
+	var totalWait float64
+	for remaining > 0 {
+		// Count live grants for the concurrency statistic.
+		live := 0
+		for _, f := range busFree {
+			if f > now {
+				live++
+			}
+		}
+		if live > res.PeakConcurrent {
+			res.PeakConcurrent = live
+		}
+		// The arbiter grants every free bus to the next eligible request.
+		for b := range busFree {
+			if busFree[b] > now {
+				continue
+			}
+			for _, tr := range queue {
+				if tr.grantedAt >= 0 || senderBusy[tr.src] > now {
+					continue
+				}
+				tr.grantedAt = now
+				tr.doneAt = now + int64(s.cfg.ArbitrationTicks) + s.busTicks()
+				busFree[b] = tr.doneAt
+				senderBusy[tr.src] = tr.doneAt
+				totalWait += float64(now - tr.queued)
+				break
+			}
+		}
+		// Retire finished transactions.
+		kept := queue[:0]
+		for _, tr := range queue {
+			if tr.grantedAt >= 0 && tr.doneAt <= now {
+				remaining--
+				res.Delivered++
+				continue
+			}
+			kept = append(kept, tr)
+		}
+		queue = kept
+		now++
+		if now > 1<<32 {
+			return res, fmt.Errorf("multibus: runaway simulation")
+		}
+	}
+	res.Ticks = now
+	if res.Delivered > 0 {
+		res.MeanWait = totalWait / float64(res.Delivered)
+	}
+	return res, nil
+}
+
+// MaxConcurrent reports the structural concurrency bound: one transaction
+// per bus, independent of how short the transfers are.
+func (s *System) MaxConcurrent() int { return s.cfg.Buses }

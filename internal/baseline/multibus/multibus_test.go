@@ -1,0 +1,107 @@
+package multibus
+
+import (
+	"testing"
+
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1, Buses: 2}); err == nil {
+		t.Error("1 node accepted")
+	}
+	if _, err := New(Config{Nodes: 8, Buses: 0}); err == nil {
+		t.Error("0 buses accepted")
+	}
+}
+
+func TestSingleMessage(t *testing.T) {
+	s, err := New(Config{Nodes: 8, Buses: 2, Payload: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Pattern{Nodes: 8, Demands: []workload.Demand{{Src: 0, Dst: 7}}}
+	res, err := s.Route(p, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 {
+		t.Errorf("delivered %d", res.Delivered)
+	}
+	// Grant at t0, arbitration 1 + bus 2+4: done at 7, loop exits at 8.
+	if res.Ticks < 7 || res.Ticks > 9 {
+		t.Errorf("ticks %d outside expected band", res.Ticks)
+	}
+}
+
+func TestConcurrencyCappedByBusCount(t *testing.T) {
+	s, err := New(Config{Nodes: 16, Buses: 2, Payload: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.NearestNeighbour(16) // 16 single-hop messages
+	res, err := s.Route(p, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 16 {
+		t.Fatalf("delivered %d", res.Delivered)
+	}
+	if res.PeakConcurrent > 2 {
+		t.Errorf("peak concurrency %d exceeds the bus count", res.PeakConcurrent)
+	}
+	if res.PeakConcurrent < 2 {
+		t.Errorf("peak concurrency %d; both buses should be busy", res.PeakConcurrent)
+	}
+	if s.MaxConcurrent() != 2 {
+		t.Errorf("MaxConcurrent %d", s.MaxConcurrent())
+	}
+}
+
+func TestMoreBusesFinishSooner(t *testing.T) {
+	p := workload.NearestNeighbour(16)
+	run := func(k int) int64 {
+		s, err := New(Config{Nodes: 16, Buses: k, Payload: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Route(p, sim.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ticks
+	}
+	if run(4) >= run(1) {
+		t.Error("four buses not faster than one")
+	}
+}
+
+func TestSenderPortSerializes(t *testing.T) {
+	// One sender with many messages can hold only one bus at a time.
+	s, err := New(Config{Nodes: 8, Buses: 4, Payload: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Pattern{Nodes: 8, Demands: []workload.Demand{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+	}}
+	res, err := s.Route(p, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakConcurrent > 1 {
+		t.Errorf("one sender granted %d buses concurrently", res.PeakConcurrent)
+	}
+	if res.Delivered != 3 {
+		t.Errorf("delivered %d", res.Delivered)
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	s, _ := New(Config{Nodes: 4, Buses: 1})
+	p := workload.Pattern{Nodes: 9, Demands: []workload.Demand{{Src: 0, Dst: 8}}}
+	if _, err := s.Route(p, nil); err == nil {
+		t.Error("oversized pattern accepted")
+	}
+}

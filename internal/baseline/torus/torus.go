@@ -1,0 +1,152 @@
+// Package torus implements the k-ary n-cube the paper's conclusion names
+// as a future comparison target: kary^n nodes arranged in an
+// n-dimensional torus with wraparound links, routed with minimal
+// dimension-ordered routing (each dimension corrected along its shorter
+// direction before the next dimension starts). It plugs into the shared
+// circuit-switching engine, and Costs supplies the structural metrics for
+// the Section 3.2-style comparison.
+package torus
+
+import (
+	"fmt"
+	"math"
+)
+
+// Torus is a k-ary n-cube: Arity^Dims nodes, each with 2·Dims directed
+// channels (one per direction per dimension).
+type Torus struct {
+	arity, dims int
+	nodes       int
+	capacity    int
+}
+
+// New builds a k-ary n-cube with the given per-channel capacity.
+func New(arity, dims, capacity int) (*Torus, error) {
+	if arity < 2 {
+		return nil, fmt.Errorf("torus: arity %d must be at least 2", arity)
+	}
+	if dims < 1 {
+		return nil, fmt.Errorf("torus: dimensions %d must be at least 1", dims)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("torus: capacity %d must be positive", capacity)
+	}
+	nodes := 1
+	for i := 0; i < dims; i++ {
+		if nodes > 1<<26/arity {
+			return nil, fmt.Errorf("torus: %d-ary %d-cube too large", arity, dims)
+		}
+		nodes *= arity
+	}
+	if nodes < 2 {
+		return nil, fmt.Errorf("torus: %d-ary %d-cube has fewer than 2 nodes", arity, dims)
+	}
+	return &Torus{arity: arity, dims: dims, nodes: nodes, capacity: capacity}, nil
+}
+
+// Name identifies the topology.
+func (t *Torus) Name() string {
+	return fmt.Sprintf("%d-ary %d-cube(cap=%d)", t.arity, t.dims, t.capacity)
+}
+
+// Nodes reports arity^dims.
+func (t *Torus) Nodes() int { return t.nodes }
+
+// Arity and Dims report the shape parameters.
+func (t *Torus) Arity() int { return t.arity }
+func (t *Torus) Dims() int  { return t.dims }
+
+// Channel layout: node u's channel in dimension d, direction plus (0) or
+// minus (1).
+func (t *Torus) channelID(u, d, dir int) int { return (u*t.dims+d)*2 + dir }
+
+// ChannelCount reports 2·Dims directed channels per node.
+func (t *Torus) ChannelCount() int { return t.nodes * t.dims * 2 }
+
+// ChannelCapacity reports the uniform bundle width.
+func (t *Torus) ChannelCapacity(int) int { return t.capacity }
+
+// digit extracts the d-th base-arity digit of a node address.
+func (t *Torus) digit(u, d int) int {
+	for i := 0; i < d; i++ {
+		u /= t.arity
+	}
+	return u % t.arity
+}
+
+// setDigit replaces the d-th digit of u with v.
+func (t *Torus) setDigit(u, d, v int) int {
+	base := 1
+	for i := 0; i < d; i++ {
+		base *= t.arity
+	}
+	old := t.digit(u, d)
+	return u + (v-old)*base
+}
+
+// Route implements minimal dimension-ordered routing: dimension 0 first,
+// each along its shorter wraparound direction (ties go plus).
+func (t *Torus) Route(src, dst int) ([]int, error) {
+	if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes {
+		return nil, fmt.Errorf("torus: route %d->%d outside [0,%d)", src, dst, t.nodes)
+	}
+	var path []int
+	u := src
+	for d := 0; d < t.dims; d++ {
+		cur, want := t.digit(u, d), t.digit(dst, d)
+		fwd := (want - cur + t.arity) % t.arity
+		bwd := (cur - want + t.arity) % t.arity
+		if fwd <= bwd {
+			for i := 0; i < fwd; i++ {
+				path = append(path, t.channelID(u, d, 0))
+				u = t.setDigit(u, d, (t.digit(u, d)+1)%t.arity)
+			}
+		} else {
+			for i := 0; i < bwd; i++ {
+				path = append(path, t.channelID(u, d, 1))
+				u = t.setDigit(u, d, (t.digit(u, d)-1+t.arity)%t.arity)
+			}
+		}
+	}
+	return path, nil
+}
+
+// Distance reports the minimal torus distance.
+func (t *Torus) Distance(a, b int) int {
+	total := 0
+	for d := 0; d < t.dims; d++ {
+		x, y := t.digit(a, d), t.digit(b, d)
+		fwd := (y - x + t.arity) % t.arity
+		bwd := (x - y + t.arity) % t.arity
+		if fwd < bwd {
+			total += fwd
+		} else {
+			total += bwd
+		}
+	}
+	return total
+}
+
+// Links reports the undirected link count: Dims per node (each node owns
+// its plus-direction link in every dimension), times the bundle width.
+func (t *Torus) Links() int { return t.nodes * t.dims * t.capacity }
+
+// Costs reports the Section 3.2-style structural metrics of a k-ary
+// n-cube: N·n links, a (2n+1)-port crossbar's worth of cross points per
+// node, and — for n = 2 — a mesh-like Θ(N) planar layout with wraparound
+// wires; higher dimensions pay hypercube-like area growth.
+func (t *Torus) Costs() (links, crossPoints, area, bisection float64) {
+	n := float64(t.nodes)
+	d := float64(t.dims)
+	ports := 2*d + 1
+	links = n * d * float64(t.capacity)
+	crossPoints = n * ports * ports * float64(t.capacity)
+	if t.dims <= 2 {
+		area = n * float64(t.capacity)
+	} else {
+		area = n * math.Pow(n, 1-2/d) // volume-to-plane projection penalty
+	}
+	// Bisection of a k-ary n-cube: 2·k^(n-1) links (both wrap halves).
+	bisection = 2 * n / float64(t.arity) * float64(t.capacity)
+	return links, crossPoints, area, bisection
+}

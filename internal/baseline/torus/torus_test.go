@@ -1,0 +1,140 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/baseline/circuit"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 2, 1); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	if _, err := New(4, 0, 1); err == nil {
+		t.Error("0 dims accepted")
+	}
+	if _, err := New(4, 2, 0); err == nil {
+		t.Error("0 capacity accepted")
+	}
+	tr, err := New(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes() != 64 {
+		t.Errorf("4-ary 3-cube has %d nodes", tr.Nodes())
+	}
+}
+
+func TestDigitsRoundTrip(t *testing.T) {
+	tr, _ := New(5, 3, 1)
+	f := func(u uint16, d uint8, v uint8) bool {
+		node := int(u) % tr.Nodes()
+		dim := int(d) % 3
+		val := int(v) % 5
+		got := tr.setDigit(node, dim, val)
+		return tr.digit(got, dim) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteMinimal(t *testing.T) {
+	tr, _ := New(6, 2, 1)
+	f := func(src, dst uint8) bool {
+		s, d := int(src)%36, int(dst)%36
+		path, err := tr.Route(s, d)
+		if err != nil {
+			return false
+		}
+		return len(path) == tr.Distance(s, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWraparoundIsShorter(t *testing.T) {
+	tr, _ := New(8, 1, 1) // an 8-node ring
+	// 0 -> 6 should go backward (2 hops), not forward (6 hops).
+	path, err := tr.Route(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("path length %d, want 2 via wraparound", len(path))
+	}
+	// Tie (0 -> 4) goes forward.
+	path, _ = tr.Route(0, 4)
+	if len(path) != 4 || path[0]%2 != 0 {
+		t.Errorf("tie route %v should take the plus direction", path)
+	}
+}
+
+func TestDimensionOrder(t *testing.T) {
+	tr, _ := New(4, 2, 1)
+	// (0,0) -> (2,1): dimension 0 first (2 hops), then dimension 1.
+	dst := tr.setDigit(tr.setDigit(0, 0, 2), 1, 1)
+	path, err := tr.Route(0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path %v", path)
+	}
+	dimOf := func(ch int) int { return (ch / 2) % 2 }
+	if dimOf(path[0]) != 0 || dimOf(path[1]) != 0 || dimOf(path[2]) != 1 {
+		t.Errorf("dimension order broken: %v", path)
+	}
+}
+
+func TestPermutationThroughEngine(t *testing.T) {
+	tr, _ := New(4, 2, 2)
+	rng := sim.NewRNG(8)
+	p := workload.RandomPermutation(16, rng)
+	res, err := circuit.NewEngine(tr, circuit.Options{Payload: 4, Seed: 2}).Route(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != len(p.Demands) {
+		t.Errorf("delivered %d/%d", res.Delivered, len(p.Demands))
+	}
+}
+
+func TestCostsShape(t *testing.T) {
+	tr2, _ := New(16, 2, 1) // 256-node 2-D torus
+	links, xp, area, bis := tr2.Costs()
+	if links != 512 {
+		t.Errorf("links %v, want N·n=512", links)
+	}
+	if xp <= 0 || area != 256 || bis != 32 {
+		t.Errorf("xp=%v area=%v bis=%v", xp, area, bis)
+	}
+	tr3, _ := New(4, 3, 1)
+	_, _, area3, _ := tr3.Costs()
+	if area3 <= 64 {
+		t.Errorf("3-D torus area %v should exceed its node count", area3)
+	}
+}
+
+func TestTorusBeatsRingOnDiameterWorkload(t *testing.T) {
+	// Same node count: a 2-D torus has diameter 2·(arity/2) versus the
+	// ring's N/2, so antipodal traffic completes much faster.
+	ringTopo, _ := New(16, 1, 2)
+	torusTopo, _ := New(4, 2, 2)
+	p := workload.RingShift(16, 8) // antipodal on the ring numbering
+	rr, err := circuit.NewEngine(ringTopo, circuit.Options{Payload: 4, Seed: 1}).Route(p, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := circuit.NewEngine(torusTopo, circuit.Options{Payload: 4, Seed: 1}).Route(p, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Ticks >= rr.Ticks {
+		t.Errorf("torus %d ticks not below ring %d", rt.Ticks, rr.Ticks)
+	}
+}

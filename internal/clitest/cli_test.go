@@ -1,0 +1,167 @@
+// Package clitest builds the repository's command-line tools and runs
+// them end to end, verifying flags, output shapes and exit codes.
+package clitest
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "rmb-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"rmbsim", "rmbcompare", "rmbfigures", "rmbbench", "rmbsweep"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "rmb/cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			panic("building " + tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestRmbsimDefaultRun(t *testing.T) {
+	out, err := run(t, "rmbsim", "-nodes", "12", "-buses", "3", "-pattern", "shift", "-shift", "2")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"delivered", "competitive ratio", "compaction moves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRmbsimJSON(t *testing.T) {
+	out, err := run(t, "rmbsim", "-nodes", "8", "-buses", "2", "-pattern", "neighbour", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var doc struct {
+		Version int `json:"version"`
+		Totals  struct {
+			Delivered int64 `json:"delivered"`
+		} `json:"totals"`
+		Messages []struct {
+			Done bool `json:"done"`
+		} `json:"messages"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Version != 1 || doc.Totals.Delivered != 8 || len(doc.Messages) != 8 {
+		t.Errorf("report %+v", doc)
+	}
+}
+
+func TestRmbsimGantt(t *testing.T) {
+	out, err := run(t, "rmbsim", "-nodes", "8", "-buses", "2", "-pattern", "shift", "-gantt")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "message lifecycles") {
+		t.Errorf("gantt missing:\n%s", out)
+	}
+}
+
+func TestRmbsimBadFlags(t *testing.T) {
+	if out, err := run(t, "rmbsim", "-pattern", "nonsense"); err == nil {
+		t.Errorf("unknown pattern accepted:\n%s", out)
+	}
+	if out, err := run(t, "rmbsim", "-mode", "nonsense"); err == nil {
+		t.Errorf("unknown mode accepted:\n%s", out)
+	}
+	if out, err := run(t, "rmbsim", "-pattern", "bitrev", "-nodes", "10"); err == nil {
+		t.Errorf("bitrev on non-power-of-two accepted:\n%s", out)
+	}
+}
+
+func TestRmbcompare(t *testing.T) {
+	out, err := run(t, "rmbcompare", "-n", "64", "-k", "4")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"RMB", "fat tree", "hypercube", "bisection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	ext, err := run(t, "rmbcompare", "-n", "64", "-k", "4", "-extended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ext, "global buses") {
+		t.Errorf("extended rows missing:\n%s", ext)
+	}
+	if out, err := run(t, "rmbcompare", "-n", "1"); err == nil {
+		t.Errorf("n=1 accepted:\n%s", out)
+	}
+}
+
+func TestRmbfigures(t *testing.T) {
+	out, err := run(t, "rmbfigures", "-fig", "7")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "100 -> 110 -> 010") {
+		t.Errorf("figure 7 content missing:\n%s", out)
+	}
+	if out, err := run(t, "rmbfigures", "-fig", "99"); err == nil {
+		t.Errorf("figure 99 accepted:\n%s", out)
+	}
+}
+
+func TestRmbbenchListAndSingle(t *testing.T) {
+	list, err := run(t, "rmbbench")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, list)
+	}
+	for _, id := range []string{"T1", "F11", "TH1", "DL1"} {
+		if !strings.Contains(list, id) {
+			t.Errorf("listing missing %s:\n%s", id, list)
+		}
+	}
+	one, err := run(t, "rmbbench", "-exp", "T1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, one)
+	}
+	if !strings.Contains(one, "bus is unused") {
+		t.Errorf("T1 content missing:\n%s", one)
+	}
+	if out, err := run(t, "rmbbench", "-exp", "nope"); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestRmbsweep(t *testing.T) {
+	out, err := run(t, "rmbsweep", "-buses", "2", "-rates", "0.001", "-measure", "800")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"k=2", "offered", "saturated", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if out, err := run(t, "rmbsweep", "-rates", "abc"); err == nil {
+		t.Errorf("bad rates accepted:\n%s", out)
+	}
+}

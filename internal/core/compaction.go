@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"rmb/internal/sim"
+)
+
+// stepCompaction advances the compaction protocol one tick in the
+// configured synchronization mode.
+func (n *Network) stepCompaction(now sim.Tick) bool {
+	if n.cfg.Mode == Lockstep {
+		return n.stepCompactionLockstep(now)
+	}
+	return n.stepCompactionAsync(now)
+}
+
+// stepCompactionLockstep runs one global odd/even cycle every
+// CompactionPeriod ticks: all INCs of the appropriate parity evaluate
+// their moves against the pre-cycle state and the moves apply
+// simultaneously, exactly the systolic behaviour of Section 2.4.
+func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
+	if int64(now)%int64(n.cfg.CompactionPeriod) != 0 {
+		return false
+	}
+	cycle := n.globalCycle
+	n.globalCycle++
+	n.stats.Cycles++
+
+	// Decide every move against the pre-cycle snapshot. As proven in
+	// DESIGN.md (mirroring the paper's parity argument), the decided
+	// moves are pairwise non-conflicting, so simultaneous application is
+	// well-defined.
+	type plannedMove struct {
+		vb  *VirtualBus
+		hop int
+	}
+	var plan []plannedMove
+	for _, id := range n.active {
+		vb := n.vbs[id]
+		for j := range vb.Levels {
+			inc := int(vb.HopNode(j, n.cfg.Nodes))
+			if (vb.Levels[j]+inc+int(cycle))%2 != 0 {
+				continue // not this INC's parity turn for this segment
+			}
+			if n.switchableDown(vb, j) {
+				plan = append(plan, plannedMove{vb, j})
+			}
+		}
+	}
+	for _, p := range plan {
+		n.applyMove(now, p.vb, p.hop)
+	}
+	return len(plan) > 0
+}
+
+// stepCompactionAsync drives each INC's CycleFSM one step; an INC whose
+// OD flag rises performs its datapath moves at that instant.
+func (n *Network) stepCompactionAsync(now sim.Tick) bool {
+	progress := false
+	nn := n.cfg.Nodes
+	for i := 0; i < nn; i++ {
+		inc := &n.incs[i]
+		if inc.fsm.Phase() == PhaseReadyData && !inc.fsm.ID {
+			inc.idDelay--
+			if inc.idDelay <= 0 {
+				inc.fsm.ID = true
+			}
+		}
+		left := n.incs[(i+nn-1)%nn].fsm.View()
+		right := n.incs[(i+1)%nn].fsm.View()
+		res := inc.fsm.Step(left, right)
+		if res.SwitchedData {
+			if n.performINCMoves(now, NodeID(i), inc.fsm.Cycle) {
+				progress = true
+			}
+		}
+		if res.SwitchedCycle {
+			n.stats.Cycles++
+			n.rec.CycleSwitch(now, NodeID(i), inc.fsm.Cycle)
+		}
+		if inc.fsm.Phase() == PhaseReadyData && !inc.fsm.ID && inc.idDelay <= 0 {
+			inc.idDelay = 1 + n.rng.Intn(n.cfg.JitterMax)
+		}
+	}
+	return progress
+}
+
+// performINCMoves executes the datapath switches INC i is entitled to in
+// its current local cycle: segments whose parity matches (i + cycle) mod
+// 2, per Section 2.4's pairing rule (even INCs consider even segments in
+// even cycles and odd segments in odd cycles; odd INCs the reverse).
+func (n *Network) performINCMoves(now sim.Tick, node NodeID, cycle int64) bool {
+	moved := false
+	h := n.hopOf(node)
+	k := n.cfg.Buses
+	for l := 0; l < k; l++ {
+		if (l+int(node)+int(cycle))%2 != 0 {
+			continue
+		}
+		id := n.occ[h][l]
+		if id == 0 {
+			continue
+		}
+		vb := n.vbs[id]
+		j := n.hopIndex(vb, h)
+		if j < 0 || vb.Levels[j] != l {
+			continue
+		}
+		if n.switchableDown(vb, j) {
+			n.applyMove(now, vb, j)
+			moved = true
+		}
+	}
+	return moved
+}
+
+// hopIndex finds the bus's hop offset whose driving INC is hop h, or -1.
+func (n *Network) hopIndex(vb *VirtualBus, h int) int {
+	j := (h - int(vb.Src)) % n.cfg.Nodes
+	if j < 0 {
+		j += n.cfg.Nodes
+	}
+	if j >= len(vb.Levels) {
+		return -1
+	}
+	return j
+}
+
+// switchableDown implements the paper's Figure 7: the transaction on a
+// bus segment may move to the segment below iff, after the switch, the
+// lower output port can still connect to the corresponding input port at
+// both the upstream and downstream INCs. In hop-level form: the segment
+// below must be free, the upstream hop (if any) must not sit above this
+// hop, and the downstream hop (if any) must not sit above this hop.
+func (n *Network) switchableDown(vb *VirtualBus, j int) bool {
+	b := vb.Levels[j]
+	if b == 0 {
+		return false // already on the lowest physical segment
+	}
+	h := int(vb.HopNode(j, n.cfg.Nodes))
+	if !n.segFree(h, b-1) {
+		return false
+	}
+	if j > 0 && vb.Levels[j-1] > b {
+		return false // upstream input would be two levels above the new output
+	}
+	last := j == len(vb.Levels)-1
+	if !last && vb.Levels[j+1] > b {
+		return false // downstream output would be two levels above the new input
+	}
+	if last && vb.State == VBExtending && n.cfg.HeadRule == HeadStrictTop {
+		return false // strict-top ablation pins the head hop to the top bus
+	}
+	return true
+}
+
+// applyMove performs one single-hop downward move with make-before-break
+// semantics, recording the Figure 7 status sequences.
+func (n *Network) applyMove(now sim.Tick, vb *VirtualBus, j int) {
+	b := vb.Levels[j]
+	h := int(vb.HopNode(j, n.cfg.Nodes))
+	upOld, upNew, down, peSource, headHop := moveSequences(vb, j, b)
+
+	// Make: drive the lower segment in parallel; break: release the old.
+	// In the cycle simulator both happen within this tick; the recorded
+	// sequences preserve the transient states for verification.
+	n.claimSeg(h, b-1, vb.ID)
+	n.releaseSeg(h, b, vb.ID)
+	vb.Levels[j] = b - 1
+
+	n.stats.CompactionMoves++
+	n.rec.Move(Move{
+		At: now, VB: vb.ID, Hop: j, Node: NodeID(h),
+		From: b, To: b - 1,
+		UpstreamOld: upOld, UpstreamNew: upNew, Downstream: down,
+		PESource: peSource, HeadHop: headHop,
+	})
+}
+
+// Condition describes one of the paper's four switchable-down scenarios
+// (Figure 7): the relation of the upstream input level a and downstream
+// output level c to the moving level b.
+type Condition struct {
+	// Name is a short label ("a=b,c=b" etc.).
+	Name string
+	// AOffset is a-b (0 or -1); COffset is c-b (0 or -1).
+	AOffset, COffset int
+	// UpstreamOld, UpstreamNew, Downstream are the status sequences the
+	// three affected output ports walk through.
+	UpstreamOld, UpstreamNew, Downstream PortSequence
+}
+
+// FourConditions enumerates the four transition conditions of Figure 7 by
+// running moveSequences over a synthetic three-hop bus for each (a, c)
+// combination.
+func FourConditions() []Condition {
+	var out []Condition
+	const b = 2
+	for _, ao := range []int{0, -1} {
+		for _, co := range []int{0, -1} {
+			vb := &VirtualBus{Levels: []int{b + ao, b, b + co}}
+			upOld, upNew, down, _, _ := moveSequences(vb, 1, b)
+			out = append(out, Condition{
+				Name:        fmt.Sprintf("a=b%+d, c=b%+d", ao, co),
+				AOffset:     ao,
+				COffset:     co,
+				UpstreamOld: upOld,
+				UpstreamNew: upNew,
+				Downstream:  down,
+			})
+		}
+	}
+	return out
+}
+
+// OddEvenPair describes which segment parities an INC evaluates in a
+// given cycle parity (the paper's Figure 8).
+type OddEvenPair struct {
+	INCParity     string
+	CycleParity   string
+	SegmentParity string
+}
+
+// OddEvenPairs returns the four rows of the Section 2.4 pairing rule.
+func OddEvenPairs() []OddEvenPair {
+	return []OddEvenPair{
+		{"even", "even", "even"},
+		{"even", "odd", "odd"},
+		{"odd", "even", "odd"},
+		{"odd", "odd", "even"},
+	}
+}

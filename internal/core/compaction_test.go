@@ -1,0 +1,295 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/sim"
+)
+
+func TestFourConditionsMatchPaper(t *testing.T) {
+	// Figure 7's published status sequences, e.g. the downstream INC
+	// walking 100 -> 110 -> 010 when both neighbours sit at b-1.
+	conds := FourConditions()
+	if len(conds) != 4 {
+		t.Fatalf("%d conditions, want 4", len(conds))
+	}
+	type want struct {
+		upOld, upNew, down string
+	}
+	wants := map[string]want{
+		"a=b+0, c=b+0": {"010 -> 010 -> 000", "000 -> 100 -> 100", "010 -> 011 -> 001"},
+		"a=b+0, c=b-1": {"010 -> 010 -> 000", "000 -> 100 -> 100", "100 -> 110 -> 010"},
+		"a=b-1, c=b+0": {"001 -> 001 -> 000", "000 -> 010 -> 010", "010 -> 011 -> 001"},
+		"a=b-1, c=b-1": {"001 -> 001 -> 000", "000 -> 010 -> 010", "100 -> 110 -> 010"},
+	}
+	for _, c := range conds {
+		w, ok := wants[c.Name]
+		if !ok {
+			t.Errorf("unexpected condition %q", c.Name)
+			continue
+		}
+		if got := c.UpstreamOld.String(); got != w.upOld {
+			t.Errorf("%s upstream old = %s, want %s", c.Name, got, w.upOld)
+		}
+		if got := c.UpstreamNew.String(); got != w.upNew {
+			t.Errorf("%s upstream new = %s, want %s", c.Name, got, w.upNew)
+		}
+		if got := c.Downstream.String(); got != w.down {
+			t.Errorf("%s downstream = %s, want %s", c.Name, got, w.down)
+		}
+	}
+}
+
+func TestFourConditionsNeverIllegal(t *testing.T) {
+	// The make-before-break intermediate codes must be the two legal dual
+	// codes (011 or 110), never 101 or 111.
+	for _, c := range FourConditions() {
+		mid := c.Downstream[MBBMake]
+		if mid != StatusBelowStraight && mid != StatusAboveStraight {
+			t.Errorf("%s downstream transient is %s, want 011 or 110", c.Name, mid.Bits())
+		}
+		for _, seq := range []PortSequence{c.UpstreamOld, c.UpstreamNew, c.Downstream} {
+			for _, s := range seq {
+				if !s.Legal() {
+					t.Errorf("%s contains illegal code %s", c.Name, s.Bits())
+				}
+			}
+		}
+	}
+}
+
+func TestOddEvenPairsTable(t *testing.T) {
+	pairs := OddEvenPairs()
+	if len(pairs) != 4 {
+		t.Fatalf("%d pairs, want 4", len(pairs))
+	}
+	// Section 2.4: even INC+even cycle -> even segments; odd INC+even
+	// cycle -> odd segments; and the reverse in odd cycles.
+	want := map[[2]string]string{
+		{"even", "even"}: "even",
+		{"even", "odd"}:  "odd",
+		{"odd", "even"}:  "odd",
+		{"odd", "odd"}:   "even",
+	}
+	for _, p := range pairs {
+		if want[[2]string{p.INCParity, p.CycleParity}] != p.SegmentParity {
+			t.Errorf("pair %+v disagrees with Section 2.4", p)
+		}
+	}
+}
+
+func TestSwitchableDownConditions(t *testing.T) {
+	n := mustNetwork(t, Config{Nodes: 8, Buses: 4, Seed: 1})
+	vb := &VirtualBus{ID: 1, Src: 0, Dst: 4, State: VBTransferring, Levels: []int{2, 2, 3, 2}}
+	n.nextVB = 1
+	for j, l := range vb.Levels {
+		n.claimSeg(j, l, vb.ID)
+	}
+	n.addVB(vb)
+
+	// Hop 0 (source, level 2): no upstream constraint, downstream is
+	// level 2 <= 2: movable.
+	if !n.switchableDown(vb, 0) {
+		t.Error("hop 0 should be switchable down")
+	}
+	// Hop 1 (level 2): downstream hop 2 is at level 3 > 2: not movable.
+	if n.switchableDown(vb, 1) {
+		t.Error("hop 1 must not move below its downstream neighbour")
+	}
+	// Hop 2 (level 3): upstream 2 <= 3, downstream 2 <= 3, level 2 free
+	// on hop 2: movable.
+	if !n.switchableDown(vb, 2) {
+		t.Error("hop 2 should be switchable down")
+	}
+	// Hop 3 (level 2, destination hop): no downstream constraint, but its
+	// upstream hop sits at level 3 — sinking to 1 would open a gap of 2.
+	if n.switchableDown(vb, 3) {
+		t.Error("hop 3 must not move while its upstream neighbour is two above the target")
+	}
+	// After hop 2 sinks from 3 to 2, hop 3 becomes movable...
+	n.applyMove(0, vb, 2)
+	if !n.switchableDown(vb, 3) {
+		t.Error("hop 3 should be switchable down once upstream sank")
+	}
+	// ...unless the segment below it is occupied.
+	n.claimSeg(3, 1, 999)
+	if n.switchableDown(vb, 3) {
+		t.Error("hop 3 movable despite occupied target")
+	}
+	n.occ[3][1] = 0
+	// Restore hop 2 for the bottom-level check below.
+	n.releaseSeg(2, 2, vb.ID)
+	vb.Levels[2] = 3
+	n.claimSeg(2, 3, vb.ID)
+
+	// A hop at level 0 can never move.
+	vb.Levels[0] = 2 // restore
+	n.releaseSeg(0, 2, vb.ID)
+	vb.Levels[0] = 0
+	n.claimSeg(0, 0, vb.ID)
+	if n.switchableDown(vb, 0) {
+		t.Error("bottom level reported switchable")
+	}
+}
+
+func TestApplyMovePreservesInvariants(t *testing.T) {
+	n := mustNetwork(t, Config{Nodes: 6, Buses: 4, Seed: 1})
+	vb := &VirtualBus{ID: 1, Src: 1, Dst: 5, State: VBTransferring, Levels: []int{3, 3, 2, 2}}
+	n.nextVB = 1
+	for j, l := range vb.Levels {
+		n.claimSeg((1+j)%6, l, vb.ID)
+	}
+	n.addVB(vb)
+	n.incs[1].sendActive++
+	n.incs[5].recvActive++
+
+	moves := 0
+	for pass := 0; pass < 20; pass++ {
+		moved := false
+		for j := range vb.Levels {
+			if n.switchableDown(vb, j) {
+				n.applyMove(0, vb, j)
+				moves++
+				moved = true
+				if err := vb.CheckLevelInvariant(4); err != nil {
+					t.Fatalf("after move %d: %v", moves, err)
+				}
+				if err := n.auditOccupancy(); err != nil {
+					t.Fatalf("after move %d: %v", moves, err)
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	for j, l := range vb.Levels {
+		if l != 0 {
+			t.Errorf("hop %d stuck at level %d after exhaustive compaction", j, l)
+		}
+	}
+	if int64(moves) != n.stats.CompactionMoves {
+		t.Errorf("stats counted %d moves, performed %d", n.stats.CompactionMoves, moves)
+	}
+}
+
+// TestCompactionInvariantProperty drives random networks with random
+// traffic and asserts, every tick (via Audit), that compaction never
+// breaks the ±1 invariant, never double-books a segment, and never
+// produces an illegal status code.
+func TestCompactionInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		nodes := 4 + rng.Intn(12)
+		buses := 1 + rng.Intn(5)
+		mode := Lockstep
+		if rng.Bool() {
+			mode = Async
+		}
+		n, err := NewNetwork(Config{
+			Nodes: nodes, Buses: buses, Mode: mode,
+			Seed: seed, Audit: true,
+		})
+		if err != nil {
+			return false
+		}
+		msgs := 1 + rng.Intn(2*nodes)
+		for i := 0; i < msgs; i++ {
+			src := rng.Intn(nodes)
+			dst := rng.Intn(nodes - 1)
+			if dst >= src {
+				dst++
+			}
+			payload := make([]uint64, rng.Intn(6))
+			if _, err := n.Send(NodeID(src), NodeID(dst), payload); err != nil {
+				return false
+			}
+		}
+		// Audit panics inside Step on violation; Drain surfaces deadlock.
+		return n.Drain(400_000) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockstepParityRule(t *testing.T) {
+	// A single idle circuit on a k=2 network: a hop's level-1 segment may
+	// only move in cycles where (level + inc + cycle) is even. Verify the
+	// first move of each hop happens at a cycle of the right parity.
+	n := mustNetwork(t, Config{Nodes: 6, Buses: 2, Seed: 1})
+	log := &moveLog{}
+	n.SetRecorder(log)
+	if _, err := n.Send(0, 4, make([]uint64, 100)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		n.Step()
+	}
+	if len(log.moves) == 0 {
+		t.Fatal("no compaction moves recorded")
+	}
+	for _, m := range log.moves {
+		// In lockstep mode one cycle runs per tick: the cycle counter at
+		// the move instant equals the tick.
+		cycle := int64(m.At)
+		if (int64(m.From)+int64(m.Node)+cycle)%2 != 0 {
+			t.Errorf("move %v violates the odd/even pairing rule", m)
+		}
+	}
+}
+
+type moveLog struct {
+	moves  []Move
+	events []string
+}
+
+func (l *moveLog) Move(m Move) { l.moves = append(l.moves, m) }
+func (l *moveLog) VBEvent(at sim.Tick, vb *VirtualBus, event string) {
+	l.events = append(l.events, event)
+}
+func (l *moveLog) CycleSwitch(sim.Tick, NodeID, int64) {}
+
+func TestDisableCompactionAblation(t *testing.T) {
+	cfg := Config{Nodes: 8, Buses: 3, Seed: 5, DisableCompaction: true}
+	n := mustNetwork(t, cfg)
+	if _, err := n.Send(0, 6, make([]uint64, 50)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		n.Step()
+	}
+	if n.Stats().CompactionMoves != 0 {
+		t.Errorf("compaction disabled but %d moves happened", n.Stats().CompactionMoves)
+	}
+	vbs := n.ActiveVirtualBuses()
+	if len(vbs) != 1 {
+		t.Fatalf("active = %d", len(vbs))
+	}
+	// Without compaction the circuit stays where the head claimed it (the
+	// top bus), never sinking to level 0.
+	for _, l := range vbs[0].Levels {
+		if l != cfg.Buses-1 {
+			t.Errorf("levels %v moved without compaction", vbs[0].Levels)
+			break
+		}
+	}
+}
+
+func TestMoveSequencesBoundaryFlags(t *testing.T) {
+	vb := &VirtualBus{Levels: []int{2, 2, 2}}
+	_, _, _, pe, head := moveSequences(vb, 0, 2)
+	if !pe || head {
+		t.Errorf("hop 0 flags pe=%v head=%v", pe, head)
+	}
+	_, _, _, pe, head = moveSequences(vb, 2, 2)
+	if pe || !head {
+		t.Errorf("hop 2 flags pe=%v head=%v", pe, head)
+	}
+	_, _, _, pe, head = moveSequences(vb, 1, 2)
+	if pe || head {
+		t.Errorf("hop 1 flags pe=%v head=%v", pe, head)
+	}
+}

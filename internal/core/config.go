@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SyncMode selects how the compaction protocol's odd/even cycles are
+// timed.
+type SyncMode uint8
+
+const (
+	// Lockstep drives every INC from one global cycle counter: one
+	// odd/even cycle per CompactionPeriod ticks. Deterministic and fast;
+	// the default for benchmarks.
+	Lockstep SyncMode = iota
+	// Async gives every INC its own CycleFSM with a randomized internal
+	// delay (the paper's independent clocks); neighbouring cycle counts
+	// stay within one of each other by Lemma 1, which the auditor checks.
+	Async
+)
+
+// String names the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case Lockstep:
+		return "lockstep"
+	case Async:
+		return "async"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", uint8(m))
+	}
+}
+
+// HeadRule selects how a header flit chooses its output port when
+// advancing from input level `in`.
+type HeadRule uint8
+
+const (
+	// HeadFlexible tries straight (in), then one down (in-1), then one up
+	// (in+1). Stepping down early only anticipates compaction; this is
+	// the default and preserves the paper's utilization property.
+	HeadFlexible HeadRule = iota
+	// HeadStraightOnly only ever continues at its current level and
+	// otherwise waits for compaction to sink it.
+	HeadStraightOnly
+	// HeadStrictTop pins the head hop to the top segment (k-1): the
+	// compaction protocol skips the head hop and the head only advances
+	// along the top bus. This is the most literal reading of the paper's
+	// insertion rule and the baseline for the head-rule ablation.
+	HeadStrictTop
+)
+
+// String names the rule.
+func (r HeadRule) String() string {
+	switch r {
+	case HeadFlexible:
+		return "flexible"
+	case HeadStraightOnly:
+		return "straight-only"
+	case HeadStrictTop:
+		return "strict-top"
+	default:
+		return fmt.Sprintf("HeadRule(%d)", uint8(r))
+	}
+}
+
+// Config parameterizes an RMB network simulation.
+type Config struct {
+	// Nodes is N, the number of ring nodes (PE + INC pairs). Must be at
+	// least 2. The paper's odd/even marking assumes an even ring; odd N
+	// is accepted (the single parity seam is harmless in simulation, see
+	// DESIGN.md) but even N matches the paper.
+	Nodes int
+	// Buses is k, the number of parallel bus segments between adjacent
+	// INCs. Must be at least 1; compaction needs at least 2 to do
+	// anything.
+	Buses int
+
+	// Mode selects lockstep or asynchronous odd/even cycle timing.
+	Mode SyncMode
+	// HeadRule selects the header advance policy.
+	HeadRule HeadRule
+
+	// DisableCompaction switches the compaction protocol off entirely
+	// (for the ablation benchmark). New circuits then stay on the
+	// segments the head claimed.
+	DisableCompaction bool
+
+	// CompactionPeriod is the number of ticks per odd/even cycle in
+	// Lockstep mode (default 1).
+	CompactionPeriod int
+
+	// MaxSendPerNode and MaxRecvPerNode bound concurrently active
+	// outgoing/incoming messages per node. The paper's base design uses 1
+	// for both; larger values implement the "multiple send/receive
+	// messages per node" extension from its future-work list.
+	MaxSendPerNode int
+	MaxRecvPerNode int
+
+	// RetryBase and RetryCap bound the randomized exponential backoff (in
+	// ticks) applied after a Nack before a message is reinserted.
+	// Defaults: 4 and 256.
+	RetryBase int
+	RetryCap  int
+
+	// HeadTimeout converts a header blocked for about that many
+	// consecutive ticks into a self-refusal (tear down, back off and
+	// retry); each attempt draws its actual limit uniformly from
+	// [T/2, 3T/2) so contending senders desynchronize. Without the valve,
+	// a saturated ring can gridlock: blocked headers hold their partial
+	// virtual buses in a cyclic wait, which the paper's protocol does not
+	// break on its own (its Theorem 1 is conditioned on a free segment
+	// existing). Zero selects the default of 4×Nodes ticks;
+	// HeadTimeoutDisabled (-1) disables the valve for experiments that
+	// reproduce the paper's unguarded behaviour.
+	HeadTimeout int
+
+	// FlitCycle is the number of ticks between successive data flits
+	// launched by the source (default 1).
+	FlitCycle int
+
+	// DackWindow, when positive, limits the source to that many
+	// unacknowledged data flits in flight (Dack-based flow control). Zero
+	// means the window never throttles, modelling a clean circuit.
+	DackWindow int
+
+	// JitterMax is the maximum extra internal delay (ticks) an INC takes
+	// to finish its datapath work in Async mode (default 3).
+	JitterMax int
+
+	// Seed seeds the deterministic PRNG.
+	Seed uint64
+
+	// Audit enables full invariant checking after every tick. Expensive;
+	// meant for tests.
+	Audit bool
+}
+
+// Validation errors returned by Config.Validate.
+var (
+	ErrTooFewNodes = errors.New("core: config needs at least 2 nodes")
+	ErrTooFewBuses = errors.New("core: config needs at least 1 bus")
+)
+
+// Validate checks the configuration and reports the first problem.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("%w (got %d)", ErrTooFewNodes, c.Nodes)
+	}
+	if c.Buses < 1 {
+		return fmt.Errorf("%w (got %d)", ErrTooFewBuses, c.Buses)
+	}
+	if c.CompactionPeriod < 0 || c.FlitCycle < 0 || c.JitterMax < 0 ||
+		c.RetryBase < 0 || c.RetryCap < 0 ||
+		c.MaxSendPerNode < 0 || c.MaxRecvPerNode < 0 || c.DackWindow < 0 {
+		return errors.New("core: config fields must be non-negative")
+	}
+	if c.HeadTimeout < HeadTimeoutDisabled {
+		return fmt.Errorf("core: HeadTimeout %d invalid; use ticks, 0 for default, or HeadTimeoutDisabled", c.HeadTimeout)
+	}
+	return nil
+}
+
+// HeadTimeoutDisabled disables the head starvation safety valve.
+const HeadTimeoutDisabled = -1
+
+// withDefaults fills zero-valued knobs with their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.CompactionPeriod == 0 {
+		c.CompactionPeriod = 1
+	}
+	if c.MaxSendPerNode == 0 {
+		c.MaxSendPerNode = 1
+	}
+	if c.MaxRecvPerNode == 0 {
+		c.MaxRecvPerNode = 1
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 4
+	}
+	if c.RetryCap == 0 {
+		c.RetryCap = 256
+	}
+	if c.FlitCycle == 0 {
+		c.FlitCycle = 1
+	}
+	if c.HeadTimeout == 0 {
+		c.HeadTimeout = 4 * c.Nodes
+	} else if c.HeadTimeout == HeadTimeoutDisabled {
+		c.HeadTimeout = 0
+	}
+	if c.JitterMax == 0 {
+		c.JitterMax = 3
+	}
+	return c
+}

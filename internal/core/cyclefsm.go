@@ -1,0 +1,173 @@
+package core
+
+import "fmt"
+
+// Phase identifies one of the four switching states of an INC shown in
+// the paper's Figure 9. The INC walks the phases in order, gated at each
+// step by its neighbours' OD/OC flags, so neighbouring INCs can never be
+// more than one odd/even cycle apart (Lemma 1).
+type Phase uint8
+
+const (
+	// PhaseReadyData: ready for its own datapath switch, waiting for both
+	// neighbours to be ready too (LC = RC = 0) and for its internal work
+	// to finish (ID = 1). Leaving this phase performs the INC's
+	// compaction moves and raises OD.
+	PhaseReadyData Phase = iota
+	// PhaseDataSwitched: OD = 1; waiting for both neighbours' datapaths
+	// to have switched (LD = RD = 1) before raising OC.
+	PhaseDataSwitched
+	// PhaseCycleSwitched: OC = 1; waiting for both neighbours' cycles to
+	// have changed (LC = RC = 1) before lowering OD.
+	PhaseCycleSwitched
+	// PhaseDataCleared: OD = 0 with OC still 1; waiting for both
+	// neighbours' datapath flags to clear (LD = RD = 0) before lowering
+	// OC and starting the next cycle.
+	PhaseDataCleared
+)
+
+// String names the phase after Figure 9's boxes.
+func (p Phase) String() string {
+	switch p {
+	case PhaseReadyData:
+		return "ready-for-datapath-switch"
+	case PhaseDataSwitched:
+		return "datapath-switched"
+	case PhaseCycleSwitched:
+		return "cycle-switched"
+	case PhaseDataCleared:
+		return "datapath-cleared"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// CycleFSM is the odd/even cycle controller of one INC: the OD ("own
+// datapaths switched") and OC ("own cycle changed") flags of Table 2
+// driven by the five rules of Section 2.5. Neighbour flags (LD, LC, RD,
+// RC) are read live from the neighbouring INCs' FSMs by the network.
+type CycleFSM struct {
+	// OD is the "own datapaths have switched" flag.
+	OD bool
+	// OC is the "own cycle has changed" flag.
+	OC bool
+	// ID is the internal signal indicating all datapath switches for the
+	// current cycle have completed. The network raises it after the INC
+	// finishes (or is granted time for) its compaction moves.
+	ID bool
+
+	// Cycle counts completed odd/even transitions; its parity is the
+	// INC's current cycle colour. Incremented when OC rises.
+	Cycle int64
+
+	// phase tracks which Figure 9 box the INC occupies.
+	phase Phase
+}
+
+// Phase reports the current Figure 9 state.
+func (f *CycleFSM) Phase() Phase { return f.phase }
+
+// Reset implements rule 1: at reset, OD = OC = 0 for all INCs.
+func (f *CycleFSM) Reset() {
+	*f = CycleFSM{}
+}
+
+// NeighbourView is what an INC can observe of an adjacent INC: its OD and
+// OC flags (the paper's LD/LC when viewed from the right neighbour, RD/RC
+// when viewed from the left).
+type NeighbourView struct {
+	D bool // neighbour's OD
+	C bool // neighbour's OC
+}
+
+// StepResult describes what happened during one FSM evaluation.
+type StepResult struct {
+	// SwitchedData is true when OD rose this step; the caller must
+	// perform the INC's datapath (compaction) moves at this instant.
+	SwitchedData bool
+	// SwitchedCycle is true when OC rose this step, i.e. the INC
+	// completed an odd/even transition.
+	SwitchedCycle bool
+}
+
+// Step evaluates rules 2-5 once against the live neighbour views and
+// advances at most one phase. The rules, as given in Figure 10 (which
+// corrects two transcription slips in the body text):
+//
+//	rule 2: OD := 1  if ID = 1 and LC = 0 and RC = 0
+//	rule 3: OC := 1  if OD = 1 and LD = 1 and RD = 1
+//	rule 4: OD := 0  if OD = 1 and LC = 1 and RC = 1
+//	rule 5: OC := 0  if OC = 1 and LD = 0 and RD = 0
+func (f *CycleFSM) Step(left, right NeighbourView) StepResult {
+	switch f.phase {
+	case PhaseReadyData:
+		if f.ID && !left.C && !right.C { // rule 2
+			f.OD = true
+			f.ID = false
+			f.phase = PhaseDataSwitched
+			return StepResult{SwitchedData: true}
+		}
+	case PhaseDataSwitched:
+		if f.OD && left.D && right.D { // rule 3
+			f.OC = true
+			f.Cycle++
+			f.phase = PhaseCycleSwitched
+			return StepResult{SwitchedCycle: true}
+		}
+	case PhaseCycleSwitched:
+		if f.OD && left.C && right.C { // rule 4
+			f.OD = false
+			f.phase = PhaseDataCleared
+		}
+	case PhaseDataCleared:
+		if f.OC && !left.D && !right.D { // rule 5
+			f.OC = false
+			f.phase = PhaseReadyData
+		}
+	}
+	return StepResult{}
+}
+
+// View returns the FSM's externally visible flags for its neighbours.
+func (f *CycleFSM) View() NeighbourView {
+	return NeighbourView{D: f.OD, C: f.OC}
+}
+
+// Table2 returns the contents of the paper's Table 2: the states and
+// signals used in odd/even cycle control.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{Mnemonic: "OD", Kind: "state", Interpretation: "own datapaths have switched (virtual bus switch)"},
+		{Mnemonic: "LD", Kind: "state", Interpretation: "left neighbour's datapaths switched"},
+		{Mnemonic: "RD", Kind: "state", Interpretation: "right neighbour's datapaths switched"},
+		{Mnemonic: "OC", Kind: "state", Interpretation: "own cycle has changed (odd to even or vice versa)"},
+		{Mnemonic: "LC", Kind: "state", Interpretation: "left neighbour's cycle has changed"},
+		{Mnemonic: "RC", Kind: "state", Interpretation: "right neighbour's cycle has changed"},
+		{Mnemonic: "ID", Kind: "signal", Interpretation: "internal signal: all datapath switches (virtual bus movements) completed"},
+	}
+}
+
+// Table2Row is one line of the paper's Table 2.
+type Table2Row struct {
+	Mnemonic       string
+	Kind           string // "state" or "signal"
+	Interpretation string
+}
+
+// FSMRule describes one of the five odd/even control rules for
+// regeneration of Figure 10's annotations.
+type FSMRule struct {
+	Number int
+	Text   string
+}
+
+// Rules returns the five odd/even cycle control rules in paper order.
+func Rules() []FSMRule {
+	return []FSMRule{
+		{1, "at reset, ensure OD = OC = 0 for all INCs"},
+		{2, "OD = 1 if ID = 1 and LC = 0 and RC = 0"},
+		{3, "OC = 1 if OD = 1 and LD = 1 and RD = 1"},
+		{4, "OD = 0 if OD = 1 and LC = 1 and RC = 1"},
+		{5, "OC = 0 if OC = 1 and LD = 0 and RD = 0"},
+	}
+}

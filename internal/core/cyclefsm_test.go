@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"rmb/internal/sim"
+)
+
+func TestTable2Contents(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 7 {
+		t.Fatalf("Table 2 has %d rows, want 7", len(rows))
+	}
+	wantMnemonics := []string{"OD", "LD", "RD", "OC", "LC", "RC", "ID"}
+	for i, m := range wantMnemonics {
+		if rows[i].Mnemonic != m {
+			t.Errorf("row %d mnemonic %q, want %q", i, rows[i].Mnemonic, m)
+		}
+	}
+	states, signals := 0, 0
+	for _, r := range rows {
+		switch r.Kind {
+		case "state":
+			states++
+		case "signal":
+			signals++
+		default:
+			t.Errorf("row %q has kind %q", r.Mnemonic, r.Kind)
+		}
+	}
+	if states != 6 || signals != 1 {
+		t.Errorf("states=%d signals=%d, want 6 and 1", states, signals)
+	}
+}
+
+func TestRulesList(t *testing.T) {
+	rs := Rules()
+	if len(rs) != 5 {
+		t.Fatalf("%d rules, want 5", len(rs))
+	}
+	for i, r := range rs {
+		if r.Number != i+1 {
+			t.Errorf("rule %d numbered %d", i, r.Number)
+		}
+		if r.Text == "" {
+			t.Errorf("rule %d has empty text", r.Number)
+		}
+	}
+}
+
+// stepRing drives a ring of FSMs one round (each INC steps once, in
+// order), raising ID for FSMs in the ready phase per the readyID policy.
+func stepRing(fsms []CycleFSM, readyID func(i int) bool) []StepResult {
+	n := len(fsms)
+	out := make([]StepResult, n)
+	for i := range fsms {
+		if fsms[i].Phase() == PhaseReadyData && readyID(i) {
+			fsms[i].ID = true
+		}
+		left := fsms[(i+n-1)%n].View()
+		right := fsms[(i+1)%n].View()
+		out[i] = fsms[i].Step(left, right)
+	}
+	return out
+}
+
+func TestFSMWalksAllPhases(t *testing.T) {
+	fsms := make([]CycleFSM, 4)
+	sawPhase := map[Phase]bool{}
+	for round := 0; round < 50; round++ {
+		stepRing(fsms, func(int) bool { return true })
+		for i := range fsms {
+			sawPhase[fsms[i].Phase()] = true
+		}
+	}
+	for _, p := range []Phase{PhaseReadyData, PhaseDataSwitched, PhaseCycleSwitched, PhaseDataCleared} {
+		if !sawPhase[p] {
+			t.Errorf("phase %v never reached", p)
+		}
+	}
+	for i := range fsms {
+		if fsms[i].Cycle == 0 {
+			t.Errorf("fsm %d completed no cycles", i)
+		}
+	}
+}
+
+func TestLemma1UniformProgress(t *testing.T) {
+	// With every INC always ready, neighbouring cycle counts must never
+	// differ by more than one at any instant.
+	fsms := make([]CycleFSM, 8)
+	n := len(fsms)
+	for round := 0; round < 500; round++ {
+		stepRing(fsms, func(int) bool { return true })
+		for i := range fsms {
+			d := fsms[i].Cycle - fsms[(i+1)%n].Cycle
+			if d < -1 || d > 1 {
+				t.Fatalf("round %d: neighbours %d and %d at cycles %d and %d", round, i, (i+1)%n, fsms[i].Cycle, fsms[(i+1)%n].Cycle)
+			}
+		}
+	}
+}
+
+func TestLemma1RandomizedDelays(t *testing.T) {
+	// Lemma 1 must hold under arbitrary per-INC internal delays — the
+	// paper's independent-clock assumption. We randomize ID readiness.
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := sim.NewRNG(seed)
+		fsms := make([]CycleFSM, 6)
+		n := len(fsms)
+		for round := 0; round < 400; round++ {
+			stepRing(fsms, func(int) bool { return rng.Intn(4) == 0 })
+			for i := range fsms {
+				d := fsms[i].Cycle - fsms[(i+1)%n].Cycle
+				if d < -1 || d > 1 {
+					t.Fatalf("seed %d round %d: cycles %d vs %d at %d/%d", seed, round, fsms[i].Cycle, fsms[(i+1)%n].Cycle, i, (i+1)%n)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma1StalledNodeBoundsRing(t *testing.T) {
+	// If one INC never raises ID, the whole ring must stop within one
+	// cycle of it — the handshake propagates the stall.
+	fsms := make([]CycleFSM, 6)
+	for round := 0; round < 300; round++ {
+		stepRing(fsms, func(i int) bool { return i != 3 })
+	}
+	for i := range fsms {
+		if fsms[i].Cycle > fsms[3].Cycle+1 {
+			t.Errorf("inc %d reached cycle %d while inc 3 is at %d", i, fsms[i].Cycle, fsms[3].Cycle)
+		}
+	}
+}
+
+func TestFSMSwitchesDataExactlyOncePerCycle(t *testing.T) {
+	fsms := make([]CycleFSM, 4)
+	dataSwitches := make([]int64, 4)
+	for round := 0; round < 400; round++ {
+		res := stepRing(fsms, func(int) bool { return true })
+		for i, r := range res {
+			if r.SwitchedData {
+				dataSwitches[i]++
+			}
+		}
+	}
+	for i := range fsms {
+		// Every completed cycle contains exactly one datapath switch; an
+		// in-flight cycle may have one more.
+		d := dataSwitches[i] - fsms[i].Cycle
+		if d < 0 || d > 1 {
+			t.Errorf("inc %d: %d data switches over %d cycles", i, dataSwitches[i], fsms[i].Cycle)
+		}
+	}
+}
+
+func TestFSMResetRule1(t *testing.T) {
+	var f CycleFSM
+	f.ID = true
+	f.Step(NeighbourView{}, NeighbourView{})
+	if !f.OD {
+		t.Fatal("OD did not rise")
+	}
+	f.Reset()
+	if f.OD || f.OC || f.ID || f.Cycle != 0 || f.Phase() != PhaseReadyData {
+		t.Errorf("reset state %+v", f)
+	}
+}
+
+func TestFSMBlockedByNeighbourCycleFlags(t *testing.T) {
+	// Rule 2 requires LC = RC = 0.
+	var f CycleFSM
+	f.ID = true
+	f.Step(NeighbourView{C: true}, NeighbourView{})
+	if f.OD {
+		t.Error("OD rose despite LC=1")
+	}
+	f.Step(NeighbourView{}, NeighbourView{C: true})
+	if f.OD {
+		t.Error("OD rose despite RC=1")
+	}
+	f.Step(NeighbourView{}, NeighbourView{})
+	if !f.OD {
+		t.Error("OD did not rise with clear neighbours")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for _, p := range []Phase{PhaseReadyData, PhaseDataSwitched, PhaseCycleSwitched, PhaseDataCleared} {
+		if p.String() == "" {
+			t.Errorf("phase %d has empty string", p)
+		}
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Errorf("fallback string %q", Phase(9).String())
+	}
+}

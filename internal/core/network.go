@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rmb/internal/flit"
+	"rmb/internal/sim"
+)
+
+// Network is a cycle-stepped simulator of one RMB ring: N nodes, k
+// parallel bus segments per hop, the routing protocol of Section 2.2-2.3
+// and the compaction protocol of Sections 2.4-2.5.
+//
+// A Network is not safe for concurrent use; drive it from one goroutine.
+type Network struct {
+	cfg   Config
+	clock *sim.Clock
+	rng   *sim.RNG
+
+	// occ[h][l] is the virtual bus occupying segment l of hop h (the hop
+	// from node h to node h+1 mod N); zero when free.
+	occ [][]VBID
+	// vbs holds every active virtual bus.
+	vbs map[VBID]*VirtualBus
+	// active is the deterministic iteration order over vbs (sorted IDs).
+	active []VBID
+
+	incs []incState
+
+	// pending[n] queues requests at node n awaiting insertion.
+	pending [][]*request
+	// retries schedules backed-off reinsertions.
+	retries *sim.EventQueue
+
+	nextVB  VBID
+	nextMsg flit.MessageID
+
+	stats        Stats
+	records      map[flit.MessageID]*MsgRecord
+	payloadStore map[flit.MessageID][]uint64
+	delivered    []flit.Message
+
+	rec Recorder
+
+	// globalCycle is the Lockstep-mode odd/even cycle counter.
+	globalCycle int64
+
+	// insertRotate rotates the node scanned first for insertion so no
+	// node gets a structural priority.
+	insertRotate int
+}
+
+// incState holds per-INC bookkeeping.
+type incState struct {
+	fsm        CycleFSM
+	idDelay    int
+	sendActive int
+	recvActive int
+}
+
+// request is a message waiting (or waiting again) for insertion.
+type request struct {
+	msg      flit.Message
+	enqueued sim.Tick
+	attempts int
+	// dsts lists every destination in clockwise order (one entry for
+	// unicast); the last entry is the circuit's final destination.
+	dsts []NodeID
+}
+
+// NewNetwork builds a network from cfg, applying documented defaults.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := &Network{
+		cfg:          cfg,
+		clock:        sim.NewClock(),
+		rng:          sim.NewRNG(cfg.Seed ^ 0x524d42), // "RMB"
+		occ:          make([][]VBID, cfg.Nodes),
+		vbs:          make(map[VBID]*VirtualBus),
+		incs:         make([]incState, cfg.Nodes),
+		pending:      make([][]*request, cfg.Nodes),
+		retries:      sim.NewEventQueue(),
+		records:      make(map[flit.MessageID]*MsgRecord),
+		payloadStore: make(map[flit.MessageID][]uint64),
+		rec:          nopRecorder{},
+	}
+	for h := range n.occ {
+		n.occ[h] = make([]VBID, cfg.Buses)
+	}
+	for i := range n.incs {
+		n.incs[i].idDelay = 1 + n.rng.Intn(cfg.JitterMax)
+	}
+	return n, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now reports the current simulation tick.
+func (n *Network) Now() sim.Tick { return n.clock.Now() }
+
+// SetRecorder installs a trace recorder (nil restores the no-op).
+func (n *Network) SetRecorder(r Recorder) {
+	if r == nil {
+		n.rec = nopRecorder{}
+		return
+	}
+	n.rec = r
+}
+
+// Distance reports the clockwise hop count from src to dst.
+func (n *Network) Distance(src, dst NodeID) int {
+	d := (int(dst) - int(src)) % n.cfg.Nodes
+	if d < 0 {
+		d += n.cfg.Nodes
+	}
+	return d
+}
+
+// Send enqueues a message from src to dst carrying payload (one data flit
+// per word; empty payloads are legal header-only messages). It returns
+// the assigned message ID.
+func (n *Network) Send(src, dst NodeID, payload []uint64) (flit.MessageID, error) {
+	if int(src) < 0 || int(src) >= n.cfg.Nodes {
+		return 0, fmt.Errorf("core: source node %d outside [0,%d)", src, n.cfg.Nodes)
+	}
+	if int(dst) < 0 || int(dst) >= n.cfg.Nodes {
+		return 0, fmt.Errorf("core: destination node %d outside [0,%d)", dst, n.cfg.Nodes)
+	}
+	if src == dst {
+		return 0, fmt.Errorf("core: node %d cannot send to itself through the ring", src)
+	}
+	n.nextMsg++
+	id := n.nextMsg
+	m := flit.Message{ID: id, Src: src, Dst: dst, Payload: append([]uint64(nil), payload...)}
+	req := &request{msg: m, enqueued: n.clock.Now(), dsts: []NodeID{dst}}
+	n.pending[src] = append(n.pending[src], req)
+	n.records[id] = &MsgRecord{
+		ID: id, Src: src, Dst: dst,
+		Distance:   n.Distance(src, dst),
+		PayloadLen: len(payload),
+		Enqueued:   n.clock.Now(),
+	}
+	n.payloadStore[id] = m.Payload
+	n.stats.MessagesSubmitted++
+	return id, nil
+}
+
+// Idle reports whether nothing remains in flight or queued.
+func (n *Network) Idle() bool {
+	if len(n.vbs) > 0 || n.retries.Len() > 0 {
+		return false
+	}
+	for _, q := range n.pending {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the simulation by one tick, returning whether any
+// progress was made (signal movement, head advance, data transfer,
+// compaction move, or insertion). The phase order within a tick is:
+// retry release, backward signals, forward progress, compaction,
+// insertion, bookkeeping.
+func (n *Network) Step() bool {
+	now := n.clock.Now()
+	progress := false
+
+	if n.retries.RunDue(now) > 0 {
+		progress = true
+	}
+	if n.stepBackwardSignals(now) {
+		progress = true
+	}
+	if n.stepForward(now) {
+		progress = true
+	}
+	if !n.cfg.DisableCompaction {
+		if n.stepCompaction(now) {
+			progress = true
+		}
+	}
+	if n.stepInsertion(now) {
+		progress = true
+	}
+	// Pending timers guarantee future progress: retry backoffs will fire,
+	// and with the head timeout armed every blocked header eventually
+	// converts into a retry. Only with the valve disabled can a blocked
+	// state be a true deadlock.
+	if !progress && (n.retries.Len() > 0 || (n.cfg.HeadTimeout > 0 && len(n.vbs) > 0)) {
+		progress = true
+	}
+
+	n.sampleOccupancy()
+	n.stats.Ticks++
+	n.clock.Advance()
+
+	if n.cfg.Audit {
+		if err := n.Audit(); err != nil {
+			panic(err)
+		}
+	}
+	return progress
+}
+
+// Drain runs the network until it is idle or the tick budget is spent.
+func (n *Network) Drain(maxTicks sim.Tick) error {
+	_, err := sim.Run(n, sim.RunConfig{MaxTicks: maxTicks, IdleLimit: 8 * n.cfg.Nodes * n.cfg.CompactionPeriod}, n.Idle)
+	return err
+}
+
+// Stats returns a copy of the run counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Records returns per-message lifecycle records keyed by message ID.
+// The returned map is a copy; the records are shared snapshots.
+func (n *Network) Records() map[flit.MessageID]MsgRecord {
+	out := make(map[flit.MessageID]MsgRecord, len(n.records))
+	for id, r := range n.records {
+		out[id] = *r
+	}
+	return out
+}
+
+// Record returns one message's lifecycle record.
+func (n *Network) Record(id flit.MessageID) (MsgRecord, bool) {
+	r, ok := n.records[id]
+	if !ok {
+		return MsgRecord{}, false
+	}
+	return *r, true
+}
+
+// Delivered returns the messages delivered so far, in delivery order.
+func (n *Network) Delivered() []flit.Message {
+	return append([]flit.Message(nil), n.delivered...)
+}
+
+// ActiveVirtualBuses returns the live virtual buses in ID order. The
+// returned pointers expose simulator state; callers must not mutate them.
+func (n *Network) ActiveVirtualBuses() []*VirtualBus {
+	out := make([]*VirtualBus, 0, len(n.active))
+	for _, id := range n.active {
+		out = append(out, n.vbs[id])
+	}
+	return out
+}
+
+// VirtualBus looks up a live virtual bus by ID.
+func (n *Network) VirtualBus(id VBID) (*VirtualBus, bool) {
+	vb, ok := n.vbs[id]
+	return vb, ok
+}
+
+// GlobalCycle reports the lockstep odd/even cycle counter (Lockstep mode)
+// or the minimum per-INC completed cycle count (Async mode).
+func (n *Network) GlobalCycle() int64 {
+	if n.cfg.Mode == Lockstep {
+		return n.globalCycle
+	}
+	min := n.incs[0].fsm.Cycle
+	for i := 1; i < len(n.incs); i++ {
+		if c := n.incs[i].fsm.Cycle; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// INCCycle reports the completed odd/even cycle count of one INC.
+func (n *Network) INCCycle(node NodeID) int64 {
+	if n.cfg.Mode == Lockstep {
+		return n.globalCycle
+	}
+	return n.incs[node].fsm.Cycle
+}
+
+// addVB registers a new virtual bus in the active set.
+func (n *Network) addVB(vb *VirtualBus) {
+	n.vbs[vb.ID] = vb
+	i := sort.Search(len(n.active), func(i int) bool { return n.active[i] >= vb.ID })
+	n.active = append(n.active, 0)
+	copy(n.active[i+1:], n.active[i:])
+	n.active[i] = vb.ID
+}
+
+// removeVB unregisters a virtual bus that has fully torn down.
+func (n *Network) removeVB(vb *VirtualBus) {
+	delete(n.vbs, vb.ID)
+	i := sort.Search(len(n.active), func(i int) bool { return n.active[i] >= vb.ID })
+	if i < len(n.active) && n.active[i] == vb.ID {
+		n.active = append(n.active[:i], n.active[i+1:]...)
+	}
+}
+
+// hopOf reports the hop index driven by node i's output ports.
+func (n *Network) hopOf(node NodeID) int { return int(node) % n.cfg.Nodes }
+
+// segFree reports whether segment l of hop h is unoccupied.
+func (n *Network) segFree(h, l int) bool { return n.occ[h][l] == 0 }
+
+// claimSeg marks segment l of hop h as used by vb.
+func (n *Network) claimSeg(h, l int, vb VBID) {
+	if n.occ[h][l] != 0 {
+		panic(fmt.Sprintf("core: segment hop %d level %d already occupied by vb%d, claimed by vb%d", h, l, n.occ[h][l], vb))
+	}
+	n.occ[h][l] = vb
+}
+
+// releaseSeg frees segment l of hop h, validating ownership.
+func (n *Network) releaseSeg(h, l int, vb VBID) {
+	if n.occ[h][l] != vb {
+		panic(fmt.Sprintf("core: segment hop %d level %d owned by vb%d, released by vb%d", h, l, n.occ[h][l], vb))
+	}
+	n.occ[h][l] = 0
+}
+
+// sampleOccupancy updates the utilization statistics for this tick.
+func (n *Network) sampleOccupancy() {
+	busy := 0
+	for _, hop := range n.occ {
+		for _, id := range hop {
+			if id != 0 {
+				busy++
+			}
+		}
+	}
+	n.stats.BusySegmentTicks += int64(busy)
+	if busy > n.stats.PeakBusySegments {
+		n.stats.PeakBusySegments = busy
+	}
+	if len(n.vbs) > n.stats.PeakActiveVBs {
+		n.stats.PeakActiveVBs = len(n.vbs)
+	}
+}

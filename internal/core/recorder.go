@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"rmb/internal/sim"
+)
+
+// MBBStep is one stage of the make-before-break switching sequence.
+type MBBStep uint8
+
+const (
+	// MBBBefore is the stable state before the move.
+	MBBBefore MBBStep = iota
+	// MBBMake is the transient state with the parallel connection
+	// established but the old one not yet broken.
+	MBBMake
+	// MBBAfter is the stable state after the old connection is broken.
+	MBBAfter
+)
+
+// PortSequence is the three status-register codes one output port walks
+// through during a make-before-break move (before, make, after), in the
+// notation of the paper's Figure 7 (e.g. 100 -> 110 -> 010).
+type PortSequence [3]PortStatus
+
+// String renders the sequence in Figure 7's arrow notation.
+func (p PortSequence) String() string {
+	return fmt.Sprintf("%s -> %s -> %s", p[0].Bits(), p[1].Bits(), p[2].Bits())
+}
+
+// Move describes one completed single-hop downward compaction move.
+type Move struct {
+	// At is the tick the move completed.
+	At sim.Tick
+	// VB is the virtual bus moved.
+	VB VBID
+	// Hop is the hop offset within the bus (index into Levels).
+	Hop int
+	// Node is the INC driving the moved hop (the upstream INC i).
+	Node NodeID
+	// From and To are the physical segment levels (To = From-1).
+	From, To int
+
+	// UpstreamOld is the upstream INC's status sequence for output port
+	// From, UpstreamNew for output port To, and Downstream the downstream
+	// INC's sequence for its output port. PESource marks a source hop
+	// (driven by the PE write interface, no upstream register); HeadHop
+	// marks the bus's current last hop (no downstream register yet).
+	UpstreamOld, UpstreamNew, Downstream PortSequence
+	PESource, HeadHop                    bool
+}
+
+// String renders a concise description.
+func (m Move) String() string {
+	return fmt.Sprintf("%v inc%d vb%d hop%d %d->%d", m.At, m.Node, m.VB, m.Hop, m.From, m.To)
+}
+
+// Recorder observes protocol-level events; the trace package provides
+// implementations. All methods are called synchronously from Step, so
+// implementations must be fast and must not call back into the network.
+type Recorder interface {
+	// Move reports a completed compaction move with its status sequences.
+	Move(m Move)
+	// VBEvent reports a virtual-bus lifecycle transition ("inserted",
+	// "extended", "accepted", "refused", "established", "delivered",
+	// "torn-down", "timeout").
+	VBEvent(at sim.Tick, vb *VirtualBus, event string)
+	// CycleSwitch reports an INC completing an odd/even transition.
+	CycleSwitch(at sim.Tick, inc NodeID, cycle int64)
+}
+
+// nopRecorder discards everything; installed by default.
+type nopRecorder struct{}
+
+func (nopRecorder) Move(Move)                             {}
+func (nopRecorder) VBEvent(sim.Tick, *VirtualBus, string) {}
+func (nopRecorder) CycleSwitch(sim.Tick, NodeID, int64)   {}
+
+// moveSequences derives the three Figure 7 status sequences for moving
+// the virtual bus's hop j from level b to b-1. a is the bus's input level
+// at the upstream INC (hop j-1) and c its output level at the downstream
+// INC (hop j+1); either may be absent at the bus boundaries.
+func moveSequences(vb *VirtualBus, j, b int) (upOld, upNew, down PortSequence, peSource, headHop bool) {
+	peSource = j == 0
+	headHop = j == len(vb.Levels)-1
+	if !peSource {
+		a := vb.Levels[j-1]
+		oldCode, err := statusForOffset(a - b)
+		if err == nil {
+			upOld = PortSequence{oldCode, oldCode, StatusUnused}
+		}
+		newCode, err := statusForOffset(a - (b - 1))
+		if err == nil {
+			upNew = PortSequence{StatusUnused, newCode, newCode}
+		}
+	}
+	if !headHop {
+		c := vb.Levels[j+1]
+		u, errU := statusForOffset(b - c)
+		v, errV := statusForOffset(b - 1 - c)
+		if errU == nil && errV == nil {
+			mid, err := CombineStatus(u, v)
+			if err == nil {
+				down = PortSequence{u, mid, v}
+			}
+		}
+	}
+	return upOld, upNew, down, peSource, headHop
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"rmb/internal/sim"
+)
+
+// RegisterFile models one INC's output-port status registers at the
+// hardware level: a connection is made or broken one input-select bit at
+// a time (the micro-operations real switching hardware performs), and
+// every intermediate state must be a legal Table 1 code. The simulator's
+// compaction engine derives its registers from virtual-bus state; this
+// model exists to prove the recorded make-before-break sequences are
+// realizable bit by bit.
+type RegisterFile struct {
+	regs []PortStatus
+}
+
+// NewRegisterFile builds a register file for k output ports, all unused.
+func NewRegisterFile(k int) *RegisterFile {
+	return &RegisterFile{regs: make([]PortStatus, k)}
+}
+
+// Get reports the status of output port out.
+func (r *RegisterFile) Get(out int) PortStatus {
+	if out < 0 || out >= len(r.regs) {
+		return StatusUnused
+	}
+	return r.regs[out]
+}
+
+// Set forces a port's code (used to seed pre-move state); the code must
+// be legal.
+func (r *RegisterFile) Set(out int, s PortStatus) error {
+	if out < 0 || out >= len(r.regs) {
+		return fmt.Errorf("core: register %d outside [0,%d)", out, len(r.regs))
+	}
+	if !s.Legal() {
+		return fmt.Errorf("core: refusing to set illegal code %s", s.Bits())
+	}
+	r.regs[out] = s
+	return nil
+}
+
+// bitFor translates an input offset (-1 below, 0 straight, +1 above)
+// into its status bit.
+func bitFor(offset int) (PortStatus, error) {
+	switch offset {
+	case -1:
+		return StatusBelow, nil
+	case 0:
+		return StatusStraight, nil
+	case +1:
+		return StatusAbove, nil
+	default:
+		return 0, fmt.Errorf("core: input offset %+d outside the INC's switching range", offset)
+	}
+}
+
+// Connect adds the input at the given offset to the port's feed set (the
+// "make" micro-operation). The resulting code must be legal.
+func (r *RegisterFile) Connect(out, offset int) error {
+	bit, err := bitFor(offset)
+	if err != nil {
+		return err
+	}
+	if out < 0 || out >= len(r.regs) {
+		return fmt.Errorf("core: register %d outside [0,%d)", out, len(r.regs))
+	}
+	next := r.regs[out] | bit
+	if !next.Legal() {
+		return fmt.Errorf("core: connect would create disallowed code %s on port %d", next.Bits(), out)
+	}
+	r.regs[out] = next
+	return nil
+}
+
+// Disconnect removes the input at the given offset (the "break"
+// micro-operation). Breaking a connection that is not present is an
+// error: it would mean the protocol lost track of the datapath.
+func (r *RegisterFile) Disconnect(out, offset int) error {
+	bit, err := bitFor(offset)
+	if err != nil {
+		return err
+	}
+	if out < 0 || out >= len(r.regs) {
+		return fmt.Errorf("core: register %d outside [0,%d)", out, len(r.regs))
+	}
+	if r.regs[out]&bit == 0 {
+		return fmt.Errorf("core: port %d is not fed from offset %+d", out, offset)
+	}
+	r.regs[out] &^= bit
+	return nil
+}
+
+// ReplayMove applies one recorded compaction move to the upstream and
+// downstream register files as the hardware would: seed the pre-state,
+// make the parallel connections, then break the old ones, checking every
+// intermediate code against the recorded Figure 7 sequences.
+//
+// The upstream INC drives the moving hop: its port From stops driving and
+// port To starts, both fed from the same input. The downstream INC's
+// port retargets its input from level From to level To.
+func ReplayMove(m Move, upstream, downstream *RegisterFile) error {
+	if m.To != m.From-1 {
+		return fmt.Errorf("core: move %v is not a single downward step", m)
+	}
+	// Seed pre-state.
+	if !m.PESource {
+		if err := upstream.Set(m.From, m.UpstreamOld[MBBBefore]); err != nil {
+			return err
+		}
+		if err := upstream.Set(m.To, m.UpstreamNew[MBBBefore]); err != nil {
+			return err
+		}
+	}
+	if !m.HeadHop {
+		// The downstream port's own level is not carried in the move;
+		// derive its input offsets from the recorded codes.
+		if err := seedFromSequence(downstream, m); err != nil {
+			return err
+		}
+	}
+
+	// Make phase.
+	if !m.PESource {
+		in := inputOffsetOf(m.UpstreamNew[MBBMake])
+		if err := upstream.Connect(m.To, in); err != nil {
+			return err
+		}
+		if got, want := upstream.Get(m.To), m.UpstreamNew[MBBMake]; got != want {
+			return fmt.Errorf("core: upstream port %d make state %s, recorded %s", m.To, got.Bits(), want.Bits())
+		}
+	}
+	if !m.HeadHop {
+		newOffset := diffOffset(m.Downstream[MBBBefore], m.Downstream[MBBMake])
+		if err := downstream.Connect(downstreamPort, newOffset); err != nil {
+			return err
+		}
+		if got, want := downstream.Get(downstreamPort), m.Downstream[MBBMake]; got != want {
+			return fmt.Errorf("core: downstream make state %s, recorded %s", got.Bits(), want.Bits())
+		}
+	}
+
+	// Break phase.
+	if !m.PESource {
+		in := inputOffsetOf(m.UpstreamOld[MBBBefore])
+		if err := upstream.Disconnect(m.From, in); err != nil {
+			return err
+		}
+		if got := upstream.Get(m.From); got != StatusUnused {
+			return fmt.Errorf("core: upstream port %d not released: %s", m.From, got.Bits())
+		}
+	}
+	if !m.HeadHop {
+		oldOffset := diffOffset(m.Downstream[MBBAfter], m.Downstream[MBBMake])
+		if err := downstream.Disconnect(downstreamPort, oldOffset); err != nil {
+			return err
+		}
+		if got, want := downstream.Get(downstreamPort), m.Downstream[MBBAfter]; got != want {
+			return fmt.Errorf("core: downstream final state %s, recorded %s", got.Bits(), want.Bits())
+		}
+	}
+	return nil
+}
+
+// downstreamPort is the canonical port index the replay uses for the
+// downstream INC's affected register (its absolute level is irrelevant to
+// the legality argument; offsets are relative).
+const downstreamPort = 1
+
+// seedFromSequence initializes the downstream register to the recorded
+// pre-move code.
+func seedFromSequence(rf *RegisterFile, m Move) error {
+	return rf.Set(downstreamPort, m.Downstream[MBBBefore])
+}
+
+// inputOffsetOf extracts the single input offset of a one-bit code.
+func inputOffsetOf(s PortStatus) int {
+	switch s {
+	case StatusBelow:
+		return -1
+	case StatusStraight:
+		return 0
+	case StatusAbove:
+		return +1
+	default:
+		return -99 // force an error inside Connect/Disconnect
+	}
+}
+
+// diffOffset reports the input offset added between two codes.
+func diffOffset(before, after PortStatus) int {
+	added := after &^ before
+	return inputOffsetOf(added)
+}
+
+// HardwareShadow is a Recorder that replays every compaction move through
+// register files at the micro-operation level, failing loudly if any
+// recorded sequence is not realizable. Install it in tests:
+//
+//	shadow := core.NewHardwareShadow(cfg.Buses)
+//	net.SetRecorder(shadow)
+//	... run ...
+//	if err := shadow.Err(); err != nil { t.Fatal(err) }
+type HardwareShadow struct {
+	buses int
+	moves int
+	err   error
+}
+
+// NewHardwareShadow builds a shadow for networks with k buses.
+func NewHardwareShadow(buses int) *HardwareShadow {
+	return &HardwareShadow{buses: buses}
+}
+
+// Move implements Recorder.
+func (h *HardwareShadow) Move(m Move) {
+	if h.err != nil {
+		return
+	}
+	up := NewRegisterFile(h.buses)
+	down := NewRegisterFile(3) // offsets only; three ports suffice
+	if err := ReplayMove(m, up, down); err != nil {
+		h.err = fmt.Errorf("move %v: %w", m, err)
+		return
+	}
+	h.moves++
+}
+
+// VBEvent implements Recorder.
+func (h *HardwareShadow) VBEvent(sim.Tick, *VirtualBus, string) {}
+
+// CycleSwitch implements Recorder.
+func (h *HardwareShadow) CycleSwitch(sim.Tick, NodeID, int64) {}
+
+// Err reports the first unrealizable move, if any.
+func (h *HardwareShadow) Err() error { return h.err }
+
+// Moves reports how many moves replayed cleanly.
+func (h *HardwareShadow) Moves() int { return h.moves }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestRegisterFileBasics(t *testing.T) {
+	rf := NewRegisterFile(4)
+	if rf.Get(2) != StatusUnused {
+		t.Error("fresh register not unused")
+	}
+	if err := rf.Connect(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Get(2) != StatusStraight {
+		t.Errorf("after connect: %s", rf.Get(2).Bits())
+	}
+	if err := rf.Connect(2, -1); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Get(2) != StatusBelowStraight {
+		t.Errorf("dual state: %s", rf.Get(2).Bits())
+	}
+	if err := rf.Disconnect(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Get(2) != StatusBelow {
+		t.Errorf("after break: %s", rf.Get(2).Bits())
+	}
+}
+
+func TestRegisterFileRejectsIllegalCombination(t *testing.T) {
+	rf := NewRegisterFile(4)
+	if err := rf.Connect(1, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Below + above = 101, the code Table 1 forbids.
+	if err := rf.Connect(1, +1); err == nil {
+		t.Fatal("code 101 accepted")
+	}
+	if !rf.Get(1).Legal() {
+		t.Error("register left in illegal state after rejected connect")
+	}
+}
+
+func TestRegisterFileRejectsPhantomBreak(t *testing.T) {
+	rf := NewRegisterFile(2)
+	if err := rf.Disconnect(0, 0); err == nil {
+		t.Error("breaking an absent connection accepted")
+	}
+}
+
+func TestRegisterFileBounds(t *testing.T) {
+	rf := NewRegisterFile(2)
+	if err := rf.Connect(5, 0); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if err := rf.Connect(0, 2); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+	if err := rf.Set(0, StatusIllegalAll); err == nil {
+		t.Error("illegal seed accepted")
+	}
+	if rf.Get(9) != StatusUnused {
+		t.Error("out-of-range get not unused")
+	}
+}
+
+func TestReplayMoveAllFourConditions(t *testing.T) {
+	// Every Figure 7 condition must replay cleanly at the micro-op level.
+	const b = 2
+	for _, ao := range []int{0, -1} {
+		for _, co := range []int{0, -1} {
+			vb := &VirtualBus{Levels: []int{b + ao, b, b + co}}
+			upOld, upNew, down, pe, head := moveSequences(vb, 1, b)
+			m := Move{
+				From: b, To: b - 1,
+				UpstreamOld: upOld, UpstreamNew: upNew, Downstream: down,
+				PESource: pe, HeadHop: head,
+			}
+			up := NewRegisterFile(4)
+			dn := NewRegisterFile(3)
+			if err := ReplayMove(m, up, dn); err != nil {
+				t.Errorf("condition a=b%+d c=b%+d: %v", ao, co, err)
+			}
+		}
+	}
+}
+
+func TestReplayMoveRejectsNonStep(t *testing.T) {
+	m := Move{From: 3, To: 1}
+	if err := ReplayMove(m, NewRegisterFile(4), NewRegisterFile(3)); err == nil {
+		t.Error("two-level jump accepted")
+	}
+}
+
+func TestHardwareShadowOnLiveTraffic(t *testing.T) {
+	// Every move the compaction engine performs during a busy run must be
+	// realizable as make-before-break micro-operations.
+	n := mustNetwork(t, Config{Nodes: 16, Buses: 4, Seed: 8, Audit: true})
+	shadow := NewHardwareShadow(4)
+	n.SetRecorder(shadow)
+	rng := sim.NewRNG(3)
+	p := workload.RandomPermutation(16, rng)
+	for _, d := range p.Demands {
+		if _, err := n.Send(NodeID(d.Src), NodeID(d.Dst), make([]uint64, 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Drain(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := shadow.Err(); err != nil {
+		t.Fatalf("unrealizable move: %v", err)
+	}
+	if shadow.Moves() == 0 {
+		t.Fatal("no moves replayed; workload too light")
+	}
+	if int64(shadow.Moves()) != n.Stats().CompactionMoves {
+		t.Errorf("shadow replayed %d moves, engine performed %d", shadow.Moves(), n.Stats().CompactionMoves)
+	}
+}
+
+func TestHardwareShadowAsyncMode(t *testing.T) {
+	n := mustNetwork(t, Config{Nodes: 12, Buses: 3, Mode: Async, Seed: 9, Audit: true})
+	shadow := NewHardwareShadow(3)
+	n.SetRecorder(shadow)
+	for d := 1; d < 12; d += 2 {
+		if _, err := n.Send(0, NodeID(d), make([]uint64, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Drain(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := shadow.Err(); err != nil {
+		t.Fatalf("async mode produced unrealizable move: %v", err)
+	}
+}
+
+func TestReplayMoveDetectsCorruptedSequence(t *testing.T) {
+	vb := &VirtualBus{Levels: []int{2, 2, 2}}
+	upOld, upNew, down, pe, head := moveSequences(vb, 1, 2)
+	m := Move{From: 2, To: 1, UpstreamOld: upOld, UpstreamNew: upNew, Downstream: down, PESource: pe, HeadHop: head}
+	// Corrupt the recorded make state into the forbidden 101.
+	m.Downstream[MBBMake] = StatusIllegalBelowAbove
+	err := ReplayMove(m, NewRegisterFile(4), NewRegisterFile(3))
+	if err == nil {
+		t.Fatal("corrupted sequence replayed cleanly")
+	}
+	if !strings.Contains(err.Error(), "disallowed") && !strings.Contains(err.Error(), "recorded") && !strings.Contains(err.Error(), "switching range") {
+		t.Errorf("unexpected error %v", err)
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"rmb/internal/flit"
+	"rmb/internal/sim"
+)
+
+// transfer-progress fields live on VirtualBus via this embedded struct so
+// the exported surface of VirtualBus stays protocol-level.
+type transferProgress struct {
+	// sendTicks records when each data flit was clocked onto the circuit.
+	sendTicks []sim.Tick
+	// deliveredIdx and dackedIdx are cursors into sendTicks for flits
+	// that have arrived at the destination / been Dack'ed at the source.
+	deliveredIdx, dackedIdx int
+	// ffLaunchAt and ffArriveAt time the final flit (zero until known).
+	ffLaunchAt, ffArriveAt sim.Tick
+	ffScheduled            bool
+}
+
+// stepBackwardSignals advances every counter-clockwise signal (Hack,
+// Fack, Nack) one hop and applies the effects of signals that complete.
+func (n *Network) stepBackwardSignals(now sim.Tick) bool {
+	progress := false
+	// Iterate over a copy: completing a teardown mutates the active set.
+	ids := append([]VBID(nil), n.active...)
+	for _, id := range ids {
+		vb, ok := n.vbs[id]
+		if !ok {
+			continue
+		}
+		switch vb.State {
+		case VBHackReturning:
+			progress = true
+			vb.AckHop--
+			if vb.AckHop < 0 {
+				n.beginTransfer(now, vb)
+			}
+		case VBFackReturning, VBNackReturning:
+			progress = true
+			n.freeTailHop(vb)
+			vb.AckHop--
+			if vb.AckHop < 0 {
+				n.finishTeardown(now, vb)
+			}
+		}
+	}
+	return progress
+}
+
+// freeTailHop releases the bus's last remaining hop as the backward
+// signal passes it: "a Fack signal is used by all intermediate INCs to
+// free a port being used by that virtual bus connection".
+func (n *Network) freeTailHop(vb *VirtualBus) {
+	j := len(vb.Levels) - 1
+	if j < 0 {
+		return
+	}
+	h := int(vb.HopNode(j, n.cfg.Nodes))
+	n.releaseSeg(h, vb.Levels[j], vb.ID)
+	vb.Levels = vb.Levels[:j]
+}
+
+// finishTeardown completes a Fack or Nack sweep that has passed the
+// source hop.
+func (n *Network) finishTeardown(now sim.Tick, vb *VirtualBus) {
+	src := &n.incs[vb.Src]
+	src.sendActive--
+	switch vb.State {
+	case VBFackReturning:
+		vb.State = VBDone
+		n.rec.VBEvent(now, vb, "torn-down")
+	case VBNackReturning:
+		vb.State = VBRefused
+		n.rec.VBEvent(now, vb, "torn-down")
+		n.scheduleRetry(now, vb)
+	}
+	n.removeVB(vb)
+}
+
+// scheduleRetry re-queues a refused message after randomized exponential
+// backoff: "a request which is not accepted will have to be tried again
+// at a later time".
+func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
+	attempt := vb.Attempt
+	backoff := n.cfg.RetryBase
+	for i := 1; i < attempt && backoff < n.cfg.RetryCap; i++ {
+		backoff *= 2
+	}
+	if backoff > n.cfg.RetryCap {
+		backoff = n.cfg.RetryCap
+	}
+	delay := sim.Tick(1 + n.rng.Intn(backoff))
+	rec := n.records[vb.Msg]
+	req := &request{
+		msg:      n.rebuiltMessage(vb),
+		enqueued: rec.Enqueued,
+		attempts: attempt,
+		dsts:     append([]NodeID(nil), vb.Dsts...),
+	}
+	n.stats.Retries++
+	src := vb.Src
+	n.retries.Schedule(now+delay, func() {
+		n.pending[src] = append(n.pending[src], req)
+	})
+}
+
+// rebuiltMessage reconstructs the message a virtual bus carries from the
+// payload store (payloads are kept aside so retries and delivery records
+// can reuse them without copying through the flit pipeline).
+func (n *Network) rebuiltMessage(vb *VirtualBus) flit.Message {
+	return flit.Message{ID: vb.Msg, Src: vb.Src, Dst: vb.Dst, Payload: n.payloadStore[vb.Msg]}
+}
+
+// beginTransfer runs when the Hack reaches the source: the circuit is
+// established and data flits may flow.
+func (n *Network) beginTransfer(now sim.Tick, vb *VirtualBus) {
+	vb.State = VBTransferring
+	vb.TransferStart = now
+	vb.Established = now
+	if rec := n.records[vb.Msg]; rec != nil {
+		rec.Established = now
+	}
+	n.rec.VBEvent(now, vb, "established")
+	if vb.PayloadLen == 0 {
+		vb.progress.ffLaunchAt = now
+		vb.progress.ffScheduled = true
+	}
+}
+
+// stepForward advances header flits, clocks data flits, and moves final
+// flits toward the destination.
+func (n *Network) stepForward(now sim.Tick) bool {
+	progress := false
+	ids := append([]VBID(nil), n.active...)
+	for _, id := range ids {
+		vb, ok := n.vbs[id]
+		if !ok {
+			continue
+		}
+		switch vb.State {
+		case VBExtending:
+			if n.advanceHead(now, vb) {
+				progress = true
+			}
+		case VBTransferring:
+			if n.clockData(now, vb) {
+				progress = true
+			}
+		case VBFinalPropagating:
+			progress = true
+			n.updateArrivals(now, vb)
+			if now >= vb.progress.ffArriveAt {
+				n.deliver(now, vb)
+			}
+		}
+	}
+	return progress
+}
+
+// headCandidates lists the output levels the header may claim next, in
+// preference order, given its current input level.
+func (n *Network) headCandidates(in int) []int {
+	k := n.cfg.Buses
+	switch n.cfg.HeadRule {
+	case HeadStrictTop:
+		return []int{k - 1}
+	case HeadStraightOnly:
+		return []int{in}
+	default: // HeadFlexible
+		c := make([]int, 0, 3)
+		c = append(c, in)
+		if in-1 >= 0 {
+			c = append(c, in-1)
+		}
+		if in+1 < k {
+			c = append(c, in+1)
+		}
+		return c
+	}
+}
+
+// advanceHead tries to extend the virtual bus one hop clockwise.
+func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
+	if vb.Head == vb.nextTarget() {
+		n.reachTarget(now, vb)
+		return true
+	}
+	in := vb.Levels[len(vb.Levels)-1]
+	h := n.hopOf(vb.Head)
+	for _, l := range n.headCandidates(in) {
+		if !n.segFree(h, l) {
+			continue
+		}
+		n.claimSeg(h, l, vb.ID)
+		vb.Levels = append(vb.Levels, l)
+		vb.Head = NodeID((int(vb.Head) + 1) % n.cfg.Nodes)
+		vb.HeadWait = 0
+		n.rec.VBEvent(now, vb, "extended")
+		if vb.Head == vb.nextTarget() {
+			n.reachTarget(now, vb)
+		}
+		return true
+	}
+	vb.HeadWait++
+	n.stats.HeadBlockTicks++
+	if vb.HeadLimit > 0 && vb.HeadWait >= vb.HeadLimit {
+		n.stats.HeadTimeouts++
+		n.releaseTaps(vb)
+		vb.State = VBNackReturning
+		vb.AckHop = len(vb.Levels) - 1
+		n.rec.VBEvent(now, vb, "timeout")
+	}
+	return false
+}
+
+// reachTarget runs when the header flit reaches its next destination:
+// "the INC at the destination node will accept the request if the INC and
+// PE receive ports at that node are both free". For a multicast circuit
+// every intermediate destination taps the bus as the header passes; a
+// refusal anywhere releases the whole circuit (all-or-nothing, retried
+// later).
+func (n *Network) reachTarget(now sim.Tick, vb *VirtualBus) {
+	node := vb.Head
+	inc := &n.incs[node]
+	if inc.recvActive >= n.cfg.MaxRecvPerNode {
+		n.stats.Nacks++
+		n.releaseTaps(vb)
+		vb.State = VBNackReturning
+		vb.AckHop = len(vb.Levels) - 1
+		n.rec.VBEvent(now, vb, "refused")
+		return
+	}
+	inc.recvActive++
+	vb.claimedTaps = append(vb.claimedTaps, node)
+	if node == vb.Dst {
+		vb.State = VBHackReturning
+		vb.AckHop = len(vb.Levels) - 1
+		n.rec.VBEvent(now, vb, "accepted")
+		return
+	}
+	vb.TapIdx++
+	n.rec.VBEvent(now, vb, "tap-accepted")
+}
+
+// releaseTaps frees every receive port the circuit has claimed.
+func (n *Network) releaseTaps(vb *VirtualBus) {
+	for _, node := range vb.claimedTaps {
+		n.incs[node].recvActive--
+	}
+	vb.claimedTaps = vb.claimedTaps[:0]
+	vb.TapIdx = 0
+}
+
+// clockData launches data flits from the source subject to the Dack flow
+// control window, tracks arrivals, and schedules the final flit.
+func (n *Network) clockData(now sim.Tick, vb *VirtualBus) bool {
+	n.updateArrivals(now, vb)
+	p := &vb.progress
+	if vb.DataSent < vb.PayloadLen {
+		due := vb.TransferStart
+		if len(p.sendTicks) > 0 {
+			due = p.sendTicks[len(p.sendTicks)-1] + sim.Tick(n.cfg.FlitCycle)
+		}
+		if now >= due && n.windowOpen(now, vb) {
+			p.sendTicks = append(p.sendTicks, now)
+			vb.DataSent++
+			if vb.DataSent == vb.PayloadLen {
+				p.ffLaunchAt = now + sim.Tick(n.cfg.FlitCycle)
+				p.ffScheduled = true
+			}
+		}
+	}
+	if p.ffScheduled && now >= p.ffLaunchAt {
+		vb.State = VBFinalPropagating
+		p.ffArriveAt = p.ffLaunchAt + sim.Tick(vb.Span())
+		n.rec.VBEvent(now, vb, "final-sent")
+	}
+	return true
+}
+
+// windowOpen reports whether Dack flow control permits another data flit.
+func (n *Network) windowOpen(now sim.Tick, vb *VirtualBus) bool {
+	if n.cfg.DackWindow <= 0 {
+		return true
+	}
+	p := &vb.progress
+	rt := sim.Tick(2 * vb.Span()) // forward propagation + Dack return
+	for p.dackedIdx < len(p.sendTicks) && p.sendTicks[p.dackedIdx]+rt <= now {
+		p.dackedIdx++
+	}
+	return vb.DataSent-p.dackedIdx < n.cfg.DackWindow
+}
+
+// updateArrivals advances the destination-arrival cursor: a flit clocked
+// onto the circuit at t is observed by the destination at t + span.
+func (n *Network) updateArrivals(now sim.Tick, vb *VirtualBus) {
+	p := &vb.progress
+	d := sim.Tick(vb.Span())
+	for p.deliveredIdx < len(p.sendTicks) && p.sendTicks[p.deliveredIdx]+d <= now {
+		p.deliveredIdx++
+		vb.DataDelivered++
+	}
+}
+
+// deliver runs when the final flit reaches the final destination: the
+// message is complete at every tap, the receive ports free, and the Fack
+// teardown sweep begins.
+func (n *Network) deliver(now sim.Tick, vb *VirtualBus) {
+	vb.Delivered = now
+	n.updateArrivals(now+sim.Tick(vb.Span()), vb) // all data preceded the FF
+	taps := append([]NodeID(nil), vb.claimedTaps...)
+	n.releaseTaps(vb)
+	n.stats.Delivered += int64(len(taps))
+	rec := n.records[vb.Msg]
+	if rec != nil {
+		rec.Delivered = now
+		rec.Done = true
+		rec.Attempts = vb.Attempt
+		n.stats.SumDeliverLatency += now - rec.Enqueued
+		n.stats.SumEstablishLatency += vb.Established - rec.Enqueued
+	}
+	base := n.rebuiltMessage(vb)
+	for _, tap := range taps {
+		m := base
+		m.Dst = tap
+		n.delivered = append(n.delivered, m)
+	}
+	vb.State = VBFackReturning
+	vb.AckHop = len(vb.Levels) - 1
+	n.rec.VBEvent(now, vb, "delivered")
+}
+
+// stepInsertion attempts one insertion per node, scanning from a rotating
+// start so no node enjoys structural priority. A node may insert only
+// when the top bus segment of its INC is free and its send-port budget
+// allows: "a request can only be initiated if the top bus segment at that
+// INC is not being used to serve another request".
+func (n *Network) stepInsertion(now sim.Tick) bool {
+	progress := false
+	k := n.cfg.Buses
+	for i := 0; i < n.cfg.Nodes; i++ {
+		node := (n.insertRotate + i) % n.cfg.Nodes
+		q := n.pending[node]
+		if len(q) == 0 {
+			continue
+		}
+		inc := &n.incs[node]
+		if inc.sendActive >= n.cfg.MaxSendPerNode {
+			continue
+		}
+		h := n.hopOf(NodeID(node))
+		if !n.segFree(h, k-1) {
+			continue
+		}
+		req := q[0]
+		n.pending[node] = q[1:]
+		n.insert(now, NodeID(node), req)
+		progress = true
+	}
+	n.insertRotate = (n.insertRotate + 1) % n.cfg.Nodes
+	return progress
+}
+
+// insert places a header flit on the top bus segment leaving src.
+func (n *Network) insert(now sim.Tick, src NodeID, req *request) {
+	k := n.cfg.Buses
+	n.nextVB++
+	vb := &VirtualBus{
+		ID:         n.nextVB,
+		Msg:        req.msg.ID,
+		Src:        src,
+		Dst:        req.msg.Dst,
+		Dsts:       req.dsts,
+		Levels:     []int{k - 1},
+		State:      VBExtending,
+		Head:       NodeID((int(src) + 1) % n.cfg.Nodes),
+		PayloadLen: len(req.msg.Payload),
+		Inserted:   now,
+		Attempt:    req.attempts + 1,
+	}
+	if n.cfg.HeadTimeout > 0 {
+		// Randomize in [T/2, 3T/2) so contending attempts desynchronize.
+		vb.HeadLimit = n.cfg.HeadTimeout/2 + 1 + n.rng.Intn(n.cfg.HeadTimeout)
+	}
+	n.claimSeg(n.hopOf(src), k-1, vb.ID)
+	n.incs[src].sendActive++
+	n.addVB(vb)
+	n.stats.Insertions++
+	rec := n.records[req.msg.ID]
+	if rec != nil && rec.FirstInserted == 0 {
+		rec.FirstInserted = now
+	}
+	n.rec.VBEvent(now, vb, "inserted")
+	if vb.Head == vb.nextTarget() {
+		n.reachTarget(now, vb)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"rmb/internal/sim"
+)
+
+// Snapshot is a read-only view of the network's physical occupancy at one
+// instant, consumed by the trace renderer and tests.
+type Snapshot struct {
+	// At is the tick the snapshot was taken.
+	At sim.Tick
+	// Nodes and Buses copy the dimensions (N and k).
+	Nodes, Buses int
+	// Occ[h][l] is the virtual bus occupying segment l of hop h (0 free).
+	Occ [][]VBID
+	// Status[h][l] is the derived Table 1 status code of INC h's output
+	// port l.
+	Status [][]PortStatus
+	// VBs summarizes the active virtual buses in ID order.
+	VBs []VBSummary
+}
+
+// VBSummary is a copy of one virtual bus's externally relevant state.
+type VBSummary struct {
+	ID       VBID
+	Src, Dst NodeID
+	State    VBState
+	Levels   []int
+	Head     NodeID
+	Attempt  int
+}
+
+// Snapshot captures the current occupancy, derived status registers and
+// bus summaries.
+func (n *Network) Snapshot() *Snapshot {
+	s := &Snapshot{
+		At:     n.clock.Now(),
+		Nodes:  n.cfg.Nodes,
+		Buses:  n.cfg.Buses,
+		Occ:    make([][]VBID, n.cfg.Nodes),
+		Status: make([][]PortStatus, n.cfg.Nodes),
+	}
+	for h := range n.occ {
+		s.Occ[h] = append([]VBID(nil), n.occ[h]...)
+		s.Status[h] = make([]PortStatus, n.cfg.Buses)
+	}
+	for _, id := range n.active {
+		vb := n.vbs[id]
+		for j, l := range vb.Levels {
+			h := int(vb.HopNode(j, n.cfg.Nodes))
+			if code, err := vb.StatusAt(j); err == nil {
+				s.Status[h][l] = code
+			}
+		}
+		s.VBs = append(s.VBs, VBSummary{
+			ID:  vb.ID,
+			Src: vb.Src, Dst: vb.Dst,
+			State:   vb.State,
+			Levels:  append([]int(nil), vb.Levels...),
+			Head:    vb.Head,
+			Attempt: vb.Attempt,
+		})
+	}
+	return s
+}
+
+// INCStatusRegisters derives the Table 1 status register contents of one
+// INC's k output ports, lowest level first — the hardware view Section
+// 2.4 describes ("each INC maintains a 3 bit status register for the
+// output port of each physical bus segment").
+func (n *Network) INCStatusRegisters(node NodeID) []PortStatus {
+	out := make([]PortStatus, n.cfg.Buses)
+	h := n.hopOf(node)
+	for l := 0; l < n.cfg.Buses; l++ {
+		id := n.occ[h][l]
+		if id == 0 {
+			continue
+		}
+		vb := n.vbs[id]
+		j := n.hopIndex(vb, h)
+		if j < 0 {
+			continue
+		}
+		if code, err := vb.StatusAt(j); err == nil {
+			out[l] = code
+		}
+	}
+	return out
+}
+
+// BusySegments counts occupied segments in the snapshot.
+func (s *Snapshot) BusySegments() int {
+	n := 0
+	for _, hop := range s.Occ {
+		for _, id := range hop {
+			if id != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FreeOnEveryHop reports whether at least one segment is free on every
+// hop of the clockwise path from src to dst — the availability condition
+// of Theorem 1.
+func (s *Snapshot) FreeOnEveryHop(src, dst NodeID) bool {
+	h := int(src)
+	for h != int(dst) {
+		free := false
+		for _, id := range s.Occ[h] {
+			if id == 0 {
+				free = true
+				break
+			}
+		}
+		if !free {
+			return false
+		}
+		h = (h + 1) % s.Nodes
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"rmb/internal/flit"
+	"rmb/internal/sim"
+)
+
+// Stats aggregates counters over a simulation run.
+type Stats struct {
+	// Ticks is the number of Step calls executed.
+	Ticks sim.Tick
+	// Cycles is the number of completed odd/even compaction cycles
+	// (global cycles in Lockstep mode; the minimum over INCs in Async
+	// mode).
+	Cycles int64
+
+	// MessagesSubmitted counts Send calls accepted.
+	MessagesSubmitted int64
+	// Insertions counts header flits that entered the network (first
+	// attempts plus retries).
+	Insertions int64
+	// Delivered counts messages whose final flit reached the destination.
+	Delivered int64
+	// Nacks counts destination refusals.
+	Nacks int64
+	// HeadTimeouts counts headers aborted by the starvation safety valve.
+	HeadTimeouts int64
+	// Retries counts reinsertions after a Nack or timeout.
+	Retries int64
+
+	// CompactionMoves counts single-hop downward moves performed.
+	CompactionMoves int64
+	// HeadBlockTicks accumulates ticks headers spent blocked.
+	HeadBlockTicks int64
+
+	// BusySegmentTicks accumulates, over all ticks, the number of
+	// occupied segments; divide by Ticks*N*k for mean utilization.
+	BusySegmentTicks int64
+	// PeakActiveVBs is the maximum number of simultaneously active
+	// virtual buses observed (the Section 4 "more than k virtual buses"
+	// remark).
+	PeakActiveVBs int
+	// PeakBusySegments is the maximum number of simultaneously occupied
+	// segments observed.
+	PeakBusySegments int
+
+	// SumEstablishLatency accumulates (Established - Enqueued) over
+	// delivered messages; SumDeliverLatency accumulates
+	// (Delivered - Enqueued).
+	SumEstablishLatency sim.Tick
+	SumDeliverLatency   sim.Tick
+}
+
+// MeanUtilization reports the average fraction of busy segments over the
+// run for a network with the given capacity in segment-ticks per tick.
+func (s Stats) MeanUtilization(segmentsPerTick int) float64 {
+	if s.Ticks == 0 || segmentsPerTick == 0 {
+		return 0
+	}
+	return float64(s.BusySegmentTicks) / (float64(s.Ticks) * float64(segmentsPerTick))
+}
+
+// MeanDeliverLatency reports the average enqueue-to-delivery latency in
+// ticks over delivered messages.
+func (s Stats) MeanDeliverLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.SumDeliverLatency) / float64(s.Delivered)
+}
+
+// MeanEstablishLatency reports the average enqueue-to-circuit-established
+// latency in ticks over delivered messages.
+func (s Stats) MeanEstablishLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.SumEstablishLatency) / float64(s.Delivered)
+}
+
+// String summarizes the run.
+func (s Stats) String() string {
+	return fmt.Sprintf("ticks=%d delivered=%d/%d nacks=%d retries=%d moves=%d meanLat=%.1f",
+		s.Ticks, s.Delivered, s.MessagesSubmitted, s.Nacks, s.Retries,
+		s.CompactionMoves, s.MeanDeliverLatency())
+}
+
+// MsgRecord tracks per-message lifecycle timestamps.
+type MsgRecord struct {
+	ID       flit.MessageID
+	Src, Dst NodeID
+	// Distance is the clockwise hop count from Src to Dst.
+	Distance int
+	// PayloadLen is the number of data flits.
+	PayloadLen int
+	// Fanout is the destination count (1 for unicast; set for
+	// multicasts, where Dst is the farthest destination).
+	Fanout int
+	// Enqueued is when Send accepted the message; FirstInserted when its
+	// first header entered the network; Established when the Hack reached
+	// the source; Delivered when the FF reached the destination. A zero
+	// Delivered with Done=false means still in flight.
+	Enqueued, FirstInserted, Established, Delivered sim.Tick
+	// Attempts counts insertions (1 = accepted first try).
+	Attempts int
+	// Done reports final successful delivery.
+	Done bool
+}
+
+// DeliverLatency is the enqueue-to-delivery latency; zero when not done.
+func (r MsgRecord) DeliverLatency() sim.Tick {
+	if !r.Done {
+		return 0
+	}
+	return r.Delivered - r.Enqueued
+}

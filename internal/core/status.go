@@ -1,0 +1,172 @@
+// Package core implements the paper's primary contribution: the
+// reconfigurable multiple bus (RMB) network for a ring of N nodes joined
+// by k parallel bus segments, including the INC switch model (Table 1 /
+// Figure 6), the systolic compaction protocol with its odd/even cycle
+// state machine (Table 2, Figures 5 and 7-10), and the circuit-switching
+// routing protocol built from wormhole-style flits (HF/DF/FF) and the
+// four acknowledgement signals (Hack/Dack/Fack/Nack).
+//
+// The simulator is cycle-stepped and fully deterministic for a given
+// configuration and seed. A goroutine/channel twin of the protocol lives
+// in internal/async.
+package core
+
+import "fmt"
+
+// PortStatus is the 3-bit status register kept for each output port of an
+// INC (one per physical bus segment). The bits record which input ports
+// currently feed the output port, exactly as in the paper's Table 1:
+//
+//	bit 0 — the output receives from the input one segment below (l-1)
+//	bit 1 — the output receives from the input straight across (l)
+//	bit 2 — the output receives from the input one segment above (l+1)
+//
+// An output may receive from two inputs only during the make-before-break
+// step of a downward move, and then only from two adjacent levels, so
+// codes 101 and 111 can never occur.
+type PortStatus uint8
+
+// The eight status codes of Table 1.
+const (
+	// StatusUnused: the bus segment is not in use.
+	StatusUnused PortStatus = 0b000
+	// StatusBelow: the port receives from the input below (l-1).
+	StatusBelow PortStatus = 0b001
+	// StatusStraight: the port receives from the input straight across (l).
+	StatusStraight PortStatus = 0b010
+	// StatusBelowStraight: below and straight simultaneously; the
+	// transient make-before-break state while a transaction moves down
+	// into this level from the level above at the upstream INC.
+	StatusBelowStraight PortStatus = 0b011
+	// StatusAbove: the port receives from the input above (l+1).
+	StatusAbove PortStatus = 0b100
+	// StatusIllegalBelowAbove would mean receiving from two non-adjacent
+	// inputs carrying different transactions; it is never allowed.
+	StatusIllegalBelowAbove PortStatus = 0b101
+	// StatusAboveStraight: above and straight simultaneously; the other
+	// transient make-before-break state.
+	StatusAboveStraight PortStatus = 0b110
+	// StatusIllegalAll is never allowed.
+	StatusIllegalAll PortStatus = 0b111
+)
+
+// Legal reports whether s is one of the six codes Table 1 permits.
+func (s PortStatus) Legal() bool {
+	return s != StatusIllegalBelowAbove && s != StatusIllegalAll && s <= StatusIllegalAll
+}
+
+// Transient reports whether s is one of the two make-before-break codes
+// that may exist only in the middle of a downward move.
+func (s PortStatus) Transient() bool {
+	return s == StatusBelowStraight || s == StatusAboveStraight
+}
+
+// InUse reports whether the output port is currently part of a virtual
+// bus (any legal non-zero code).
+func (s PortStatus) InUse() bool { return s != StatusUnused && s.Legal() }
+
+// FromBelow reports whether the input one level below feeds this port.
+func (s PortStatus) FromBelow() bool { return s&StatusBelow != 0 }
+
+// FromStraight reports whether the level-matched input feeds this port.
+func (s PortStatus) FromStraight() bool { return s&StatusStraight != 0 }
+
+// FromAbove reports whether the input one level above feeds this port.
+func (s PortStatus) FromAbove() bool { return s&StatusAbove != 0 }
+
+// Inputs returns the input-port offsets (-1 below, 0 straight, +1 above)
+// that feed this output, lowest first.
+func (s PortStatus) Inputs() []int {
+	var in []int
+	if s.FromBelow() {
+		in = append(in, -1)
+	}
+	if s.FromStraight() {
+		in = append(in, 0)
+	}
+	if s.FromAbove() {
+		in = append(in, +1)
+	}
+	return in
+}
+
+// Bits renders the register as a three-character binary string, matching
+// the notation in the paper's figures (e.g. "010").
+func (s PortStatus) Bits() string {
+	return fmt.Sprintf("%03b", uint8(s)&0b111)
+}
+
+// String describes the code using Table 1's interpretation column.
+func (s PortStatus) String() string {
+	switch s {
+	case StatusUnused:
+		return "bus is unused"
+	case StatusBelow:
+		return "port receives from below"
+	case StatusStraight:
+		return "port receives straight"
+	case StatusBelowStraight:
+		return "port receives from below and straight"
+	case StatusAbove:
+		return "port receives from above"
+	case StatusIllegalBelowAbove:
+		return "not allowed"
+	case StatusAboveStraight:
+		return "port receives from above and straight"
+	case StatusIllegalAll:
+		return "not allowed"
+	default:
+		return fmt.Sprintf("PortStatus(%#b)", uint8(s))
+	}
+}
+
+// statusForOffset translates an input-to-output level offset into the
+// single-input status code for the output port: the offset is
+// in - out, so an input one level above the output yields StatusAbove.
+func statusForOffset(inMinusOut int) (PortStatus, error) {
+	switch inMinusOut {
+	case -1:
+		return StatusBelow, nil
+	case 0:
+		return StatusStraight, nil
+	case +1:
+		return StatusAbove, nil
+	default:
+		return StatusUnused, fmt.Errorf("core: input level offset %+d exceeds the INC's ±1 switching range", inMinusOut)
+	}
+}
+
+// CombineStatus merges two single-input codes into the make-before-break
+// dual code, validating Table 1's legality rules.
+func CombineStatus(a, b PortStatus) (PortStatus, error) {
+	c := a | b
+	if !c.Legal() {
+		return StatusUnused, fmt.Errorf("core: combining %s with %s yields disallowed code %s", a.Bits(), b.Bits(), c.Bits())
+	}
+	return c, nil
+}
+
+// Table1 returns the full contents of the paper's Table 1, in code order,
+// for regeneration by the experiment harness.
+func Table1() []Table1Row {
+	rows := make([]Table1Row, 0, 8)
+	for s := StatusUnused; s <= StatusIllegalAll; s++ {
+		rows = append(rows, Table1Row{
+			Code:           s,
+			Bits:           s.Bits(),
+			Interpretation: s.String(),
+			Legal:          s.Legal(),
+			Transient:      s.Transient(),
+		})
+	}
+	return rows
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Code           PortStatus
+	Bits           string
+	Interpretation string
+	Legal          bool
+	Transient      bool
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Contents(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(rows))
+	}
+	want := []struct {
+		bits      string
+		interp    string
+		legal     bool
+		transient bool
+	}{
+		{"000", "bus is unused", true, false},
+		{"001", "port receives from below", true, false},
+		{"010", "port receives straight", true, false},
+		{"011", "port receives from below and straight", true, true},
+		{"100", "port receives from above", true, false},
+		{"101", "not allowed", false, false},
+		{"110", "port receives from above and straight", true, true},
+		{"111", "not allowed", false, false},
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Bits != w.bits || r.Interpretation != w.interp || r.Legal != w.legal || r.Transient != w.transient {
+			t.Errorf("row %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+func TestPortStatusPredicates(t *testing.T) {
+	if StatusUnused.InUse() {
+		t.Error("unused reports in use")
+	}
+	if !StatusBelow.InUse() || !StatusAboveStraight.InUse() {
+		t.Error("legal nonzero codes not in use")
+	}
+	if StatusIllegalBelowAbove.InUse() || StatusIllegalAll.InUse() {
+		t.Error("illegal codes report in use")
+	}
+	if !StatusBelow.FromBelow() || StatusBelow.FromStraight() || StatusBelow.FromAbove() {
+		t.Error("StatusBelow bit decomposition wrong")
+	}
+	if got := StatusBelowStraight.Inputs(); len(got) != 2 || got[0] != -1 || got[1] != 0 {
+		t.Errorf("BelowStraight inputs %v", got)
+	}
+	if got := StatusAbove.Inputs(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Above inputs %v", got)
+	}
+}
+
+func TestStatusForOffset(t *testing.T) {
+	cases := []struct {
+		off  int
+		want PortStatus
+		ok   bool
+	}{{-1, StatusBelow, true}, {0, StatusStraight, true}, {1, StatusAbove, true}, {2, 0, false}, {-2, 0, false}}
+	for _, c := range cases {
+		got, err := statusForOffset(c.off)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("statusForOffset(%d) = %v, %v", c.off, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("statusForOffset(%d) accepted", c.off)
+		}
+	}
+}
+
+func TestCombineStatusLegality(t *testing.T) {
+	// The only dual codes reachable by make-before-break are
+	// below+straight and above+straight.
+	if got, err := CombineStatus(StatusBelow, StatusStraight); err != nil || got != StatusBelowStraight {
+		t.Errorf("below+straight = %v, %v", got, err)
+	}
+	if got, err := CombineStatus(StatusAbove, StatusStraight); err != nil || got != StatusAboveStraight {
+		t.Errorf("above+straight = %v, %v", got, err)
+	}
+	if _, err := CombineStatus(StatusBelow, StatusAbove); err == nil {
+		t.Error("below+above accepted (code 101 must be rejected)")
+	}
+	if _, err := CombineStatus(StatusBelowStraight, StatusAbove); err == nil {
+		t.Error("111 accepted")
+	}
+}
+
+func TestCombineStatusClosureProperty(t *testing.T) {
+	// Property: combining any two legal single-input codes either yields
+	// a legal code or an error — never an undetected illegal code.
+	singles := []PortStatus{StatusBelow, StatusStraight, StatusAbove}
+	f := func(i, j uint8) bool {
+		a := singles[int(i)%len(singles)]
+		b := singles[int(j)%len(singles)]
+		c, err := CombineStatus(a, b)
+		if err != nil {
+			return !((a | b).Legal())
+		}
+		return c.Legal()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusBitsFormat(t *testing.T) {
+	if got := StatusAboveStraight.Bits(); got != "110" {
+		t.Errorf("Bits = %q", got)
+	}
+	if got := StatusUnused.Bits(); got != "000" {
+		t.Errorf("Bits = %q", got)
+	}
+}
+
+func TestStatusStringFallback(t *testing.T) {
+	if !strings.Contains(PortStatus(12).String(), "PortStatus") {
+		t.Errorf("out-of-range string %q", PortStatus(12).String())
+	}
+	if PortStatus(12).Legal() {
+		t.Error("out-of-range code reported legal")
+	}
+}

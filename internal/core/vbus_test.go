@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/sim"
+)
+
+func TestCheckLevelInvariant(t *testing.T) {
+	vb := &VirtualBus{ID: 1, Levels: []int{2, 3, 3, 2, 1}}
+	if err := vb.CheckLevelInvariant(4); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	bad := &VirtualBus{ID: 2, Levels: []int{0, 2}}
+	if err := bad.CheckLevelInvariant(4); err == nil {
+		t.Error("gap of two accepted")
+	}
+	oob := &VirtualBus{ID: 3, Levels: []int{4}}
+	if err := oob.CheckLevelInvariant(4); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	neg := &VirtualBus{ID: 4, Levels: []int{-1}}
+	if err := neg.CheckLevelInvariant(4); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+func TestStatusAtDerivation(t *testing.T) {
+	vb := &VirtualBus{ID: 1, Levels: []int{2, 2, 1, 2}}
+	cases := []struct {
+		hop  int
+		want PortStatus
+	}{
+		{0, StatusStraight}, // source hop: PE interface, reported straight
+		{1, StatusStraight}, // 2 -> 2
+		{2, StatusAbove},    // input 2 feeds output 1: from above
+		{3, StatusBelow},    // input 1 feeds output 2: from below
+	}
+	for _, c := range cases {
+		got, err := vb.StatusAt(c.hop)
+		if err != nil || got != c.want {
+			t.Errorf("StatusAt(%d) = %v, %v; want %v", c.hop, got, err, c.want)
+		}
+	}
+	if _, err := vb.StatusAt(4); err == nil {
+		t.Error("out-of-range hop accepted")
+	}
+	if _, err := vb.StatusAt(-1); err == nil {
+		t.Error("negative hop accepted")
+	}
+}
+
+func TestHopNodeWraparound(t *testing.T) {
+	vb := &VirtualBus{Src: 6, Levels: []int{0, 0, 0}}
+	if got := vb.HopNode(0, 8); got != 6 {
+		t.Errorf("hop 0 at node %d", got)
+	}
+	if got := vb.HopNode(2, 8); got != 0 {
+		t.Errorf("hop 2 at node %d, want 0 (wrap)", got)
+	}
+}
+
+func TestNextTarget(t *testing.T) {
+	uni := &VirtualBus{Dst: 5, Dsts: []NodeID{5}}
+	if uni.nextTarget() != 5 {
+		t.Error("unicast next target wrong")
+	}
+	if uni.Multicast() {
+		t.Error("single destination reported multicast")
+	}
+	mc := &VirtualBus{Dst: 9, Dsts: []NodeID{3, 6, 9}}
+	if mc.nextTarget() != 3 || !mc.Multicast() {
+		t.Errorf("multicast first target %d", mc.nextTarget())
+	}
+	mc.TapIdx = 2
+	if mc.nextTarget() != 9 {
+		t.Errorf("final target %d", mc.nextTarget())
+	}
+	mc.TapIdx = 3 // past the list: falls back to Dst
+	if mc.nextTarget() != 9 {
+		t.Errorf("fallback target %d", mc.nextTarget())
+	}
+}
+
+func TestVBStateStrings(t *testing.T) {
+	states := []VBState{VBExtending, VBHackReturning, VBTransferring,
+		VBFinalPropagating, VBFackReturning, VBNackReturning, VBDone, VBRefused}
+	seen := map[string]bool{}
+	for _, s := range states {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("state %d renders %q", s, str)
+		}
+		seen[str] = true
+	}
+	if !VBExtending.Active() || VBDone.Active() || VBRefused.Active() {
+		t.Error("Active misclassifies states")
+	}
+	if !strings.Contains(VBState(99).String(), "VBState") {
+		t.Error("fallback string missing")
+	}
+}
+
+func TestVirtualBusString(t *testing.T) {
+	vb := &VirtualBus{ID: 7, Msg: 3, Src: 1, Dst: 4, State: VBExtending, Levels: []int{2, 2}}
+	s := vb.String()
+	for _, want := range []string{"vb7", "m3", "1->4", "extending", "[2 2]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// TestStatusAtAlwaysLegalProperty: any level profile respecting the ±1
+// constraint derives only legal, non-transient status codes.
+func TestStatusAtAlwaysLegalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		k := 2 + rng.Intn(6)
+		span := 1 + rng.Intn(12)
+		levels := make([]int, span)
+		levels[0] = rng.Intn(k)
+		for i := 1; i < span; i++ {
+			step := rng.Intn(3) - 1
+			l := levels[i-1] + step
+			if l < 0 {
+				l = 0
+			}
+			if l >= k {
+				l = k - 1
+			}
+			levels[i] = l
+		}
+		vb := &VirtualBus{ID: 1, Levels: levels}
+		if vb.CheckLevelInvariant(k) != nil {
+			return false
+		}
+		for j := range levels {
+			s, err := vb.StatusAt(j)
+			if err != nil || !s.Legal() || s.Transient() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestArtifactContents spot-checks that each experiment's output carries
+// the load-bearing content a reader of the paper would look for — beyond
+// the nonempty check of TestAllExperimentsRun and the byte-exact goldens
+// of the static artifacts.
+func TestArtifactContents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	checks := map[string][]string{
+		"T1":  {"000", "011", "101", "not allowed"},
+		"T2":  {"OD", "ID", "rule 5"},
+		"F2":  {"virtual buses", "levels="},
+		"F3":  {"frame 0", "frame 1"},
+		"F4":  {"make", "->"},
+		"F5":  {"even", "odd"},
+		"F7":  {"condition 4", "110"},
+		"L1":  {"bound: 1"},
+		"TH1": {"true"},
+		"A1":  {"RMB", "fat tree"},
+		"A4":  {"k·B", "bisection"},
+		"P1":  {"feasible", "ratio"},
+		"P2":  {"peak/k"},
+		"C1":  {"competitive ratio", "mean="},
+		"C2":  {"area-delay"},
+		"C3":  {"k-ary"},
+		"C4":  {"bit-reversal", "tornado"},
+		"AB1": {"strict-top", "on", "off"},
+		"AB2": {"flexible", "straight-only"},
+		"AB3": {"unlimited"},
+		"DX1": {"two parallel rings", "mean hop distance"},
+		"MC1": {"speedup"},
+		"GR1": {"grid of rings", "flat ring"},
+		"MS1": {"trunk ring"},
+		"LT1": {"saturated"},
+		"X1":  {"torus"},
+		"MB1": {"arbitrated", "RMB (reconfigurable)"},
+		"FA1": {"spread", "compaction"},
+	}
+	for id, wants := range checks {
+		id, wants := id, wants
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			out, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range wants {
+				if !strings.Contains(out, w) {
+					t.Errorf("%s artifact missing %q:\n%s", id, w, out)
+				}
+			}
+		})
+	}
+}

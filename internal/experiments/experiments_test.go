@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if ids[e.ID] {
+				t.Fatalf("duplicate experiment id %q", e.ID)
+			}
+			ids[e.ID] = true
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("%s produced empty output", e.ID)
+			}
+		})
+	}
+	if len(ids) != 37 {
+		t.Errorf("%d experiments, want 37 (2 tables + 11 figures + L1 + TH1 + 4 analysis + P1 P2 + C1 C2 + 3 ablations + 11 extensions)", len(ids))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("T1"); !ok {
+		t.Error("T1 not found")
+	}
+	if _, ok := ByID("f7"); !ok {
+		t.Error("lookup not case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestTable1ArtifactShape(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"000", "111", "not allowed", "port receives from below and straight"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 artifact missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTheorem1AllComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	out, err := Theorem1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("Theorem 1 table reports incomplete routing:\n%s", out)
+	}
+}
+
+func TestCompetitiveRatioBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	out, err := CompetitiveRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ratio: mean=") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenIDs are the artifacts that are pure functions of the
+// implementation (no simulation seeds): the paper's static tables and
+// protocol figures. Run with UPDATE_GOLDEN=1 to regenerate after an
+// intentional change.
+var goldenIDs = []string{"T1", "T2", "F1", "F6", "F7", "F8", "F9", "F10", "F11", "A1", "A2", "A3", "A4"}
+
+func TestGoldenArtifacts(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			got, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from its golden file; diff the output of `rmbbench -exp %s` against %s and regenerate with UPDATE_GOLDEN=1 if intentional", id, id, path)
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package flit
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format (big-endian):
+//
+//	flit:  kind(1) msg(8) src(4) dst(4) seq(4) payload(8)   = 29 bytes
+//	ack:   0xA0|ack(1) msg(8) seq(4)                         = 13 bytes
+//
+// The high nibble of the first byte distinguishes flits (0x0k) from
+// acknowledgements (0xAk), so a stream of mixed frames is self-describing.
+
+// FlitWireSize is the encoded size of a Flit in bytes.
+const FlitWireSize = 1 + 8 + 4 + 4 + 4 + 8
+
+// AckWireSize is the encoded size of an AckSignal in bytes.
+const AckWireSize = 1 + 8 + 4
+
+const ackTag = 0xA0
+
+// AppendFlit appends the wire encoding of f to dst and returns the
+// extended slice.
+func AppendFlit(dst []byte, f Flit) []byte {
+	dst = append(dst, byte(f.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(f.Msg))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Src))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Dst))
+	dst = binary.BigEndian.AppendUint32(dst, f.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, f.Payload)
+	return dst
+}
+
+// EncodeFlit returns the wire encoding of f.
+func EncodeFlit(f Flit) []byte {
+	return AppendFlit(make([]byte, 0, FlitWireSize), f)
+}
+
+// DecodeFlit parses one flit from the front of b, returning the flit and
+// the remaining bytes.
+func DecodeFlit(b []byte) (Flit, []byte, error) {
+	if len(b) < FlitWireSize {
+		return Flit{}, b, fmt.Errorf("flit: short flit frame: %d bytes, want %d", len(b), FlitWireSize)
+	}
+	k := Kind(b[0])
+	if !k.Valid() {
+		return Flit{}, b, fmt.Errorf("flit: invalid flit kind byte 0x%02x", b[0])
+	}
+	f := Flit{
+		Kind:    k,
+		Msg:     MessageID(binary.BigEndian.Uint64(b[1:9])),
+		Src:     NodeID(binary.BigEndian.Uint32(b[9:13])),
+		Dst:     NodeID(binary.BigEndian.Uint32(b[13:17])),
+		Seq:     binary.BigEndian.Uint32(b[17:21]),
+		Payload: binary.BigEndian.Uint64(b[21:29]),
+	}
+	return f, b[FlitWireSize:], nil
+}
+
+// AppendAck appends the wire encoding of s to dst and returns the
+// extended slice.
+func AppendAck(dst []byte, s AckSignal) []byte {
+	dst = append(dst, ackTag|byte(s.Ack))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(s.Msg))
+	dst = binary.BigEndian.AppendUint32(dst, s.Seq)
+	return dst
+}
+
+// EncodeAck returns the wire encoding of s.
+func EncodeAck(s AckSignal) []byte {
+	return AppendAck(make([]byte, 0, AckWireSize), s)
+}
+
+// DecodeAck parses one acknowledgement from the front of b, returning the
+// signal and the remaining bytes.
+func DecodeAck(b []byte) (AckSignal, []byte, error) {
+	if len(b) < AckWireSize {
+		return AckSignal{}, b, fmt.Errorf("flit: short ack frame: %d bytes, want %d", len(b), AckWireSize)
+	}
+	if b[0]&0xF0 != ackTag {
+		return AckSignal{}, b, fmt.Errorf("flit: frame byte 0x%02x is not an ack", b[0])
+	}
+	a := Ack(b[0] & 0x0F)
+	if !a.Valid() {
+		return AckSignal{}, b, fmt.Errorf("flit: invalid ack kind byte 0x%02x", b[0])
+	}
+	s := AckSignal{
+		Ack: a,
+		Msg: MessageID(binary.BigEndian.Uint64(b[1:9])),
+		Seq: binary.BigEndian.Uint32(b[9:13]),
+	}
+	return s, b[AckWireSize:], nil
+}
+
+// IsAckFrame reports whether the next frame in b is an acknowledgement
+// (as opposed to a flit). It returns false for an empty buffer.
+func IsAckFrame(b []byte) bool {
+	return len(b) > 0 && b[0]&0xF0 == ackTag
+}

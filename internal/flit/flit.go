@@ -1,0 +1,200 @@
+// Package flit models the paper's flow-control units: messages are split
+// into a header flit (HF), data flits (DF) and a final flit (FF), and the
+// protocol answers each flit (or group of flits) with one of four
+// acknowledgement signals (Hack, Dack, Fack, Nack).
+//
+// The package also provides a compact binary wire format so the
+// asynchronous channel-based implementation exchanges real encoded bytes
+// rather than shared Go structures.
+package flit
+
+import "fmt"
+
+// Kind identifies the role of a flit within a message.
+type Kind uint8
+
+// Forward flit kinds, in the order they appear in a message.
+const (
+	// Header carries the destination address and opens a virtual bus.
+	Header Kind = iota + 1
+	// Data carries one payload word; sent only after a Hack is received.
+	Data
+	// Final terminates the message and triggers virtual-bus teardown.
+	Final
+)
+
+// String names the kind using the paper's abbreviations.
+func (k Kind) String() string {
+	switch k {
+	case Header:
+		return "HF"
+	case Data:
+		return "DF"
+	case Final:
+		return "FF"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the defined forward kinds.
+func (k Kind) Valid() bool { return k >= Header && k <= Final }
+
+// Ack identifies one of the four acknowledgement signals that travel
+// counter-clockwise along an established virtual bus.
+type Ack uint8
+
+const (
+	// Hack (header acknowledgement) permits data flits to be transmitted.
+	Hack Ack = iota + 1
+	// Dack (data flit acknowledgement) continues data transmission and
+	// doubles as flow control.
+	Dack
+	// Fack (final flit acknowledgement) removes the virtual bus; each
+	// intermediate INC frees its port as the Fack passes.
+	Fack
+	// Nack refuses a request and releases the virtual bus associated
+	// with it; the source must retry later.
+	Nack
+)
+
+// String names the acknowledgement using the paper's vocabulary.
+func (a Ack) String() string {
+	switch a {
+	case Hack:
+		return "Hack"
+	case Dack:
+		return "Dack"
+	case Fack:
+		return "Fack"
+	case Nack:
+		return "Nack"
+	default:
+		return fmt.Sprintf("Ack(%d)", uint8(a))
+	}
+}
+
+// Valid reports whether a is one of the defined acknowledgement signals.
+func (a Ack) Valid() bool { return a >= Hack && a <= Nack }
+
+// Flit is one flow-control digit moving clockwise on a virtual bus.
+type Flit struct {
+	// Kind is the flit's role (HF, DF or FF).
+	Kind Kind
+	// Msg identifies the message the flit belongs to.
+	Msg MessageID
+	// Src and Dst are the endpoints of the message. They are carried in
+	// full on every flit for auditability; real hardware would carry them
+	// only on the header.
+	Src, Dst NodeID
+	// Seq is the data flit's index within the message (0 for HF and FF
+	// carries the total data flit count for verification).
+	Seq uint32
+	// Payload is the data word carried by a DF (zero otherwise).
+	Payload uint64
+}
+
+// String renders a short human-readable form for traces.
+func (f Flit) String() string {
+	switch f.Kind {
+	case Header:
+		return fmt.Sprintf("HF{m%d %d->%d}", f.Msg, f.Src, f.Dst)
+	case Data:
+		return fmt.Sprintf("DF{m%d #%d}", f.Msg, f.Seq)
+	case Final:
+		return fmt.Sprintf("FF{m%d n=%d}", f.Msg, f.Seq)
+	default:
+		return fmt.Sprintf("Flit{%v m%d}", f.Kind, f.Msg)
+	}
+}
+
+// AckSignal is one acknowledgement moving counter-clockwise on a virtual
+// bus.
+type AckSignal struct {
+	// Ack is the signal kind.
+	Ack Ack
+	// Msg identifies the message being acknowledged.
+	Msg MessageID
+	// Seq echoes the data flit index a Dack answers (zero otherwise).
+	Seq uint32
+}
+
+// String renders a short human-readable form for traces.
+func (s AckSignal) String() string {
+	if s.Ack == Dack {
+		return fmt.Sprintf("Dack{m%d #%d}", s.Msg, s.Seq)
+	}
+	return fmt.Sprintf("%v{m%d}", s.Ack, s.Msg)
+}
+
+// MessageID uniquely identifies a message within one simulation run.
+type MessageID uint64
+
+// NodeID numbers the ring's nodes 0..N-1; the same number refers to the
+// node's PE and its INC, exactly as in the paper.
+type NodeID int32
+
+// Message is a whole unit of communication before flit decomposition.
+type Message struct {
+	// ID uniquely identifies the message.
+	ID MessageID
+	// Src and Dst are the sending and receiving nodes.
+	Src, Dst NodeID
+	// Payload is the sequence of data words; each becomes one DF.
+	Payload []uint64
+}
+
+// Flits decomposes the message into its wire sequence: one HF, one DF per
+// payload word, and one FF whose Seq records the data flit count.
+func (m Message) Flits() []Flit {
+	out := make([]Flit, 0, len(m.Payload)+2)
+	out = append(out, Flit{Kind: Header, Msg: m.ID, Src: m.Src, Dst: m.Dst})
+	for i, w := range m.Payload {
+		out = append(out, Flit{
+			Kind: Data, Msg: m.ID, Src: m.Src, Dst: m.Dst,
+			Seq: uint32(i), Payload: w,
+		})
+	}
+	out = append(out, Flit{
+		Kind: Final, Msg: m.ID, Src: m.Src, Dst: m.Dst,
+		Seq: uint32(len(m.Payload)),
+	})
+	return out
+}
+
+// Reassemble rebuilds a message from a complete, in-order flit sequence.
+// It validates framing: exactly one HF first, one FF last, data flit
+// sequence numbers contiguous from zero, and a consistent message ID.
+func Reassemble(flits []Flit) (Message, error) {
+	if len(flits) < 2 {
+		return Message{}, fmt.Errorf("flit: message needs at least HF and FF, got %d flits", len(flits))
+	}
+	hf := flits[0]
+	if hf.Kind != Header {
+		return Message{}, fmt.Errorf("flit: first flit is %v, want HF", hf.Kind)
+	}
+	ff := flits[len(flits)-1]
+	if ff.Kind != Final {
+		return Message{}, fmt.Errorf("flit: last flit is %v, want FF", ff.Kind)
+	}
+	m := Message{ID: hf.Msg, Src: hf.Src, Dst: hf.Dst}
+	for i, f := range flits[1 : len(flits)-1] {
+		if f.Kind != Data {
+			return Message{}, fmt.Errorf("flit: interior flit %d is %v, want DF", i, f.Kind)
+		}
+		if f.Msg != m.ID {
+			return Message{}, fmt.Errorf("flit: DF %d belongs to message %d, want %d", i, f.Msg, m.ID)
+		}
+		if int(f.Seq) != i {
+			return Message{}, fmt.Errorf("flit: DF sequence %d at position %d", f.Seq, i)
+		}
+		m.Payload = append(m.Payload, f.Payload)
+	}
+	if ff.Msg != m.ID {
+		return Message{}, fmt.Errorf("flit: FF belongs to message %d, want %d", ff.Msg, m.ID)
+	}
+	if int(ff.Seq) != len(m.Payload) {
+		return Message{}, fmt.Errorf("flit: FF count %d, want %d", ff.Seq, len(m.Payload))
+	}
+	return m, nil
+}

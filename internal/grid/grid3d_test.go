@@ -1,0 +1,167 @@
+package grid
+
+import (
+	"testing"
+
+	"rmb/internal/core"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func Test3DValidation(t *testing.T) {
+	if _, err := New3D(Config3D{X: 1, Y: 2, Z: 2, Buses: 2}); err == nil {
+		t.Error("X=1 accepted")
+	}
+	if _, err := New3D(Config3D{X: 2, Y: 2, Z: 2, Buses: 0}); err == nil {
+		t.Error("0 buses accepted")
+	}
+	g, err := New3D(Config3D{X: 3, Y: 4, Z: 2, Buses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 24 {
+		t.Errorf("nodes %d", g.Nodes())
+	}
+	if _, err := g.Send(5, 5, nil); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := g.Send(0, 24, nil); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func Test3DCoordsRoundTrip(t *testing.T) {
+	g, _ := New3D(Config3D{X: 3, Y: 4, Z: 5, Buses: 1})
+	for id := 0; id < g.Nodes(); id++ {
+		x, y, z := g.coords(id)
+		if g.nodeID(x, y, z) != id {
+			t.Fatalf("coords round trip broken at %d -> (%d,%d,%d)", id, x, y, z)
+		}
+	}
+}
+
+func Test3DPhaseCounts(t *testing.T) {
+	g, err := New3D(Config3D{X: 3, Y: 3, Z: 3, Buses: 2, Seed: 1, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,0,0)=0 -> (1,0,0)=1: X only.
+	if _, err := g.Send(0, 1, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// (0,0,0) -> (0,1,0)=3: Y only.
+	if _, err := g.Send(0, 3, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	// (0,0,0) -> (0,0,1)=9: Z only.
+	if _, err := g.Send(0, 9, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	// (0,0,0) -> (1,1,1)=13: all three axes.
+	if _, err := g.Send(0, 13, []uint64{4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Drain(500_000); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[uint64]int{}
+	for _, d := range g.Delivered() {
+		phases[d.Payload[0]] = d.Phases
+	}
+	want := map[uint64]int{1: 1, 2: 1, 3: 1, 4: 3}
+	for k, v := range want {
+		if phases[k] != v {
+			t.Errorf("message %d used %d phases, want %d", k, phases[k], v)
+		}
+	}
+}
+
+func Test3DAllPairsTinyCube(t *testing.T) {
+	g, err := New3D(Config3D{X: 2, Y: 2, Z: 2, Buses: 2, Seed: 2, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			if _, err := g.Send(s, d, []uint64{uint64(s*10 + d)}); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+	}
+	if err := g.Drain(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := g.Delivered()
+	if len(got) != want {
+		t.Fatalf("delivered %d/%d", len(got), want)
+	}
+	for _, d := range got {
+		if d.Payload[0] != uint64(d.Src*10+d.Dst) {
+			t.Errorf("payload mismatch %+v", d)
+		}
+	}
+}
+
+func Test3DPermutation(t *testing.T) {
+	g, err := New3D(Config3D{X: 4, Y: 4, Z: 4, Buses: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	p := workload.RandomPermutation(64, rng)
+	for _, d := range p.Demands {
+		if _, err := g.Send(d.Src, d.Dst, []uint64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Drain(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Delivered()); got != len(p.Demands) {
+		t.Errorf("delivered %d/%d", got, len(p.Demands))
+	}
+}
+
+func Test3DBeats2DAtEqualNodes(t *testing.T) {
+	// 64 nodes: a 4x4x4 cube has mean phase distance 3·(4/2·3/4) = 4.5
+	// versus the 8x8 grid's 7, so permutations complete at least as fast.
+	const N = 64
+	rng := sim.NewRNG(13)
+	p := workload.RandomPermutation(N, rng)
+
+	g3, err := New3D(Config3D{X: 4, Y: 4, Z: 4, Buses: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Demands {
+		if _, err := g3.Send(d.Src, d.Dst, make([]uint64, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g3.Drain(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, err := New(Config{Width: 8, Height: 8, Buses: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Demands {
+		if _, err := g2.Send(d.Src, d.Dst, make([]uint64, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g2.Drain(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Allow a modest tolerance: phase overheads can offset the distance
+	// advantage on small payloads.
+	if float64(g3.Now()) > 1.5*float64(g2.Now()) {
+		t.Errorf("3-D grid %d ticks far above 2-D grid %d", g3.Now(), g2.Now())
+	}
+}

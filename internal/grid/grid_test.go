@@ -1,0 +1,225 @@
+package grid
+
+import (
+	"testing"
+
+	"rmb/internal/core"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Width: 1, Height: 4, Buses: 2}); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := New(Config{Width: 4, Height: 1, Buses: 2}); err == nil {
+		t.Error("height 1 accepted")
+	}
+	if _, err := New(Config{Width: 4, Height: 4, Buses: 0}); err == nil {
+		t.Error("0 buses accepted")
+	}
+	g, err := New(Config{Width: 4, Height: 3, Buses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 12 {
+		t.Errorf("nodes %d", g.Nodes())
+	}
+	if _, err := g.Send(0, 0, nil); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := g.Send(0, 12, nil); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestSameRowSinglePhase(t *testing.T) {
+	g, err := New(Config{Width: 5, Height: 3, Buses: 2, Seed: 1, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,0) -> (1,3): row ring only.
+	id, err := g.Send(5, 8, []uint64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	got := g.Delivered()
+	if len(got) != 1 || got[0].ID != id {
+		t.Fatalf("delivered %+v", got)
+	}
+	if got[0].Turn != -1 {
+		t.Errorf("single-phase route reported turn %d", got[0].Turn)
+	}
+	if got[0].Payload[0] != 9 {
+		t.Errorf("payload %v", got[0].Payload)
+	}
+}
+
+func TestSameColumnSinglePhase(t *testing.T) {
+	g, err := New(Config{Width: 5, Height: 3, Buses: 2, Seed: 1, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,2) -> (2,2): column ring only.
+	if _, err := g.Send(2, 12, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	got := g.Delivered()
+	if len(got) != 1 || got[0].Turn != -1 {
+		t.Fatalf("delivered %+v", got)
+	}
+}
+
+func TestTwoPhaseRouteTurnsAtCorrectNode(t *testing.T) {
+	g, err := New(Config{Width: 4, Height: 4, Buses: 2, Seed: 2, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1)=1 -> (3,2)=14: row 0 to column 2 (turn at node 2), then down.
+	id, err := g.Send(1, 14, []uint64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Drain(200_000); err != nil {
+		t.Fatal(err)
+	}
+	got := g.Delivered()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	d := got[0]
+	if d.ID != id || d.Src != 1 || d.Dst != 14 {
+		t.Errorf("delivery %+v", d)
+	}
+	if d.Turn != 2 {
+		t.Errorf("turn at %d, want 2", d.Turn)
+	}
+	if len(d.Payload) != 2 || d.Payload[1] != 6 {
+		t.Errorf("payload %v", d.Payload)
+	}
+}
+
+func TestAllPairsSmallGrid(t *testing.T) {
+	g, err := New(Config{Width: 3, Height: 3, Buses: 2, Seed: 3, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for s := 0; s < 9; s++ {
+		for d := 0; d < 9; d++ {
+			if s == d {
+				continue
+			}
+			if _, err := g.Send(s, d, []uint64{uint64(s*10 + d)}); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+	}
+	if err := g.Drain(2_000_000); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	got := g.Delivered()
+	if len(got) != want {
+		t.Fatalf("delivered %d/%d", len(got), want)
+	}
+	for _, d := range got {
+		if d.Payload[0] != uint64(d.Src*10+d.Dst) {
+			t.Errorf("payload mismatch: %+v", d)
+		}
+	}
+}
+
+func TestPermutationOnGrid(t *testing.T) {
+	g, err := New(Config{Width: 4, Height: 4, Buses: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(11)
+	p := workload.RandomPermutation(16, rng)
+	for _, d := range p.Demands {
+		if _, err := g.Send(d.Src, d.Dst, []uint64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Drain(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Delivered()); got != len(p.Demands) {
+		t.Errorf("delivered %d/%d", got, len(p.Demands))
+	}
+}
+
+func TestGridBeatsRingAtScale(t *testing.T) {
+	// 64 nodes: an 8x8 grid has mean two-phase distance ~7 versus ~32 on
+	// one ring, so a random permutation completes much faster for the
+	// same per-ring bus count.
+	const N = 64
+	rng := sim.NewRNG(9)
+	p := workload.RandomPermutation(N, rng)
+
+	g, err := New(Config{Width: 8, Height: 8, Buses: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Demands {
+		if _, err := g.Send(d.Src, d.Dst, make([]uint64, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Drain(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	gridTicks := g.Now()
+
+	ring, err := core.NewNetwork(core.Config{Nodes: N, Buses: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Demands {
+		if _, err := ring.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ring.Drain(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if gridTicks >= ring.Now() {
+		t.Errorf("grid %d ticks not below single ring %d", gridTicks, ring.Now())
+	}
+}
+
+func TestMeanDistance(t *testing.T) {
+	g, err := New(Config{Width: 8, Height: 8, Buses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row leg 8/2·7/8 = 3.5, column leg 3.5 -> 7.
+	if got := g.MeanDistance(); got != 7 {
+		t.Errorf("mean distance %v, want 7", got)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	g, err := New(Config{Width: 3, Height: 3, Buses: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Send(0, 8, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	// Two ring-level messages: one row phase, one column phase.
+	if st.MessagesSubmitted != 2 || st.Delivered != 2 {
+		t.Errorf("ring-level stats %+v", st)
+	}
+}

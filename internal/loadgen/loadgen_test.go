@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"testing"
+
+	"rmb/internal/core"
+	"rmb/internal/sim"
+)
+
+func freshNet(t *testing.T, k int) *core.Network {
+	t.Helper()
+	n, err := core.NewNetwork(core.Config{Nodes: 16, Buses: k, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunValidation(t *testing.T) {
+	n := freshNet(t, 2)
+	if _, err := Run(n, Config{Rate: 0, Measure: 100}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(n, Config{Rate: 0.1, Measure: 0}); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestLowLoadDeliversEverything(t *testing.T) {
+	n := freshNet(t, 3)
+	res, err := Run(n, Config{Rate: 0.002, PayloadLen: 4, Warmup: 200, Measure: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Error("saturated at trivial load")
+	}
+	if res.Submitted == 0 {
+		t.Fatal("no traffic generated; raise rate or window")
+	}
+	if res.Delivered != res.Submitted {
+		t.Errorf("delivered %d of %d at low load", res.Delivered, res.Submitted)
+	}
+	// At near-zero load, latency approaches the uncontended circuit time:
+	// mean distance 8 on a 16-ring -> about 3·8+4 = 28 ticks.
+	if m := res.Latency.Mean(); m < 5 || m > 60 {
+		t.Errorf("low-load mean latency %v outside the uncontended band", m)
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	low, err := Run(freshNet(t, 2), Config{Rate: 0.002, PayloadLen: 4, Warmup: 200, Measure: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(freshNet(t, 2), Config{Rate: 0.02, PayloadLen: 4, Warmup: 200, Measure: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Latency.Mean() <= low.Latency.Mean() {
+		t.Errorf("latency did not rise with load: %.1f at 0.002, %.1f at 0.02",
+			low.Latency.Mean(), high.Latency.Mean())
+	}
+}
+
+func TestMoreBusesRaiseSaturation(t *testing.T) {
+	// At a load that saturates k=1, k=4 still keeps up (higher accepted
+	// rate and far lower latency).
+	cfg := Config{Rate: 0.012, PayloadLen: 4, Warmup: 200, Measure: 3000, Seed: 3}
+	thin, err := Run(freshNet(t, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(freshNet(t, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Latency.Mean() >= thin.Latency.Mean() {
+		t.Errorf("k=4 latency %.1f not below k=1 latency %.1f", wide.Latency.Mean(), thin.Latency.Mean())
+	}
+	if wide.AcceptedRate < thin.AcceptedRate {
+		t.Errorf("k=4 accepted %.5f below k=1 %.5f", wide.AcceptedRate, thin.AcceptedRate)
+	}
+}
+
+func TestDestFns(t *testing.T) {
+	rng := sim.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		src := rng.Intn(16)
+		d := UniformDest(src, 16, rng)
+		if d == src || d < 0 || d >= 16 {
+			t.Fatalf("UniformDest(%d) = %d", src, d)
+		}
+	}
+	if NeighbourDest(15, 16, rng) != 0 {
+		t.Error("NeighbourDest wraparound wrong")
+	}
+	zero := 0
+	for i := 0; i < 400; i++ {
+		if HotspotDest(5, 16, rng) == 0 {
+			zero++
+		}
+	}
+	if zero < 150 {
+		t.Errorf("hotspot hit node 0 only %d/400 times", zero)
+	}
+}
+
+func TestSaturationDetected(t *testing.T) {
+	// An absurd offered load on k=1 must be flagged as saturated (the
+	// drain budget is deliberately small).
+	n := freshNet(t, 1)
+	res, err := Run(n, Config{Rate: 0.3, PayloadLen: 8, Warmup: 0, Measure: 1500, Drain: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Error("overload not flagged as saturated")
+	}
+	if res.AcceptedRate >= res.OfferedRate {
+		t.Errorf("accepted %.4f not below offered %.4f under overload", res.AcceptedRate, res.OfferedRate)
+	}
+}

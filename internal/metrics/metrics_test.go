@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/sim"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Error("empty summary not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Errorf("count %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max %v/%v", s.Min(), s.Max())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-9 {
+		t.Errorf("variance %v", s.Variance())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("string %q", s.String())
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 1 + rng.Intn(100)
+		var s Summary
+		xs := make([]float64, n)
+		sum := 0.0
+		for i := range xs {
+			xs[i] = rng.Float64()*100 - 50
+			s.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		if math.Abs(s.Mean()-mean) > 1e-9 {
+			return false
+		}
+		if n >= 2 {
+			v := 0.0
+			for _, x := range xs {
+				v += (x - mean) * (x - mean)
+			}
+			v /= float64(n - 1)
+			if math.Abs(s.Variance()-v) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Error("empty sample not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Median(); got != 50 {
+		t.Errorf("median = %v", got)
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Errorf("mean = %v", got)
+	}
+	if s.Count() != 100 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+func TestSamplePercentileAfterInterleavedAdds(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	s.Add(1)
+	if s.Median() != 1 { // nearest-rank of 2 samples at p50 is the first
+		t.Errorf("median of {1,5} = %v", s.Median())
+	}
+	s.Add(9) // re-sorting must happen after new adds
+	if s.Median() != 5 {
+		t.Errorf("median of {1,5,9} = %v", s.Median())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, x := range []float64{0, 5, 15, 45, 49.9, 70, -3} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total %d", h.Total())
+	}
+	if h.Bucket(0) != 3 { // 0, 5 and clamped -3
+		t.Errorf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 || h.Bucket(4) != 2 {
+		t.Errorf("buckets: %d %d", h.Bucket(1), h.Bucket(4))
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("overflow %d", h.Overflow())
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "inf") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestHistogramEmptyRender(t *testing.T) {
+	h := NewHistogram(1, 3)
+	if !strings.Contains(h.Render(10), "empty") {
+		t.Error("empty histogram render missing marker")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero width")
+		}
+	}()
+	NewHistogram(0, 5)
+}
+
+func TestSeriesAndCrossover(t *testing.T) {
+	a := &Series{Name: "rmb"}
+	b := &Series{Name: "mesh"}
+	for x := 1.0; x <= 5; x++ {
+		a.Add(x, 10/x, "")
+		b.Add(x, x, "")
+	}
+	// a: 10, 5, 3.3, 2.5, 2 ; b: 1..5 — a dips below b at x=4 (2.5<=4).
+	x, ok := Crossover(a, b)
+	if !ok || x != 4 {
+		t.Errorf("crossover = %v, %v; want 4, true", x, ok)
+	}
+	if _, ok := Crossover(b, &Series{Name: "empty"}); ok {
+		t.Error("crossover against empty series")
+	}
+	if y, ok := a.YAt(2); !ok || y != 5 {
+		t.Errorf("YAt(2) = %v, %v", y, ok)
+	}
+	if _, ok := a.YAt(99); ok {
+		t.Error("YAt(99) found")
+	}
+}

@@ -1,0 +1,198 @@
+package module
+
+import (
+	"testing"
+
+	"rmb/internal/core"
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Modules: 1, NodesPerModule: 4, LocalBuses: 2, TrunkBuses: 2}); err == nil {
+		t.Error("1 module accepted")
+	}
+	if _, err := New(Config{Modules: 4, NodesPerModule: 1, LocalBuses: 2, TrunkBuses: 2}); err == nil {
+		t.Error("1 node per module accepted")
+	}
+	if _, err := New(Config{Modules: 4, NodesPerModule: 4, LocalBuses: 0, TrunkBuses: 2}); err == nil {
+		t.Error("0 local buses accepted")
+	}
+	n, err := New(Config{Modules: 4, NodesPerModule: 8, LocalBuses: 2, TrunkBuses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Nodes() != 32 {
+		t.Errorf("nodes %d", n.Nodes())
+	}
+	if _, err := n.Send(3, 3, nil); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := n.Send(0, 32, nil); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestIntraModuleSinglePhase(t *testing.T) {
+	n, err := New(Config{Modules: 3, NodesPerModule: 5, LocalBuses: 2, TrunkBuses: 2, Seed: 1, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 6 and 9 are both in module 1.
+	id, err := n.Send(6, 9, []uint64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Delivered()
+	if len(got) != 1 || got[0].ID != id || got[0].Phases != 1 {
+		t.Fatalf("delivered %+v", got)
+	}
+}
+
+func TestInterModuleThreePhases(t *testing.T) {
+	n, err := New(Config{Modules: 3, NodesPerModule: 5, LocalBuses: 2, TrunkBuses: 2, Seed: 2, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 7 (module 1, local 2) to node 13 (module 2, local 3): local
+	// out + trunk + local in.
+	id, err := n.Send(7, 13, []uint64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(200_000); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Delivered()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	d := got[0]
+	if d.ID != id || d.Src != 7 || d.Dst != 13 || d.Phases != 3 {
+		t.Errorf("delivery %+v", d)
+	}
+	if len(d.Payload) != 2 || d.Payload[1] != 6 {
+		t.Errorf("payload %v", d.Payload)
+	}
+}
+
+func TestGatewayEndpointsSkipPhases(t *testing.T) {
+	n, err := New(Config{Modules: 4, NodesPerModule: 4, LocalBuses: 2, TrunkBuses: 2, Seed: 3, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gateway (module 0, local 0) to gateway (module 2, local 0): trunk
+	// only.
+	if _, err := n.Send(0, 8, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Gateway to interior node: trunk + local in.
+	if _, err := n.Send(4, 9, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Interior to remote gateway: local out + trunk.
+	if _, err := n.Send(5, 12, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(200_000); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[uint64]int{}
+	for _, d := range n.Delivered() {
+		phases[d.Payload[0]] = d.Phases
+	}
+	if phases[1] != 1 || phases[2] != 2 || phases[3] != 2 {
+		t.Errorf("phase counts %v, want 1/2/2", phases)
+	}
+}
+
+func TestAllPairsSmallSystem(t *testing.T) {
+	n, err := New(Config{Modules: 2, NodesPerModule: 3, LocalBuses: 2, TrunkBuses: 2, Seed: 4, Core: core.Config{Audit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for s := 0; s < 6; s++ {
+		for d := 0; d < 6; d++ {
+			if s == d {
+				continue
+			}
+			if _, err := n.Send(s, d, []uint64{uint64(s*10 + d)}); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+	}
+	if err := n.Drain(2_000_000); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	got := n.Delivered()
+	if len(got) != want {
+		t.Fatalf("delivered %d/%d", len(got), want)
+	}
+	for _, d := range got {
+		if d.Payload[0] != uint64(d.Src*10+d.Dst) {
+			t.Errorf("payload mismatch %+v", d)
+		}
+	}
+}
+
+func TestPermutationAcrossModules(t *testing.T) {
+	n, err := New(Config{Modules: 4, NodesPerModule: 8, LocalBuses: 3, TrunkBuses: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(6)
+	p := workload.RandomPermutation(32, rng)
+	for _, d := range p.Demands {
+		if _, err := n.Send(d.Src, d.Dst, []uint64{9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Drain(5_000_000); err != nil {
+		t.Fatalf("Drain: %v (%v)", err, n.Stats())
+	}
+	if got := len(n.Delivered()); got != len(p.Demands) {
+		t.Errorf("delivered %d/%d", got, len(p.Demands))
+	}
+}
+
+func TestModularBeatsFlatRingAtScale(t *testing.T) {
+	// 64 nodes: 8 modules of 8 keep most hops local, versus mean distance
+	// 32 on one flat ring with the same local bus count.
+	const N = 64
+	rng := sim.NewRNG(7)
+	p := workload.RandomPermutation(N, rng)
+
+	mod, err := New(Config{Modules: 8, NodesPerModule: 8, LocalBuses: 2, TrunkBuses: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Demands {
+		if _, err := mod.Send(d.Src, d.Dst, make([]uint64, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mod.Drain(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	flat, err := core.NewNetwork(core.Config{Nodes: N, Buses: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Demands {
+		if _, err := flat.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := flat.Drain(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if mod.Now() >= flat.Now() {
+		t.Errorf("modular %d ticks not below flat ring %d", mod.Now(), flat.Now())
+	}
+}

@@ -1,0 +1,152 @@
+// Package report renders aligned text tables and simple text charts for
+// the experiment harness, so every paper table and figure regenerates as
+// terminal-friendly output.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends one row of formatted cells. Each argument is rendered
+// with %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Render draws the table with a title line, a header rule and aligned
+// columns.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(row []string) {
+		parts := make([]string, cols)
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		b.WriteString(strings.TrimRight(strings.Join(parts, "  "), " "))
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Chart renders a simple horizontal bar chart of labelled values.
+type Chart struct {
+	Title  string
+	labels []string
+	values []float64
+}
+
+// NewChart builds an empty chart.
+func NewChart(title string) *Chart { return &Chart{Title: title} }
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// Render draws proportional bars of at most width characters.
+func (c *Chart) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 0.0
+	lw := 0
+	for i, v := range c.values {
+		if v > max {
+			max = v
+		}
+		if len(c.labels[i]) > lw {
+			lw = len(c.labels[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, v := range c.values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+			if v > 0 && n == 0 {
+				n = 1
+			}
+		}
+		fmt.Fprintf(&b, "%s  %12.2f  %s\n", pad(c.labels[i], lw), v, strings.Repeat("#", n))
+	}
+	return b.String()
+}

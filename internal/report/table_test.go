@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Costs", "arch", "links", "area")
+	tb.AddRow("rmb", "512", "512")
+	tb.AddRowf("mesh", 128.0, 64.25)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Costs" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "arch") {
+		t.Errorf("header %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("rule %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "64.25") {
+		t.Errorf("float cell lost: %q", lines[4])
+	}
+	if !strings.Contains(lines[4], "128") || strings.Contains(lines[4], "128.00") {
+		t.Errorf("integral float not trimmed: %q", lines[4])
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbbbb")
+	tb.AddRow("xxxxxxxxxx", "y")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Column 2 of the header must start at the same offset as column 2 of
+	// the row.
+	h := strings.Index(lines[0], "bbbbbb")
+	r := strings.Index(lines[2], "y")
+	if h != r {
+		t.Errorf("misaligned columns: header at %d, row at %d\n%s", h, r, out)
+	}
+}
+
+func TestTableExtraCellsKept(t *testing.T) {
+	tb := NewTable("", "one")
+	tb.AddRow("a", "b", "c")
+	out := tb.Render()
+	if !strings.Contains(out, "c") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("latency")
+	c.Add("rmb", 10)
+	c.Add("mesh", 40)
+	c.Add("zero", 0)
+	out := c.Render(20)
+	if !strings.Contains(out, "latency") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	meshBar := strings.Count(lines[2], "#")
+	rmbBar := strings.Count(lines[1], "#")
+	if meshBar != 20 {
+		t.Errorf("max bar %d, want 20", meshBar)
+	}
+	if rmbBar != 5 {
+		t.Errorf("rmb bar %d, want 5", rmbBar)
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Errorf("zero bar rendered: %q", lines[3])
+	}
+}
+
+func TestChartDefaultWidth(t *testing.T) {
+	c := NewChart("")
+	c.Add("x", 5)
+	out := c.Render(0)
+	if strings.Count(out, "#") != 40 {
+		t.Errorf("default width not applied:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3.0) != "3" {
+		t.Errorf("trimFloat(3.0) = %q", trimFloat(3.0))
+	}
+	if trimFloat(3.5) != "3.50" {
+		t.Errorf("trimFloat(3.5) = %q", trimFloat(3.5))
+	}
+	if trimFloat(1e18) == "1000000000000000000" {
+		t.Error("huge float should not pretend to integer precision")
+	}
+}

@@ -1,0 +1,155 @@
+package schedule
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rmb/internal/workload"
+)
+
+// MaxExactDemands bounds the demand count the exact solver accepts: the
+// subset dynamic program visits 3^n (round partition) states.
+const MaxExactDemands = 16
+
+// exactContext precomputes per-subset feasibility for one instance.
+type exactContext struct {
+	p        workload.Pattern
+	k        int
+	n        int
+	feasible []bool
+	maxDist  []int
+}
+
+func newExactContext(p workload.Pattern, k int) (*exactContext, error) {
+	n := len(p.Demands)
+	if n > MaxExactDemands {
+		return nil, fmt.Errorf("schedule: exact solver accepts at most %d demands, got %d", MaxExactDemands, n)
+	}
+	if k < 1 {
+		k = 1
+	}
+	ctx := &exactContext{
+		p: p, k: k, n: n,
+		feasible: make([]bool, 1<<n),
+		maxDist:  make([]int, 1<<n),
+	}
+	dist := make([]int, n)
+	for i, d := range p.Demands {
+		dist[i] = clockwise(d, p.Nodes)
+	}
+	loads := make([]int, p.Nodes)
+	for mask := 0; mask < 1<<n; mask++ {
+		for h := range loads {
+			loads[h] = 0
+		}
+		ok := true
+		md := 0
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if dist[i] > md {
+				md = dist[i]
+			}
+			d := ctx.p.Demands[i]
+			h := d.Src
+			for h != d.Dst {
+				loads[h]++
+				if loads[h] > k {
+					ok = false
+					break
+				}
+				h = (h + 1) % p.Nodes
+			}
+		}
+		ctx.feasible[mask] = ok
+		ctx.maxDist[mask] = md
+	}
+	return ctx, nil
+}
+
+// ExactRounds computes the minimum number of rounds needed to route every
+// demand with per-hop load at most k — the optimum the greedy scheduler
+// approximates. Exponential in the demand count; see MaxExactDemands.
+func ExactRounds(p workload.Pattern, k int) (int, error) {
+	ctx, err := newExactContext(p, k)
+	if err != nil {
+		return 0, err
+	}
+	n := ctx.n
+	if n == 0 {
+		return 0, nil
+	}
+	const inf = 1 << 30
+	best := make([]int, 1<<n)
+	for mask := 1; mask < 1<<n; mask++ {
+		best[mask] = inf
+		// Fix the lowest set bit into this round's subset to avoid
+		// enumerating equivalent partitions.
+		low := mask & -mask
+		rest := mask ^ low
+		for sub := rest; ; sub = (sub - 1) & rest {
+			t := sub | low
+			if ctx.feasible[t] {
+				if v := best[mask^t] + 1; v < best[mask] {
+					best[mask] = v
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	return best[1<<n-1], nil
+}
+
+// ExactMakespan computes the minimum completion time over all round
+// partitions, charging each round its slowest circuit (the same cost
+// model as Schedule.Makespan).
+func ExactMakespan(p workload.Pattern, k, payload int) (int, error) {
+	ctx, err := newExactContext(p, k)
+	if err != nil {
+		return 0, err
+	}
+	n := ctx.n
+	if n == 0 {
+		return 0, nil
+	}
+	const inf = 1 << 30
+	best := make([]int, 1<<n)
+	for mask := 1; mask < 1<<n; mask++ {
+		best[mask] = inf
+		low := mask & -mask
+		rest := mask ^ low
+		for sub := rest; ; sub = (sub - 1) & rest {
+			t := sub | low
+			if ctx.feasible[t] {
+				if v := best[mask^t] + CircuitTicks(ctx.maxDist[t], payload); v < best[mask] {
+					best[mask] = v
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	return best[1<<n-1], nil
+}
+
+// GreedyGap reports greedy's round count, the exact optimum, and their
+// ratio for a small instance; experiments use it to calibrate how tight
+// the competitive-ratio denominators are.
+func GreedyGap(p workload.Pattern, k int) (greedy, exact int, ratio float64, err error) {
+	exact, err = ExactRounds(p, k)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	greedy = Greedy(p, k).RoundCount()
+	if exact > 0 {
+		ratio = float64(greedy) / float64(exact)
+	}
+	return greedy, exact, ratio, nil
+}
+
+// popcount is exposed for the tests' sanity bounds.
+func popcount(mask int) int { return bits.OnesCount(uint(mask)) }

@@ -1,0 +1,142 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestExactRejectsLargeInstances(t *testing.T) {
+	p := workload.AllToAll(6) // 30 demands
+	if _, err := ExactRounds(p, 2); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestExactEmptyPattern(t *testing.T) {
+	r, err := ExactRounds(workload.Pattern{Nodes: 4}, 2)
+	if err != nil || r != 0 {
+		t.Errorf("empty pattern rounds %d, err %v", r, err)
+	}
+	m, err := ExactMakespan(workload.Pattern{Nodes: 4}, 2, 5)
+	if err != nil || m != 0 {
+		t.Errorf("empty pattern makespan %d, err %v", m, err)
+	}
+}
+
+func TestExactMatchesLowerBoundOnTilingShifts(t *testing.T) {
+	for _, n := range []int{8, 12} {
+		for _, s := range []int{1, 2, 4} {
+			if n%s != 0 {
+				continue
+			}
+			for k := 1; k <= 3; k++ {
+				p := workload.RingShift(n, s)
+				if len(p.Demands) > MaxExactDemands {
+					continue
+				}
+				exact, err := ExactRounds(p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := (s + k - 1) / k
+				if exact != want {
+					t.Errorf("n=%d s=%d k=%d: exact %d, want congestion bound %d", n, s, k, exact, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExactBetweenBoundAndGreedy(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 4 + rng.Intn(8)
+		k := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(10)
+		p := workload.UniformRandom(n, m, rng)
+		exact, err := ExactRounds(p, k)
+		if err != nil {
+			return false
+		}
+		lb := LowerBoundRounds(p, k)
+		g := Greedy(p, k).RoundCount()
+		return lb <= exact && exact <= g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMakespanNeverAboveGreedy(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 4 + rng.Intn(8)
+		k := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(10)
+		payload := rng.Intn(12)
+		p := workload.UniformRandom(n, m, rng)
+		exact, err := ExactMakespan(p, k, payload)
+		if err != nil {
+			return false
+		}
+		return exact <= Greedy(p, k).Makespan(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyGapSmallOnRandomInstances(t *testing.T) {
+	// Calibration for the competitiveness experiments: greedy's round
+	// count stays within 1.5x of optimal on these instance sizes.
+	rng := sim.NewRNG(9)
+	worst := 1.0
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		p := workload.RandomHPermutation(n, 6+rng.Intn(5), rng)
+		if len(p.Demands) == 0 {
+			continue
+		}
+		_, _, ratio, err := GreedyGap(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("greedy/exact round ratio reached %v on small instances", worst)
+	}
+}
+
+func TestExactFindsBetterPartitionThanGreedy(t *testing.T) {
+	// The shift-by-8 on 12 nodes with k=3 case where first-fit packs
+	// suboptimally (see TestGreedyNearOptimalForShifts): exact must hit
+	// the congestion bound.
+	p := workload.RingShift(12, 8)
+	if len(p.Demands) > MaxExactDemands {
+		t.Skip("instance too large for the exact solver")
+	}
+	exact, err := ExactRounds(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Greedy(p, 3).RoundCount()
+	if exact > g {
+		t.Fatalf("exact %d above greedy %d", exact, g)
+	}
+	if exact != 3 { // ceil(8/3)
+		t.Errorf("exact rounds %d, want congestion bound 3", exact)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	if popcount(0b1011) != 3 {
+		t.Error("popcount broken")
+	}
+}

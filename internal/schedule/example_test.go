@@ -1,0 +1,35 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"rmb/internal/schedule"
+	"rmb/internal/workload"
+)
+
+// The off-line greedy scheduler packs a shift pattern into rounds bounded
+// below by the congestion bound.
+func ExampleGreedy() {
+	p := workload.RingShift(8, 4) // ring load 4
+	s := schedule.Greedy(p, 2)    // two buses
+	fmt.Println("rounds:", s.RoundCount(), "lower bound:", schedule.LowerBoundRounds(p, 2))
+	// Output:
+	// rounds: 2 lower bound: 2
+}
+
+// The circuit cost model shared with the simulator.
+func ExampleCircuitTicks() {
+	fmt.Println(schedule.CircuitTicks(4, 8), schedule.DeliveryTicks(4, 8))
+	// Output:
+	// 23 19
+}
+
+// The exact solver certifies greedy on small instances.
+func ExampleExactRounds() {
+	p := workload.RingShift(12, 8) // first-fit packs this suboptimally
+	exact, _ := schedule.ExactRounds(p, 3)
+	greedy := schedule.Greedy(p, 3).RoundCount()
+	fmt.Println("greedy:", greedy, "exact:", exact)
+	// Output:
+	// greedy: 4 exact: 3
+}

@@ -1,0 +1,213 @@
+// Package schedule computes off-line schedules and lower bounds for
+// routing a set of messages on a k-bus clockwise ring. The paper's
+// conclusion proposes evaluating the on-line RMB protocol's
+// "competitiveness" — the ratio of its completion time to an optimal
+// off-line schedule's — and this package provides the off-line side:
+//
+//   - a congestion lower bound (max hop load / k rounds),
+//   - a first-fit-decreasing greedy round scheduler whose round count is
+//     within a small factor of optimal for circular-arc demands,
+//   - a circuit-time cost model matched to the simulator's timing.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"rmb/internal/workload"
+)
+
+// CircuitTicks is the time a dedicated circuit of clockwise distance d
+// carrying p data flits occupies the ring in the core simulator's
+// timing: d ticks of header propagation, d of Hack return, p of data,
+// d of final-flit propagation and d of Fack teardown, minus the
+// pipelining overlap the simulator achieves (measured constant -1).
+func CircuitTicks(d, p int) int {
+	if d <= 0 {
+		return 0
+	}
+	return 4*d + p - 1
+}
+
+// DeliveryTicks is the send-to-delivery latency of a solo circuit
+// (teardown excluded): 3d + p - 1 in the core simulator's timing.
+func DeliveryTicks(d, p int) int {
+	if d <= 0 {
+		return 0
+	}
+	return 3*d + p - 1
+}
+
+// Round is one batch of demands routed simultaneously; its ring load
+// never exceeds the bus count it was built for.
+type Round struct {
+	Demands []workload.Demand
+	// MaxDistance is the longest clockwise distance in the round.
+	MaxDistance int
+}
+
+// Schedule is an ordered sequence of rounds covering every demand.
+type Schedule struct {
+	Nodes, Buses int
+	Rounds       []Round
+}
+
+// RoundCount reports the number of rounds.
+func (s Schedule) RoundCount() int { return len(s.Rounds) }
+
+// Makespan reports the schedule's total completion time under the
+// circuit cost model: rounds run back to back, each taking as long as
+// its slowest circuit with payload length p.
+func (s Schedule) Makespan(p int) int {
+	total := 0
+	for _, r := range s.Rounds {
+		total += CircuitTicks(r.MaxDistance, p)
+	}
+	return total
+}
+
+// Validate checks that every round respects the bus capacity and that
+// demands are well-formed.
+func (s Schedule) Validate() error {
+	for i, r := range s.Rounds {
+		loads := make([]int, s.Nodes)
+		for _, d := range r.Demands {
+			h := d.Src
+			for h != d.Dst {
+				loads[h]++
+				if loads[h] > s.Buses {
+					return fmt.Errorf("schedule: round %d overloads hop %d beyond %d buses", i, h, s.Buses)
+				}
+				h = (h + 1) % s.Nodes
+			}
+		}
+	}
+	return nil
+}
+
+// LowerBoundRounds is the congestion bound: at least
+// ceil(maxRingLoad / k) rounds are needed, because every demand crossing
+// the most loaded hop needs one of its k segments for a full round.
+func LowerBoundRounds(p workload.Pattern, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	load := p.MaxRingLoad()
+	return (load + k - 1) / k
+}
+
+// LowerBoundTicks is a completion-time lower bound: the congested hop
+// must serially carry all its crossing circuits, and the longest single
+// circuit must complete.
+func LowerBoundTicks(p workload.Pattern, k, payload int) int {
+	if k < 1 {
+		k = 1
+	}
+	loads := p.RingLoads()
+	best := 0
+	for _, l := range loads {
+		// Each crossing circuit holds a segment of this hop for at least
+		// distance+payload ticks; k segments work in parallel.
+		if t := (l + k - 1) / k * (payload + 1); t > best {
+			best = t
+		}
+	}
+	for _, d := range p.Demands {
+		dist := clockwise(d, p.Nodes)
+		if t := DeliveryTicks(dist, payload); t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// Greedy builds a schedule by first-fit-decreasing: demands sorted by
+// decreasing distance, each placed in the earliest round whose residual
+// hop capacities admit it. The result's round count is at least the
+// congestion bound and, for circular-arc demand sets, close to it.
+func Greedy(p workload.Pattern, k int) Schedule {
+	if k < 1 {
+		k = 1
+	}
+	type roundState struct {
+		round Round
+		loads []int
+	}
+	var rounds []*roundState
+	demands := append([]workload.Demand(nil), p.Demands...)
+	sort.SliceStable(demands, func(i, j int) bool {
+		return clockwise(demands[i], p.Nodes) > clockwise(demands[j], p.Nodes)
+	})
+	fits := func(rs *roundState, d workload.Demand) bool {
+		h := d.Src
+		for h != d.Dst {
+			if rs.loads[h]+1 > k {
+				return false
+			}
+			h = (h + 1) % p.Nodes
+		}
+		return true
+	}
+	place := func(rs *roundState, d workload.Demand) {
+		h := d.Src
+		for h != d.Dst {
+			rs.loads[h]++
+			h = (h + 1) % p.Nodes
+		}
+		rs.round.Demands = append(rs.round.Demands, d)
+		if dist := clockwise(d, p.Nodes); dist > rs.round.MaxDistance {
+			rs.round.MaxDistance = dist
+		}
+	}
+	for _, d := range demands {
+		placed := false
+		for _, rs := range rounds {
+			if fits(rs, d) {
+				place(rs, d)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			rs := &roundState{loads: make([]int, p.Nodes)}
+			place(rs, d)
+			rounds = append(rounds, rs)
+		}
+	}
+	s := Schedule{Nodes: p.Nodes, Buses: k}
+	for _, rs := range rounds {
+		s.Rounds = append(s.Rounds, rs.round)
+	}
+	return s
+}
+
+// Sequential is the trivial one-message-at-a-time schedule, the upper
+// anchor for competitiveness plots.
+func Sequential(p workload.Pattern, k int) Schedule {
+	s := Schedule{Nodes: p.Nodes, Buses: k}
+	for _, d := range p.Demands {
+		s.Rounds = append(s.Rounds, Round{
+			Demands:     []workload.Demand{d},
+			MaxDistance: clockwise(d, p.Nodes),
+		})
+	}
+	return s
+}
+
+// CompetitiveRatio relates an on-line completion time to the off-line
+// greedy schedule's makespan for the same pattern, bus count and payload.
+func CompetitiveRatio(onlineTicks int, p workload.Pattern, k, payload int) float64 {
+	off := Greedy(p, k).Makespan(payload)
+	if off == 0 {
+		return 0
+	}
+	return float64(onlineTicks) / float64(off)
+}
+
+func clockwise(d workload.Demand, n int) int {
+	x := (d.Dst - d.Src) % n
+	if x < 0 {
+		x += n
+	}
+	return x
+}

@@ -1,0 +1,156 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/sim"
+	"rmb/internal/workload"
+)
+
+func TestCircuitTicksModel(t *testing.T) {
+	if CircuitTicks(0, 10) != 0 {
+		t.Error("zero-distance circuit has nonzero cost")
+	}
+	if got := CircuitTicks(3, 5); got != 4*3+5-1 {
+		t.Errorf("CircuitTicks(3,5) = %d", got)
+	}
+	if got := DeliveryTicks(3, 5); got != 3*3+5-1 {
+		t.Errorf("DeliveryTicks(3,5) = %d", got)
+	}
+}
+
+func TestGreedyCoversAllDemands(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 3 + rng.Intn(20)
+		k := 1 + rng.Intn(4)
+		p := workload.UniformRandom(n, rng.Intn(60), rng)
+		s := Greedy(p, k)
+		if s.Validate() != nil {
+			return false
+		}
+		count := 0
+		for _, r := range s.Rounds {
+			count += len(r.Demands)
+		}
+		return count == len(p.Demands)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyRespectsLowerBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 3 + rng.Intn(20)
+		k := 1 + rng.Intn(4)
+		p := workload.UniformRandom(n, rng.Intn(60), rng)
+		lb := LowerBoundRounds(p, k)
+		g := Greedy(p, k).RoundCount()
+		seq := Sequential(p, k).RoundCount()
+		return lb <= g && g <= seq+1 // greedy never worse than sequential (+slack for 0 demands)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyNearOptimalForShifts(t *testing.T) {
+	// A shift-by-s pattern has uniform load s, so the congestion bound is
+	// ceil(s/k). First-fit is not an optimal circular-arc packer, but it
+	// must stay within a factor of two of the bound (and be exactly
+	// optimal when the shift divides the ring, where arcs tile cleanly).
+	for _, n := range []int{8, 12} {
+		for s := 1; s < n; s++ {
+			for k := 1; k <= 4; k++ {
+				p := workload.RingShift(n, s)
+				g := Greedy(p, k).RoundCount()
+				lb := (s + k - 1) / k
+				if g < lb {
+					t.Errorf("n=%d s=%d k=%d: rounds %d below bound %d", n, s, k, g, lb)
+				}
+				if g > 2*lb {
+					t.Errorf("n=%d s=%d k=%d: rounds %d above twice the bound %d", n, s, k, g, lb)
+				}
+				if n%s == 0 && g != lb {
+					t.Errorf("n=%d s=%d k=%d: tiling shift should be optimal: rounds %d, bound %d", n, s, k, g, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleValidateCatchesOverload(t *testing.T) {
+	s := Schedule{
+		Nodes: 6, Buses: 1,
+		Rounds: []Round{{
+			Demands: []workload.Demand{{Src: 0, Dst: 3}, {Src: 1, Dst: 4}},
+		}},
+	}
+	if s.Validate() == nil {
+		t.Error("overlapping demands on 1 bus validated")
+	}
+}
+
+func TestMakespanAccounting(t *testing.T) {
+	p := workload.Pattern{Nodes: 8, Demands: []workload.Demand{{Src: 0, Dst: 4}, {Src: 4, Dst: 0}}}
+	s := Greedy(p, 2)
+	// Both demands fit in one round (disjoint arcs), max distance 4.
+	if s.RoundCount() != 1 {
+		t.Fatalf("rounds %d, want 1", s.RoundCount())
+	}
+	if got, want := s.Makespan(3), CircuitTicks(4, 3); got != want {
+		t.Errorf("makespan %d, want %d", got, want)
+	}
+}
+
+func TestLowerBoundTicksDominatedByCongestion(t *testing.T) {
+	// A payload long enough that the congested hop, not the longest
+	// single circuit, dominates the bound.
+	p := workload.RingShift(10, 5) // load 5 everywhere
+	lbSerial := LowerBoundTicks(p, 1, 20)
+	lbParallel := LowerBoundTicks(p, 5, 20)
+	if lbSerial <= lbParallel {
+		t.Errorf("k=1 bound %d not above k=5 bound %d", lbSerial, lbParallel)
+	}
+	if lbParallel < DeliveryTicks(5, 20) {
+		t.Errorf("bound %d below single-circuit time %d", lbParallel, DeliveryTicks(5, 20))
+	}
+}
+
+func TestCompetitiveRatio(t *testing.T) {
+	p := workload.RingShift(8, 2)
+	off := Greedy(p, 2).Makespan(4)
+	if got := CompetitiveRatio(2*off, p, 2, 4); got != 2 {
+		t.Errorf("ratio = %v, want 2", got)
+	}
+	empty := workload.Pattern{Nodes: 4}
+	if got := CompetitiveRatio(100, empty, 2, 4); got != 0 {
+		t.Errorf("empty-pattern ratio = %v, want 0", got)
+	}
+}
+
+func TestSequentialScheduleIsValid(t *testing.T) {
+	rng := sim.NewRNG(3)
+	p := workload.RandomPermutation(12, rng)
+	s := Sequential(p, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RoundCount() != len(p.Demands) {
+		t.Errorf("rounds %d, want %d", s.RoundCount(), len(p.Demands))
+	}
+}
+
+func TestGreedyZeroBusClamps(t *testing.T) {
+	p := workload.RingShift(6, 1)
+	s := Greedy(p, 0) // clamps to 1
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if LowerBoundRounds(p, 0) != 1 {
+		t.Errorf("lower bound with k=0 = %d", LowerBoundRounds(p, 0))
+	}
+}

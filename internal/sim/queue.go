@@ -1,0 +1,94 @@
+package sim
+
+import "container/heap"
+
+// Event is a unit of deferred work scheduled on an EventQueue.
+type Event struct {
+	// At is the tick the event fires.
+	At Tick
+	// Seq breaks ties between events scheduled for the same tick; events
+	// fire in scheduling order within a tick so runs are deterministic.
+	Seq uint64
+	// Fire is the action to run.
+	Fire func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a deterministic future-event list keyed by tick.
+// It is not safe for concurrent use; simulators own one queue each.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue {
+	q := &EventQueue{}
+	heap.Init(&q.h)
+	return q
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fire to run at tick at.
+func (q *EventQueue) Schedule(at Tick, fire func()) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Seq: q.seq, Fire: fire})
+}
+
+// NextAt reports the tick of the earliest pending event. ok is false when
+// the queue is empty.
+func (q *EventQueue) NextAt() (at Tick, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// PopDue removes and returns the earliest event if it is due at or before
+// now; otherwise it returns nil.
+func (q *EventQueue) PopDue(now Tick) *Event {
+	if len(q.h) == 0 || q.h[0].At > now {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// RunDue fires every event due at or before now, in order, and reports
+// how many fired. Events scheduled by fired events for a tick <= now run
+// in the same call.
+func (q *EventQueue) RunDue(now Tick) int {
+	n := 0
+	for {
+		e := q.PopDue(now)
+		if e == nil {
+			return n
+		}
+		e.Fire()
+		n++
+	}
+}

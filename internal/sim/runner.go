@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoProgress is returned by Run when the stepped system reports that no
+// further progress is possible (for example, a deadlock detector fired).
+var ErrNoProgress = errors.New("sim: no progress possible")
+
+// ErrBudgetExceeded is returned by Run when the tick budget expires before
+// the done predicate is satisfied.
+var ErrBudgetExceeded = errors.New("sim: tick budget exceeded")
+
+// Stepper is anything advanced one tick at a time by Run.
+type Stepper interface {
+	// Step advances the system by one tick. It reports whether the system
+	// made any progress this tick; a long run of progress-free ticks may
+	// indicate deadlock (the runner tracks this).
+	Step() bool
+}
+
+// RunConfig bounds a Run call.
+type RunConfig struct {
+	// MaxTicks caps the total number of Step calls (0 means 1<<40).
+	MaxTicks Tick
+	// IdleLimit is the number of consecutive progress-free ticks after
+	// which Run gives up with ErrNoProgress (0 disables the check).
+	IdleLimit int
+}
+
+// Run advances s until done reports true, the budget is exhausted, or an
+// idle streak exceeds the limit. It returns the number of ticks executed.
+func Run(s Stepper, cfg RunConfig, done func() bool) (Tick, error) {
+	max := cfg.MaxTicks
+	if max == 0 {
+		max = 1 << 40
+	}
+	idle := 0
+	for t := Tick(0); t < max; t++ {
+		if done() {
+			return t, nil
+		}
+		if s.Step() {
+			idle = 0
+		} else {
+			idle++
+			if cfg.IdleLimit > 0 && idle >= cfg.IdleLimit {
+				return t + 1, fmt.Errorf("%w after %d idle ticks", ErrNoProgress, idle)
+			}
+		}
+	}
+	if done() {
+		return max, nil
+	}
+	return max, ErrBudgetExceeded
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	if got := c.Advance(); got != 1 {
+		t.Fatalf("Advance = %v, want 1", got)
+	}
+	if got := c.AdvanceBy(10); got != 11 {
+		t.Fatalf("AdvanceBy(10) = %v, want 11", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset, Now = %v", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceBy(-1) did not panic")
+		}
+	}()
+	NewClock().AdvanceBy(-1)
+}
+
+func TestTickString(t *testing.T) {
+	if got := Tick(42).String(); got != "t42" {
+		t.Fatalf("Tick(42).String() = %q", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for n := 1; n < 40; n++ {
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(64)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forked generators produced identical first values")
+	}
+}
+
+func TestRNGStateRestore(t *testing.T) {
+	r := NewRNG(11)
+	r.Uint64()
+	s := r.State()
+	a := r.Uint64()
+	r.Restore(s)
+	if b := r.Uint64(); a != b {
+		t.Fatalf("restore mismatch: %d vs %d", a, b)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	q.Schedule(5, func() { order = append(order, 5) })
+	q.Schedule(1, func() { order = append(order, 1) })
+	q.Schedule(3, func() { order = append(order, 3) })
+	q.Schedule(1, func() { order = append(order, 11) }) // same tick, later seq
+	if n := q.RunDue(10); n != 4 {
+		t.Fatalf("RunDue fired %d, want 4", n)
+	}
+	want := []int{1, 11, 3, 5}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventQueueDueFiltering(t *testing.T) {
+	q := NewEventQueue()
+	fired := 0
+	q.Schedule(2, func() { fired++ })
+	q.Schedule(9, func() { fired++ })
+	if n := q.RunDue(5); n != 1 || fired != 1 {
+		t.Fatalf("RunDue(5) fired %d (counter %d), want 1", n, fired)
+	}
+	if at, ok := q.NextAt(); !ok || at != 9 {
+		t.Fatalf("NextAt = %v,%v want 9,true", at, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestEventQueueCascading(t *testing.T) {
+	q := NewEventQueue()
+	fired := []string{}
+	q.Schedule(1, func() {
+		fired = append(fired, "a")
+		q.Schedule(1, func() { fired = append(fired, "b") }) // due immediately
+		q.Schedule(7, func() { fired = append(fired, "later") })
+	})
+	q.RunDue(2)
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired %v", fired)
+	}
+}
+
+type countStepper struct {
+	left     int
+	progress bool
+}
+
+func (s *countStepper) Step() bool {
+	if s.left > 0 {
+		s.left--
+		return true
+	}
+	return s.progress
+}
+
+func TestRunCompletes(t *testing.T) {
+	s := &countStepper{left: 10}
+	ticks, err := Run(s, RunConfig{MaxTicks: 100}, func() bool { return s.left == 0 })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestRunBudgetExceeded(t *testing.T) {
+	s := &countStepper{left: 1 << 30}
+	_, err := Run(s, RunConfig{MaxTicks: 50}, func() bool { return false })
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+}
+
+func TestRunNoProgress(t *testing.T) {
+	s := &countStepper{left: 3}
+	_, err := Run(s, RunConfig{MaxTicks: 1000, IdleLimit: 5}, func() bool { return false })
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want no progress", err)
+	}
+}
+
+func TestRunDoneBeforeStart(t *testing.T) {
+	s := &countStepper{left: 5}
+	ticks, err := Run(s, RunConfig{MaxTicks: 10}, func() bool { return true })
+	if err != nil || ticks != 0 {
+		t.Fatalf("ticks=%d err=%v, want 0,nil", ticks, err)
+	}
+}

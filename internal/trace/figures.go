@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"rmb/internal/baseline/fattree"
+	"rmb/internal/core"
+)
+
+// Figure1 draws the multiple bus system of the paper's Figure 1: a ring
+// of N nodes (PE + INC) with k bus segments between adjacent INCs.
+func Figure1(nodes, buses int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: a multiple bus system (N=%d nodes, k=%d buses)\n\n", nodes, buses)
+	show := nodes
+	if show > 8 {
+		show = 8
+	}
+	cell := func(i int) string { return fmt.Sprintf("[PE%d|INC%d]", i, i) }
+	var top strings.Builder
+	for i := 0; i < show; i++ {
+		top.WriteString(cell(i))
+		if i < show-1 {
+			top.WriteString("   ")
+		}
+	}
+	if show < nodes {
+		top.WriteString(" ... (ring wraps)")
+	}
+	b.WriteString(top.String())
+	b.WriteByte('\n')
+	for l := buses - 1; l >= 0; l-- {
+		var row strings.Builder
+		for i := 0; i < show; i++ {
+			row.WriteString(strings.Repeat(" ", len(cell(i))/2))
+			if i < show-1 {
+				row.WriteString(fmt.Sprintf("==%d==", l))
+				row.WriteString(strings.Repeat(" ", len(cell(i))-len(cell(i))/2-2))
+			}
+		}
+		b.WriteString(row.String())
+		fmt.Fprintf(&b, "   bus segment %d\n", l)
+	}
+	b.WriteString("\nsignals flow clockwise; acknowledgements counter-clockwise on the same virtual bus\n")
+	return b.String()
+}
+
+// Figure6 draws the input/output connection nomenclature of Figure 6:
+// which input ports may feed each output port of an INC.
+func Figure6(buses int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: input/output connections in an INC (k=%d)\n", buses)
+	b.WriteString("each output port l may receive from input ports {l-1, l, l+1} only:\n\n")
+	for l := buses - 1; l >= 0; l-- {
+		var feeds []string
+		if l+1 < buses {
+			feeds = append(feeds, fmt.Sprintf("in %d (above)", l+1))
+		}
+		feeds = append(feeds, fmt.Sprintf("in %d (straight)", l))
+		if l-1 >= 0 {
+			feeds = append(feeds, fmt.Sprintf("in %d (below)", l-1))
+		}
+		fmt.Fprintf(&b, "  out %d <- %s\n", l, strings.Join(feeds, ", "))
+	}
+	return b.String()
+}
+
+// Figure7 draws the four switchable-down conditions with their status
+// sequences, regenerated from the compaction implementation.
+func Figure7() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: the four conditions for moving a transaction from bus l to bus l-1\n")
+	b.WriteString("(a = upstream input level, c = downstream output level, b = moving level l)\n\n")
+	for i, c := range core.FourConditions() {
+		fmt.Fprintf(&b, "condition %d: %s\n", i+1, c.Name)
+		fmt.Fprintf(&b, "  upstream INC,  port l:    %s\n", c.UpstreamOld)
+		fmt.Fprintf(&b, "  upstream INC,  port l-1:  %s\n", c.UpstreamNew)
+		fmt.Fprintf(&b, "  downstream INC port:      %s\n\n", c.Downstream)
+	}
+	return b.String()
+}
+
+// Figure8 draws the odd/even cycle pairing rule of Figure 8.
+func Figure8() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: bus segments assessed for compaction per cycle parity\n\n")
+	b.WriteString("  INC parity  cycle  segments considered\n")
+	b.WriteString("  ----------  -----  -------------------\n")
+	for _, p := range core.OddEvenPairs() {
+		fmt.Fprintf(&b, "  %-10s  %-5s  %s\n", p.INCParity, p.CycleParity, p.SegmentParity)
+	}
+	b.WriteString("\nadjacent INCs therefore consider opposite-parity segments in the same\ncycle, so neighbouring hops of one virtual bus never race\n")
+	return b.String()
+}
+
+// Figure9 draws the four switching states of each INC.
+func Figure9() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: the four switching states of each INC\n\n")
+	steps := []struct {
+		phase core.Phase
+		guard string
+		act   string
+	}{
+		{core.PhaseReadyData, "ID=1 and LC=0 and RC=0", "switch own datapaths, raise OD"},
+		{core.PhaseDataSwitched, "LD=1 and RD=1", "switch own cycle, raise OC"},
+		{core.PhaseCycleSwitched, "LC=1 and RC=1", "lower OD"},
+		{core.PhaseDataCleared, "LD=0 and RD=0", "lower OC, next cycle begins"},
+	}
+	for i, s := range steps {
+		fmt.Fprintf(&b, "  [%d] %-28s -- when %-24s -> %s\n", i+1, s.phase, s.guard, s.act)
+	}
+	return b.String()
+}
+
+// Figure10 draws the odd/even switch rules of Figure 10.
+func Figure10() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: state transitions in the odd/even switch\n\n")
+	for _, r := range core.Rules() {
+		fmt.Fprintf(&b, "  rule %d: %s\n", r.Number, r.Text)
+	}
+	b.WriteString("\nstate label: (LD LC | OD OC | RD RC); Lemma 1 keeps neighbouring cycle\ncounts within one of each other\n")
+	return b.String()
+}
+
+// Figure11 draws the k-permutation fat tree of Figure 11 for the given
+// tree, with per-level channel capacities.
+func Figure11(t *fattree.Tree, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: a fat tree supporting a %d-permutation (N=%d, %d leaves)\n\n", k, t.Nodes(), t.Leaves())
+	for level := t.Height() - 1; level >= 0; level-- {
+		nodes := t.Leaves() >> (level + 1)
+		indent := strings.Repeat(" ", (t.Height()-1-level)*2)
+		fmt.Fprintf(&b, "%slevel %d: %3d switch nodes, channel capacity %d wires\n",
+			indent, level+1, nodes, k)
+	}
+	fmt.Fprintf(&b, "%sleaves : %3d nodes of %d PEs, each an internal complete fat tree\n",
+		strings.Repeat(" ", t.Height()*2), t.Leaves(), k)
+	fmt.Fprintf(&b, "\ntotal links: paper accounting N·log k + N - 2k = %d; exact bundle sum = %d\n",
+		t.PaperLinks(k), t.Links())
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rmb/internal/core"
+	"rmb/internal/flit"
+	"rmb/internal/sim"
+)
+
+// Gantt renders message lifecycles as horizontal timelines: queueing,
+// header extension, established transfer and teardown phases, one row per
+// message, scaled to fit a terminal width.
+//
+//	m1  0->5   ....hhhh=========f
+//	m2  3->7   ......hhhhh====f
+//
+// Legend: '.' queued, 'h' header extending / awaiting Hack, '=' circuit
+// established (data flowing), 'f' delivery, 'x' refused attempt.
+type Gantt struct {
+	// Width is the maximum number of time columns (default 72).
+	Width int
+}
+
+// Row is one message's lifecycle for rendering.
+type ganttRow struct {
+	id       flit.MessageID
+	src, dst core.NodeID
+	rec      core.MsgRecord
+}
+
+// Render draws every finished message in the record map, ordered by ID.
+func (g Gantt) Render(records map[flit.MessageID]core.MsgRecord) string {
+	width := g.Width
+	if width <= 0 {
+		width = 72
+	}
+	rows := make([]ganttRow, 0, len(records))
+	var horizon sim.Tick
+	for id, rec := range records {
+		if !rec.Done {
+			continue
+		}
+		rows = append(rows, ganttRow{id: id, src: rec.Src, dst: rec.Dst, rec: rec})
+		if rec.Delivered > horizon {
+			horizon = rec.Delivered
+		}
+	}
+	if len(rows) == 0 {
+		return "(no finished messages)\n"
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	scale := 1.0
+	if int(horizon)+1 > width {
+		scale = float64(width) / float64(horizon+1)
+	}
+	col := func(t sim.Tick) int {
+		c := int(float64(t) * scale)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "message lifecycles (0..%v, %d columns; . queued, h header, = transfer, f delivered)\n",
+		horizon, width)
+	for _, r := range rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		qs, is := col(r.rec.Enqueued), col(r.rec.FirstInserted)
+		es, ds := col(r.rec.Established), col(r.rec.Delivered)
+		for i := qs; i <= is && i < width; i++ {
+			line[i] = '.'
+		}
+		for i := is; i <= es && i < width; i++ {
+			line[i] = 'h'
+		}
+		for i := es; i <= ds && i < width; i++ {
+			line[i] = '='
+		}
+		line[ds] = 'f'
+		fmt.Fprintf(&b, "m%-4d %2d->%-2d |%s|", r.id, r.src, r.dst, string(line))
+		if r.rec.Attempts > 1 {
+			fmt.Fprintf(&b, " (%d attempts)", r.rec.Attempts)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

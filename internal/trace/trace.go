@@ -1,0 +1,208 @@
+// Package trace records protocol events from the core simulator and
+// renders the paper's figures as text art: bus occupancy (Figures 1-3),
+// the make-before-break sequence (Figure 4), compaction timelines
+// (Figure 5), the port nomenclature (Figure 6), the four transition
+// conditions (Figure 7), the odd/even pairing (Figure 8), the switching
+// state machine (Figures 9-10) and the k-permutation fat tree
+// (Figure 11).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"rmb/internal/core"
+	"rmb/internal/sim"
+)
+
+// VBEvent is one recorded virtual-bus lifecycle transition.
+type VBEvent struct {
+	At     sim.Tick
+	VB     core.VBID
+	Src    core.NodeID
+	Dst    core.NodeID
+	State  core.VBState
+	Levels []int
+	Event  string
+}
+
+// CycleEvent is one recorded odd/even cycle completion.
+type CycleEvent struct {
+	At    sim.Tick
+	INC   core.NodeID
+	Cycle int64
+}
+
+// Log implements core.Recorder, retaining up to Cap events of each kind
+// (0 means unbounded). It is not safe for concurrent use.
+type Log struct {
+	// Cap bounds each event list; oldest events are dropped first.
+	Cap int
+
+	Moves  []core.Move
+	VBEv   []VBEvent
+	Cycles []CycleEvent
+}
+
+// NewLog builds a log retaining up to cap events per kind.
+func NewLog(cap int) *Log { return &Log{Cap: cap} }
+
+// Move implements core.Recorder.
+func (l *Log) Move(m core.Move) {
+	l.Moves = append(l.Moves, m)
+	if l.Cap > 0 && len(l.Moves) > l.Cap {
+		l.Moves = l.Moves[1:]
+	}
+}
+
+// VBEvent implements core.Recorder.
+func (l *Log) VBEvent(at sim.Tick, vb *core.VirtualBus, event string) {
+	l.VBEv = append(l.VBEv, VBEvent{
+		At: at, VB: vb.ID, Src: vb.Src, Dst: vb.Dst,
+		State:  vb.State,
+		Levels: append([]int(nil), vb.Levels...),
+		Event:  event,
+	})
+	if l.Cap > 0 && len(l.VBEv) > l.Cap {
+		l.VBEv = l.VBEv[1:]
+	}
+}
+
+// CycleSwitch implements core.Recorder.
+func (l *Log) CycleSwitch(at sim.Tick, inc core.NodeID, cycle int64) {
+	l.Cycles = append(l.Cycles, CycleEvent{At: at, INC: inc, Cycle: cycle})
+	if l.Cap > 0 && len(l.Cycles) > l.Cap {
+		l.Cycles = l.Cycles[1:]
+	}
+}
+
+// EventsFor returns the lifecycle events of one virtual bus in order.
+func (l *Log) EventsFor(id core.VBID) []VBEvent {
+	var out []VBEvent
+	for _, e := range l.VBEv {
+		if e.VB == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MovesFor returns the compaction moves of one virtual bus in order.
+func (l *Log) MovesFor(id core.VBID) []core.Move {
+	var out []core.Move
+	for _, m := range l.Moves {
+		if m.VB == id {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// glyphFor labels a virtual bus with a stable single character.
+func glyphFor(id core.VBID) byte {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	return alphabet[int(id-1)%len(alphabet)]
+}
+
+// RenderOccupancy draws the snapshot as a bus-level grid: one row per
+// physical bus segment level (top bus first, as in Figure 1), one column
+// per hop, with each occupied segment labelled by its virtual bus glyph.
+func RenderOccupancy(s *core.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d  N=%d k=%d  (columns are hops: node i -> i+1)\n", int64(s.At), s.Nodes, s.Buses)
+	b.WriteString("        ")
+	for h := 0; h < s.Nodes; h++ {
+		fmt.Fprintf(&b, "%2d ", h)
+	}
+	b.WriteByte('\n')
+	for l := s.Buses - 1; l >= 0; l-- {
+		fmt.Fprintf(&b, "bus %2d  ", l)
+		for h := 0; h < s.Nodes; h++ {
+			id := s.Occ[h][l]
+			if id == 0 {
+				b.WriteString(" . ")
+			} else {
+				fmt.Fprintf(&b, " %c ", glyphFor(id))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	legend := make([]string, 0, len(s.VBs))
+	for _, vb := range s.VBs {
+		legend = append(legend, fmt.Sprintf("%c=vb%d(%d->%d,%s)", glyphFor(vb.ID), vb.ID, vb.Src, vb.Dst, vb.State))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "  %s\n", strings.Join(legend, "  "))
+	}
+	return b.String()
+}
+
+// RenderVirtualBuses draws each active virtual bus's hop/level profile —
+// the physical-vs-virtual view of Figure 2.
+func RenderVirtualBuses(s *core.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual buses at t=%d (levels listed source hop first):\n", int64(s.At))
+	for _, vb := range s.VBs {
+		fmt.Fprintf(&b, "  vb%-3d %2d -> %-2d  %-17s levels=%v\n", vb.ID, vb.Src, vb.Dst, vb.State, vb.Levels)
+	}
+	if len(s.VBs) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	return b.String()
+}
+
+// RenderStatusRegisters draws the derived Table 1 codes for every INC
+// output port in the snapshot.
+func RenderStatusRegisters(s *core.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "status registers at t=%d (rows: bus level, top first):\n", int64(s.At))
+	for l := s.Buses - 1; l >= 0; l-- {
+		fmt.Fprintf(&b, "bus %2d  ", l)
+		for h := 0; h < s.Nodes; h++ {
+			fmt.Fprintf(&b, "%s ", s.Status[h][l].Bits())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderMove draws one compaction move as the three make-before-break
+// frames of Figure 4, annotated with the status sequences of Figure 7.
+func RenderMove(m core.Move) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compaction move at %v: INC %d shifts vb%d hop %d from bus %d to bus %d\n",
+		m.At, m.Node, m.VB, m.Hop, m.From, m.To)
+	b.WriteString("  (a) existing connection      (b) make parallel connection  (c) break original\n")
+	if !m.PESource {
+		fmt.Fprintf(&b, "  upstream INC, port %d:  %s\n", m.From, m.UpstreamOld)
+		fmt.Fprintf(&b, "  upstream INC, port %d:  %s\n", m.To, m.UpstreamNew)
+	} else {
+		b.WriteString("  upstream side: PE write interface (source hop, no status register)\n")
+	}
+	if !m.HeadHop {
+		fmt.Fprintf(&b, "  downstream INC port:   %s\n", m.Downstream)
+	} else {
+		b.WriteString("  downstream side: header buffer (head hop, no connection yet)\n")
+	}
+	return b.String()
+}
+
+// Timeline collects occupancy snapshots for Figure 5-style frame
+// sequences.
+type Timeline struct {
+	Frames []*core.Snapshot
+}
+
+// Capture appends the network's current snapshot.
+func (t *Timeline) Capture(n *core.Network) {
+	t.Frames = append(t.Frames, n.Snapshot())
+}
+
+// Render draws every captured frame in order.
+func (t *Timeline) Render() string {
+	var b strings.Builder
+	for i, f := range t.Frames {
+		fmt.Fprintf(&b, "frame %d:\n%s\n", i, RenderOccupancy(f))
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rmb/internal/baseline/fattree"
+	"rmb/internal/core"
+)
+
+func runSmallNetwork(t *testing.T, log *Log) *core.Network {
+	t.Helper()
+	n, err := core.NewNetwork(core.Config{Nodes: 8, Buses: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log != nil {
+		n.SetRecorder(log)
+	}
+	if _, err := n.Send(0, 5, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(2, 7, []uint64{4}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLogCapturesLifecycle(t *testing.T) {
+	log := NewLog(0)
+	n := runSmallNetwork(t, log)
+	if err := n.Drain(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.VBEv) == 0 {
+		t.Fatal("no virtual-bus events recorded")
+	}
+	if len(log.Moves) == 0 {
+		t.Fatal("no compaction moves recorded")
+	}
+	events := log.EventsFor(1)
+	if len(events) == 0 || events[0].Event != "inserted" {
+		t.Errorf("vb1 events start with %v", events)
+	}
+	last := events[len(events)-1]
+	if last.Event != "torn-down" {
+		t.Errorf("vb1 final event %q", last.Event)
+	}
+	if moves := log.MovesFor(1); len(moves) == 0 {
+		t.Error("vb1 never compacted")
+	}
+}
+
+func TestLogCapBounds(t *testing.T) {
+	log := NewLog(5)
+	n := runSmallNetwork(t, log)
+	if err := n.Drain(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.VBEv) > 5 || len(log.Moves) > 5 {
+		t.Errorf("cap exceeded: %d events, %d moves", len(log.VBEv), len(log.Moves))
+	}
+}
+
+func TestRenderOccupancy(t *testing.T) {
+	n := runSmallNetwork(t, nil)
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	out := RenderOccupancy(n.Snapshot())
+	if !strings.Contains(out, "bus  2") || !strings.Contains(out, "bus  0") {
+		t.Errorf("missing bus rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("missing bus glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "vb1(0->5") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+}
+
+func TestRenderVirtualBuses(t *testing.T) {
+	n := runSmallNetwork(t, nil)
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	out := RenderVirtualBuses(n.Snapshot())
+	if !strings.Contains(out, "vb1") || !strings.Contains(out, "levels=") {
+		t.Errorf("render:\n%s", out)
+	}
+	empty, _ := core.NewNetwork(core.Config{Nodes: 4, Buses: 2})
+	if !strings.Contains(RenderVirtualBuses(empty.Snapshot()), "none") {
+		t.Error("empty network render missing (none)")
+	}
+}
+
+func TestRenderStatusRegisters(t *testing.T) {
+	n := runSmallNetwork(t, nil)
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	out := RenderStatusRegisters(n.Snapshot())
+	if !strings.Contains(out, "010") {
+		t.Errorf("no straight codes rendered:\n%s", out)
+	}
+}
+
+func TestRenderMove(t *testing.T) {
+	log := NewLog(0)
+	n := runSmallNetwork(t, log)
+	if err := n.Drain(10_000); err != nil {
+		t.Fatal(err)
+	}
+	var mid, source core.Move
+	var haveMid, haveSource bool
+	for _, m := range log.Moves {
+		if !m.PESource && !m.HeadHop && !haveMid {
+			mid, haveMid = m, true
+		}
+		if m.PESource && !haveSource {
+			source, haveSource = m, true
+		}
+	}
+	if haveMid {
+		out := RenderMove(mid)
+		if !strings.Contains(out, "->") || !strings.Contains(out, "upstream INC") {
+			t.Errorf("mid-bus move render:\n%s", out)
+		}
+	}
+	if haveSource {
+		out := RenderMove(source)
+		if !strings.Contains(out, "PE write interface") {
+			t.Errorf("source move render:\n%s", out)
+		}
+	}
+	if !haveMid && !haveSource {
+		t.Fatal("no moves classified")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	n := runSmallNetwork(t, nil)
+	var tl Timeline
+	for i := 0; i < 4; i++ {
+		tl.Capture(n)
+		n.Step()
+	}
+	out := tl.Render()
+	if strings.Count(out, "frame") != 4 {
+		t.Errorf("timeline frames:\n%s", out)
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	checks := map[string]string{
+		Figure1(16, 4): "bus segment 3",
+		Figure6(4):     "out 0 <- in 1",
+		Figure7():      "100 -> 110 -> 010",
+		Figure8():      "odd",
+		Figure9():      "datapath",
+		Figure10():     "rule 5",
+	}
+	for out, want := range checks {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	tr, err := fattree.NewKPermutation(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Figure11(tr, 8)
+	if !strings.Contains(out, "8-permutation") || !strings.Contains(out, "capacity 8") {
+		t.Errorf("figure 11:\n%s", out)
+	}
+}
+
+func TestGlyphStability(t *testing.T) {
+	if glyphFor(1) != 'A' || glyphFor(2) != 'B' {
+		t.Error("glyphs shifted")
+	}
+	if glyphFor(63) != glyphFor(1) {
+		t.Error("glyph wraparound mismatch") // 62 glyphs in the alphabet
+	}
+}

@@ -1,0 +1,345 @@
+// Package workload generates the communication patterns used by the
+// experiments: full and partial (h-) permutations, the classic structured
+// permutations (bit reversal, transpose, perfect shuffle), uniform random
+// traffic, hotspot traffic, and ring-distance-controlled patterns.
+//
+// A pattern is a set of (src, dst) demands; generators return Pattern
+// values that the harness feeds to any of the network simulators.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"rmb/internal/sim"
+)
+
+// Demand is one point-to-point communication requirement.
+type Demand struct {
+	Src, Dst int
+}
+
+// Pattern is a set of demands over n nodes.
+type Pattern struct {
+	// Name describes the generator and its parameters.
+	Name string
+	// Nodes is the node count the pattern addresses.
+	Nodes int
+	// Demands lists the required communications.
+	Demands []Demand
+}
+
+// Validate checks that every demand addresses distinct in-range nodes.
+func (p Pattern) Validate() error {
+	for i, d := range p.Demands {
+		if d.Src < 0 || d.Src >= p.Nodes || d.Dst < 0 || d.Dst >= p.Nodes {
+			return fmt.Errorf("workload: demand %d (%d->%d) outside [0,%d)", i, d.Src, d.Dst, p.Nodes)
+		}
+		if d.Src == d.Dst {
+			return fmt.Errorf("workload: demand %d is a self-send at node %d", i, d.Src)
+		}
+	}
+	return nil
+}
+
+// IsPartialPermutation reports whether no source sends twice and no
+// destination receives twice (the paper's h-permutation shape).
+func (p Pattern) IsPartialPermutation() bool {
+	srcs := make(map[int]bool, len(p.Demands))
+	dsts := make(map[int]bool, len(p.Demands))
+	for _, d := range p.Demands {
+		if srcs[d.Src] || dsts[d.Dst] {
+			return false
+		}
+		srcs[d.Src] = true
+		dsts[d.Dst] = true
+	}
+	return true
+}
+
+// MaxRingLoad reports the maximum number of demands crossing any single
+// clockwise ring hop — the quantity Theorem 1 compares against k, and
+// the off-line scheduler's congestion lower bound.
+func (p Pattern) MaxRingLoad() int {
+	loads := p.RingLoads()
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// RingLoads reports, per clockwise hop h (from node h to h+1 mod N), how
+// many demands cross it.
+func (p Pattern) RingLoads() []int {
+	loads := make([]int, p.Nodes)
+	for _, d := range p.Demands {
+		h := d.Src
+		for h != d.Dst {
+			loads[h]++
+			h = (h + 1) % p.Nodes
+		}
+	}
+	return loads
+}
+
+// TotalHops reports the sum of clockwise distances over all demands.
+func (p Pattern) TotalHops() int {
+	total := 0
+	for _, d := range p.Demands {
+		dist := (d.Dst - d.Src) % p.Nodes
+		if dist < 0 {
+			dist += p.Nodes
+		}
+		total += dist
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (p Pattern) Clone() Pattern {
+	q := p
+	q.Demands = append([]Demand(nil), p.Demands...)
+	return q
+}
+
+// RandomPermutation returns a full permutation pattern over n nodes with
+// fixed points removed (a node never sends to itself).
+func RandomPermutation(n int, rng *sim.RNG) Pattern {
+	perm := rng.Perm(n)
+	p := Pattern{Name: fmt.Sprintf("random-permutation(n=%d)", n), Nodes: n}
+	for s, d := range perm {
+		if s != d {
+			p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+		}
+	}
+	return p
+}
+
+// RandomHPermutation returns an h-permutation: h distinct sources paired
+// with h distinct destinations ("any arbitrary k messages" in the
+// paper's definition of the k-permutation capability metric).
+func RandomHPermutation(n, h int, rng *sim.RNG) Pattern {
+	if h > n {
+		h = n
+	}
+	srcs := rng.Perm(n)[:h]
+	dsts := rng.Perm(n)[:h]
+	p := Pattern{Name: fmt.Sprintf("random-h-permutation(n=%d,h=%d)", n, h), Nodes: n}
+	for i := 0; i < h; i++ {
+		if srcs[i] != dsts[i] {
+			p.Demands = append(p.Demands, Demand{Src: srcs[i], Dst: dsts[i]})
+		}
+	}
+	return p
+}
+
+// BitReversal pairs each node with the bit-reversal of its index. n must
+// be a power of two.
+func BitReversal(n int) (Pattern, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return Pattern{}, fmt.Errorf("workload: bit reversal needs a power-of-two node count, got %d", n)
+	}
+	w := bits.Len(uint(n)) - 1
+	p := Pattern{Name: fmt.Sprintf("bit-reversal(n=%d)", n), Nodes: n}
+	for s := 0; s < n; s++ {
+		d := int(bits.Reverse64(uint64(s)) >> (64 - w))
+		if s != d {
+			p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+		}
+	}
+	return p, nil
+}
+
+// Transpose pairs node (r, c) with node (c, r) on a √n × √n grid
+// embedding. n must be a perfect square.
+func Transpose(n int) (Pattern, error) {
+	side := intSqrt(n)
+	if side*side != n {
+		return Pattern{}, fmt.Errorf("workload: transpose needs a square node count, got %d", n)
+	}
+	p := Pattern{Name: fmt.Sprintf("transpose(n=%d)", n), Nodes: n}
+	for s := 0; s < n; s++ {
+		r, c := s/side, s%side
+		d := c*side + r
+		if s != d {
+			p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+		}
+	}
+	return p, nil
+}
+
+// PerfectShuffle pairs each node with its one-bit left-rotation. n must
+// be a power of two.
+func PerfectShuffle(n int) (Pattern, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return Pattern{}, fmt.Errorf("workload: perfect shuffle needs a power-of-two node count, got %d", n)
+	}
+	w := bits.Len(uint(n)) - 1
+	p := Pattern{Name: fmt.Sprintf("perfect-shuffle(n=%d)", n), Nodes: n}
+	for s := 0; s < n; s++ {
+		d := ((s << 1) | (s >> (w - 1))) & (n - 1)
+		if s != d {
+			p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+		}
+	}
+	return p, nil
+}
+
+// RingShift pairs node i with node (i+shift) mod n — the uniform-distance
+// pattern that stresses every hop equally.
+func RingShift(n, shift int) Pattern {
+	shift = ((shift % n) + n) % n
+	p := Pattern{Name: fmt.Sprintf("ring-shift(n=%d,s=%d)", n, shift), Nodes: n}
+	if shift == 0 {
+		return p
+	}
+	for s := 0; s < n; s++ {
+		p.Demands = append(p.Demands, Demand{Src: s, Dst: (s + shift) % n})
+	}
+	return p
+}
+
+// UniformRandom returns m independent uniformly random demands (sources
+// and destinations may repeat — not a permutation).
+func UniformRandom(n, m int, rng *sim.RNG) Pattern {
+	p := Pattern{Name: fmt.Sprintf("uniform-random(n=%d,m=%d)", n, m), Nodes: n}
+	for i := 0; i < m; i++ {
+		s := rng.Intn(n)
+		d := rng.Intn(n - 1)
+		if d >= s {
+			d++
+		}
+		p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+	}
+	return p
+}
+
+// Hotspot returns m demands where each destination is the hotspot node
+// with probability heat (0..1) and uniform otherwise.
+func Hotspot(n, m, hotspot int, heat float64, rng *sim.RNG) Pattern {
+	p := Pattern{Name: fmt.Sprintf("hotspot(n=%d,m=%d,node=%d,heat=%.2f)", n, m, hotspot, heat), Nodes: n}
+	for i := 0; i < m; i++ {
+		s := rng.Intn(n)
+		var d int
+		if rng.Float64() < heat && s != hotspot {
+			d = hotspot
+		} else {
+			d = rng.Intn(n - 1)
+			if d >= s {
+				d++
+			}
+		}
+		p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+	}
+	return p
+}
+
+// NearestNeighbour pairs every node with its clockwise neighbour.
+func NearestNeighbour(n int) Pattern {
+	return RingShift(n, 1)
+}
+
+// BitComplement pairs each node with its bitwise complement — the
+// classic worst case for dimension-ordered networks. n must be a power
+// of two.
+func BitComplement(n int) (Pattern, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return Pattern{}, fmt.Errorf("workload: bit complement needs a power-of-two node count, got %d", n)
+	}
+	p := Pattern{Name: fmt.Sprintf("bit-complement(n=%d)", n), Nodes: n}
+	for s := 0; s < n; s++ {
+		d := (n - 1) ^ s
+		if s != d {
+			p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+		}
+	}
+	return p, nil
+}
+
+// Tornado pairs node i with node i + ceil(n/2) - 1, the adversarial
+// pattern for minimal adaptive ring routing (just under half-way, so
+// every message takes the same direction).
+func Tornado(n int) Pattern {
+	p := RingShift(n, (n+1)/2-1)
+	p.Name = fmt.Sprintf("tornado(n=%d)", n)
+	return p
+}
+
+// Butterfly pairs each node with the address formed by swapping its top
+// and bottom bits. n must be a power of two.
+func Butterfly(n int) (Pattern, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return Pattern{}, fmt.Errorf("workload: butterfly needs a power-of-two node count, got %d", n)
+	}
+	w := bits.Len(uint(n)) - 1
+	p := Pattern{Name: fmt.Sprintf("butterfly(n=%d)", n), Nodes: n}
+	for s := 0; s < n; s++ {
+		lo := s & 1
+		hi := (s >> (w - 1)) & 1
+		d := s &^ 1 &^ (1 << (w - 1))
+		d |= hi | lo<<(w-1)
+		if s != d {
+			p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+		}
+	}
+	return p, nil
+}
+
+// AllToAll returns one demand for every ordered pair of distinct nodes —
+// n·(n-1) messages, the densest closed workload.
+func AllToAll(n int) Pattern {
+	p := Pattern{Name: fmt.Sprintf("all-to-all(n=%d)", n), Nodes: n}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				p.Demands = append(p.Demands, Demand{Src: s, Dst: d})
+			}
+		}
+	}
+	return p
+}
+
+// BoundedLoadPermutation draws random h-permutations until one has ring
+// load at most maxLoad, so Theorem-1 experiments can control feasibility.
+// It returns an error if attempts random draws all exceed the bound.
+func BoundedLoadPermutation(n, h, maxLoad, attempts int, rng *sim.RNG) (Pattern, error) {
+	for i := 0; i < attempts; i++ {
+		p := RandomHPermutation(n, h, rng)
+		if p.MaxRingLoad() <= maxLoad {
+			p.Name = fmt.Sprintf("bounded-load-permutation(n=%d,h=%d,load<=%d)", n, h, maxLoad)
+			return p, nil
+		}
+	}
+	return Pattern{}, fmt.Errorf("workload: no h=%d permutation with ring load <= %d found in %d attempts", h, maxLoad, attempts)
+}
+
+// SortedByDistance returns the demands ordered by increasing clockwise
+// distance; useful for deterministic scheduling baselines.
+func (p Pattern) SortedByDistance() []Demand {
+	out := append([]Demand(nil), p.Demands...)
+	n := p.Nodes
+	dist := func(d Demand) int {
+		x := (d.Dst - d.Src) % n
+		if x < 0 {
+			x += n
+		}
+		return x
+	}
+	sort.SliceStable(out, func(i, j int) bool { return dist(out[i]) < dist(out[j]) })
+	return out
+}
+
+func intSqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmb/internal/sim"
+)
+
+func TestRandomPermutationValidity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.Intn(60)
+		p := RandomPermutation(n, rng)
+		if p.Validate() != nil {
+			return false
+		}
+		return p.IsPartialPermutation()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomHPermutationShape(t *testing.T) {
+	rng := sim.NewRNG(1)
+	p := RandomHPermutation(20, 7, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsPartialPermutation() {
+		t.Error("h-permutation has repeated endpoints")
+	}
+	if len(p.Demands) > 7 {
+		t.Errorf("%d demands, want at most 7", len(p.Demands))
+	}
+	// h > n clamps.
+	q := RandomHPermutation(5, 50, rng)
+	if len(q.Demands) > 5 {
+		t.Errorf("clamped h-permutation has %d demands", len(q.Demands))
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	p, err := BitReversal(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 = 001 reverses to 100 = 4 on 3 bits.
+	found := false
+	for _, d := range p.Demands {
+		if d.Src == 1 && d.Dst == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bit reversal missing 1->4: %v", p.Demands)
+	}
+	if _, err := BitReversal(6); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := BitReversal(0); err == nil {
+		t.Error("zero accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p, err := Transpose(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (r=1, c=2) = node 6 maps to (2, 1) = node 9.
+	found := false
+	for _, d := range p.Demands {
+		if d.Src == 6 && d.Dst == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("transpose missing 6->9")
+	}
+	if _, err := Transpose(10); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestPerfectShuffle(t *testing.T) {
+	p, err := PerfectShuffle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 = 011 -> left-rotate -> 110 = 6.
+	found := false
+	for _, d := range p.Demands {
+		if d.Src == 3 && d.Dst == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("shuffle missing 3->6")
+	}
+	if _, err := PerfectShuffle(12); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestRingShiftLoads(t *testing.T) {
+	p := RingShift(10, 3)
+	if len(p.Demands) != 10 {
+		t.Fatalf("%d demands", len(p.Demands))
+	}
+	for _, l := range p.RingLoads() {
+		if l != 3 {
+			t.Fatalf("ring-shift(3) loads %v, want uniform 3", p.RingLoads())
+		}
+	}
+	if p.MaxRingLoad() != 3 {
+		t.Errorf("max load %d", p.MaxRingLoad())
+	}
+	if got := RingShift(10, 0); len(got.Demands) != 0 {
+		t.Error("shift 0 produced demands")
+	}
+	if got := RingShift(10, -3); got.MaxRingLoad() != 7 {
+		t.Errorf("negative shift normalizes to 7, got %d", got.MaxRingLoad())
+	}
+}
+
+func TestUniformRandomNoSelfSends(t *testing.T) {
+	rng := sim.NewRNG(5)
+	p := UniformRandom(9, 500, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Demands) != 500 {
+		t.Fatalf("%d demands", len(p.Demands))
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	rng := sim.NewRNG(5)
+	p := Hotspot(16, 1000, 3, 0.8, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, d := range p.Demands {
+		if d.Dst == 3 {
+			hits++
+		}
+	}
+	if hits < 600 {
+		t.Errorf("hotspot hit %d/1000, want >= 600 at heat 0.8", hits)
+	}
+}
+
+func TestTotalHopsAndLoadsAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.Intn(30)
+		p := UniformRandom(n, rng.Intn(50), rng)
+		sum := 0
+		for _, l := range p.RingLoads() {
+			sum += l
+		}
+		return sum == p.TotalHops()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedLoadPermutation(t *testing.T) {
+	rng := sim.NewRNG(2)
+	p, err := BoundedLoadPermutation(16, 6, 2, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxRingLoad() > 2 {
+		t.Errorf("load %d exceeds bound", p.MaxRingLoad())
+	}
+	// Impossible bound errors out.
+	if _, err := BoundedLoadPermutation(16, 16, 0, 50, rng); err == nil {
+		t.Error("load bound 0 satisfied by non-empty permutation")
+	}
+}
+
+func TestSortedByDistance(t *testing.T) {
+	p := Pattern{Nodes: 10, Demands: []Demand{{0, 5}, {0, 1}, {0, 9}, {3, 4}}}
+	got := p.SortedByDistance()
+	dist := func(d Demand) int { return (d.Dst - d.Src + 10) % 10 }
+	for i := 1; i < len(got); i++ {
+		if dist(got[i-1]) > dist(got[i]) {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+	// Original slice untouched.
+	if p.Demands[0].Dst != 5 {
+		t.Error("SortedByDistance mutated the pattern")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Pattern{
+		{Nodes: 4, Demands: []Demand{{0, 4}}},
+		{Nodes: 4, Demands: []Demand{{-1, 2}}},
+		{Nodes: 4, Demands: []Demand{{2, 2}}},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("pattern %d validated", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := RingShift(6, 1)
+	q := p.Clone()
+	q.Demands[0].Dst = 5
+	if p.Demands[0].Dst == 5 {
+		t.Error("clone shares demand storage")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p, err := BitComplement(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Demands) != 8 { // no fixed points for the complement
+		t.Errorf("%d demands", len(p.Demands))
+	}
+	found := false
+	for _, d := range p.Demands {
+		if d.Src == 2 && d.Dst == 5 { // 010 -> 101
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bit complement missing 2->5")
+	}
+	if !p.IsPartialPermutation() {
+		t.Error("bit complement is not a permutation")
+	}
+	if _, err := BitComplement(6); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestTornado(t *testing.T) {
+	p := Tornado(8) // shift by 3
+	if p.MaxRingLoad() != 3 {
+		t.Errorf("tornado(8) ring load %d, want 3", p.MaxRingLoad())
+	}
+	q := Tornado(9) // shift by 4
+	if q.MaxRingLoad() != 4 {
+		t.Errorf("tornado(9) ring load %d, want 4", q.MaxRingLoad())
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	p, err := Butterfly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 swaps top/bottom bits -> 001.
+	found := false
+	for _, d := range p.Demands {
+		if d.Src == 4 && d.Dst == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("butterfly missing 4->1: %v", p.Demands)
+	}
+	if !p.IsPartialPermutation() {
+		t.Error("butterfly is not a permutation")
+	}
+	if _, err := Butterfly(10); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	p := AllToAll(5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Demands) != 20 {
+		t.Errorf("%d demands, want 20", len(p.Demands))
+	}
+	// Every hop carries the same load by symmetry: total hops / n.
+	loads := p.RingLoads()
+	for _, l := range loads {
+		if l != loads[0] {
+			t.Fatalf("asymmetric loads %v", loads)
+		}
+	}
+}
+
+func TestIsPartialPermutationRejectsDuplicates(t *testing.T) {
+	p := Pattern{Nodes: 6, Demands: []Demand{{0, 1}, {0, 2}}}
+	if p.IsPartialPermutation() {
+		t.Error("duplicate source accepted")
+	}
+	q := Pattern{Nodes: 6, Demands: []Demand{{0, 1}, {2, 1}}}
+	if q.IsPartialPermutation() {
+		t.Error("duplicate destination accepted")
+	}
+}
