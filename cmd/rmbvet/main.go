@@ -1,0 +1,170 @@
+// Rmbvet runs the RMB-specific static-analysis suite (internal/lint)
+// over the module: determinism of the cycle-accurate tier, exhaustive
+// protocol-enum switches, run-loop ownership of INC state, atomic counter
+// copy discipline, and guarded channel sends in the async tier.
+//
+// Usage:
+//
+//	rmbvet [flags] [packages]
+//
+// Packages are directory patterns relative to the module root: "./..."
+// (default) analyzes everything; "./internal/core" restricts reporting to
+// one package; a trailing "/..." matches a subtree. The whole module is
+// always loaded and type-checked, so cross-package findings remain exact;
+// patterns only filter what is reported.
+//
+// Exit status: 0 clean, 1 findings reported, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rmb/internal/lint"
+)
+
+func main() {
+	var (
+		rootFlag   = flag.String("root", "", "module root directory (default: ascend from cwd to go.mod)")
+		moduleFlag = flag.String("module", "", "module import path (default: the module line of go.mod)")
+		listFlag   = flag.Bool("list", false, "list analyzers and exit")
+		jsonFlag   = flag.Bool("json", false, "emit findings as JSON")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := *rootFlag
+	if root == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		root, err = lint.FindModuleRoot(cwd)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	modpath := *moduleFlag
+	if modpath == "" {
+		var err error
+		modpath, err = lint.ModulePath(root)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	m, err := lint.LoadModule(root, modpath)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := checkPatterns(m, patterns); err != nil {
+		fatal(err)
+	}
+	diags := filterDiags(lint.Run(m), m, patterns)
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			rel, err := filepath.Rel(root, d.Pos.Filename)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				rel = d.Pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rmbvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	if !*jsonFlag {
+		fmt.Printf("rmbvet: ok (%d packages, %d analyzers)\n", len(m.Pkgs), len(lint.Analyzers()))
+	}
+}
+
+// checkPatterns rejects directory patterns that match no loaded package,
+// so a typo cannot silently report a clean run.
+func checkPatterns(m *lint.Module, patterns []string) error {
+	for _, raw := range patterns {
+		p := strings.TrimPrefix(filepath.ToSlash(raw), "./")
+		if p == "..." || p == "." {
+			continue
+		}
+		sub, recursive := strings.CutSuffix(p, "/...")
+		found := false
+		for _, pkg := range m.Pkgs {
+			rel, err := filepath.Rel(m.Root, pkg.Dir)
+			if err != nil {
+				continue
+			}
+			rel = filepath.ToSlash(rel)
+			if rel == sub || (recursive && strings.HasPrefix(rel, sub+"/")) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("pattern %q matches no packages in %s", raw, m.Root)
+		}
+	}
+	return nil
+}
+
+// filterDiags keeps the findings whose package matches one of the
+// directory patterns.
+func filterDiags(diags []lint.Diagnostic, m *lint.Module, patterns []string) []lint.Diagnostic {
+	match := func(d lint.Diagnostic) bool {
+		rel, err := filepath.Rel(m.Root, filepath.Dir(d.Pos.Filename))
+		if err != nil {
+			return true
+		}
+		rel = filepath.ToSlash(rel)
+		for _, p := range patterns {
+			p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+			if p == "..." || p == "." {
+				return true
+			}
+			if sub, ok := strings.CutSuffix(p, "/..."); ok {
+				if rel == sub || strings.HasPrefix(rel, sub+"/") {
+					return true
+				}
+				continue
+			}
+			if rel == p {
+				return true
+			}
+		}
+		return false
+	}
+	out := make([]lint.Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if match(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmbvet:", err)
+	os.Exit(2)
+}

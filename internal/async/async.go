@@ -18,7 +18,6 @@
 package async
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -167,12 +166,10 @@ func (n *Network) Send(src, dst flit.NodeID, payload []uint64) (flit.MessageID, 
 	id := n.nextID
 	n.idMu.Unlock()
 	m := flit.Message{ID: id, Src: src, Dst: dst, Payload: append([]uint64(nil), payload...)}
-	select {
-	case n.incs[src].inbox <- event{kind: evSend, req: &localSend{msg: m, outLine: -1}}:
-		return id, nil
-	case <-n.done:
-		return 0, errors.New("async: network stopped")
+	if err := n.incs[src].submit(m); err != nil {
+		return 0, err
 	}
+	return id, nil
 }
 
 // Stop shuts the network down; it is safe to call more than once.

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,6 +30,11 @@ type inc struct {
 	// held are header flits waiting for a free legal output line.
 	held []heldHeader
 
+	// tick is the INC's logical clock: it advances only when an evTick
+	// event is drained from the inbox, so every time-based decision
+	// (held-header expiry) is replayable by injecting ticks in tests.
+	tick uint64
+
 	// recvLine is the input line currently delivering to the local PE
 	// (-1 when the receive port is free); recvFlits accumulates the
 	// message.
@@ -46,8 +52,15 @@ const localSource = -1
 type heldHeader struct {
 	line  int
 	frame []byte
-	since time.Time
+	// tick is the INC's logical tick at which the header was parked.
+	tick uint64
 }
+
+// heldExpiryTicks is how many logical ticks a held header may wait before
+// the INC refuses it with a Nack. Ticks arrive every HeadTimeout/2, so
+// two ticks approximate the configured HeadTimeout without ever reading
+// the wall clock into protocol state.
+const heldExpiryTicks = 2
 
 func newINC(n *Network, id int) *inc {
 	left := (id - 1 + n.cfg.Nodes) % n.cfg.Nodes
@@ -74,7 +87,31 @@ func (c *inc) start() {
 		go c.feed(c.outputs[l].back, event{kind: evAck, line: l})
 	}
 	c.net.wg.Add(1)
+	go c.tickLoop()
+	c.net.wg.Add(1)
 	go c.run()
+}
+
+// tickLoop feeds evTick events into the inbox every HeadTimeout/2. The
+// run loop never touches the wall clock itself: real time enters the INC
+// only as serialized tick events, keeping all protocol decisions a pure
+// function of the inbox sequence.
+func (c *inc) tickLoop() {
+	defer c.net.wg.Done()
+	t := time.NewTicker(c.net.cfg.HeadTimeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			select {
+			case c.inbox <- event{kind: evTick}:
+			case <-c.net.done:
+				return
+			}
+		case <-c.net.done:
+			return
+		}
+	}
 }
 
 // feed moves frames from one channel into the inbox until shutdown.
@@ -99,8 +136,6 @@ func (c *inc) feed(ch <-chan []byte, template event) {
 // run is the INC's serialized event loop.
 func (c *inc) run() {
 	defer c.net.wg.Done()
-	tick := time.NewTicker(c.net.cfg.HeadTimeout / 2)
-	defer tick.Stop()
 	for {
 		select {
 		case ev := <-c.inbox:
@@ -112,14 +147,37 @@ func (c *inc) run() {
 			case evSend:
 				c.sendQueue = append(c.sendQueue, ev.req)
 				c.tryInsert()
+			case evTick:
+				c.onTick()
+			default:
+				panic(fmt.Sprintf("async: inc%d unknown event kind %d", c.id, ev.kind))
 			}
-		case <-tick.C:
-			c.expireHeld()
-			c.retryHeld()
-			c.tryInsert()
 		case <-c.net.done:
 			return
 		}
+	}
+}
+
+// onTick advances the logical clock and runs the time-driven duties:
+// expiring stale held headers, retrying the rest, and reattempting local
+// insertion.
+func (c *inc) onTick() {
+	c.tick++
+	c.expireHeld()
+	c.retryHeld()
+	c.tryInsert()
+}
+
+// submit enqueues a locally originated message onto the serialized inbox;
+// it reports failure once the network is stopped. This is the only door
+// into the INC for other goroutines — all inc fields stay owned by the
+// run loop.
+func (c *inc) submit(m flit.Message) error {
+	select {
+	case c.inbox <- event{kind: evSend, req: &localSend{msg: m, outLine: -1}}:
+		return nil
+	case <-c.net.done:
+		return errors.New("async: network stopped")
 	}
 }
 
@@ -179,7 +237,7 @@ func (c *inc) onHeader(line int, f flit.Flit, frame []byte) {
 		return
 	}
 	c.net.ctr.headersHeld.Add(1)
-	c.held = append(c.held, heldHeader{line: line, frame: frame, since: time.Now()})
+	c.held = append(c.held, heldHeader{line: line, frame: frame, tick: c.tick})
 }
 
 // forwardHeader connects input line to the lowest free legal output line
@@ -205,6 +263,10 @@ func (c *inc) forwardHeader(line int, frame []byte) bool {
 func (c *inc) onLocalFlit(line int, f flit.Flit) {
 	c.recvFlits = append(c.recvFlits, f)
 	switch f.Kind {
+	case flit.Header:
+		// onFlit routes headers to onHeader; one arriving here means the
+		// source violated HF/DF/FF sequencing.
+		panic(fmt.Sprintf("async: inc%d received second header %v on open receive line %d", c.id, f, line))
 	case flit.Data:
 		c.sendBack(line, flit.AckSignal{Ack: flit.Dack, Msg: f.Msg, Seq: f.Seq})
 	case flit.Final:
@@ -350,13 +412,12 @@ func (c *inc) retryHeld() {
 	c.held = kept
 }
 
-// expireHeld refuses headers that have been blocked past the timeout,
-// releasing their upstream trails with a Nack.
+// expireHeld refuses headers that have been blocked past the logical-tick
+// timeout, releasing their upstream trails with a Nack.
 func (c *inc) expireHeld() {
-	now := time.Now()
 	kept := c.held[:0]
 	for _, h := range c.held {
-		if now.Sub(h.since) >= c.net.cfg.HeadTimeout {
+		if c.tick-h.tick >= heldExpiryTicks {
 			f, _, err := flit.DecodeFlit(h.frame)
 			if err == nil {
 				c.net.ctr.headersExpired.Add(1)

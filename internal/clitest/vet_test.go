@@ -1,0 +1,105 @@
+package clitest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRmbvetCleanRepo runs the analyzer suite over this repository: the
+// binary must exit 0 and report the package and analyzer counts.
+func TestRmbvetCleanRepo(t *testing.T) {
+	out, err := run(t, "rmbvet", "./...")
+	if err != nil {
+		t.Fatalf("rmbvet found violations in the repo:\n%s", out)
+	}
+	if !strings.Contains(out, "rmbvet: ok") {
+		t.Errorf("missing ok banner:\n%s", out)
+	}
+}
+
+// TestRmbvetList checks the analyzer inventory exposed by -list.
+func TestRmbvetList(t *testing.T) {
+	out, err := run(t, "rmbvet", "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, name := range []string{"determinism", "exhaustive", "inc-ownership", "atomic-discipline", "unbounded-send"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestRmbvetFixtureGolden runs the built binary against the seeded
+// fixture module and compares its findings, line for line, with the lint
+// package's golden file — the CLI and the library must agree exactly.
+func TestRmbvetFixtureGolden(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureRoot := filepath.Join(repoRoot, "internal", "lint", "testdata", "src")
+	out, err := run(t, "rmbvet", "-root", fixtureRoot, "-module", "fixture", "./...")
+	if err == nil {
+		t.Fatalf("rmbvet exited 0 on the seeded fixture:\n%s", out)
+	}
+
+	golden, err := os.ReadFile(filepath.Join(repoRoot, "internal", "lint", "testdata", "fixture.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "rmbvet:") {
+			continue // summary banner on stderr
+		}
+		findings = append(findings, line)
+	}
+	got := strings.Join(findings, "\n") + "\n"
+	if got != string(golden) {
+		t.Errorf("binary findings diverge from golden file.\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+	wantCount := len(strings.Split(strings.TrimSpace(string(golden)), "\n"))
+	if !strings.Contains(out, fmt.Sprintf("rmbvet: %d finding(s)", wantCount)) {
+		t.Errorf("summary banner missing or wrong (want %d findings):\n%s", wantCount, out)
+	}
+}
+
+// TestRmbvetUnknownPattern: a typo'd package pattern must be a usage
+// error (exit 2), never a silently clean run.
+func TestRmbvetUnknownPattern(t *testing.T) {
+	out, err := run(t, "rmbvet", "./internal/nosuchpkg")
+	if err == nil {
+		t.Fatalf("rmbvet exited 0 on an unknown pattern:\n%s", out)
+	}
+	if strings.Contains(out, "rmbvet: ok") {
+		t.Errorf("unknown pattern reported a clean run:\n%s", out)
+	}
+	if !strings.Contains(out, "matches no packages") {
+		t.Errorf("error does not name the unmatched pattern:\n%s", out)
+	}
+}
+
+// TestRmbvetPackageFilter restricts reporting to one fixture package.
+func TestRmbvetPackageFilter(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureRoot := filepath.Join(repoRoot, "internal", "lint", "testdata", "src")
+	out, err := run(t, "rmbvet", "-root", fixtureRoot, "-module", "fixture", "./internal/async")
+	if err == nil {
+		t.Fatalf("rmbvet exited 0 on the seeded async fixture:\n%s", out)
+	}
+	if strings.Contains(out, "internal/core/core.go") {
+		t.Errorf("filter leaked core findings:\n%s", out)
+	}
+	for _, want := range []string{"inc-ownership", "unbounded-send"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("filtered run missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -34,6 +34,7 @@ func (n *Network) Audit() error {
 // one record regardless of fanout).
 func (n *Network) auditConservation() error {
 	var unfinished int64
+	//rmbvet:allow determinism commutative count; iteration order cannot change the sum
 	for _, r := range n.records {
 		if !r.Done {
 			unfinished++
@@ -42,6 +43,7 @@ func (n *Network) auditConservation() error {
 	// A delivered message's virtual bus lives on through the Fack sweep;
 	// count only buses whose message has not completed.
 	inFlight := int64(0)
+	//rmbvet:allow determinism commutative count; iteration order cannot change the sum
 	for _, vb := range n.vbs {
 		if r := n.records[vb.Msg]; r == nil || !r.Done {
 			inFlight++
@@ -82,6 +84,7 @@ func (n *Network) auditOccupancy() error {
 			seen[id]++
 		}
 	}
+	//rmbvet:allow determinism independent per-bus check; either every bus passes or the first (any) failure aborts the run
 	for id, vb := range n.vbs {
 		if seen[id] != len(vb.Levels) {
 			return fmt.Errorf("core: audit: vb%d spans %d hops but occupies %d segments", id, len(vb.Levels), seen[id])

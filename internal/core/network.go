@@ -222,6 +222,7 @@ func (n *Network) Stats() Stats { return n.stats }
 // The returned map is a copy; the records are shared snapshots.
 func (n *Network) Records() map[flit.MessageID]MsgRecord {
 	out := make(map[flit.MessageID]MsgRecord, len(n.records))
+	//rmbvet:allow determinism map-to-map copy; the result is keyed, so order cannot be observed
 	for id, r := range n.records {
 		out[id] = *r
 	}

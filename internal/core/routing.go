@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"rmb/internal/flit"
 	"rmb/internal/sim"
 )
@@ -43,6 +45,11 @@ func (n *Network) stepBackwardSignals(now sim.Tick) bool {
 			if vb.AckHop < 0 {
 				n.finishTeardown(now, vb)
 			}
+		case VBExtending, VBTransferring, VBFinalPropagating:
+			// Forward-path states; advanced by stepForward.
+		case VBDone, VBRefused:
+			// Terminal states are removed from the active set by
+			// finishTeardown; the auditor flags any that linger.
 		}
 	}
 	return progress
@@ -74,6 +81,8 @@ func (n *Network) finishTeardown(now sim.Tick, vb *VirtualBus) {
 		vb.State = VBRefused
 		n.rec.VBEvent(now, vb, "torn-down")
 		n.scheduleRetry(now, vb)
+	default:
+		panic(fmt.Sprintf("core: finishTeardown on vb%d in state %s", vb.ID, vb.State))
 	}
 	n.removeVB(vb)
 }
@@ -153,6 +162,11 @@ func (n *Network) stepForward(now sim.Tick) bool {
 			if now >= vb.progress.ffArriveAt {
 				n.deliver(now, vb)
 			}
+		case VBHackReturning, VBFackReturning, VBNackReturning:
+			// Backward-path states; advanced by stepBackward.
+		case VBDone, VBRefused:
+			// Terminal states never sit in the active set; the auditor
+			// flags any that linger.
 		}
 	}
 	return progress

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func analyzerAtomicDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "atomic-discipline",
+		Doc: "Structs holding sync/atomic values (async's counters) must never be " +
+			"copied or handled by value: a copy tears the counter off its cache line " +
+			"and subsequent loads read a dead snapshot. Value receivers, value " +
+			"parameters/results and struct-copy assignments are flagged; take a " +
+			"pointer instead.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		report := func(pos ast.Node, format string, args ...any) {
+			if d, ok := diag(m, pkg, a.Name, pos.Pos(), format, args...); ok {
+				out = append(out, d)
+			}
+		}
+		memo := make(map[types.Type]bool)
+		bearing := func(t types.Type) (string, bool) {
+			named := namedOf(t)
+			if named == nil {
+				return "", false
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				return "", false
+			}
+			if atomicBearing(named, memo) {
+				return named.Obj().Name(), true
+			}
+			return "", false
+		}
+		checkFieldList := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				tv, ok := pkg.Info.Types[f.Type]
+				if !ok {
+					continue
+				}
+				if name, bad := bearing(tv.Type); bad {
+					report(f, "%s of atomic-bearing struct %s passed by value; use *%s", what, name, name)
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.FuncDecl:
+					checkFieldList(node.Recv, "receiver")
+					checkFieldList(node.Type.Params, "parameter")
+					checkFieldList(node.Type.Results, "result")
+				case *ast.AssignStmt:
+					for _, rhs := range node.Rhs {
+						if isFreshValue(rhs) {
+							continue
+						}
+						tv, ok := pkg.Info.Types[rhs]
+						if !ok {
+							continue
+						}
+						if name, bad := bearing(tv.Type); bad {
+							report(rhs, "assignment copies atomic-bearing struct %s; keep a *%s", name, name)
+						}
+					}
+				case *ast.CallExpr:
+					for _, arg := range node.Args {
+						if isFreshValue(arg) {
+							continue
+						}
+						tv, ok := pkg.Info.Types[arg]
+						if !ok {
+							continue
+						}
+						if name, bad := bearing(tv.Type); bad {
+							report(arg, "call copies atomic-bearing struct %s into a value argument; pass *%s", name, name)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}
+
+// isFreshValue reports expressions that construct a new value rather
+// than copying live state: composite literals and conversions of them.
+func isFreshValue(e ast.Expr) bool {
+	_, isLit := ast.Unparen(e).(*ast.CompositeLit)
+	return isLit
+}
+
+// atomicBearing reports whether the named struct type transitively holds
+// a sync/atomic value by value (directly, via a nested struct field, or
+// via an array element).
+func atomicBearing(named *types.Named, memo map[types.Type]bool) bool {
+	if done, ok := memo[named]; ok {
+		return done
+	}
+	memo[named] = false // break cycles
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	res := false
+	for i := 0; i < st.NumFields(); i++ {
+		if typeHoldsAtomic(st.Field(i).Type(), memo) {
+			res = true
+			break
+		}
+	}
+	memo[named] = res
+	return res
+}
+
+func typeHoldsAtomic(t types.Type, memo map[types.Type]bool) bool {
+	switch tt := t.(type) {
+	case *types.Named:
+		if obj := tt.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+		return atomicBearing(tt, memo)
+	case *types.Alias:
+		return typeHoldsAtomic(types.Unalias(tt), memo)
+	case *types.Array:
+		return typeHoldsAtomic(tt.Elem(), memo)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if typeHoldsAtomic(tt.Field(i).Type(), memo) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// asyncTiers are the packages whose goroutines implement INC run loops;
+// a blocking channel send inside one can wedge the whole ring: the run
+// loop stops draining its inbox, its feeders block, and the upstream INC
+// backs up in turn — exactly the cyclic-wait class the paper's Theorem 1
+// conditions away and the inbox buffering currently hides.
+var asyncTiers = []string{"internal/async", "internal/duplex"}
+
+func analyzerUnboundedSend() *Analyzer {
+	a := &Analyzer{
+		Name: "unbounded-send",
+		Doc: "Channel sends in the async tier must be select comm-clauses (paired " +
+			"with shutdown or a default), never bare `ch <- v` statements: a bare " +
+			"send from a run loop can block forever once buffers fill, deadlocking " +
+			"the ring. Sends with independently guaranteed capacity may be waived " +
+			"with //rmbvet:allow unbounded-send <capacity argument>.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		if !inTier(pkg.Path, asyncTiers...) {
+			return nil
+		}
+		var out []Diagnostic
+		for _, file := range pkg.Files {
+			guarded := make(map[*ast.SendStmt]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				if clause, ok := n.(*ast.CommClause); ok {
+					if send, ok := clause.Comm.(*ast.SendStmt); ok {
+						guarded[send] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				send, ok := n.(*ast.SendStmt)
+				if !ok || guarded[send] {
+					return true
+				}
+				if d, ok := diag(m, pkg, a.Name, send.Pos(),
+					"bare channel send can block an INC run loop forever; make it a select comm-clause guarded by shutdown/default"); ok {
+					out = append(out, d)
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// protocolTiers are the packages whose named integer types with declared
+// constants are treated as protocol enums: the flit vocabulary (Kind,
+// Ack), the Table 1 status codes (PortStatus), the virtual-bus lifecycle
+// (VBState), the Figure 9 phases (Phase), the config enums (SyncMode,
+// HeadRule) and the async event kinds. Switches over these anywhere in
+// the module must be exhaustive.
+var protocolTiers = []string{"internal/flit", "internal/core", "internal/async"}
+
+func analyzerExhaustive() *Analyzer {
+	a := &Analyzer{
+		Name: "exhaustive",
+		Doc: "Every switch over a protocol enum (flit.Kind, flit.Ack, core.PortStatus, " +
+			"core.VBState, core.Phase, core.SyncMode, core.HeadRule, async event kinds) " +
+			"must either cover every declared variant or carry a non-empty default " +
+			"clause, so adding a variant can never silently skip a protocol rule. " +
+			"Guards the six-state Table 1 algebra, the HF/DF/FF sequencing and the " +
+			"Table 2 handshake against partial handling.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sw.Tag]
+				if !ok {
+					return true
+				}
+				named := namedOf(tv.Type)
+				if named == nil {
+					return true
+				}
+				obj := named.Obj()
+				if obj.Pkg() == nil || !inTier(obj.Pkg().Path(), protocolTiers...) {
+					return true
+				}
+				basic, ok := named.Underlying().(*types.Basic)
+				if !ok || basic.Info()&types.IsInteger == 0 {
+					return true
+				}
+				variants := enumConstants(m, obj.Pkg(), named)
+				if len(variants) < 2 {
+					return true
+				}
+
+				covered := make(map[string]bool)
+				hasDefault := false
+				for _, stmt := range sw.Body.List {
+					clause, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					if clause.List == nil {
+						hasDefault = true
+						if len(clause.Body) == 0 {
+							if d, ok := diag(m, pkg, a.Name, clause.Pos(),
+								"empty default clause on switch over %s silently swallows unhandled variants; fail loudly or list them", obj.Name()); ok {
+								out = append(out, d)
+							}
+						}
+						continue
+					}
+					for _, e := range clause.List {
+						cv, ok := pkg.Info.Types[e]
+						if !ok || cv.Value == nil {
+							continue
+						}
+						covered[cv.Value.ExactString()] = true
+					}
+				}
+				if hasDefault {
+					return true
+				}
+				var missing []string
+				for _, v := range variants {
+					if !covered[v.val] {
+						missing = append(missing, v.name)
+					}
+				}
+				if len(missing) > 0 {
+					if d, ok := diag(m, pkg, a.Name, sw.Pos(),
+						"switch over %s.%s is not exhaustive: missing %s (add the cases or a default that fails loudly)",
+						obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", ")); ok {
+						out = append(out, d)
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}
+
+type enumVariant struct {
+	name string
+	val  string // constant.Value.ExactString(), so aliases collapse
+}
+
+// enumConstants lists the package-level constants declared with the
+// exact named type, deduplicated by value (an alias constant does not
+// add a variant).
+func enumConstants(m *Module, in *types.Package, named *types.Named) []enumVariant {
+	scope := in.Scope()
+	seen := make(map[string]bool)
+	var out []enumVariant
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, enumVariant{name: name, val: key})
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture golden file")
+
+// loadFixture loads the seeded-violation module under testdata/src.
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	m, err := LoadModule(filepath.Join("testdata", "src"), "fixture")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	return m
+}
+
+// render formats diagnostics with paths relative to the fixture root so
+// the golden file is machine-independent.
+func render(t *testing.T, m *Module, diags []Diagnostic) string {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(m.Root, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return b.String()
+}
+
+// TestFixtureGolden locks the suite's output on the seeded fixture: every
+// analyzer must catch its planted violation, at the planted position,
+// with a stable message.
+func TestFixtureGolden(t *testing.T) {
+	m := loadFixture(t)
+	got := render(t, m, Run(m))
+
+	goldenPath := filepath.Join("testdata", "fixture.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fixture findings diverged from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEveryAnalyzerCatchesItsSeed asserts each analyzer fires at least
+// once on the fixture, so a regression that silences one whole analyzer
+// cannot hide behind an otherwise-matching golden file.
+func TestEveryAnalyzerCatchesItsSeed(t *testing.T) {
+	m := loadFixture(t)
+	diags := Run(m)
+	hits := make(map[string]int)
+	for _, d := range diags {
+		hits[d.Analyzer]++
+	}
+	for _, a := range Analyzers() {
+		if hits[a.Name] == 0 {
+			t.Errorf("analyzer %s caught nothing in the seeded fixture", a.Name)
+		}
+	}
+}
+
+// TestDirectiveWaiver checks the rmbvet:allow escape hatch end to end:
+// a diagnostic is produced without a directive and suppressed with one.
+func TestDirectiveWaiver(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/core/a.go", `package core
+
+// Sum iterates a map without a waiver.
+func Sum(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Count iterates a map with a waiver.
+func Count(m map[int]int) int {
+	t := 0
+	//rmbvet:allow determinism commutative count
+	for range m {
+		t++
+	}
+	return t
+}
+`)
+	m, err := LoadModule(dir, "waiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(m)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly the unwaived one: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "determinism" || diags[0].Pos.Line != 6 {
+		t.Errorf("unexpected finding %v", diags[0])
+	}
+}

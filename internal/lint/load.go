@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one fully type-checked package of the module under analysis.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by filename.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	// Info is populated with Types, Defs, Uses and Selections.
+	Info *types.Info
+
+	// allow maps filename -> line -> analyzer names permitted by an
+	// inline "rmbvet:allow <name> <reason>" directive on that line.
+	allow map[string]map[int][]string
+}
+
+// Module is a loaded, type-checked Go module: every package found under
+// the root directory, in dependency order.
+type Module struct {
+	// Root is the absolute module root directory.
+	Root string
+	// Path is the module path (the "module" line of go.mod, or the value
+	// given to LoadModule).
+	Path string
+	// Fset positions every file in the module.
+	Fset *token.FileSet
+	// Pkgs lists the packages in topological (dependency-first) order.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// ModulePath reads the module path from the go.mod file in dir.
+func ModulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+}
+
+// FindModuleRoot ascends from dir to the nearest directory containing a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every package under root, giving the
+// tree the module path modpath. It uses only the standard library: module
+// packages are resolved internally and everything else is type-checked
+// from GOROOT source by go/importer's "source" compiler, so no go/packages
+// dependency (or network access) is required. Test files, testdata,
+// vendor and dot-directories are skipped.
+func LoadModule(root, modpath string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modpath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+
+	type rawPkg struct {
+		path, dir string
+		files     []*ast.File
+		imports   []string
+	}
+	raw := make(map[string]*rawPkg)
+
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(m.Fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: parsing %s: %w", p, err)
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		ipath := modpath
+		if rel != "." {
+			ipath = modpath + "/" + filepath.ToSlash(rel)
+		}
+		rp := raw[ipath]
+		if rp == nil {
+			rp = &rawPkg{path: ipath, dir: dir}
+			raw[ipath] = rp
+		}
+		rp.files = append(rp.files, file)
+		for _, imp := range file.Imports {
+			if v, err := strconv.Unquote(imp.Path.Value); err == nil {
+				rp.imports = append(rp.imports, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topologically sort by intra-module imports so dependencies are
+	// type-checked before their importers.
+	order := make([]string, 0, len(raw))
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = 1
+		rp := raw[path]
+		deps := append([]string(nil), rp.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if raw[dep] != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	src := importer.ForCompiler(m.Fset, "source", nil)
+	imp := &moduleImporter{module: m, fallback: src}
+	for _, ipath := range order {
+		rp := raw[ipath]
+		sort.Slice(rp.files, func(i, j int) bool {
+			return m.Fset.File(rp.files[i].Pos()).Name() < m.Fset.File(rp.files[j].Pos()).Name()
+		})
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(ipath, m.Fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", ipath, err)
+		}
+		pkg := &Package{Path: ipath, Dir: rp.dir, Files: rp.files, Types: tpkg, Info: info}
+		pkg.indexDirectives(m.Fset)
+		m.byPath[ipath] = pkg
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return m, nil
+}
+
+// moduleImporter serves module-internal packages from the in-progress
+// load and defers everything else (the standard library) to the source
+// importer.
+type moduleImporter struct {
+	module   *Module
+	fallback types.Importer
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == i.module.Path || strings.HasPrefix(path, i.module.Path+"/") {
+		if p := i.module.byPath[path]; p != nil {
+			return p.Types, nil
+		}
+		return nil, fmt.Errorf("lint: module package %s not yet loaded (import cycle?)", path)
+	}
+	return i.fallback.Import(path)
+}
+
+// indexDirectives records "rmbvet:allow <analyzer> <reason>" comments by
+// file and line so analyzers can honour explicit, audited waivers.
+func (p *Package) indexDirectives(fset *token.FileSet) {
+	p.allow = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				idx := strings.Index(text, "rmbvet:allow")
+				if idx < 0 {
+					continue
+				}
+				fields := strings.Fields(text[idx+len("rmbvet:allow"):])
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := p.allow[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.allow[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+}
+
+// Allowed reports whether a directive on pos's line (or the line above,
+// for directives placed as standalone comments) waives the named
+// analyzer at pos.
+func (p *Package) Allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	position := fset.Position(pos)
+	byLine := p.allow[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

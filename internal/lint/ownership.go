@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ownershipMarker is the doc-comment phrase that opts a struct into
+// run-loop ownership enforcement. internal/async's inc declares "All of
+// its state is owned by the run loop"; any struct documented that way
+// gets the same discipline.
+const ownershipMarker = "owned by the run loop"
+
+func analyzerIncOwnership() *Analyzer {
+	a := &Analyzer{
+		Name: "inc-ownership",
+		Doc: "Fields of a struct documented as \"owned by the run loop\" (async.inc) " +
+			"may be touched only by that struct's own methods or its new<Type> " +
+			"constructor. Everything else must go through the serialized inbox, which " +
+			"is what makes the INC goroutine a faithful stand-in for the paper's " +
+			"single-ported INC hardware: exactly one actor mutates switch state.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		owned := ownedStructs(pkg)
+		if len(owned) == 0 {
+			return nil
+		}
+		var out []Diagnostic
+		for _, file := range pkg.Files {
+			walkFuncs(file, func(fn *ast.FuncDecl, n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				recv := namedOf(selection.Recv())
+				if recv == nil || !owned[recv.Obj().Name()] {
+					return true
+				}
+				if recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != pkg.Path {
+					return true
+				}
+				typeName := recv.Obj().Name()
+				if fn != nil {
+					if r := recvNamed(pkg.Info, fn); r != nil && r.Obj() == recv.Obj() {
+						return true // method on the owned type
+					}
+					if fn.Recv == nil && strings.EqualFold(fn.Name.Name, "new"+typeName) {
+						return true // designated constructor
+					}
+				}
+				where := "file scope"
+				if fn != nil {
+					where = fn.Name.Name
+				}
+				if d, ok := diag(m, pkg, a.Name, sel.Pos(),
+					"field %s.%s accessed from %s, but %s state is owned by its run loop; route through its inbox or a %s method",
+					typeName, sel.Sel.Name, where, typeName, typeName); ok {
+					out = append(out, d)
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}
+
+// ownedStructs maps the names of struct types in pkg whose declaration
+// doc contains the ownership marker.
+func ownedStructs(pkg *Package) map[string]bool {
+	owned := make(map[string]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc == nil {
+					continue
+				}
+				// Normalize line breaks so the marker phrase matches even
+				// when comment wrapping splits it across lines.
+				text := strings.ToLower(strings.Join(strings.Fields(doc.Text()), " "))
+				if strings.Contains(text, ownershipMarker) {
+					owned[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return owned
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// loadRepo loads and type-checks the whole repository once per test run.
+func loadRepo(t *testing.T) *Module {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modpath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root, modpath)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	return m
+}
+
+// TestSelfCheck runs every analyzer against this repository. It is the
+// suite's enforcement hook: any new protocol-invariant violation anywhere
+// in the module fails tier-1 `go test ./...`.
+func TestSelfCheck(t *testing.T) {
+	m := loadRepo(t)
+	if len(m.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module loader is missing code", len(m.Pkgs))
+	}
+	diags := Run(m)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d rmbvet finding(s); fix them or add an audited //rmbvet:allow directive", len(diags))
+	}
+}
+
+// TestSelfCheckCoversProtocolPackages guards the loader against silently
+// skipping the tiers the analyzers exist for.
+func TestSelfCheckCoversProtocolPackages(t *testing.T) {
+	m := loadRepo(t)
+	for _, path := range []string{
+		"rmb", "rmb/internal/core", "rmb/internal/sim", "rmb/internal/flit",
+		"rmb/internal/async", "rmb/cmd/rmbvet",
+	} {
+		if m.Lookup(path) == nil {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}
+
+// TestIncIsOwned pins the ownership marker to the real async.inc struct:
+// if its doc comment ever drops the "owned by the run loop" phrase, the
+// inc-ownership analyzer would silently stop guarding it.
+func TestIncIsOwned(t *testing.T) {
+	m := loadRepo(t)
+	pkg := m.Lookup("rmb/internal/async")
+	if pkg == nil {
+		t.Fatal("rmb/internal/async not loaded")
+	}
+	if owned := ownedStructs(pkg); !owned["inc"] {
+		t.Errorf("async.inc is not marked run-loop-owned; got %v", owned)
+	}
+}
+
+// TestAnalyzerMetadata keeps names and docs present and unique; the
+// names are part of the directive syntax, so they are API.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	}
+}

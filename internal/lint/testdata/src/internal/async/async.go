@@ -1,0 +1,33 @@
+// Package async is a lint fixture: a miniature run-loop package seeding
+// deliberate inc-ownership and unbounded-send violations for rmbvet's
+// golden tests.
+package async
+
+// loop is one fixture run-loop controller. All of its state is owned by
+// the run loop.
+type loop struct {
+	inbox chan int
+	seq   int
+}
+
+// newLoop is the designated constructor; touching fields here is legal.
+func newLoop() *loop { return &loop{inbox: make(chan int, 1)} }
+
+// step is a method on the owned struct; touching fields here is legal.
+func (l *loop) step() { l.seq++ }
+
+// Poke seeds an inc-ownership violation: it mutates run-loop-owned state
+// from an outside function.
+func Poke(l *loop) {
+	l.seq = 99
+}
+
+// flood seeds an unbounded-send violation: a bare channel send in the
+// async tier.
+func flood(ch chan int) {
+	ch <- 1
+}
+
+var _ = newLoop
+var _ = (*loop).step
+var _ = flood

@@ -1,0 +1,62 @@
+// Package core is a lint fixture: a miniature protocol package seeding
+// one deliberate violation per rmbvet analyzer rule. It is never built
+// as part of the module (testdata is invisible to the go tool); the lint
+// tests load it explicitly as module "fixture".
+package core
+
+import (
+	"math/rand" // seeded determinism violation: ambient randomness import
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a fixture protocol enum, mirroring flit.Kind.
+type Kind uint8
+
+// The fixture enum's variants.
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+)
+
+// Describe seeds an exhaustive violation: KindC is not covered and there
+// is no default clause.
+func Describe(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+// Stamp seeds a determinism violation: a wall-clock read in the
+// deterministic tier.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter uses the ambient generator imported above.
+func Jitter() int { return rand.Int() }
+
+// Sum seeds a determinism violation: map iteration order leaks into
+// execution order.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// counters mirrors async's atomic counter block.
+type counters struct {
+	hits atomic.Int64
+}
+
+// Snapshot seeds two atomic-discipline violations: a by-value parameter
+// and a struct-copy assignment.
+func Snapshot(c counters) int64 {
+	snap := c
+	return snap.hits.Load()
+}
