@@ -8,6 +8,9 @@ package rmb
 // paper-vs-measured outcomes.
 
 import (
+	"flag"
+	"fmt"
+	"os"
 	"testing"
 
 	"rmb/internal/core"
@@ -17,6 +20,27 @@ import (
 	"rmb/internal/sim"
 	"rmb/internal/workload"
 )
+
+// -rmbsched forces the core scheduler for every network the benchmarks
+// build (experiments construct their own Configs with SchedulerAuto, so a
+// package default is the only practical lever). scripts/bench.sh runs the
+// suite once per scheduler to produce BENCH_baseline.json.
+var rmbsched = flag.String("rmbsched", "", `force the core scheduler: "event" or "naive" (default: package default)`)
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	switch *rmbsched {
+	case "":
+	case "event":
+		core.SetDefaultScheduler(core.SchedulerEventDriven)
+	case "naive":
+		core.SetDefaultScheduler(core.SchedulerNaive)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -rmbsched %q (want event or naive)\n", *rmbsched)
+		os.Exit(2)
+	}
+	os.Exit(m.Run())
+}
 
 // benchArtifact drives one experiment artifact per iteration.
 func benchArtifact(b *testing.B, id string) {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchReport is the machine-readable form of one `go test -bench` run,
+// written to BENCH_baseline.json by scripts/bench.sh. Every (value, unit)
+// pair on a benchmark line lands in Metrics, so domain metrics emitted
+// via b.ReportMetric (ticks, moves, ...) survive alongside ns/op.
+type BenchReport struct {
+	Goos   string     `json:"goos,omitempty"`
+	Goarch string     `json:"goarch,omitempty"`
+	Pkg    string     `json:"pkg,omitempty"`
+	CPU    string     `json:"cpu,omitempty"`
+	Runs   []BenchRun `json:"runs"`
+}
+
+// BenchRun is one benchmark result line; with -count=N the same Name
+// appears N times in input order.
+type BenchRun struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseBench reads `go test -bench` text and keeps the benchmark lines
+// and the goos/goarch/pkg/cpu header; PASS/ok trailers and any other
+// output are ignored.
+func parseBench(r io.Reader) (*BenchReport, error) {
+	rep := &BenchReport{Runs: []BenchRun{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		run, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Runs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return rep, nil
+}
+
+// parseBenchLine decodes one result line, e.g.
+//
+//	BenchmarkLargeRingShift-8  100  318011 ns/op  48.0 ticks  1204 B/op
+func parseBenchLine(line string) (BenchRun, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return BenchRun{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	run := BenchRun{Name: strings.TrimPrefix(f[0], "Benchmark")}
+	if i := strings.LastIndexByte(run.Name, '-'); i >= 0 {
+		if procs, err := strconv.Atoi(run.Name[i+1:]); err == nil {
+			run.Name, run.Procs = run.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchRun{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	run.Iterations = iters
+	run.Metrics = make(map[string]float64, (len(f)-2)/2)
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchRun{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		run.Metrics[f[i+1]] = v
+	}
+	return run, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: rmb
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkLargeRingShift-8   	     100	    318011 ns/op	        48.0 ticks
+BenchmarkLargeRingShift-8   	     100	    321500 ns/op	        48.0 ticks
+BenchmarkNetworkStepIdleCircuits-8	50000000	        22.6 ns/op
+PASS
+ok  	rmb	1.234s
+`
+	rep, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "rmb" {
+		t.Fatalf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(rep.Runs))
+	}
+	r0 := rep.Runs[0]
+	if r0.Name != "LargeRingShift" || r0.Procs != 8 || r0.Iterations != 100 {
+		t.Fatalf("run 0 = %+v", r0)
+	}
+	if r0.Metrics["ns/op"] != 318011 || r0.Metrics["ticks"] != 48 {
+		t.Fatalf("run 0 metrics = %v", r0.Metrics)
+	}
+	r2 := rep.Runs[2]
+	if r2.Name != "NetworkStepIdleCircuits" || r2.Metrics["ns/op"] != 22.6 {
+		t.Fatalf("run 2 = %+v", r2)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok rmb 0.1s\n")); err == nil {
+		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}
+
+func TestParseBenchNoProcsSuffix(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("BenchmarkFoo 10 5.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rep.Runs[0]; r.Name != "Foo" || r.Procs != 0 || r.Metrics["ns/op"] != 5 {
+		t.Fatalf("run = %+v", r)
+	}
+}

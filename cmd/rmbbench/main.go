@@ -1,36 +1,65 @@
 // Command rmbbench regenerates the paper's tables and figures and the
-// extension experiments as terminal output.
+// extension experiments as terminal output, and converts `go test -bench`
+// text into machine-readable JSON for baseline tracking.
 //
 // Usage:
 //
 //	rmbbench            # list available experiments
 //	rmbbench -exp T1    # print one experiment's artifact
 //	rmbbench -all       # print every artifact in DESIGN.md order
+//	rmbbench -all -j 8  # same, computing artifacts on 8 workers
+//	go test -bench . -benchtime=1x | rmbbench -benchjson
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"rmb/internal/experiments"
+	"rmb/internal/parallel"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (T1, T2, F1..F11, L1, TH1, A1..A4, P1, P2, C1, C2, AB1..AB3)")
 	all := flag.Bool("all", false, "run every experiment")
+	jobs := flag.Int("j", 1, "experiments to compute in parallel with -all (0 = GOMAXPROCS)")
+	benchjson := flag.Bool("benchjson", false, "parse `go test -bench` text on stdin into JSON on stdout")
 	flag.Parse()
 
 	switch {
+	case *benchjson:
+		rep, err := parseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbbench: -benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbbench: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
-		for _, e := range experiments.All() {
-			fmt.Printf("==== %s — %s ====\n\n", e.ID, e.Title)
-			out, err := e.Run()
+		// Each experiment builds its own networks and RNGs, so the set
+		// fans out cleanly; printing happens afterwards in DESIGN.md
+		// order, making the output independent of -j.
+		es := experiments.All()
+		outs, err := parallel.Map(parallel.Workers(*jobs), len(es), func(i int) (string, error) {
+			out, err := es[i].Run()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rmbbench: %s: %v\n", e.ID, err)
-				os.Exit(1)
+				return "", fmt.Errorf("%s: %w", es[i].ID, err)
 			}
-			fmt.Println(out)
+			return out, nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbbench: %v\n", err)
+			os.Exit(1)
+		}
+		for i, e := range es {
+			fmt.Printf("==== %s — %s ====\n\n", e.ID, e.Title)
+			fmt.Println(outs[i])
 		}
 	case *exp != "":
 		e, ok := experiments.ByID(*exp)

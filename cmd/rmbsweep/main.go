@@ -16,6 +16,7 @@ import (
 
 	"rmb/internal/core"
 	"rmb/internal/loadgen"
+	"rmb/internal/parallel"
 	"rmb/internal/report"
 	"rmb/internal/sim"
 )
@@ -53,6 +54,7 @@ func main() {
 	measure := flag.Int64("measure", 2500, "measurement ticks")
 	pattern := flag.String("pattern", "uniform", "destination pattern: uniform, neighbour, hotspot")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
+	jobs := flag.Int("j", 1, "simulations to run in parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	buses, err := parseInts(*busesFlag)
@@ -78,25 +80,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	chart := report.NewChart(fmt.Sprintf("mean latency by (k, offered load) — N=%d, %s traffic", *nodes, *pattern))
+	// Flatten the (k, rate) grid into independent simulation points, fan
+	// them across workers, then render in grid order: the output is
+	// byte-identical for every -j value.
+	type point struct {
+		k    int
+		rate float64
+	}
+	pts := make([]point, 0, len(buses)*len(rates))
 	for _, k := range buses {
+		for _, rate := range rates {
+			pts = append(pts, point{k, rate})
+		}
+	}
+	results, err := parallel.Map(parallel.Workers(*jobs), len(pts), func(i int) (loadgen.Result, error) {
+		p := pts[i]
+		n, err := core.NewNetwork(core.Config{Nodes: *nodes, Buses: p.k, Seed: *seed})
+		if err != nil {
+			return loadgen.Result{}, err
+		}
+		return loadgen.Run(n, loadgen.Config{
+			Rate: p.rate, PayloadLen: *payload,
+			Warmup: sim.Tick(*warmup), Measure: sim.Tick(*measure),
+			Pattern: dest, Seed: *seed + uint64(p.k)*1000,
+		})
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbsweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	chart := report.NewChart(fmt.Sprintf("mean latency by (k, offered load) — N=%d, %s traffic", *nodes, *pattern))
+	for bi, k := range buses {
 		tb := report.NewTable(fmt.Sprintf("k=%d", k),
 			"offered", "accepted", "mean latency", "p50", "p95", "p99", "util", "saturated")
-		for _, rate := range rates {
-			n, err := core.NewNetwork(core.Config{Nodes: *nodes, Buses: k, Seed: *seed})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "rmbsweep: %v\n", err)
-				os.Exit(1)
-			}
-			res, err := loadgen.Run(n, loadgen.Config{
-				Rate: rate, PayloadLen: *payload,
-				Warmup: sim.Tick(*warmup), Measure: sim.Tick(*measure),
-				Pattern: dest, Seed: *seed + uint64(k)*1000,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "rmbsweep: %v\n", err)
-				os.Exit(1)
-			}
+		for ri, rate := range rates {
+			res := results[bi*len(rates)+ri]
 			tb.AddRowf(
 				fmt.Sprintf("%.4f", rate),
 				fmt.Sprintf("%.4f", res.AcceptedRate),

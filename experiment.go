@@ -94,9 +94,9 @@ func RunPattern(n *Network, p Pattern, payloadLen int, maxTicks Tick) (PatternRe
 	}
 	var sum float64
 	count := 0
-	for _, r := range n.Records() {
+	n.EachRecord(func(r MsgRecord) {
 		if !r.Done {
-			continue
+			return
 		}
 		lat := r.DeliverLatency()
 		sum += float64(lat)
@@ -104,7 +104,7 @@ func RunPattern(n *Network, p Pattern, payloadLen int, maxTicks Tick) (PatternRe
 		if lat > res.MaxLatency {
 			res.MaxLatency = lat
 		}
-	}
+	})
 	if count > 0 {
 		res.MeanLatency = sum / float64(count)
 	}

@@ -34,24 +34,25 @@ func (n *Network) Audit() error {
 // one record regardless of fanout).
 func (n *Network) auditConservation() error {
 	var unfinished int64
-	//rmbvet:allow determinism commutative count; iteration order cannot change the sum
-	for _, r := range n.records {
-		if !r.Done {
+	for i := range n.records {
+		if !n.records[i].Done {
 			unfinished++
 		}
 	}
 	// A delivered message's virtual bus lives on through the Fack sweep;
 	// count only buses whose message has not completed.
 	inFlight := int64(0)
-	//rmbvet:allow determinism commutative count; iteration order cannot change the sum
-	for _, vb := range n.vbs {
-		if r := n.records[vb.Msg]; r == nil || !r.Done {
+	for _, vb := range n.active {
+		if r := n.record(vb.Msg); r == nil || !r.Done {
 			inFlight++
 		}
 	}
 	queued := int64(0)
 	for _, q := range n.pending {
 		queued += int64(len(q))
+	}
+	if queued != int64(n.pendingCount) {
+		return fmt.Errorf("core: audit: pendingCount=%d but %d requests are queued", n.pendingCount, queued)
 	}
 	retrying := int64(n.retries.Len())
 	if unfinished != inFlight+queued+retrying {
@@ -62,16 +63,19 @@ func (n *Network) auditConservation() error {
 }
 
 // auditOccupancy checks the occupancy grid and the virtual buses describe
-// the same world.
+// the same world, and that the incremental busy-segment counter agrees
+// with the grid.
 func (n *Network) auditOccupancy() error {
 	seen := make(map[VBID]int)
+	busy := 0
 	for h, hop := range n.occ {
 		for l, id := range hop {
 			if id == 0 {
 				continue
 			}
-			vb, ok := n.vbs[id]
-			if !ok {
+			busy++
+			vb := n.lookupVB(id)
+			if vb == nil {
 				return fmt.Errorf("core: audit: hop %d level %d occupied by unknown vb%d", h, l, id)
 			}
 			j := n.hopIndex(vb, h)
@@ -84,10 +88,12 @@ func (n *Network) auditOccupancy() error {
 			seen[id]++
 		}
 	}
-	//rmbvet:allow determinism independent per-bus check; either every bus passes or the first (any) failure aborts the run
-	for id, vb := range n.vbs {
-		if seen[id] != len(vb.Levels) {
-			return fmt.Errorf("core: audit: vb%d spans %d hops but occupies %d segments", id, len(vb.Levels), seen[id])
+	if busy != n.busySegments {
+		return fmt.Errorf("core: audit: busySegments=%d but %d grid cells are occupied", n.busySegments, busy)
+	}
+	for _, vb := range n.active {
+		if seen[vb.ID] != len(vb.Levels) {
+			return fmt.Errorf("core: audit: vb%d spans %d hops but occupies %d segments", vb.ID, len(vb.Levels), seen[vb.ID])
 		}
 	}
 	return nil
@@ -96,8 +102,8 @@ func (n *Network) auditOccupancy() error {
 // auditBuses checks per-bus invariants: level bounds, the ±1 constraint,
 // legal derived status codes, and state bookkeeping.
 func (n *Network) auditBuses() error {
-	for _, id := range n.active {
-		vb := n.vbs[id]
+	for _, vb := range n.active {
+		id := vb.ID
 		if err := vb.CheckLevelInvariant(n.cfg.Buses); err != nil {
 			return fmt.Errorf("core: audit: %w", err)
 		}
@@ -135,8 +141,7 @@ func (n *Network) auditBuses() error {
 func (n *Network) auditPorts() error {
 	send := make([]int, n.cfg.Nodes)
 	recv := make([]int, n.cfg.Nodes)
-	for _, id := range n.active {
-		vb := n.vbs[id]
+	for _, vb := range n.active {
 		send[vb.Src]++
 		for _, tap := range vb.claimedTaps {
 			recv[tap]++

@@ -15,6 +15,20 @@ func (n *Network) stepCompaction(now sim.Tick) bool {
 	return n.stepCompactionAsync(now)
 }
 
+// plannedMove is one entry of the lockstep compaction plan: vb's hop
+// offset `hop` moves down one level when the plan is applied.
+type plannedMove struct {
+	vb  *VirtualBus
+	hop int
+}
+
+// compactQuietCycles is the quiescence threshold: the cycle parity
+// alternates every lockstep cycle, so two consecutive cycles in which a
+// bus planned no move try both segment parities. With no wake event in
+// between, every later cycle would re-derive the same empty plan, and the
+// event-driven scheduler may skip the bus until something wakes it.
+const compactQuietCycles = 2
+
 // stepCompactionLockstep runs one global odd/even cycle every
 // CompactionPeriod ticks: all INCs of the appropriate parity evaluate
 // their moves against the pre-cycle state and the moves apply
@@ -26,49 +40,90 @@ func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
 	cycle := n.globalCycle
 	n.globalCycle++
 	n.stats.Cycles++
+	if !n.naive && n.compactAwake == 0 {
+		return false // every active bus is provably stable this cycle
+	}
 
 	// Decide every move against the pre-cycle snapshot. As proven in
 	// DESIGN.md (mirroring the paper's parity argument), the decided
 	// moves are pairwise non-conflicting, so simultaneous application is
-	// well-defined.
-	type plannedMove struct {
-		vb  *VirtualBus
-		hop int
-	}
-	var plan []plannedMove
-	for _, id := range n.active {
-		vb := n.vbs[id]
-		for j := range vb.Levels {
-			inc := int(vb.HopNode(j, n.cfg.Nodes))
-			if (vb.Levels[j]+inc+int(cycle))%2 != 0 {
-				continue // not this INC's parity turn for this segment
+	// well-defined. The plan buffer is reused across cycles; quiescent
+	// buses (see compactQuietCycles) are skipped by the event scheduler.
+	plan := n.planBuf[:0]
+	nodes := n.cfg.Nodes
+	cyc := int(cycle & 1)
+	strictTop := n.cfg.HeadRule == HeadStrictTop
+	for _, vb := range n.active {
+		if !n.naive && vb.compactQuiet >= compactQuietCycles {
+			continue
+		}
+		planned := false
+		levels := vb.Levels
+		h := int(vb.Src)
+		for j, l := range levels {
+			if h >= nodes {
+				h -= nodes
 			}
-			if n.switchableDown(vb, j) {
-				plan = append(plan, plannedMove{vb, j})
+			// Inlined switchableDown (Figure 7), reusing the tracked hop
+			// index h instead of re-deriving it per candidate: the INC's
+			// parity turn, a free segment below, the ±1 bound against both
+			// neighbouring hops, and the strict-top head pin.
+			if (l+h+cyc)&1 == 0 && l > 0 && n.occ[h][l-1] == 0 &&
+				(j == 0 || levels[j-1] <= l) {
+				if last := j == len(levels)-1; (!last && levels[j+1] <= l) ||
+					(last && !(strictTop && vb.State == VBExtending)) {
+					plan = append(plan, plannedMove{vb, j})
+					planned = true
+				}
+			}
+			h++
+		}
+		if !planned && vb.compactQuiet < compactQuietCycles {
+			vb.compactQuiet++
+			if vb.compactQuiet == compactQuietCycles {
+				n.compactAwake--
 			}
 		}
 	}
 	for _, p := range plan {
 		n.applyMove(now, p.vb, p.hop)
 	}
+	n.planBuf = plan[:0]
 	return len(plan) > 0
 }
 
 // stepCompactionAsync drives each INC's CycleFSM one step; an INC whose
 // OD flag rises performs its datapath moves at that instant.
+//
+// The event-driven scheduler evaluates only INCs that can possibly act:
+// an INC counting down its internal delay (PhaseReadyData with ID low)
+// changes state every tick, and any other INC's Step is a pure gate over
+// its own flags and its neighbours' views, so it is a no-op until one of
+// those inputs changes — which is exactly when asyncDirty marks it. The
+// dirty bits persist across ticks, reproducing the naive loop's
+// ascending-index semantics (a lower neighbour's change is visible the
+// same tick, a higher neighbour's the next tick).
 func (n *Network) stepCompactionAsync(now sim.Tick) bool {
 	progress := false
 	nn := n.cfg.Nodes
 	for i := 0; i < nn; i++ {
 		inc := &n.incs[i]
-		if inc.fsm.Phase() == PhaseReadyData && !inc.fsm.ID {
+		countingDown := inc.fsm.Phase() == PhaseReadyData && !inc.fsm.ID
+		if !n.naive && !countingDown && !n.asyncDirty[i] {
+			continue
+		}
+		n.asyncDirty[i] = false
+		if countingDown {
 			inc.idDelay--
 			if inc.idDelay <= 0 {
 				inc.fsm.ID = true
 			}
 		}
-		left := n.incs[(i+nn-1)%nn].fsm.View()
-		right := n.incs[(i+1)%nn].fsm.View()
+		prev := (i + nn - 1) % nn
+		next := (i + 1) % nn
+		left := n.incs[prev].fsm.View()
+		right := n.incs[next].fsm.View()
+		before := inc.fsm
 		res := inc.fsm.Step(left, right)
 		if res.SwitchedData {
 			if n.performINCMoves(now, NodeID(i), inc.fsm.Cycle) {
@@ -81,6 +136,15 @@ func (n *Network) stepCompactionAsync(now sim.Tick) bool {
 		}
 		if inc.fsm.Phase() == PhaseReadyData && !inc.fsm.ID && inc.idDelay <= 0 {
 			inc.idDelay = 1 + n.rng.Intn(n.cfg.JitterMax)
+		}
+		if inc.fsm != before {
+			// Own state changed: the next gate may already be open, and
+			// the neighbours may react to the new visible flags.
+			n.asyncDirty[i] = true
+			if inc.fsm.View() != before.View() {
+				n.asyncDirty[prev] = true
+				n.asyncDirty[next] = true
+			}
 		}
 	}
 	return progress
@@ -102,7 +166,7 @@ func (n *Network) performINCMoves(now sim.Tick, node NodeID, cycle int64) bool {
 		if id == 0 {
 			continue
 		}
-		vb := n.vbs[id]
+		vb := n.lookupVB(id)
 		j := n.hopIndex(vb, h)
 		if j < 0 || vb.Levels[j] != l {
 			continue
@@ -168,6 +232,7 @@ func (n *Network) applyMove(now sim.Tick, vb *VirtualBus, j int) {
 	n.claimSeg(h, b-1, vb.ID)
 	n.releaseSeg(h, b, vb.ID)
 	vb.Levels[j] = b - 1
+	n.wakeCompaction(vb) // the lowered hop may enable further moves
 
 	n.stats.CompactionMoves++
 	n.rec.Move(Move{

@@ -32,6 +32,59 @@ func (m SyncMode) String() string {
 	}
 }
 
+// SchedulerMode selects the Step implementation: the event-driven
+// scheduler skips provably idle work (quiescent buses, empty insertion
+// queues, fully-compacted cycles) while the naive scheduler rescans
+// everything every tick. Both produce bit-identical observable behaviour
+// — Stats, Records, Recorder events and the RNG draw sequence — which the
+// differential tests in scheduler_test.go pin down; the naive scheduler
+// is retained as the reference oracle.
+type SchedulerMode uint8
+
+const (
+	// SchedulerAuto selects the package-wide default (event-driven unless
+	// overridden via SetDefaultScheduler).
+	SchedulerAuto SchedulerMode = iota
+	// SchedulerEventDriven maintains activity sets so Step touches only
+	// buses, INCs and queues with work due, and Drain can fast-forward
+	// across idle stretches.
+	SchedulerEventDriven
+	// SchedulerNaive rescans every subsystem every tick: the reference
+	// implementation the event-driven scheduler is tested against.
+	SchedulerNaive
+)
+
+// String names the scheduler.
+func (s SchedulerMode) String() string {
+	switch s {
+	case SchedulerAuto:
+		return "auto"
+	case SchedulerEventDriven:
+		return "event"
+	case SchedulerNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("SchedulerMode(%d)", uint8(s))
+	}
+}
+
+// defaultScheduler is what SchedulerAuto resolves to. Benchmark harnesses
+// flip it (see bench_test.go's -rmbsched flag) to measure both paths
+// without threading a knob through every experiment Config.
+var defaultScheduler = SchedulerEventDriven
+
+// SetDefaultScheduler changes what SchedulerAuto resolves to and returns
+// the previous default. It is a process-wide knob for harnesses; it must
+// not be called concurrently with NewNetwork.
+func SetDefaultScheduler(m SchedulerMode) SchedulerMode {
+	prev := defaultScheduler
+	if m == SchedulerAuto {
+		m = SchedulerEventDriven
+	}
+	defaultScheduler = m
+	return prev
+}
+
 // HeadRule selects how a header flit chooses its output port when
 // advancing from input level `in`.
 type HeadRule uint8
@@ -81,6 +134,10 @@ type Config struct {
 	Mode SyncMode
 	// HeadRule selects the header advance policy.
 	HeadRule HeadRule
+	// Scheduler selects the Step implementation (event-driven or the naive
+	// reference). SchedulerAuto (the zero value) resolves to the package
+	// default; observable behaviour is identical either way.
+	Scheduler SchedulerMode
 
 	// DisableCompaction switches the compaction protocol off entirely
 	// (for the ablation benchmark). New circuits then stay on the
@@ -159,6 +216,9 @@ func (c Config) Validate() error {
 	if c.HeadTimeout < HeadTimeoutDisabled {
 		return fmt.Errorf("core: HeadTimeout %d invalid; use ticks, 0 for default, or HeadTimeoutDisabled", c.HeadTimeout)
 	}
+	if c.Scheduler > SchedulerNaive {
+		return fmt.Errorf("core: unknown scheduler mode %d", c.Scheduler)
+	}
 	return nil
 }
 
@@ -192,6 +252,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JitterMax == 0 {
 		c.JitterMax = 3
+	}
+	if c.Scheduler == SchedulerAuto {
+		c.Scheduler = defaultScheduler
 	}
 	return c
 }

@@ -51,14 +51,15 @@ func (n *Network) SendMulticast(src NodeID, dsts []NodeID, payload []uint64) (fl
 	m := flit.Message{ID: id, Src: src, Dst: final, Payload: append([]uint64(nil), payload...)}
 	req := &request{msg: m, enqueued: n.clock.Now(), dsts: ordered}
 	n.pending[src] = append(n.pending[src], req)
-	n.records[id] = &MsgRecord{
+	n.pendingCount++
+	n.records = append(n.records, MsgRecord{
 		ID: id, Src: src, Dst: final,
 		Distance:   n.Distance(src, final),
 		PayloadLen: len(payload),
 		Fanout:     len(ordered),
 		Enqueued:   n.clock.Now(),
-	}
-	n.payloadStore[id] = m.Payload
+	})
+	n.payloads = append(n.payloads, m.Payload)
 	n.stats.MessagesSubmitted++
 	return id, nil
 }

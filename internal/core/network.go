@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"rmb/internal/flit"
 	"rmb/internal/sim"
@@ -19,27 +18,33 @@ type Network struct {
 	rng   *sim.RNG
 
 	// occ[h][l] is the virtual bus occupying segment l of hop h (the hop
-	// from node h to node h+1 mod N); zero when free.
-	occ [][]VBID
-	// vbs holds every active virtual bus.
-	vbs map[VBID]*VirtualBus
-	// active is the deterministic iteration order over vbs (sorted IDs).
-	active []VBID
+	// from node h to node h+1 mod N); zero when free. The rows share one
+	// backing array (occFlat) so construction is two allocations.
+	occ     [][]VBID
+	occFlat []VBID
+	// active holds every live virtual bus in ascending ID order; lookupVB
+	// binary-searches it (IDs are unbounded, so a dense index won't do and
+	// a map costs hashing on the hot occupant-lookup paths).
+	active []*VirtualBus
 
 	incs []incState
 
 	// pending[n] queues requests at node n awaiting insertion.
 	pending [][]*request
-	// retries schedules backed-off reinsertions.
+	// retries schedules backed-off reinsertions; its earliest deadline is
+	// the fast-forward horizon when everything else is drained.
 	retries *sim.EventQueue
 
 	nextVB  VBID
 	nextMsg flit.MessageID
 
-	stats        Stats
-	records      map[flit.MessageID]*MsgRecord
-	payloadStore map[flit.MessageID][]uint64
-	delivered    []flit.Message
+	stats Stats
+	// records[i] is the lifecycle record of message ID i+1 (IDs are dense
+	// from 1) and payloads[i] its payload — slices, not maps, so Send is
+	// one append and record lookups are an index.
+	records   []MsgRecord
+	payloads  [][]uint64
+	delivered []flit.Message
 
 	rec Recorder
 
@@ -49,6 +54,49 @@ type Network struct {
 	// insertRotate rotates the node scanned first for insertion so no
 	// node gets a structural priority.
 	insertRotate int
+
+	// naive disables every event-driven skip (Config.Scheduler ==
+	// SchedulerNaive), keeping the full-rescan reference semantics. The
+	// activity bookkeeping below is maintained in both modes — the naive
+	// path simply never consults it, which lets the auditor and the
+	// differential tests use the naive run as an oracle for the counters.
+	naive bool
+	// busySegments counts occupied segments, maintained incrementally by
+	// claimSeg/releaseSeg so sampleOccupancy is O(1) in event mode.
+	busySegments int
+	// pendingCount counts queued requests across all nodes so the
+	// insertion scan can be skipped when nothing is waiting.
+	pendingCount int
+	// compactAwake counts active buses not yet compaction-quiescent; at
+	// zero the whole lockstep compaction scan is skipped.
+	compactAwake int
+	// deadVBs counts terminal buses awaiting sweepRemoved.
+	deadVBs int
+	// fwdActive / bwdActive count buses in forward-phase states
+	// (extending, transferring, final-propagating) and backward-phase
+	// states (Hack/Fack/Nack returning); a phase whose population is zero
+	// is skipped whole in event mode.
+	fwdActive, bwdActive int
+	// asyncDirty[i] marks INC i for re-evaluation in Async mode: set when
+	// a neighbour's visible flags or the INC's own state changed since its
+	// last evaluation (allocated only in Async mode).
+	asyncDirty []bool
+
+	// planBuf and headCand are reusable per-tick buffers that keep the
+	// hot loops allocation-free.
+	planBuf  []plannedMove
+	headCand [3]int
+	// vbFree recycles torn-down VirtualBus structs (and their Levels /
+	// claimedTaps / sendTicks backing arrays) for later insertions. A
+	// recycled bus is only handed out by insert, which overwrites every
+	// field, so stale pointers held across a teardown never see a live bus.
+	// vbArena chunk-allocates fresh structs when the freelist is empty, and
+	// intArena / tickArena carve the Levels and sendTicks backing arrays,
+	// cutting the malloc count per insertion from three to amortized ~zero.
+	vbFree    []*VirtualBus
+	vbArena   []VirtualBus
+	intArena  []int
+	tickArena []sim.Tick
 }
 
 // incState holds per-INC bookkeeping.
@@ -76,20 +124,22 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	cfg = cfg.withDefaults()
 	n := &Network{
-		cfg:          cfg,
-		clock:        sim.NewClock(),
-		rng:          sim.NewRNG(cfg.Seed ^ 0x524d42), // "RMB"
-		occ:          make([][]VBID, cfg.Nodes),
-		vbs:          make(map[VBID]*VirtualBus),
-		incs:         make([]incState, cfg.Nodes),
-		pending:      make([][]*request, cfg.Nodes),
-		retries:      sim.NewEventQueue(),
-		records:      make(map[flit.MessageID]*MsgRecord),
-		payloadStore: make(map[flit.MessageID][]uint64),
-		rec:          nopRecorder{},
+		cfg:     cfg,
+		clock:   sim.NewClock(),
+		rng:     sim.NewRNG(cfg.Seed ^ 0x524d42), // "RMB"
+		occ:     make([][]VBID, cfg.Nodes),
+		occFlat: make([]VBID, cfg.Nodes*cfg.Buses),
+		incs:    make([]incState, cfg.Nodes),
+		pending: make([][]*request, cfg.Nodes),
+		retries: sim.NewEventQueue(),
+		rec:     nopRecorder{},
+	}
+	n.naive = cfg.Scheduler == SchedulerNaive
+	if cfg.Mode == Async {
+		n.asyncDirty = make([]bool, cfg.Nodes)
 	}
 	for h := range n.occ {
-		n.occ[h] = make([]VBID, cfg.Buses)
+		n.occ[h] = n.occFlat[h*cfg.Buses : (h+1)*cfg.Buses : (h+1)*cfg.Buses]
 	}
 	for i := range n.incs {
 		n.incs[i].idDelay = 1 + n.rng.Intn(cfg.JitterMax)
@@ -139,22 +189,37 @@ func (n *Network) Send(src, dst NodeID, payload []uint64) (flit.MessageID, error
 	m := flit.Message{ID: id, Src: src, Dst: dst, Payload: append([]uint64(nil), payload...)}
 	req := &request{msg: m, enqueued: n.clock.Now(), dsts: []NodeID{dst}}
 	n.pending[src] = append(n.pending[src], req)
-	n.records[id] = &MsgRecord{
+	n.pendingCount++
+	n.records = append(n.records, MsgRecord{
 		ID: id, Src: src, Dst: dst,
 		Distance:   n.Distance(src, dst),
 		PayloadLen: len(payload),
 		Enqueued:   n.clock.Now(),
-	}
-	n.payloadStore[id] = m.Payload
+	})
+	n.payloads = append(n.payloads, m.Payload)
 	n.stats.MessagesSubmitted++
 	return id, nil
 }
 
+// record returns the mutable lifecycle record of one message, or nil for
+// an unknown ID. IDs are dense from 1, so this is an index.
+func (n *Network) record(id flit.MessageID) *MsgRecord {
+	if id < 1 || id > flit.MessageID(len(n.records)) {
+		return nil
+	}
+	return &n.records[id-1]
+}
+
 // Idle reports whether nothing remains in flight or queued.
 func (n *Network) Idle() bool {
-	if len(n.vbs) > 0 || n.retries.Len() > 0 {
+	if len(n.active) > 0 || n.retries.Len() > 0 {
 		return false
 	}
+	if !n.naive {
+		return n.pendingCount == 0
+	}
+	// The naive scheduler keeps the reference scan so differential tests
+	// cross-check the incremental pendingCount against ground truth.
 	for _, q := range n.pending {
 		if len(q) > 0 {
 			return false
@@ -193,7 +258,7 @@ func (n *Network) Step() bool {
 	// and with the head timeout armed every blocked header eventually
 	// converts into a retry. Only with the valve disabled can a blocked
 	// state be a true deadlock.
-	if !progress && (n.retries.Len() > 0 || (n.cfg.HeadTimeout > 0 && len(n.vbs) > 0)) {
+	if !progress && (n.retries.Len() > 0 || (n.cfg.HeadTimeout > 0 && len(n.active) > 0)) {
 		progress = true
 	}
 
@@ -210,29 +275,100 @@ func (n *Network) Step() bool {
 }
 
 // Drain runs the network until it is idle or the tick budget is spent.
+// With the event-driven scheduler, sim.Run fast-forwards across stretches
+// where only retry timers are pending.
 func (n *Network) Drain(maxTicks sim.Tick) error {
 	_, err := sim.Run(n, sim.RunConfig{MaxTicks: maxTicks, IdleLimit: 8 * n.cfg.Nodes * n.cfg.CompactionPeriod}, n.Idle)
 	return err
+}
+
+// FastForward advances the clock by up to limit ticks when every skipped
+// tick is provably uneventful: no active buses, no queued insertions, and
+// the earliest retry deadline strictly in the future. It performs the
+// per-tick bookkeeping (tick count, insertion rotation, lockstep cycle
+// counters) for the skipped span in closed form and stops exactly at the
+// next retry deadline, so the following Step observes precisely the state
+// the naive scheduler would have reached tick by tick. It returns the
+// number of ticks skipped (0 when anything is, or may become, due).
+//
+// Async mode never fast-forwards: its INC FSMs hand-shake and redraw
+// jitter continuously, so no tick is free of observable work.
+func (n *Network) FastForward(limit sim.Tick) sim.Tick {
+	if n.naive || n.cfg.Mode != Lockstep || limit <= 0 {
+		return 0
+	}
+	if len(n.active) > 0 || n.pendingCount > 0 {
+		return 0
+	}
+	next, ok := n.retries.NextAt()
+	if !ok {
+		return 0 // fully idle; nothing to skip toward
+	}
+	now := n.clock.Now()
+	d := next - now
+	if d <= 0 {
+		return 0 // a retry fires this tick; Step must run
+	}
+	if d > limit {
+		d = limit
+	}
+	if !n.cfg.DisableCompaction {
+		// Count the cycle boundaries (multiples of CompactionPeriod) in
+		// [now, now+d): each skipped boundary tick would have advanced the
+		// odd/even cycle even with nothing to compact.
+		p := int64(n.cfg.CompactionPeriod)
+		crossed := boundariesBefore(int64(now)+int64(d), p) - boundariesBefore(int64(now), p)
+		n.globalCycle += crossed
+		n.stats.Cycles += crossed
+	}
+	n.insertRotate = (n.insertRotate + int(int64(d)%int64(n.cfg.Nodes))) % n.cfg.Nodes
+	n.stats.Ticks += d
+	// No active buses means no occupied segments, head blocks, or data
+	// cursors to advance: BusySegmentTicks and peaks are unchanged.
+	n.clock.AdvanceBy(d)
+	return d
+}
+
+// boundariesBefore counts multiples of p in [0, x).
+func boundariesBefore(x, p int64) int64 {
+	if x <= 0 {
+		return 0
+	}
+	return (x + p - 1) / p
 }
 
 // Stats returns a copy of the run counters.
 func (n *Network) Stats() Stats { return n.stats }
 
 // Records returns per-message lifecycle records keyed by message ID.
-// The returned map is a copy; the records are shared snapshots.
+// The returned map is a copy built on each call; prefer EachRecord or
+// RecordCount on hot paths.
 func (n *Network) Records() map[flit.MessageID]MsgRecord {
 	out := make(map[flit.MessageID]MsgRecord, len(n.records))
-	//rmbvet:allow determinism map-to-map copy; the result is keyed, so order cannot be observed
-	for id, r := range n.records {
-		out[id] = *r
+	for i := range n.records {
+		out[n.records[i].ID] = n.records[i]
 	}
 	return out
 }
 
+// RecordCount reports the number of per-message records without copying
+// (one record per Send/SendMulticast call, retries included).
+func (n *Network) RecordCount() int { return len(n.records) }
+
+// EachRecord visits every message record in ascending message-ID order
+// without building the copy Records returns. Message IDs are assigned
+// densely from 1, so the walk is deterministic and allocation-free; the
+// visited values are snapshots.
+func (n *Network) EachRecord(fn func(MsgRecord)) {
+	for i := range n.records {
+		fn(n.records[i])
+	}
+}
+
 // Record returns one message's lifecycle record.
 func (n *Network) Record(id flit.MessageID) (MsgRecord, bool) {
-	r, ok := n.records[id]
-	if !ok {
+	r := n.record(id)
+	if r == nil {
 		return MsgRecord{}, false
 	}
 	return *r, true
@@ -246,17 +382,38 @@ func (n *Network) Delivered() []flit.Message {
 // ActiveVirtualBuses returns the live virtual buses in ID order. The
 // returned pointers expose simulator state; callers must not mutate them.
 func (n *Network) ActiveVirtualBuses() []*VirtualBus {
-	out := make([]*VirtualBus, 0, len(n.active))
-	for _, id := range n.active {
-		out = append(out, n.vbs[id])
-	}
-	return out
+	return append([]*VirtualBus(nil), n.active...)
 }
 
 // VirtualBus looks up a live virtual bus by ID.
 func (n *Network) VirtualBus(id VBID) (*VirtualBus, bool) {
-	vb, ok := n.vbs[id]
-	return vb, ok
+	vb := n.lookupVB(id)
+	return vb, vb != nil
+}
+
+// searchVB returns the position of id in the active set (sorted by
+// ascending ID), or the insertion point if absent — sort.Search without
+// the closure overhead, since this sits on the occupant-lookup hot path.
+func (n *Network) searchVB(id VBID) int {
+	lo, hi := 0, len(n.active)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.active[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lookupVB binary-searches the active set for a live virtual bus,
+// returning nil when the ID is not active.
+func (n *Network) lookupVB(id VBID) *VirtualBus {
+	if i := n.searchVB(id); i < len(n.active) && n.active[i].ID == id {
+		return n.active[i]
+	}
+	return nil
 }
 
 // GlobalCycle reports the lockstep odd/even cycle counter (Lockstep mode)
@@ -282,26 +439,135 @@ func (n *Network) INCCycle(node NodeID) int64 {
 	return n.incs[node].fsm.Cycle
 }
 
-// addVB registers a new virtual bus in the active set.
-func (n *Network) addVB(vb *VirtualBus) {
-	n.vbs[vb.ID] = vb
-	i := sort.Search(len(n.active), func(i int) bool { return n.active[i] >= vb.ID })
-	n.active = append(n.active, 0)
-	copy(n.active[i+1:], n.active[i:])
-	n.active[i] = vb.ID
+// allocVB hands out a VirtualBus for insert to initialize: a recycled
+// struct from the freelist when one is parked, else a slot carved off the
+// chunk arena. Callers must overwrite every field.
+func (n *Network) allocVB() (vb *VirtualBus, levels []int, taps []NodeID, ticks []sim.Tick) {
+	if m := len(n.vbFree); m > 0 {
+		vb = n.vbFree[m-1]
+		n.vbFree[m-1] = nil
+		n.vbFree = n.vbFree[:m-1]
+		return vb, vb.Levels[:0], vb.claimedTaps[:0], vb.progress.sendTicks[:0]
+	}
+	if len(n.vbArena) == 0 {
+		n.vbArena = make([]VirtualBus, 64)
+	}
+	vb = &n.vbArena[0]
+	n.vbArena = n.vbArena[1:]
+	return vb, nil, nil, nil
 }
 
-// removeVB unregisters a virtual bus that has fully torn down.
-func (n *Network) removeVB(vb *VirtualBus) {
-	delete(n.vbs, vb.ID)
-	i := sort.Search(len(n.active), func(i int) bool { return n.active[i] >= vb.ID })
-	if i < len(n.active) && n.active[i] == vb.ID {
-		n.active = append(n.active[:i], n.active[i+1:]...)
+// carveInts returns an int slice with length 0 and capacity c backed by
+// the shared arena (small requests) or its own allocation (large ones).
+func (n *Network) carveInts(c int) []int {
+	if c > 1024 {
+		return make([]int, 0, c)
+	}
+	if len(n.intArena) < c {
+		n.intArena = make([]int, 4096)
+	}
+	s := n.intArena[:0:c]
+	n.intArena = n.intArena[c:]
+	return s
+}
+
+// carveTicks is carveInts for sendTicks buffers.
+func (n *Network) carveTicks(c int) []sim.Tick {
+	if c > 1024 {
+		return make([]sim.Tick, 0, c)
+	}
+	if len(n.tickArena) < c {
+		n.tickArena = make([]sim.Tick, 4096)
+	}
+	s := n.tickArena[:0:c]
+	n.tickArena = n.tickArena[c:]
+	return s
+}
+
+// setState transitions a bus's lifecycle state, keeping the forward /
+// backward phase-population counters in sync. Every State write on a
+// registered bus must go through here.
+func (n *Network) setState(vb *VirtualBus, s VBState) {
+	switch vb.State {
+	case VBExtending, VBTransferring, VBFinalPropagating:
+		n.fwdActive--
+	case VBHackReturning, VBFackReturning, VBNackReturning:
+		n.bwdActive--
+	case VBDone, VBRefused:
+		// Terminal states belong to neither phase population.
+	}
+	vb.State = s
+	switch s {
+	case VBExtending, VBTransferring, VBFinalPropagating:
+		n.fwdActive++
+	case VBHackReturning, VBFackReturning, VBNackReturning:
+		n.bwdActive++
+	case VBDone, VBRefused:
+		// Terminal states belong to neither phase population.
 	}
 }
 
-// hopOf reports the hop index driven by node i's output ports.
-func (n *Network) hopOf(node NodeID) int { return int(node) % n.cfg.Nodes }
+// addVB registers a new virtual bus in the active set.
+func (n *Network) addVB(vb *VirtualBus) {
+	i := n.searchVB(vb.ID)
+	n.active = append(n.active, nil)
+	copy(n.active[i+1:], n.active[i:])
+	n.active[i] = vb
+	n.compactAwake++ // a fresh bus starts awake (compactQuiet is zero)
+	n.fwdActive++    // every bus is born extending
+}
+
+// removeVB unregisters a virtual bus that has fully torn down. The bus
+// must already be in a terminal state; the slice surgery is deferred to
+// sweepRemoved so a tick with many teardowns compacts the active set once
+// instead of shifting the pointer tail per bus. Until the sweep the dead
+// entry stays searchable (the set remains ID-sorted), which keeps the
+// releaseSeg wake hook working mid-phase; a dead bus holds no segments,
+// so it can never be the occupant such a lookup finds.
+func (n *Network) removeVB(vb *VirtualBus) {
+	if vb.compactQuiet < compactQuietCycles {
+		n.compactAwake--
+	}
+	n.deadVBs++
+}
+
+// sweepRemoved compacts terminal buses out of the active set and parks
+// them on the freelist for insert to recycle. Runs at the end of the
+// backward-signal phase (the only phase that tears buses down), so every
+// later phase sees a clean set.
+func (n *Network) sweepRemoved() {
+	if n.deadVBs == 0 {
+		return
+	}
+	out := n.active[:0]
+	for _, vb := range n.active {
+		if vb.State == VBDone || vb.State == VBRefused {
+			n.vbFree = append(n.vbFree, vb)
+			continue
+		}
+		out = append(out, vb)
+	}
+	for i := len(out); i < len(n.active); i++ {
+		n.active[i] = nil // release the references
+	}
+	n.active = out
+	n.deadVBs = 0
+}
+
+// wakeCompaction clears a bus's compaction-quiescence streak. Call sites
+// are exactly the events that can newly enable a downward move for the
+// bus: one of its own levels changed, its lifecycle state changed, or a
+// segment directly below one of its hops was freed (releaseSeg's hook).
+func (n *Network) wakeCompaction(vb *VirtualBus) {
+	if vb.compactQuiet >= compactQuietCycles {
+		n.compactAwake++
+	}
+	vb.compactQuiet = 0
+}
+
+// hopOf reports the hop index driven by node i's output ports. Node IDs
+// are validated into [0, N) on entry, so this is the identity.
+func (n *Network) hopOf(node NodeID) int { return int(node) }
 
 // segFree reports whether segment l of hop h is unoccupied.
 func (n *Network) segFree(h, l int) bool { return n.occ[h][l] == 0 }
@@ -312,23 +578,37 @@ func (n *Network) claimSeg(h, l int, vb VBID) {
 		panic(fmt.Sprintf("core: segment hop %d level %d already occupied by vb%d, claimed by vb%d", h, l, n.occ[h][l], vb))
 	}
 	n.occ[h][l] = vb
+	n.busySegments++
 }
 
-// releaseSeg frees segment l of hop h, validating ownership.
+// releaseSeg frees segment l of hop h, validating ownership. Freeing a
+// segment can enable a downward move for the bus on the segment directly
+// above, so that bus is woken for the next compaction cycle.
 func (n *Network) releaseSeg(h, l int, vb VBID) {
 	if n.occ[h][l] != vb {
 		panic(fmt.Sprintf("core: segment hop %d level %d owned by vb%d, released by vb%d", h, l, n.occ[h][l], vb))
 	}
 	n.occ[h][l] = 0
+	n.busySegments--
+	if l+1 < n.cfg.Buses {
+		if above := n.occ[h][l+1]; above != 0 {
+			n.wakeCompaction(n.lookupVB(above))
+		}
+	}
 }
 
 // sampleOccupancy updates the utilization statistics for this tick.
 func (n *Network) sampleOccupancy() {
-	busy := 0
-	for _, hop := range n.occ {
-		for _, id := range hop {
-			if id != 0 {
-				busy++
+	busy := n.busySegments
+	if n.naive {
+		// Reference rescan: lets the auditor and differential tests verify
+		// the incremental counter against the grid.
+		busy = 0
+		for _, hop := range n.occ {
+			for _, id := range hop {
+				if id != 0 {
+					busy++
+				}
 			}
 		}
 	}
@@ -336,7 +616,7 @@ func (n *Network) sampleOccupancy() {
 	if busy > n.stats.PeakBusySegments {
 		n.stats.PeakBusySegments = busy
 	}
-	if len(n.vbs) > n.stats.PeakActiveVBs {
-		n.stats.PeakActiveVBs = len(n.vbs)
+	if len(n.active) > n.stats.PeakActiveVBs {
+		n.stats.PeakActiveVBs = len(n.active)
 	}
 }

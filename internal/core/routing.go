@@ -22,15 +22,19 @@ type transferProgress struct {
 
 // stepBackwardSignals advances every counter-clockwise signal (Hack,
 // Fack, Nack) one hop and applies the effects of signals that complete.
+// Completing a teardown marks the bus terminal in place (removeVB defers
+// the slice surgery), so the active set is stable during the loop and is
+// swept once afterwards — no per-tick defensive copy, and no O(active)
+// pointer shift per individual teardown.
 func (n *Network) stepBackwardSignals(now sim.Tick) bool {
+	if !n.naive && n.bwdActive == 0 {
+		// No bus carries a backward signal, so the phase is a no-op (and
+		// no teardown can be pending: only this phase creates dead buses).
+		return false
+	}
 	progress := false
-	// Iterate over a copy: completing a teardown mutates the active set.
-	ids := append([]VBID(nil), n.active...)
-	for _, id := range ids {
-		vb, ok := n.vbs[id]
-		if !ok {
-			continue
-		}
+	for i := 0; i < len(n.active); i++ {
+		vb := n.active[i]
 		switch vb.State {
 		case VBHackReturning:
 			progress = true
@@ -48,10 +52,10 @@ func (n *Network) stepBackwardSignals(now sim.Tick) bool {
 		case VBExtending, VBTransferring, VBFinalPropagating:
 			// Forward-path states; advanced by stepForward.
 		case VBDone, VBRefused:
-			// Terminal states are removed from the active set by
-			// finishTeardown; the auditor flags any that linger.
+			// Terminal states entered earlier this tick; swept below.
 		}
 	}
+	n.sweepRemoved()
 	return progress
 }
 
@@ -66,6 +70,7 @@ func (n *Network) freeTailHop(vb *VirtualBus) {
 	h := int(vb.HopNode(j, n.cfg.Nodes))
 	n.releaseSeg(h, vb.Levels[j], vb.ID)
 	vb.Levels = vb.Levels[:j]
+	n.wakeCompaction(vb) // the shrunken tail relaxes the downstream ±1 bound
 }
 
 // finishTeardown completes a Fack or Nack sweep that has passed the
@@ -75,10 +80,10 @@ func (n *Network) finishTeardown(now sim.Tick, vb *VirtualBus) {
 	src.sendActive--
 	switch vb.State {
 	case VBFackReturning:
-		vb.State = VBDone
+		n.setState(vb, VBDone) // removeVB below retires the quiescence slot
 		n.rec.VBEvent(now, vb, "torn-down")
 	case VBNackReturning:
-		vb.State = VBRefused
+		n.setState(vb, VBRefused)
 		n.rec.VBEvent(now, vb, "torn-down")
 		n.scheduleRetry(now, vb)
 	default:
@@ -100,7 +105,7 @@ func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
 		backoff = n.cfg.RetryCap
 	}
 	delay := sim.Tick(1 + n.rng.Intn(backoff))
-	rec := n.records[vb.Msg]
+	rec := n.record(vb.Msg)
 	req := &request{
 		msg:      n.rebuiltMessage(vb),
 		enqueued: rec.Enqueued,
@@ -111,6 +116,7 @@ func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
 	src := vb.Src
 	n.retries.Schedule(now+delay, func() {
 		n.pending[src] = append(n.pending[src], req)
+		n.pendingCount++
 	})
 }
 
@@ -118,35 +124,40 @@ func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
 // payload store (payloads are kept aside so retries and delivery records
 // can reuse them without copying through the flit pipeline).
 func (n *Network) rebuiltMessage(vb *VirtualBus) flit.Message {
-	return flit.Message{ID: vb.Msg, Src: vb.Src, Dst: vb.Dst, Payload: n.payloadStore[vb.Msg]}
+	return flit.Message{ID: vb.Msg, Src: vb.Src, Dst: vb.Dst, Payload: n.payloads[vb.Msg-1]}
 }
 
 // beginTransfer runs when the Hack reaches the source: the circuit is
 // established and data flits may flow.
 func (n *Network) beginTransfer(now sim.Tick, vb *VirtualBus) {
-	vb.State = VBTransferring
+	n.setState(vb, VBTransferring)
+	n.wakeCompaction(vb)
 	vb.TransferStart = now
 	vb.Established = now
-	if rec := n.records[vb.Msg]; rec != nil {
+	if rec := n.record(vb.Msg); rec != nil {
 		rec.Established = now
 	}
 	n.rec.VBEvent(now, vb, "established")
 	if vb.PayloadLen == 0 {
 		vb.progress.ffLaunchAt = now
 		vb.progress.ffScheduled = true
+	} else if cap(vb.progress.sendTicks) < vb.PayloadLen {
+		// One up-front buffer for the whole transfer instead of append
+		// growth (which memmoves the full history on every doubling).
+		vb.progress.sendTicks = n.carveTicks(vb.PayloadLen)
 	}
 }
 
 // stepForward advances header flits, clocks data flits, and moves final
 // flits toward the destination.
 func (n *Network) stepForward(now sim.Tick) bool {
+	if !n.naive && n.fwdActive == 0 {
+		return false // no header, data, or final flit anywhere
+	}
 	progress := false
-	ids := append([]VBID(nil), n.active...)
-	for _, id := range ids {
-		vb, ok := n.vbs[id]
-		if !ok {
-			continue
-		}
+	// No forward-phase handler adds or removes buses, so the active slice
+	// can be ranged directly without a defensive copy.
+	for _, vb := range n.active {
 		switch vb.State {
 		case VBExtending:
 			if n.advanceHead(now, vb) {
@@ -173,16 +184,17 @@ func (n *Network) stepForward(now sim.Tick) bool {
 }
 
 // headCandidates lists the output levels the header may claim next, in
-// preference order, given its current input level.
+// preference order, given its current input level. The returned slice
+// aliases a scratch array on the Network and is valid until the next call.
 func (n *Network) headCandidates(in int) []int {
 	k := n.cfg.Buses
+	c := n.headCand[:0]
 	switch n.cfg.HeadRule {
 	case HeadStrictTop:
-		return []int{k - 1}
+		return append(c, k-1)
 	case HeadStraightOnly:
-		return []int{in}
+		return append(c, in)
 	default: // HeadFlexible
-		c := make([]int, 0, 3)
 		c = append(c, in)
 		if in-1 >= 0 {
 			c = append(c, in-1)
@@ -208,7 +220,12 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 		}
 		n.claimSeg(h, l, vb.ID)
 		vb.Levels = append(vb.Levels, l)
-		vb.Head = NodeID((int(vb.Head) + 1) % n.cfg.Nodes)
+		n.wakeCompaction(vb) // the new hop may be immediately switchable
+		head := int(vb.Head) + 1
+		if head >= n.cfg.Nodes {
+			head = 0
+		}
+		vb.Head = NodeID(head)
 		vb.HeadWait = 0
 		n.rec.VBEvent(now, vb, "extended")
 		if vb.Head == vb.nextTarget() {
@@ -221,7 +238,8 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 	if vb.HeadLimit > 0 && vb.HeadWait >= vb.HeadLimit {
 		n.stats.HeadTimeouts++
 		n.releaseTaps(vb)
-		vb.State = VBNackReturning
+		n.setState(vb, VBNackReturning)
+		n.wakeCompaction(vb) // leaving VBExtending unpins a strict-top head hop
 		vb.AckHop = len(vb.Levels) - 1
 		n.rec.VBEvent(now, vb, "timeout")
 	}
@@ -240,7 +258,8 @@ func (n *Network) reachTarget(now sim.Tick, vb *VirtualBus) {
 	if inc.recvActive >= n.cfg.MaxRecvPerNode {
 		n.stats.Nacks++
 		n.releaseTaps(vb)
-		vb.State = VBNackReturning
+		n.setState(vb, VBNackReturning)
+		n.wakeCompaction(vb)
 		vb.AckHop = len(vb.Levels) - 1
 		n.rec.VBEvent(now, vb, "refused")
 		return
@@ -248,7 +267,8 @@ func (n *Network) reachTarget(now sim.Tick, vb *VirtualBus) {
 	inc.recvActive++
 	vb.claimedTaps = append(vb.claimedTaps, node)
 	if node == vb.Dst {
-		vb.State = VBHackReturning
+		n.setState(vb, VBHackReturning)
+		n.wakeCompaction(vb)
 		vb.AckHop = len(vb.Levels) - 1
 		n.rec.VBEvent(now, vb, "accepted")
 		return
@@ -286,7 +306,8 @@ func (n *Network) clockData(now sim.Tick, vb *VirtualBus) bool {
 		}
 	}
 	if p.ffScheduled && now >= p.ffLaunchAt {
-		vb.State = VBFinalPropagating
+		n.setState(vb, VBFinalPropagating)
+		n.wakeCompaction(vb)
 		p.ffArriveAt = p.ffLaunchAt + sim.Tick(vb.Span())
 		n.rec.VBEvent(now, vb, "final-sent")
 	}
@@ -323,10 +344,8 @@ func (n *Network) updateArrivals(now sim.Tick, vb *VirtualBus) {
 func (n *Network) deliver(now sim.Tick, vb *VirtualBus) {
 	vb.Delivered = now
 	n.updateArrivals(now+sim.Tick(vb.Span()), vb) // all data preceded the FF
-	taps := append([]NodeID(nil), vb.claimedTaps...)
-	n.releaseTaps(vb)
-	n.stats.Delivered += int64(len(taps))
-	rec := n.records[vb.Msg]
+	n.stats.Delivered += int64(len(vb.claimedTaps))
+	rec := n.record(vb.Msg)
 	if rec != nil {
 		rec.Delivered = now
 		rec.Done = true
@@ -335,12 +354,14 @@ func (n *Network) deliver(now sim.Tick, vb *VirtualBus) {
 		n.stats.SumEstablishLatency += vb.Established - rec.Enqueued
 	}
 	base := n.rebuiltMessage(vb)
-	for _, tap := range taps {
+	for _, tap := range vb.claimedTaps {
 		m := base
 		m.Dst = tap
 		n.delivered = append(n.delivered, m)
 	}
-	vb.State = VBFackReturning
+	n.releaseTaps(vb)
+	n.setState(vb, VBFackReturning)
+	n.wakeCompaction(vb)
 	vb.AckHop = len(vb.Levels) - 1
 	n.rec.VBEvent(now, vb, "delivered")
 }
@@ -351,28 +372,41 @@ func (n *Network) deliver(now sim.Tick, vb *VirtualBus) {
 // allows: "a request can only be initiated if the top bus segment at that
 // INC is not being used to serve another request".
 func (n *Network) stepInsertion(now sim.Tick) bool {
+	if !n.naive && n.pendingCount == 0 {
+		// Nothing queued anywhere; only the rotation (pure bookkeeping)
+		// must still advance to keep fairness identical.
+		n.insertRotate++
+		if n.insertRotate >= n.cfg.Nodes {
+			n.insertRotate = 0
+		}
+		return false
+	}
 	progress := false
 	k := n.cfg.Buses
-	for i := 0; i < n.cfg.Nodes; i++ {
-		node := (n.insertRotate + i) % n.cfg.Nodes
+	nodes := n.cfg.Nodes
+	node := n.insertRotate
+	for i := 0; i < nodes; i++ {
+		if node >= nodes {
+			node = 0
+		}
 		q := n.pending[node]
-		if len(q) == 0 {
-			continue
+		if len(q) > 0 {
+			inc := &n.incs[node]
+			h := n.hopOf(NodeID(node))
+			if inc.sendActive < n.cfg.MaxSendPerNode && n.segFree(h, k-1) {
+				req := q[0]
+				n.pending[node] = q[1:]
+				n.pendingCount--
+				n.insert(now, NodeID(node), req)
+				progress = true
+			}
 		}
-		inc := &n.incs[node]
-		if inc.sendActive >= n.cfg.MaxSendPerNode {
-			continue
-		}
-		h := n.hopOf(NodeID(node))
-		if !n.segFree(h, k-1) {
-			continue
-		}
-		req := q[0]
-		n.pending[node] = q[1:]
-		n.insert(now, NodeID(node), req)
-		progress = true
+		node++
 	}
-	n.insertRotate = (n.insertRotate + 1) % n.cfg.Nodes
+	n.insertRotate++
+	if n.insertRotate >= nodes {
+		n.insertRotate = 0
+	}
 	return progress
 }
 
@@ -380,19 +414,30 @@ func (n *Network) stepInsertion(now sim.Tick) bool {
 func (n *Network) insert(now sim.Tick, src NodeID, req *request) {
 	k := n.cfg.Buses
 	n.nextVB++
-	vb := &VirtualBus{
-		ID:         n.nextVB,
-		Msg:        req.msg.ID,
-		Src:        src,
-		Dst:        req.msg.Dst,
-		Dsts:       req.dsts,
-		Levels:     []int{k - 1},
-		State:      VBExtending,
-		Head:       NodeID((int(src) + 1) % n.cfg.Nodes),
-		PayloadLen: len(req.msg.Payload),
-		Inserted:   now,
-		Attempt:    req.attempts + 1,
+	// Recycle a torn-down bus when one is parked: the struct and its
+	// Levels / claimedTaps / sendTicks backing arrays are reused, and
+	// every field is overwritten below.
+	vb, levels, taps, ticks := n.allocVB()
+	// Levels grows to exactly one entry per hop of the clockwise path, so
+	// sizing it up front removes the append growth from advanceHead.
+	if dist := n.Distance(src, req.msg.Dst); cap(levels) < dist {
+		levels = n.carveInts(dist)
 	}
+	*vb = VirtualBus{
+		ID:          n.nextVB,
+		Msg:         req.msg.ID,
+		Src:         src,
+		Dst:         req.msg.Dst,
+		Dsts:        req.dsts,
+		claimedTaps: taps,
+		Levels:      append(levels, k-1),
+		State:       VBExtending,
+		Head:        NodeID((int(src) + 1) % n.cfg.Nodes),
+		PayloadLen:  len(req.msg.Payload),
+		Inserted:    now,
+		Attempt:     req.attempts + 1,
+	}
+	vb.progress.sendTicks = ticks
 	if n.cfg.HeadTimeout > 0 {
 		// Randomize in [T/2, 3T/2) so contending attempts desynchronize.
 		vb.HeadLimit = n.cfg.HeadTimeout/2 + 1 + n.rng.Intn(n.cfg.HeadTimeout)
@@ -401,7 +446,7 @@ func (n *Network) insert(now sim.Tick, src NodeID, req *request) {
 	n.incs[src].sendActive++
 	n.addVB(vb)
 	n.stats.Insertions++
-	rec := n.records[req.msg.ID]
+	rec := n.record(req.msg.ID)
 	if rec != nil && rec.FirstInserted == 0 {
 		rec.FirstInserted = now
 	}

@@ -44,8 +44,7 @@ func (n *Network) Snapshot() *Snapshot {
 		s.Occ[h] = append([]VBID(nil), n.occ[h]...)
 		s.Status[h] = make([]PortStatus, n.cfg.Buses)
 	}
-	for _, id := range n.active {
-		vb := n.vbs[id]
+	for _, vb := range n.active {
 		for j, l := range vb.Levels {
 			h := int(vb.HopNode(j, n.cfg.Nodes))
 			if code, err := vb.StatusAt(j); err == nil {
@@ -76,7 +75,7 @@ func (n *Network) INCStatusRegisters(node NodeID) []PortStatus {
 		if id == 0 {
 			continue
 		}
-		vb := n.vbs[id]
+		vb := n.lookupVB(id)
 		j := n.hopIndex(vb, h)
 		if j < 0 {
 			continue

@@ -139,6 +139,13 @@ type VirtualBus struct {
 
 	// progress tracks data-transfer timing; see routing.go.
 	progress transferProgress
+
+	// compactQuiet counts consecutive lockstep compaction cycles in which
+	// this bus planned no move and nothing it depends on changed. At
+	// compactQuietCycles (both segment parities tried) the bus is provably
+	// stable and the event-driven scheduler skips it until a wake event;
+	// see Network.wakeCompaction.
+	compactQuiet int8
 }
 
 // Span reports the number of hops the bus currently occupies.
@@ -157,9 +164,14 @@ func (vb *VirtualBus) nextTarget() NodeID {
 }
 
 // HopNode returns the ring node at which hop offset j starts, i.e. the
-// INC whose output ports drive that hop.
+// INC whose output ports drive that hop. A bus spans at most n-1 hops, so
+// Src+j < 2n and a single conditional wrap replaces the modulo.
 func (vb *VirtualBus) HopNode(j, n int) NodeID {
-	return NodeID((int(vb.Src) + j) % n)
+	h := int(vb.Src) + j
+	if h >= n {
+		h -= n
+	}
+	return NodeID(h)
 }
 
 // CheckLevelInvariant verifies that adjacent hop levels differ by at most

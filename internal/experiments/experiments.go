@@ -17,6 +17,7 @@ import (
 	"rmb/internal/baseline/mesh"
 	"rmb/internal/core"
 	"rmb/internal/metrics"
+	"rmb/internal/parallel"
 	"rmb/internal/report"
 	"rmb/internal/schedule"
 	"rmb/internal/sim"
@@ -292,41 +293,59 @@ func Lemma1() (string, error) {
 // Theorem1 demonstrates full utilization: for every k, every random
 // h-permutation with ring load <= k is routed completely, with the
 // starvation valve disabled so the protocol alone provides service.
+//
+// The 4x8 (k, seed) replication grid is a set of independent simulations,
+// so it fans out over parallel.Map; each trial owns its network and RNG,
+// and the per-k accumulation below walks the results in grid order, so
+// the rendered table is identical to the sequential loop's.
 func Theorem1() (string, error) {
 	const N = 16
+	const trials = 8
+	type trial struct {
+		msgs             int
+		delivered, nacks int64
+	}
+	runs, err := parallel.Map(parallel.Workers(0), 4*trials, func(i int) (trial, error) {
+		k := i/trials + 1
+		seed := uint64(i%trials) + 1
+		rng := sim.NewRNG(seed * 1313)
+		p, err := workload.BoundedLoadPermutation(N, N, k, 5000, rng)
+		if err != nil {
+			p, err = workload.BoundedLoadPermutation(N, k+2, k, 5000, rng)
+			if err != nil {
+				return trial{}, err
+			}
+		}
+		n, err := core.NewNetwork(core.Config{
+			Nodes: N, Buses: k, Seed: seed,
+			HeadTimeout: core.HeadTimeoutDisabled,
+		})
+		if err != nil {
+			return trial{}, err
+		}
+		for _, d := range p.Demands {
+			if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 3)); err != nil {
+				return trial{}, err
+			}
+		}
+		if err := n.Drain(500_000); err != nil {
+			return trial{}, fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
+		}
+		st := n.Stats()
+		return trial{len(p.Demands), st.Delivered, st.Nacks}, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	tb := report.NewTable("Theorem 1: a request is served whenever a bus segment is available on every hop",
 		"k", "trials", "messages", "delivered", "nacks (receiver busy)", "complete")
 	for k := 1; k <= 4; k++ {
 		totalMsgs, totalDelivered, totalNacks := 0, int64(0), int64(0)
-		trials := 8
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
-			rng := sim.NewRNG(seed * 1313)
-			p, err := workload.BoundedLoadPermutation(N, N, k, 5000, rng)
-			if err != nil {
-				p, err = workload.BoundedLoadPermutation(N, k+2, k, 5000, rng)
-				if err != nil {
-					return "", err
-				}
-			}
-			n, err := core.NewNetwork(core.Config{
-				Nodes: N, Buses: k, Seed: seed,
-				HeadTimeout: core.HeadTimeoutDisabled,
-			})
-			if err != nil {
-				return "", err
-			}
-			for _, d := range p.Demands {
-				if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 3)); err != nil {
-					return "", err
-				}
-			}
-			if err := n.Drain(500_000); err != nil {
-				return "", fmt.Errorf("k=%d seed=%d: %w", k, seed, err)
-			}
-			st := n.Stats()
-			totalMsgs += len(p.Demands)
-			totalDelivered += st.Delivered
-			totalNacks += st.Nacks
+		for s := 0; s < trials; s++ {
+			t := runs[(k-1)*trials+s]
+			totalMsgs += t.msgs
+			totalDelivered += t.delivered
+			totalNacks += t.nacks
 		}
 		tb.AddRowf(k, trials, totalMsgs, totalDelivered, totalNacks,
 			totalDelivered == int64(totalMsgs))
@@ -435,31 +454,46 @@ func ManyShortVirtualBuses() (string, error) {
 // schedule, over random patterns.
 func CompetitiveRatio() (string, error) {
 	const N = 16
+	const seeds = 6
+	ks := []int{2, 4}
+	// Independent (k, seed) replications fan out; rows and the ratio
+	// sample are assembled in grid order afterwards, so the artifact is
+	// identical to the sequential loop's.
+	type runRes struct {
+		ticks   int64
+		off, lb int
+		ratio   float64
+	}
+	runs, err := parallel.Map(parallel.Workers(0), len(ks)*seeds, func(i int) (runRes, error) {
+		k := ks[i/seeds]
+		seed := uint64(i%seeds) + 1
+		rng := sim.NewRNG(seed * 31)
+		p := workload.RandomPermutation(N, rng)
+		n, err := core.NewNetwork(core.Config{Nodes: N, Buses: k, Seed: seed})
+		if err != nil {
+			return runRes{}, err
+		}
+		for _, d := range p.Demands {
+			if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 8)); err != nil {
+				return runRes{}, err
+			}
+		}
+		if err := n.Drain(2_000_000); err != nil {
+			return runRes{}, err
+		}
+		off := schedule.Greedy(p, k).Makespan(8)
+		lb := schedule.LowerBoundTicks(p, k, 8)
+		return runRes{int64(n.Now()), off, lb, float64(n.Now()) / float64(off)}, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	tb := report.NewTable("competitiveness of the on-line protocol (random communication patterns)",
 		"pattern", "k", "online ticks", "offline makespan", "lower bound", "competitive ratio")
 	var ratios metrics.Sample
-	for _, k := range []int{2, 4} {
-		for seed := uint64(1); seed <= 6; seed++ {
-			rng := sim.NewRNG(seed * 31)
-			p := workload.RandomPermutation(N, rng)
-			n, err := core.NewNetwork(core.Config{Nodes: N, Buses: k, Seed: seed})
-			if err != nil {
-				return "", err
-			}
-			for _, d := range p.Demands {
-				if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 8)); err != nil {
-					return "", err
-				}
-			}
-			if err := n.Drain(2_000_000); err != nil {
-				return "", err
-			}
-			off := schedule.Greedy(p, k).Makespan(8)
-			lb := schedule.LowerBoundTicks(p, k, 8)
-			ratio := float64(n.Now()) / float64(off)
-			ratios.Add(ratio)
-			tb.AddRowf(fmt.Sprintf("perm(seed=%d)", seed), k, int64(n.Now()), off, lb, ratio)
-		}
+	for i, r := range runs {
+		ratios.Add(r.ratio)
+		tb.AddRowf(fmt.Sprintf("perm(seed=%d)", i%seeds+1), ks[i/seeds], r.ticks, r.off, r.lb, r.ratio)
 	}
 	out := tb.Render()
 	out += fmt.Sprintf("\nratio: mean=%.2f median=%.2f max=%.2f over %d runs\n",
@@ -472,6 +506,74 @@ func CompetitiveRatio() (string, error) {
 func ArchComparison() (string, error) {
 	const N = 16
 	const payload = 8
+	// One task per seed routes the permutation over all five systems; the
+	// summaries are folded in seed order below, so the table matches the
+	// sequential loop's bit for bit.
+	type seedRes struct{ rmb, cube, ehc, ft, mesh float64 }
+	runs, err := parallel.Map(parallel.Workers(0), 5, func(i int) (seedRes, error) {
+		seed := uint64(i) + 1
+		rng := sim.NewRNG(seed * 17)
+		p := workload.RandomPermutation(N, rng)
+		var res seedRes
+
+		n, err := core.NewNetwork(core.Config{Nodes: N, Buses: 4, Seed: seed})
+		if err != nil {
+			return res, err
+		}
+		for _, d := range p.Demands {
+			if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, payload)); err != nil {
+				return res, err
+			}
+		}
+		if err := n.Drain(2_000_000); err != nil {
+			return res, err
+		}
+		res.rmb = float64(n.Now())
+
+		cube, err := hypercube.New(N, false)
+		if err != nil {
+			return res, err
+		}
+		rc, err := circuit.NewEngine(cube, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			return res, err
+		}
+		res.cube = float64(rc.Ticks)
+
+		ehc, err := hypercube.New(N, true)
+		if err != nil {
+			return res, err
+		}
+		re, err := circuit.NewEngine(ehc, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			return res, err
+		}
+		res.ehc = float64(re.Ticks)
+
+		tr, err := fattree.NewKPermutation(N, 4)
+		if err != nil {
+			return res, err
+		}
+		rf, err := circuit.NewEngine(tr, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			return res, err
+		}
+		res.ft = float64(rf.Ticks)
+
+		m, err := mesh.NewSquare(N, 2)
+		if err != nil {
+			return res, err
+		}
+		rm, err := circuit.NewEngine(m, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
+		if err != nil {
+			return res, err
+		}
+		res.mesh = float64(rm.Ticks)
+		return res, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	sums := map[string]*metrics.Summary{}
 	add := func(name string, v float64) {
 		s, ok := sums[name]
@@ -481,63 +583,12 @@ func ArchComparison() (string, error) {
 		}
 		s.Add(v)
 	}
-	for seed := uint64(1); seed <= 5; seed++ {
-		rng := sim.NewRNG(seed * 17)
-		p := workload.RandomPermutation(N, rng)
-
-		n, err := core.NewNetwork(core.Config{Nodes: N, Buses: 4, Seed: seed})
-		if err != nil {
-			return "", err
-		}
-		for _, d := range p.Demands {
-			if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, payload)); err != nil {
-				return "", err
-			}
-		}
-		if err := n.Drain(2_000_000); err != nil {
-			return "", err
-		}
-		add("RMB (ring, k=4)", float64(n.Now()))
-
-		cube, err := hypercube.New(N, false)
-		if err != nil {
-			return "", err
-		}
-		rc, err := circuit.NewEngine(cube, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
-		if err != nil {
-			return "", err
-		}
-		add("hypercube (e-cube)", float64(rc.Ticks))
-
-		ehc, err := hypercube.New(N, true)
-		if err != nil {
-			return "", err
-		}
-		re, err := circuit.NewEngine(ehc, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
-		if err != nil {
-			return "", err
-		}
-		add("EHC", float64(re.Ticks))
-
-		tr, err := fattree.NewKPermutation(N, 4)
-		if err != nil {
-			return "", err
-		}
-		rf, err := circuit.NewEngine(tr, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
-		if err != nil {
-			return "", err
-		}
-		add("fat tree (k=4)", float64(rf.Ticks))
-
-		m, err := mesh.NewSquare(N, 2)
-		if err != nil {
-			return "", err
-		}
-		rm, err := circuit.NewEngine(m, circuit.Options{Payload: payload, Seed: seed}).Route(p, sim.NewRNG(seed))
-		if err != nil {
-			return "", err
-		}
-		add("mesh (cap 2)", float64(rm.Ticks))
+	for _, r := range runs {
+		add("RMB (ring, k=4)", r.rmb)
+		add("hypercube (e-cube)", r.cube)
+		add("EHC", r.ehc)
+		add("fat tree (k=4)", r.ft)
+		add("mesh (cap 2)", r.mesh)
 	}
 	// Normalize by the Section 3.2 layout area of each design point, so
 	// the table answers "who wins per unit of silicon" as well as raw
@@ -604,9 +655,9 @@ func AblationCompaction() (string, error) {
 				st := n.Stats()
 				ticks.Add(float64(n.Now()))
 				moves.Add(float64(st.CompactionMoves))
-				for _, r := range n.Records() {
+				n.EachRecord(func(r core.MsgRecord) {
 					wait.Add(float64(r.FirstInserted - r.Enqueued))
-				}
+				})
 			}
 			label := "on"
 			if disabled {

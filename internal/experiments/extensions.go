@@ -119,9 +119,9 @@ func Fairness() (string, error) {
 			return 0, 0, 0, err
 		}
 		perNode := make([]metrics.Summary, N)
-		for _, r := range n.Records() {
+		n.EachRecord(func(r core.MsgRecord) {
 			perNode[r.Src].Add(float64(r.FirstInserted - r.Enqueued))
-		}
+		})
 		var all metrics.Summary
 		best := -1.0
 		for i := range perNode {

@@ -39,10 +39,12 @@ func analyzerDeterminism() *Analyzer {
 		Name: "determinism",
 		Doc: "The cycle-accurate tier (internal/core, internal/sim, internal/flit) " +
 			"must be bit-reproducible for a given Config and Seed: no wall-clock reads " +
-			"(time.Now/Since/Until), no timers, no math/rand, and no iteration over " +
-			"protocol-state maps (Go randomizes map order). The async tier additionally " +
-			"must not read the wall clock into protocol state. Guards the paper's " +
-			"deterministic replay of Tables 1-2 and Figures 5-13.",
+			"(time.Now/Since/Until), no timers, no math/rand, no goroutines (the OS " +
+			"scheduler is a nondeterminism source; fan independent simulations out via " +
+			"internal/parallel instead), and no iteration over protocol-state maps (Go " +
+			"randomizes map order). The async tier additionally must not read the wall " +
+			"clock into protocol state. Guards the paper's deterministic replay of " +
+			"Tables 1-2 and Figures 5-13.",
 	}
 	a.Run = func(m *Module, pkg *Package) []Diagnostic {
 		strict := inTier(pkg.Path, strictDeterministicTiers...)
@@ -86,6 +88,12 @@ func analyzerDeterminism() *Analyzer {
 						report(node, "wall-clock read time.%s leaks real time into async protocol state; count logical ticks instead", fn.Name())
 					case strict && timerFuncs[fn.Name()]:
 						report(node, "real-time pacing time.%s in deterministic tier; advance the sim.Clock instead", fn.Name())
+					}
+				case *ast.GoStmt:
+					if strict {
+						report(node, "go statement in deterministic tier: goroutine interleaving is OS-scheduled "+
+							"and would break bit-reproducibility; keep simulator state single-threaded and fan "+
+							"independent runs out with internal/parallel")
 					}
 				case *ast.RangeStmt:
 					if !strict {

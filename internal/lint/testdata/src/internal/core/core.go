@@ -39,6 +39,12 @@ func Stamp() int64 { return time.Now().UnixNano() }
 // Jitter uses the ambient generator imported above.
 func Jitter() int { return rand.Int() }
 
+// Background seeds a determinism violation: a goroutine in the
+// deterministic tier (worker pools belong in internal/parallel).
+func Background(done chan struct{}) {
+	go func() { close(done) }()
+}
+
 // Sum seeds a determinism violation: map iteration order leaks into
 // execution order.
 func Sum(m map[int]int) int {

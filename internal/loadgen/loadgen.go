@@ -12,7 +12,6 @@ import (
 	"fmt"
 
 	"rmb/internal/core"
-	"rmb/internal/flit"
 	"rmb/internal/metrics"
 	"rmb/internal/sim"
 )
@@ -96,8 +95,6 @@ func Run(n *core.Network, cfg Config) (Result, error) {
 	rng := sim.NewRNG(cfg.Seed ^ 0x10ad)
 	payload := make([]uint64, cfg.PayloadLen)
 
-	type pending struct{ measured bool }
-	tracked := make(map[flit.MessageID]pending)
 	res := Result{OfferedRate: cfg.Rate}
 
 	end := cfg.Warmup + cfg.Measure
@@ -107,35 +104,33 @@ func Run(n *core.Network, cfg Config) (Result, error) {
 				continue
 			}
 			dst := cfg.Pattern(node, nodes, rng)
-			id, err := n.Send(core.NodeID(node), core.NodeID(dst), payload)
-			if err != nil {
+			if _, err := n.Send(core.NodeID(node), core.NodeID(dst), payload); err != nil {
 				return res, err
 			}
-			measured := now >= cfg.Warmup
-			tracked[id] = pending{measured: measured}
-			if measured {
+			if now >= cfg.Warmup {
 				res.Submitted++
 			}
 		}
 		n.Step()
 	}
-	// Flush the backlog.
+	// Flush the backlog. FastForward lets the drain skip dead air between
+	// retry deadlines (a no-op unless the network is quiescent-but-armed).
 	deadline := end + cfg.Drain
 	for !n.Idle() && n.Now() < deadline {
+		n.FastForward(deadline - n.Now() - 1)
 		n.Step()
 	}
 	res.Saturated = !n.Idle()
 
-	for id, p := range tracked {
-		rec, ok := n.Record(id)
-		if !ok || !rec.Done {
-			continue
-		}
-		if p.measured {
+	// Every record in the run came from a Send above, and its Enqueued
+	// tick is the loop tick it was submitted at — so the warmup filter the
+	// per-ID tracking map used to provide falls out of the record itself.
+	n.EachRecord(func(rec core.MsgRecord) {
+		if rec.Done && rec.Enqueued >= cfg.Warmup {
 			res.Delivered++
 			res.Latency.Add(float64(rec.DeliverLatency()))
 		}
-	}
+	})
 	res.AcceptedRate = float64(res.Delivered) / float64(cfg.Measure) / float64(nodes)
 	st := n.Stats()
 	res.MeanUtilization = st.MeanUtilization(nodes * n.Config().Buses)

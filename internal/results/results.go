@@ -9,7 +9,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"rmb/internal/core"
 )
@@ -119,8 +118,10 @@ func FromNetwork(n *core.Network, workloadName string, includeMessages, includeS
 		},
 	}
 	if includeMessages {
-		recs := n.Records()
-		for _, rec := range recs {
+		// EachRecord visits in ascending message-ID order, so the output
+		// needs no sort and no intermediate map copy.
+		r.Messages = make([]Message, 0, n.RecordCount())
+		n.EachRecord(func(rec core.MsgRecord) {
 			r.Messages = append(r.Messages, Message{
 				ID: uint64(rec.ID), Src: int32(rec.Src), Dst: int32(rec.Dst),
 				Distance: rec.Distance, PayloadLen: rec.PayloadLen, Fanout: rec.Fanout,
@@ -128,8 +129,7 @@ func FromNetwork(n *core.Network, workloadName string, includeMessages, includeS
 				Established: int64(rec.Established), Delivered: int64(rec.Delivered),
 				Attempts: rec.Attempts, Done: rec.Done,
 			})
-		}
-		sort.Slice(r.Messages, func(i, j int) bool { return r.Messages[i].ID < r.Messages[j].ID })
+		})
 	}
 	if includeSnapshot {
 		s := n.Snapshot()

@@ -21,6 +21,16 @@ type Stepper interface {
 	Step() bool
 }
 
+// FastForwarder is optionally implemented by steppers that can jump over
+// provably uneventful ticks. FastForward may advance the system by up to
+// limit ticks — performing any per-tick bookkeeping for the skipped span
+// in closed form — and returns how many ticks it skipped. It must return
+// 0 whenever the next tick could perform or observe work, so a run with
+// fast-forwarding is indistinguishable from stepping every tick.
+type FastForwarder interface {
+	FastForward(limit Tick) Tick
+}
+
 // RunConfig bounds a Run call.
 type RunConfig struct {
 	// MaxTicks caps the total number of Step calls (0 means 1<<40).
@@ -31,16 +41,28 @@ type RunConfig struct {
 }
 
 // Run advances s until done reports true, the budget is exhausted, or an
-// idle streak exceeds the limit. It returns the number of ticks executed.
+// idle streak exceeds the limit. It returns the number of ticks executed
+// or skipped. When s implements FastForwarder, uneventful stretches are
+// jumped in one call; skipped ticks consume the tick budget exactly as
+// stepped ticks would, and they reset the idle streak (a fast-forward
+// happens only when a pending deadline guarantees future progress).
 func Run(s Stepper, cfg RunConfig, done func() bool) (Tick, error) {
 	max := cfg.MaxTicks
 	if max == 0 {
 		max = 1 << 40
 	}
+	ff, _ := s.(FastForwarder)
 	idle := 0
 	for t := Tick(0); t < max; t++ {
 		if done() {
 			return t, nil
+		}
+		if ff != nil {
+			// Leave one budget tick for the Step that handles the deadline.
+			if d := ff.FastForward(max - t - 1); d > 0 {
+				t += d
+				idle = 0
+			}
 		}
 		if s.Step() {
 			idle = 0
