@@ -39,6 +39,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of tables")
 	gantt := flag.Bool("gantt", false, "render per-message lifecycle timelines after the run")
 	maxTicks := flag.Int64("max-ticks", 5_000_000, "tick budget")
+	faults := flag.Float64("faults", 0, "chaos mode: probability each segment experiences fail/repair episodes")
+	faultINCs := flag.Float64("fault-incs", 0, "chaos mode: probability each INC experiences fail/repair episodes")
+	faultHorizon := flag.Int64("fault-horizon", 1000, "chaos mode: last tick of injected fault activity (faults heal by then)")
+	faultSeed := flag.Uint64("fault-seed", 0, "chaos mode: fault-schedule seed (default: -seed)")
 	flag.Parse()
 
 	rng := sim.NewRNG(*seed)
@@ -83,6 +87,16 @@ func main() {
 	cfg := core.Config{
 		Nodes: *nodes, Buses: *buses, Seed: *seed,
 		DisableCompaction: *noCompact,
+	}
+	if *faults > 0 || *faultINCs > 0 {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		cfg.Faults = core.ChaosPlan(*nodes, *buses, core.ChaosOptions{
+			Seed: fs, Horizon: sim.Tick(*faultHorizon),
+			SegmentRate: *faults, INCRate: *faultINCs,
+		})
 	}
 	switch *mode {
 	case "lockstep":
@@ -162,6 +176,14 @@ func main() {
 	tb.AddRowf("mean delivery latency", st.MeanDeliverLatency())
 	tb.AddRowf("mean utilization", st.MeanUtilization(*nodes**buses))
 	tb.AddRowf("peak virtual buses", st.PeakActiveVBs)
+	if len(cfg.Faults.Events) > 0 {
+		tb.AddRowf("segment fail events", st.SegmentFailEvents)
+		tb.AddRowf("inc fail events", st.INCFailEvents)
+		tb.AddRowf("fault teardowns", st.FaultTeardowns)
+		tb.AddRowf("fault insert refusals", st.FaultInsertRefusals)
+		tb.AddRowf("fault dest refusals", st.FaultDestRefusals)
+		tb.AddRowf("mean faulty segments", fmt.Sprintf("%.2f", st.MeanFaultySegments()))
+	}
 	fmt.Println(tb.Render())
 
 	off := schedule.Greedy(p, *buses).Makespan(*payload)

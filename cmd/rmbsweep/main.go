@@ -55,6 +55,8 @@ func main() {
 	pattern := flag.String("pattern", "uniform", "destination pattern: uniform, neighbour, hotspot")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	jobs := flag.Int("j", 1, "simulations to run in parallel (0 = GOMAXPROCS)")
+	faults := flag.Float64("faults", 0, "chaos mode: probability each segment experiences fail/repair episodes")
+	faultINCs := flag.Float64("fault-incs", 0, "chaos mode: probability each INC experiences fail/repair episodes")
 	flag.Parse()
 
 	buses, err := parseInts(*busesFlag)
@@ -93,17 +95,27 @@ func main() {
 			pts = append(pts, point{k, rate})
 		}
 	}
+	chaos := *faults > 0 || *faultINCs > 0
 	results, err := parallel.Map(parallel.Workers(*jobs), len(pts), func(i int) (loadgen.Result, error) {
 		p := pts[i]
 		n, err := core.NewNetwork(core.Config{Nodes: *nodes, Buses: p.k, Seed: *seed})
 		if err != nil {
 			return loadgen.Result{}, err
 		}
-		return loadgen.Run(n, loadgen.Config{
+		lc := loadgen.Config{
 			Rate: p.rate, PayloadLen: *payload,
 			Warmup: sim.Tick(*warmup), Measure: sim.Tick(*measure),
 			Pattern: dest, Seed: *seed + uint64(p.k)*1000,
-		})
+		}
+		if chaos {
+			// Fault activity spans the whole measured run, every point
+			// seeing the same schedule for its bus count.
+			lc.Faults = core.ChaosPlan(*nodes, p.k, core.ChaosOptions{
+				Seed: *seed, Horizon: sim.Tick(*warmup + *measure),
+				SegmentRate: *faults, INCRate: *faultINCs,
+			})
+		}
+		return loadgen.Run(n, lc)
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rmbsweep: %v\n", err)
@@ -112,11 +124,14 @@ func main() {
 
 	chart := report.NewChart(fmt.Sprintf("mean latency by (k, offered load) — N=%d, %s traffic", *nodes, *pattern))
 	for bi, k := range buses {
-		tb := report.NewTable(fmt.Sprintf("k=%d", k),
-			"offered", "accepted", "mean latency", "p50", "p95", "p99", "util", "saturated")
+		cols := []string{"offered", "accepted", "mean latency", "p50", "p95", "p99", "util", "saturated"}
+		if chaos {
+			cols = append(cols, "teardowns", "mean faulty segs")
+		}
+		tb := report.NewTable(fmt.Sprintf("k=%d", k), cols...)
 		for ri, rate := range rates {
 			res := results[bi*len(rates)+ri]
-			tb.AddRowf(
+			row := []any{
 				fmt.Sprintf("%.4f", rate),
 				fmt.Sprintf("%.4f", res.AcceptedRate),
 				fmt.Sprintf("%.1f", res.Latency.Mean()),
@@ -125,7 +140,11 @@ func main() {
 				fmt.Sprintf("%.0f", res.Latency.Percentile(99)),
 				fmt.Sprintf("%.2f", res.MeanUtilization),
 				res.Saturated,
-			)
+			}
+			if chaos {
+				row = append(row, res.FaultTeardowns, fmt.Sprintf("%.2f", res.MeanFaultySegments))
+			}
+			tb.AddRowf(row...)
 			chart.Add(fmt.Sprintf("k=%d @ %.4f", k, rate), res.Latency.Mean())
 		}
 		fmt.Println(tb.Render())

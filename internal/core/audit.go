@@ -91,6 +91,17 @@ func (n *Network) auditOccupancy() error {
 	if busy != n.busySegments {
 		return fmt.Errorf("core: audit: busySegments=%d but %d grid cells are occupied", n.busySegments, busy)
 	}
+	faulty := 0
+	for h := range n.occ {
+		for l := range n.occ[h] {
+			if n.faultyAt(h, l) {
+				faulty++
+			}
+		}
+	}
+	if faulty != n.faultySegments {
+		return fmt.Errorf("core: audit: faultySegments=%d but %d grid cells are fault-disabled", n.faultySegments, faulty)
+	}
 	for _, vb := range n.active {
 		if seen[vb.ID] != len(vb.Levels) {
 			return fmt.Errorf("core: audit: vb%d spans %d hops but occupies %d segments", vb.ID, len(vb.Levels), seen[vb.ID])
@@ -117,7 +128,7 @@ func (n *Network) auditBuses() error {
 			}
 		}
 		switch vb.State {
-		case VBHackReturning, VBFackReturning, VBNackReturning:
+		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
 			if vb.AckHop < -1 || vb.AckHop > len(vb.Levels)-1 {
 				return fmt.Errorf("core: audit: vb%d ack position %d outside span %d", id, vb.AckHop, len(vb.Levels))
 			}

@@ -66,9 +66,11 @@ func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
 			}
 			// Inlined switchableDown (Figure 7), reusing the tracked hop
 			// index h instead of re-deriving it per candidate: the INC's
-			// parity turn, a free segment below, the ±1 bound against both
-			// neighbouring hops, and the strict-top head pin.
-			if (l+h+cyc)&1 == 0 && l > 0 && n.occ[h][l-1] == 0 &&
+			// parity turn, a usable (free and fault-free) segment below,
+			// the ±1 bound against both neighbouring hops, and the
+			// strict-top head pin. Faulty segments read as permanently
+			// occupied, so buses sink around them.
+			if (l+h+cyc)&1 == 0 && l > 0 && n.segUsable(h, l-1) &&
 				(j == 0 || levels[j-1] <= l) {
 				if last := j == len(levels)-1; (!last && levels[j+1] <= l) ||
 					(last && !(strictTop && vb.State == VBExtending)) {
@@ -203,7 +205,9 @@ func (n *Network) switchableDown(vb *VirtualBus, j int) bool {
 		return false // already on the lowest physical segment
 	}
 	h := int(vb.HopNode(j, n.cfg.Nodes))
-	if !n.segFree(h, b-1) {
+	if !n.segUsable(h, b-1) {
+		// A faulty segment reads as permanently occupied: the bus sinks
+		// around it (or stays put) instead of moving onto dead hardware.
 		return false
 	}
 	if j > 0 && vb.Levels[j-1] > b {

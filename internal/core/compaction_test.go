@@ -251,6 +251,9 @@ func (l *moveLog) VBEvent(at sim.Tick, vb *VirtualBus, event string) {
 	l.events = append(l.events, event)
 }
 func (l *moveLog) CycleSwitch(sim.Tick, NodeID, int64) {}
+func (l *moveLog) Fault(at sim.Tick, ev FaultEvent) {
+	l.events = append(l.events, ev.String())
+}
 
 func TestDisableCompactionAblation(t *testing.T) {
 	cfg := Config{Nodes: 8, Buses: 3, Seed: 5, DisableCompaction: true}

@@ -186,6 +186,12 @@ type Config struct {
 	// to finish its datapath work in Async mode (default 3).
 	JitterMax int
 
+	// Faults schedules deterministic segment and INC fail/repair events
+	// applied through the tick loop (see FaultPlan and ChaosPlan). The
+	// zero plan injects nothing and leaves the run tick-for-tick
+	// identical to a fault-free one.
+	Faults FaultPlan
+
 	// Seed seeds the deterministic PRNG.
 	Seed uint64
 
@@ -219,6 +225,9 @@ func (c Config) Validate() error {
 	if c.Scheduler > SchedulerNaive {
 		return fmt.Errorf("core: unknown scheduler mode %d", c.Scheduler)
 	}
+	if err := c.Faults.Validate(c.Nodes, c.Buses); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -236,11 +245,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxRecvPerNode == 0 {
 		c.MaxRecvPerNode = 1
 	}
-	if c.RetryBase == 0 {
+	// The backoff window must stay positive: scheduleRequeue hands it to
+	// RNG.Intn, which panics on a non-positive bound. Clamp rather than
+	// reject so partially filled configs keep working.
+	if c.RetryBase < 1 {
 		c.RetryBase = 4
 	}
 	if c.RetryCap == 0 {
 		c.RetryCap = 256
+	}
+	if c.RetryCap < c.RetryBase {
+		c.RetryCap = c.RetryBase
 	}
 	if c.FlitCycle == 0 {
 		c.FlitCycle = 1

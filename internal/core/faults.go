@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rmb/internal/sim"
+)
+
+// FaultKind classifies one fault-plan transition.
+type FaultKind uint8
+
+const (
+	// FaultSegmentFail disables one physical bus segment: the occupying
+	// circuit (if any) is torn down and the segment refuses new claims
+	// until repaired.
+	FaultSegmentFail FaultKind = iota + 1
+	// FaultSegmentRepair re-enables a previously failed segment.
+	FaultSegmentRepair
+	// FaultINCFail disables one INC's datapath: every segment of its hop
+	// becomes unusable, circuits crossing the hop or terminating at the
+	// node are torn down, and new requests to or from the node are
+	// refused. The INC's cycle FSM keeps running (control plane survives),
+	// so Lemma 1 still holds across a failed node.
+	FaultINCFail
+	// FaultINCRepair re-enables a previously failed INC.
+	FaultINCRepair
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSegmentFail:
+		return "segment-fail"
+	case FaultSegmentRepair:
+		return "segment-repair"
+	case FaultINCFail:
+		return "inc-fail"
+	case FaultINCRepair:
+		return "inc-repair"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// FaultEvent is one scheduled fail or repair transition.
+type FaultEvent struct {
+	// At is the tick the transition applies (start of that tick's Step).
+	At sim.Tick
+	// Kind selects what fails or recovers.
+	Kind FaultKind
+	// Node locates the target: the INC for FaultINCFail/FaultINCRepair,
+	// or the INC driving the segment's hop for the segment kinds.
+	Node NodeID
+	// Level is the segment level within the hop; must be 0 for INC kinds.
+	Level int
+}
+
+// String renders the event for traces.
+func (e FaultEvent) String() string {
+	if e.Kind == FaultINCFail || e.Kind == FaultINCRepair {
+		return fmt.Sprintf("%v %s inc%d", e.At, e.Kind, e.Node)
+	}
+	return fmt.Sprintf("%v %s hop%d.%d", e.At, e.Kind, e.Node, e.Level)
+}
+
+// FaultPlan is a deterministic schedule of fail and repair events. The
+// zero plan injects nothing and leaves a run tick-for-tick identical to
+// a fault-free one. Events are applied in time order (ties in slice
+// order); a fail of something already failed, or a repair of something
+// healthy, is a recorded no-op.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// Validate checks every event against the network dimensions.
+func (p FaultPlan) Validate(nodes, buses int) error {
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("core: fault event %d at negative tick %d", i, ev.At)
+		}
+		if int(ev.Node) < 0 || int(ev.Node) >= nodes {
+			return fmt.Errorf("core: fault event %d targets node %d outside [0,%d)", i, ev.Node, nodes)
+		}
+		switch ev.Kind {
+		case FaultSegmentFail, FaultSegmentRepair:
+			if ev.Level < 0 || ev.Level >= buses {
+				return fmt.Errorf("core: fault event %d targets level %d outside [0,%d)", i, ev.Level, buses)
+			}
+		case FaultINCFail, FaultINCRepair:
+			if ev.Level != 0 {
+				return fmt.Errorf("core: fault event %d: INC faults take level 0, got %d", i, ev.Level)
+			}
+		default:
+			return fmt.Errorf("core: fault event %d has unknown kind %d", i, uint8(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// ChaosOptions parameterizes ChaosPlan's generated schedule.
+type ChaosOptions struct {
+	// Seed drives the schedule's PRNG (independent of the network seed).
+	Seed uint64
+	// Horizon bounds the schedule: every event fires in [0, Horizon]
+	// (default 1000).
+	Horizon sim.Tick
+	// SegmentRate and INCRate are the probabilities that a given segment
+	// or INC experiences fail/repair episodes at all.
+	SegmentRate, INCRate float64
+	// MeanDown and MeanUp are the mean episode durations in ticks
+	// (defaults Horizon/8 and Horizon/4). Actual durations are uniform
+	// in [1, 2*mean].
+	MeanDown, MeanUp sim.Tick
+	// NoHeal leaves end-of-horizon faults in place instead of scheduling
+	// a final repair at Horizon. The default (heal) lets drains complete.
+	NoHeal bool
+}
+
+// ChaosPlan generates a deterministic fault schedule: each selected
+// target alternates fail/repair episodes until the horizon. The result
+// depends only on the dimensions and options, never on the run.
+func ChaosPlan(nodes, buses int, opt ChaosOptions) FaultPlan {
+	if opt.Horizon <= 0 {
+		opt.Horizon = 1000
+	}
+	if opt.MeanDown <= 0 {
+		opt.MeanDown = max1(opt.Horizon / 8)
+	}
+	if opt.MeanUp <= 0 {
+		opt.MeanUp = max1(opt.Horizon / 4)
+	}
+	rng := sim.NewRNG(opt.Seed ^ 0xfa17)
+	var plan FaultPlan
+	episodes := func(fail, repair FaultKind, node NodeID, level int) {
+		t := sim.Tick(rng.Intn(int(opt.Horizon)))
+		for t < opt.Horizon {
+			plan.Events = append(plan.Events, FaultEvent{At: t, Kind: fail, Node: node, Level: level})
+			r := t + 1 + sim.Tick(rng.Intn(int(2*opt.MeanDown)))
+			if r >= opt.Horizon {
+				if !opt.NoHeal {
+					plan.Events = append(plan.Events, FaultEvent{At: opt.Horizon, Kind: repair, Node: node, Level: level})
+				}
+				return
+			}
+			plan.Events = append(plan.Events, FaultEvent{At: r, Kind: repair, Node: node, Level: level})
+			t = r + 1 + sim.Tick(rng.Intn(int(2*opt.MeanUp)))
+		}
+	}
+	for h := 0; h < nodes; h++ {
+		for l := 0; l < buses; l++ {
+			if rng.Float64() < opt.SegmentRate {
+				episodes(FaultSegmentFail, FaultSegmentRepair, NodeID(h), l)
+			}
+		}
+	}
+	for h := 0; h < nodes; h++ {
+		if rng.Float64() < opt.INCRate {
+			episodes(FaultINCFail, FaultINCRepair, NodeID(h), 0)
+		}
+	}
+	return plan
+}
+
+func max1(t sim.Tick) sim.Tick {
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// InjectFaults schedules a fault plan onto the network. Events are
+// applied at the start of their tick's Step; events already due fire on
+// the next Step. Plans compose: injecting twice merges the schedules.
+func (n *Network) InjectFaults(plan FaultPlan) error {
+	if err := plan.Validate(n.cfg.Nodes, n.cfg.Buses); err != nil {
+		return err
+	}
+	evs := append([]FaultEvent(nil), plan.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		ev := ev
+		n.faults.Schedule(ev.At, func() { n.applyFault(n.clock.Now(), ev) })
+	}
+	return nil
+}
+
+// faultyAt reports whether segment l of hop h is disabled by a segment
+// fault or by its driving INC having failed.
+func (n *Network) faultyAt(h, l int) bool { return n.segFaulty[h][l] || n.incFaulty[h] }
+
+// segUsable reports whether segment l of hop h is both unoccupied and
+// fault-free — the claim predicate for head advances and compaction.
+func (n *Network) segUsable(h, l int) bool {
+	return n.occ[h][l] == 0 && !n.segFaulty[h][l] && !n.incFaulty[h]
+}
+
+// INCFaulty reports whether a node's INC is currently failed.
+func (n *Network) INCFaulty(node NodeID) bool { return n.incFaulty[node] }
+
+// FaultySegments reports how many segments are currently disabled by
+// faults (segment faults plus all segments of failed INCs).
+func (n *Network) FaultySegments() int { return n.faultySegments }
+
+// FaultBits returns the per-level fault flags of one hop — the extra
+// status bit a fault-aware INC would carry alongside each port's 3-bit
+// Table 1 code. A failed INC reports every level faulty.
+func (n *Network) FaultBits(node NodeID) []bool {
+	h := n.hopOf(node)
+	out := make([]bool, n.cfg.Buses)
+	for l := range out {
+		out[l] = n.faultyAt(h, l)
+	}
+	return out
+}
+
+// applyFault applies one transition. Redundant transitions (failing a
+// failed target, repairing a healthy one) change nothing and are not
+// recorded, so overlapping plans stay well-defined.
+func (n *Network) applyFault(now sim.Tick, ev FaultEvent) {
+	h := int(ev.Node)
+	switch ev.Kind {
+	case FaultSegmentFail:
+		if n.segFaulty[h][ev.Level] {
+			return
+		}
+		if !n.incFaulty[h] {
+			n.faultySegments++
+		}
+		n.segFaulty[h][ev.Level] = true
+		n.stats.SegmentFailEvents++
+		n.rec.Fault(now, ev)
+		if id := n.occ[h][ev.Level]; id != 0 {
+			n.faultTeardown(now, n.lookupVB(id))
+		}
+	case FaultSegmentRepair:
+		if !n.segFaulty[h][ev.Level] {
+			return
+		}
+		n.segFaulty[h][ev.Level] = false
+		if !n.incFaulty[h] {
+			n.faultySegments--
+			// The repaired segment can enable a downward move for the bus
+			// directly above, exactly like releaseSeg's wake hook.
+			if l := ev.Level + 1; l < n.cfg.Buses {
+				if above := n.occ[h][l]; above != 0 {
+					n.wakeCompaction(n.lookupVB(above))
+				}
+			}
+		}
+		n.stats.SegmentRepairEvents++
+		n.rec.Fault(now, ev)
+	case FaultINCFail:
+		if n.incFaulty[h] {
+			return
+		}
+		n.incFaulty[h] = true
+		for l := range n.occ[h] {
+			if !n.segFaulty[h][l] {
+				n.faultySegments++
+			}
+		}
+		n.stats.INCFailEvents++
+		n.rec.Fault(now, ev)
+		// Tear down every circuit crossing the dead hop, then every
+		// circuit holding a receive tap at the dead node (its PE can no
+		// longer sink data). Taps are scanned over the ID-ordered active
+		// set so both schedulers tear down in the same order.
+		for l := range n.occ[h] {
+			if id := n.occ[h][l]; id != 0 {
+				n.faultTeardown(now, n.lookupVB(id))
+			}
+		}
+		for _, vb := range n.active {
+			for _, tap := range vb.claimedTaps {
+				if tap == ev.Node {
+					n.faultTeardown(now, vb)
+					break
+				}
+			}
+		}
+	case FaultINCRepair:
+		if !n.incFaulty[h] {
+			return
+		}
+		n.incFaulty[h] = false
+		for l := range n.occ[h] {
+			if !n.segFaulty[h][l] {
+				n.faultySegments--
+			}
+		}
+		n.stats.INCRepairEvents++
+		n.rec.Fault(now, ev)
+		// Surviving occupants of the hop (buses still sweeping out) and
+		// the usual wake rules resume; waking them is conservative but
+		// identical in both scheduler modes.
+		for l := range n.occ[h] {
+			if id := n.occ[h][l]; id != 0 {
+				n.wakeCompaction(n.lookupVB(id))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: applyFault: unknown fault kind %d", uint8(ev.Kind)))
+	}
+	n.markFaultDirty(h)
+}
+
+// markFaultDirty adds hop h and its ring neighbours to the async dirty
+// set: the hop's own compaction gate changed, and the neighbours' gates
+// observe its visible state.
+func (n *Network) markFaultDirty(h int) {
+	if n.asyncDirty == nil {
+		return
+	}
+	nn := n.cfg.Nodes
+	n.asyncDirty[h] = true
+	n.asyncDirty[(h+nn-1)%nn] = true
+	n.asyncDirty[(h+1)%nn] = true
+}
+
+// faultTeardown aborts a circuit that crossed failed hardware: receive
+// ports release immediately and a Fack-style sweep (VBFaultReturning)
+// walks the bus back toward the source, freeing each hop as it passes;
+// the message re-enters the randomized-backoff retry path when the
+// sweep completes. Circuits already sweeping backward after delivery or
+// refusal are left to finish — the sweep frees the faulty segment as it
+// passes anyway.
+func (n *Network) faultTeardown(now sim.Tick, vb *VirtualBus) {
+	switch vb.State {
+	case VBExtending, VBHackReturning, VBTransferring, VBFinalPropagating:
+		n.releaseTaps(vb)
+		n.setState(vb, VBFaultReturning)
+		n.wakeCompaction(vb)
+		vb.AckHop = len(vb.Levels) - 1
+		n.stats.FaultTeardowns++
+		n.rec.VBEvent(now, vb, "fault-teardown")
+	case VBFackReturning, VBNackReturning, VBFaultReturning:
+		// Already sweeping; nothing extra to do.
+	case VBDone, VBRefused:
+		// Terminal; awaiting sweepRemoved.
+	}
+}

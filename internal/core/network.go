@@ -34,6 +34,21 @@ type Network struct {
 	// retries schedules backed-off reinsertions; its earliest deadline is
 	// the fast-forward horizon when everything else is drained.
 	retries *sim.EventQueue
+	// faults schedules FaultPlan transitions; they fire at the very start
+	// of their tick's Step so the whole tick sees post-fault state. Its
+	// earliest deadline bounds FastForward alongside the retry wheel.
+	faults *sim.EventQueue
+
+	// segFaulty[h][l] marks segment l of hop h failed; incFaulty[h] marks
+	// the whole INC failed (all its segments unusable, sends and receives
+	// refused). The rows share one backing array like occ/occFlat.
+	segFaulty     [][]bool
+	segFaultyFlat []bool
+	incFaulty     []bool
+	// faultySegments counts segments currently disabled by faults
+	// (segment faults plus all segments under failed INCs, not double
+	// counted), maintained incrementally by applyFault.
+	faultySegments int
 
 	nextVB  VBID
 	nextMsg flit.MessageID
@@ -124,15 +139,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	cfg = cfg.withDefaults()
 	n := &Network{
-		cfg:     cfg,
-		clock:   sim.NewClock(),
-		rng:     sim.NewRNG(cfg.Seed ^ 0x524d42), // "RMB"
-		occ:     make([][]VBID, cfg.Nodes),
-		occFlat: make([]VBID, cfg.Nodes*cfg.Buses),
-		incs:    make([]incState, cfg.Nodes),
-		pending: make([][]*request, cfg.Nodes),
-		retries: sim.NewEventQueue(),
-		rec:     nopRecorder{},
+		cfg:           cfg,
+		clock:         sim.NewClock(),
+		rng:           sim.NewRNG(cfg.Seed ^ 0x524d42), // "RMB"
+		occ:           make([][]VBID, cfg.Nodes),
+		occFlat:       make([]VBID, cfg.Nodes*cfg.Buses),
+		incs:          make([]incState, cfg.Nodes),
+		pending:       make([][]*request, cfg.Nodes),
+		retries:       sim.NewEventQueue(),
+		faults:        sim.NewEventQueue(),
+		segFaulty:     make([][]bool, cfg.Nodes),
+		segFaultyFlat: make([]bool, cfg.Nodes*cfg.Buses),
+		incFaulty:     make([]bool, cfg.Nodes),
+		rec:           nopRecorder{},
 	}
 	n.naive = cfg.Scheduler == SchedulerNaive
 	if cfg.Mode == Async {
@@ -140,9 +159,15 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	for h := range n.occ {
 		n.occ[h] = n.occFlat[h*cfg.Buses : (h+1)*cfg.Buses : (h+1)*cfg.Buses]
+		n.segFaulty[h] = n.segFaultyFlat[h*cfg.Buses : (h+1)*cfg.Buses : (h+1)*cfg.Buses]
 	}
 	for i := range n.incs {
 		n.incs[i].idDelay = 1 + n.rng.Intn(cfg.JitterMax)
+	}
+	if len(cfg.Faults.Events) > 0 {
+		if err := n.InjectFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
 	}
 	return n, nil
 }
@@ -237,6 +262,11 @@ func (n *Network) Step() bool {
 	now := n.clock.Now()
 	progress := false
 
+	// Fault transitions apply first so the entire tick — retries included —
+	// observes post-fault hardware state.
+	if n.faults.RunDue(now) > 0 {
+		progress = true
+	}
 	if n.retries.RunDue(now) > 0 {
 		progress = true
 	}
@@ -258,7 +288,8 @@ func (n *Network) Step() bool {
 	// and with the head timeout armed every blocked header eventually
 	// converts into a retry. Only with the valve disabled can a blocked
 	// state be a true deadlock.
-	if !progress && (n.retries.Len() > 0 || (n.cfg.HeadTimeout > 0 && len(n.active) > 0)) {
+	if !progress && (n.retries.Len() > 0 || n.faults.Len() > 0 ||
+		(n.cfg.HeadTimeout > 0 && len(n.active) > 0)) {
 		progress = true
 	}
 
@@ -301,6 +332,11 @@ func (n *Network) FastForward(limit sim.Tick) sim.Tick {
 		return 0
 	}
 	next, ok := n.retries.NextAt()
+	if fNext, fOK := n.faults.NextAt(); fOK && (!ok || fNext < next) {
+		// A pending fault transition is an observable event too; the jump
+		// may not cross it.
+		next, ok = fNext, true
+	}
 	if !ok {
 		return 0 // fully idle; nothing to skip toward
 	}
@@ -324,7 +360,10 @@ func (n *Network) FastForward(limit sim.Tick) sim.Tick {
 	n.insertRotate = (n.insertRotate + int(int64(d)%int64(n.cfg.Nodes))) % n.cfg.Nodes
 	n.stats.Ticks += d
 	// No active buses means no occupied segments, head blocks, or data
-	// cursors to advance: BusySegmentTicks and peaks are unchanged.
+	// cursors to advance: BusySegmentTicks and peaks are unchanged. Fault
+	// state, however, persists across idle stretches, so its per-tick
+	// sample accumulates in closed form.
+	n.stats.FaultySegmentTicks += int64(d) * int64(n.faultySegments)
 	n.clock.AdvanceBy(d)
 	return d
 }
@@ -491,7 +530,7 @@ func (n *Network) setState(vb *VirtualBus, s VBState) {
 	switch vb.State {
 	case VBExtending, VBTransferring, VBFinalPropagating:
 		n.fwdActive--
-	case VBHackReturning, VBFackReturning, VBNackReturning:
+	case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
 		n.bwdActive--
 	case VBDone, VBRefused:
 		// Terminal states belong to neither phase population.
@@ -500,7 +539,7 @@ func (n *Network) setState(vb *VirtualBus, s VBState) {
 	switch s {
 	case VBExtending, VBTransferring, VBFinalPropagating:
 		n.fwdActive++
-	case VBHackReturning, VBFackReturning, VBNackReturning:
+	case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
 		n.bwdActive++
 	case VBDone, VBRefused:
 		// Terminal states belong to neither phase population.
@@ -572,10 +611,15 @@ func (n *Network) hopOf(node NodeID) int { return int(node) }
 // segFree reports whether segment l of hop h is unoccupied.
 func (n *Network) segFree(h, l int) bool { return n.occ[h][l] == 0 }
 
-// claimSeg marks segment l of hop h as used by vb.
+// claimSeg marks segment l of hop h as used by vb. Claiming a faulty
+// segment is a protocol bug: every claim site checks segUsable/faultyAt
+// first, so dead hardware can never carry traffic.
 func (n *Network) claimSeg(h, l int, vb VBID) {
 	if n.occ[h][l] != 0 {
 		panic(fmt.Sprintf("core: segment hop %d level %d already occupied by vb%d, claimed by vb%d", h, l, n.occ[h][l], vb))
+	}
+	if n.faultyAt(h, l) {
+		panic(fmt.Sprintf("core: faulty segment hop %d level %d claimed by vb%d", h, l, vb))
 	}
 	n.occ[h][l] = vb
 	n.busySegments++
@@ -600,19 +644,25 @@ func (n *Network) releaseSeg(h, l int, vb VBID) {
 // sampleOccupancy updates the utilization statistics for this tick.
 func (n *Network) sampleOccupancy() {
 	busy := n.busySegments
+	faulty := n.faultySegments
 	if n.naive {
 		// Reference rescan: lets the auditor and differential tests verify
-		// the incremental counter against the grid.
+		// the incremental counters against the grid.
 		busy = 0
-		for _, hop := range n.occ {
-			for _, id := range hop {
+		faulty = 0
+		for h, hop := range n.occ {
+			for l, id := range hop {
 				if id != 0 {
 					busy++
+				}
+				if n.faultyAt(h, l) {
+					faulty++
 				}
 			}
 		}
 	}
 	n.stats.BusySegmentTicks += int64(busy)
+	n.stats.FaultySegmentTicks += int64(faulty)
 	if busy > n.stats.PeakBusySegments {
 		n.stats.PeakBusySegments = busy
 	}

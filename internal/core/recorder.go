@@ -64,10 +64,13 @@ type Recorder interface {
 	Move(m Move)
 	// VBEvent reports a virtual-bus lifecycle transition ("inserted",
 	// "extended", "accepted", "refused", "established", "delivered",
-	// "torn-down", "timeout").
+	// "torn-down", "timeout", "fault-teardown").
 	VBEvent(at sim.Tick, vb *VirtualBus, event string)
 	// CycleSwitch reports an INC completing an odd/even transition.
 	CycleSwitch(at sim.Tick, inc NodeID, cycle int64)
+	// Fault reports an applied fault-plan transition (redundant events
+	// are filtered out before reaching the recorder).
+	Fault(at sim.Tick, ev FaultEvent)
 }
 
 // nopRecorder discards everything; installed by default.
@@ -76,6 +79,7 @@ type nopRecorder struct{}
 func (nopRecorder) Move(Move)                             {}
 func (nopRecorder) VBEvent(sim.Tick, *VirtualBus, string) {}
 func (nopRecorder) CycleSwitch(sim.Tick, NodeID, int64)   {}
+func (nopRecorder) Fault(sim.Tick, FaultEvent)            {}
 
 // moveSequences derives the three Figure 7 status sequences for moving
 // the virtual bus's hop j from level b to b-1. a is the bus's input level

@@ -235,6 +235,10 @@ func (h *HardwareShadow) VBEvent(sim.Tick, *VirtualBus, string) {}
 // CycleSwitch implements Recorder.
 func (h *HardwareShadow) CycleSwitch(sim.Tick, NodeID, int64) {}
 
+// Fault implements Recorder; fault transitions have no register-level
+// sequence to replay (the status codes of surviving ports are unchanged).
+func (h *HardwareShadow) Fault(sim.Tick, FaultEvent) {}
+
 // Err reports the first unrealizable move, if any.
 func (h *HardwareShadow) Err() error { return h.err }
 

@@ -42,7 +42,7 @@ func (n *Network) stepBackwardSignals(now sim.Tick) bool {
 			if vb.AckHop < 0 {
 				n.beginTransfer(now, vb)
 			}
-		case VBFackReturning, VBNackReturning:
+		case VBFackReturning, VBNackReturning, VBFaultReturning:
 			progress = true
 			n.freeTailHop(vb)
 			vb.AckHop--
@@ -82,7 +82,7 @@ func (n *Network) finishTeardown(now sim.Tick, vb *VirtualBus) {
 	case VBFackReturning:
 		n.setState(vb, VBDone) // removeVB below retires the quiescence slot
 		n.rec.VBEvent(now, vb, "torn-down")
-	case VBNackReturning:
+	case VBNackReturning, VBFaultReturning:
 		n.setState(vb, VBRefused)
 		n.rec.VBEvent(now, vb, "torn-down")
 		n.scheduleRetry(now, vb)
@@ -92,11 +92,12 @@ func (n *Network) finishTeardown(now sim.Tick, vb *VirtualBus) {
 	n.removeVB(vb)
 }
 
-// scheduleRetry re-queues a refused message after randomized exponential
-// backoff: "a request which is not accepted will have to be tried again
-// at a later time".
-func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
-	attempt := vb.Attempt
+// backoffDelay draws the randomized exponential backoff (in ticks) for a
+// given attempt number: "a request which is not accepted will have to be
+// tried again at a later time". The window is clamped to at least one
+// tick so a misconfigured RetryBase can never feed Intn a non-positive
+// bound.
+func (n *Network) backoffDelay(attempt int) sim.Tick {
 	backoff := n.cfg.RetryBase
 	for i := 1; i < attempt && backoff < n.cfg.RetryCap; i++ {
 		backoff *= 2
@@ -104,20 +105,33 @@ func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
 	if backoff > n.cfg.RetryCap {
 		backoff = n.cfg.RetryCap
 	}
-	delay := sim.Tick(1 + n.rng.Intn(backoff))
+	if backoff < 1 {
+		backoff = 1
+	}
+	return sim.Tick(1 + n.rng.Intn(backoff))
+}
+
+// scheduleRequeue puts a request back on the retry wheel; when the timer
+// fires the request rejoins its source's insertion queue.
+func (n *Network) scheduleRequeue(now sim.Tick, src NodeID, req *request) {
+	n.stats.Retries++
+	n.retries.Schedule(now+n.backoffDelay(req.attempts), func() {
+		n.pending[src] = append(n.pending[src], req)
+		n.pendingCount++
+	})
+}
+
+// scheduleRetry re-queues a refused message after randomized exponential
+// backoff.
+func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
 	rec := n.record(vb.Msg)
 	req := &request{
 		msg:      n.rebuiltMessage(vb),
 		enqueued: rec.Enqueued,
-		attempts: attempt,
+		attempts: vb.Attempt,
 		dsts:     append([]NodeID(nil), vb.Dsts...),
 	}
-	n.stats.Retries++
-	src := vb.Src
-	n.retries.Schedule(now+delay, func() {
-		n.pending[src] = append(n.pending[src], req)
-		n.pendingCount++
-	})
+	n.scheduleRequeue(now, vb.Src, req)
 }
 
 // rebuiltMessage reconstructs the message a virtual bus carries from the
@@ -173,7 +187,7 @@ func (n *Network) stepForward(now sim.Tick) bool {
 			if now >= vb.progress.ffArriveAt {
 				n.deliver(now, vb)
 			}
-		case VBHackReturning, VBFackReturning, VBNackReturning:
+		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
 			// Backward-path states; advanced by stepBackward.
 		case VBDone, VBRefused:
 			// Terminal states never sit in the active set; the auditor
@@ -215,7 +229,7 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 	in := vb.Levels[len(vb.Levels)-1]
 	h := n.hopOf(vb.Head)
 	for _, l := range n.headCandidates(in) {
-		if !n.segFree(h, l) {
+		if !n.segUsable(h, l) {
 			continue
 		}
 		n.claimSeg(h, l, vb.ID)
@@ -255,7 +269,10 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 func (n *Network) reachTarget(now sim.Tick, vb *VirtualBus) {
 	node := vb.Head
 	inc := &n.incs[node]
-	if inc.recvActive >= n.cfg.MaxRecvPerNode {
+	if inc.recvActive >= n.cfg.MaxRecvPerNode || n.incFaulty[node] {
+		if n.incFaulty[node] {
+			n.stats.FaultDestRefusals++
+		}
 		n.stats.Nacks++
 		n.releaseTaps(vb)
 		n.setState(vb, VBNackReturning)
@@ -393,7 +410,18 @@ func (n *Network) stepInsertion(now sim.Tick) bool {
 		if len(q) > 0 {
 			inc := &n.incs[node]
 			h := n.hopOf(NodeID(node))
-			if inc.sendActive < n.cfg.MaxSendPerNode && n.segFree(h, k-1) {
+			if n.faultyAt(h, k-1) {
+				// The top segment (or the whole INC) is down: the request is
+				// refused like a Nack and re-enters the randomized-backoff
+				// retry path instead of spinning in the queue.
+				req := q[0]
+				n.pending[node] = q[1:]
+				n.pendingCount--
+				req.attempts++
+				n.stats.FaultInsertRefusals++
+				n.scheduleRequeue(now, NodeID(node), req)
+				progress = true
+			} else if inc.sendActive < n.cfg.MaxSendPerNode && n.segFree(h, k-1) {
 				req := q[0]
 				n.pending[node] = q[1:]
 				n.pendingCount--

@@ -27,6 +27,10 @@ func (r *captureRecorder) CycleSwitch(at sim.Tick, inc NodeID, cycle int64) {
 	r.events = append(r.events, fmt.Sprintf("cycle %v inc%d c%d", at, inc, cycle))
 }
 
+func (r *captureRecorder) Fault(at sim.Tick, ev FaultEvent) {
+	r.events = append(r.events, fmt.Sprintf("fault %v %s", at, ev))
+}
+
 // schedulerRunResult is everything externally observable about a run.
 type schedulerRunResult struct {
 	now       sim.Tick
@@ -182,6 +186,71 @@ func TestSchedulerDifferentialHeadRules(t *testing.T) {
 				}
 				if !reflect.DeepEqual(got.events, want.events) {
 					t.Fatalf("seed %d: event stream diverged", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerDifferentialFaults repeats the trace-identity check with
+// a nonzero fault plan riding in the config: fail/repair episodes tear
+// circuits down mid-flight, refuse insertions and destinations, and the
+// event-driven scheduler must still match the naive oracle event for
+// event — including the fault counters and the recorded fault stream.
+func TestSchedulerDifferentialFaults(t *testing.T) {
+	modes := []struct {
+		name string
+		mode SyncMode
+	}{
+		{"Lockstep", Lockstep},
+		{"Async", Async},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 32; seed++ {
+				cfg := Config{
+					Nodes:            12,
+					Buses:            3,
+					Mode:             m.mode,
+					CompactionPeriod: 1 + int(seed%3),
+					DackWindow:       int(seed % 4),
+					Faults: ChaosPlan(12, 3, ChaosOptions{
+						Seed:        seed*77 + 3,
+						Horizon:     2000,
+						SegmentRate: 0.25,
+						INCRate:     0.15,
+						MeanDown:    120,
+						MeanUp:      250,
+					}),
+				}
+				cfg.Audit = seed < 4
+
+				cfg.Scheduler = SchedulerNaive
+				want := runPermutationWorkload(t, cfg, seed)
+				cfg.Scheduler = SchedulerEventDriven
+				got := runPermutationWorkload(t, cfg, seed)
+
+				if got.now != want.now || got.stats != want.stats || got.cycle != want.cycle {
+					t.Fatalf("seed %d: diverged:\n event: t=%v c=%d %+v\n naive: t=%v c=%d %+v",
+						seed, got.now, got.cycle, got.stats, want.now, want.cycle, want.stats)
+				}
+				if (got.drainErr == nil) != (want.drainErr == nil) {
+					t.Fatalf("seed %d: drain error %v != naive %v", seed, got.drainErr, want.drainErr)
+				}
+				if !reflect.DeepEqual(got.records, want.records) {
+					t.Fatalf("seed %d: per-message records diverged", seed)
+				}
+				if !reflect.DeepEqual(got.delivered, want.delivered) {
+					t.Fatalf("seed %d: delivery order diverged", seed)
+				}
+				if !reflect.DeepEqual(got.events, want.events) {
+					for i := range got.events {
+						if i >= len(want.events) || got.events[i] != want.events[i] {
+							t.Fatalf("seed %d: event %d diverged:\n event: %s\n naive: %s", seed, i,
+								got.events[i], eventOr(want.events, i))
+						}
+					}
+					t.Fatalf("seed %d: event stream diverged (lengths %d vs %d)", seed, len(got.events), len(want.events))
 				}
 			}
 		})

@@ -16,6 +16,11 @@ type Snapshot struct {
 	// Status[h][l] is the derived Table 1 status code of INC h's output
 	// port l.
 	Status [][]PortStatus
+	// FaultySegs[h][l] reports segment l of hop h disabled by a segment
+	// or INC fault; FaultyINCs[i] reports INC i failed. Both are nil-safe
+	// for consumers (a fault-free snapshot may carry all-false rows).
+	FaultySegs [][]bool
+	FaultyINCs []bool
 	// VBs summarizes the active virtual buses in ID order.
 	VBs []VBSummary
 }
@@ -34,15 +39,23 @@ type VBSummary struct {
 // bus summaries.
 func (n *Network) Snapshot() *Snapshot {
 	s := &Snapshot{
-		At:     n.clock.Now(),
-		Nodes:  n.cfg.Nodes,
-		Buses:  n.cfg.Buses,
-		Occ:    make([][]VBID, n.cfg.Nodes),
-		Status: make([][]PortStatus, n.cfg.Nodes),
+		At:         n.clock.Now(),
+		Nodes:      n.cfg.Nodes,
+		Buses:      n.cfg.Buses,
+		Occ:        make([][]VBID, n.cfg.Nodes),
+		Status:     make([][]PortStatus, n.cfg.Nodes),
+		FaultySegs: make([][]bool, n.cfg.Nodes),
+		FaultyINCs: append([]bool(nil), n.incFaulty...),
 	}
 	for h := range n.occ {
 		s.Occ[h] = append([]VBID(nil), n.occ[h]...)
 		s.Status[h] = make([]PortStatus, n.cfg.Buses)
+		s.FaultySegs[h] = append([]bool(nil), n.segFaulty[h]...)
+		if n.incFaulty[h] {
+			for l := range s.FaultySegs[h] {
+				s.FaultySegs[h][l] = true
+			}
+		}
 	}
 	for _, vb := range n.active {
 		for j, l := range vb.Levels {

@@ -51,6 +51,92 @@ type Stats struct {
 	// (Delivered - Enqueued).
 	SumEstablishLatency sim.Tick
 	SumDeliverLatency   sim.Tick
+
+	// SegmentFailEvents / SegmentRepairEvents / INCFailEvents /
+	// INCRepairEvents count applied fault-plan transitions (redundant
+	// events — failing a failed target, repairing a healthy one — are
+	// not counted).
+	SegmentFailEvents   int64
+	SegmentRepairEvents int64
+	INCFailEvents       int64
+	INCRepairEvents     int64
+	// FaultTeardowns counts live circuits torn down because a segment
+	// they occupied (or a receive tap they held) failed mid-flight.
+	FaultTeardowns int64
+	// FaultInsertRefusals counts insertion attempts refused because the
+	// source's top segment or INC was faulty; FaultDestRefusals counts
+	// header arrivals Nack'ed because the destination INC was faulty.
+	FaultInsertRefusals int64
+	FaultDestRefusals   int64
+	// FaultySegmentTicks accumulates, over all ticks, the number of
+	// segments disabled by faults; divide by Ticks*N*k for the mean
+	// fraction of capacity lost to faults.
+	FaultySegmentTicks int64
+}
+
+// Merge combines the counters of two independent runs (or of the two
+// rings of a duplex network) into one aggregate: additive counters sum,
+// peaks and clock-like counters take the maximum. Every Stats field must
+// be handled here — duplex's reflection test fails the build's test run
+// when a newly added field is dropped.
+func (s Stats) Merge(o Stats) Stats {
+	maxTick := func(a, b sim.Tick) sim.Tick {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	maxI64 := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	maxInt := func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return Stats{
+		Ticks:  maxTick(s.Ticks, o.Ticks),
+		Cycles: maxI64(s.Cycles, o.Cycles),
+
+		MessagesSubmitted: s.MessagesSubmitted + o.MessagesSubmitted,
+		Insertions:        s.Insertions + o.Insertions,
+		Delivered:         s.Delivered + o.Delivered,
+		Nacks:             s.Nacks + o.Nacks,
+		HeadTimeouts:      s.HeadTimeouts + o.HeadTimeouts,
+		Retries:           s.Retries + o.Retries,
+
+		CompactionMoves: s.CompactionMoves + o.CompactionMoves,
+		HeadBlockTicks:  s.HeadBlockTicks + o.HeadBlockTicks,
+
+		BusySegmentTicks: s.BusySegmentTicks + o.BusySegmentTicks,
+		PeakActiveVBs:    maxInt(s.PeakActiveVBs, o.PeakActiveVBs),
+		PeakBusySegments: maxInt(s.PeakBusySegments, o.PeakBusySegments),
+
+		SumEstablishLatency: s.SumEstablishLatency + o.SumEstablishLatency,
+		SumDeliverLatency:   s.SumDeliverLatency + o.SumDeliverLatency,
+
+		SegmentFailEvents:   s.SegmentFailEvents + o.SegmentFailEvents,
+		SegmentRepairEvents: s.SegmentRepairEvents + o.SegmentRepairEvents,
+		INCFailEvents:       s.INCFailEvents + o.INCFailEvents,
+		INCRepairEvents:     s.INCRepairEvents + o.INCRepairEvents,
+		FaultTeardowns:      s.FaultTeardowns + o.FaultTeardowns,
+		FaultInsertRefusals: s.FaultInsertRefusals + o.FaultInsertRefusals,
+		FaultDestRefusals:   s.FaultDestRefusals + o.FaultDestRefusals,
+		FaultySegmentTicks:  s.FaultySegmentTicks + o.FaultySegmentTicks,
+	}
+}
+
+// MeanFaultySegments reports the average number of fault-disabled
+// segments per tick over the run.
+func (s Stats) MeanFaultySegments() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.FaultySegmentTicks) / float64(s.Ticks)
 }
 
 // MeanUtilization reports the average fraction of busy segments over the
@@ -103,7 +189,8 @@ type MsgRecord struct {
 	// the source; Delivered when the FF reached the destination. A zero
 	// Delivered with Done=false means still in flight.
 	Enqueued, FirstInserted, Established, Delivered sim.Tick
-	// Attempts counts insertions (1 = accepted first try).
+	// Attempts counts tries: insertions plus insertion attempts refused
+	// at the source because of a fault (1 = accepted first try).
 	Attempts int
 	// Done reports final successful delivery.
 	Done bool

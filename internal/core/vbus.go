@@ -36,6 +36,11 @@ const (
 	// VBNackReturning: the destination refused; the Nack is travelling
 	// counter-clockwise, releasing the virtual bus as it passes.
 	VBNackReturning
+	// VBFaultReturning: a segment the bus occupied (or a receive tap it
+	// held) failed mid-flight; a Fack-style sweep is travelling counter-
+	// clockwise, releasing the virtual bus as it passes. The source will
+	// retry the message.
+	VBFaultReturning
 	// VBDone: fully torn down after successful delivery.
 	VBDone
 	// VBRefused: fully torn down after a Nack; the source will retry.
@@ -57,6 +62,8 @@ func (s VBState) String() string {
 		return "fack-returning"
 	case VBNackReturning:
 		return "nack-returning"
+	case VBFaultReturning:
+		return "fault-returning"
 	case VBDone:
 		return "done"
 	case VBRefused:
@@ -67,7 +74,7 @@ func (s VBState) String() string {
 }
 
 // Active reports whether the virtual bus still occupies any segment.
-func (s VBState) Active() bool { return s >= VBExtending && s <= VBNackReturning }
+func (s VBState) Active() bool { return s >= VBExtending && s <= VBFaultReturning }
 
 // VirtualBus is one circuit being built, used, or torn down on the RMB.
 //

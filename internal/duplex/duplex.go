@@ -189,24 +189,13 @@ func (n *Network) Record(h Handle) (core.MsgRecord, bool) {
 	return r, ok
 }
 
-// Stats merges both rings' counters.
+// Stats merges both rings' counters via core.Stats.Merge, which sums
+// the additive counters and takes the max of the gauges. The previous
+// field-by-field merge here silently dropped every counter added to
+// core.Stats after it was written; Merge is exhaustive by construction
+// (see its reflection test).
 func (n *Network) Stats() core.Stats {
-	a, b := n.cw.Stats(), n.ccw.Stats()
-	a.MessagesSubmitted += b.MessagesSubmitted
-	a.Insertions += b.Insertions
-	a.Delivered += b.Delivered
-	a.Nacks += b.Nacks
-	a.HeadTimeouts += b.HeadTimeouts
-	a.Retries += b.Retries
-	a.CompactionMoves += b.CompactionMoves
-	a.HeadBlockTicks += b.HeadBlockTicks
-	a.BusySegmentTicks += b.BusySegmentTicks
-	a.SumDeliverLatency += b.SumDeliverLatency
-	a.SumEstablishLatency += b.SumEstablishLatency
-	if b.PeakActiveVBs > a.PeakActiveVBs {
-		a.PeakActiveVBs = b.PeakActiveVBs
-	}
-	return a
+	return n.cw.Stats().Merge(n.ccw.Stats())
 }
 
 // Rings exposes the two underlying networks for inspection.

@@ -1,6 +1,7 @@
 package duplex
 
 import (
+	"reflect"
 	"testing"
 
 	"rmb/internal/core"
@@ -200,5 +201,65 @@ func TestBusSplit(t *testing.T) {
 	cw, ccw := n.Rings()
 	if cw.Config().Buses != 3 || ccw.Config().Buses != 2 {
 		t.Errorf("bus split %d/%d, want 3/2", cw.Config().Buses, ccw.Config().Buses)
+	}
+}
+
+// TestStatsMergeExhaustive guards the duplex Stats merge against the bug
+// it replaced: a hand-written field-by-field merge that silently dropped
+// every counter added to core.Stats later. Stats() now delegates to
+// core.Stats.Merge; this test sets every field of both operands via
+// reflection and fails if any field of the merged result is untouched —
+// so adding a field to core.Stats without teaching Merge about it breaks
+// the build here, not silently in a sweep report.
+func TestStatsMergeExhaustive(t *testing.T) {
+	typ := reflect.TypeOf(core.Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		var a, b core.Stats
+		av := reflect.ValueOf(&a).Elem().Field(i)
+		bv := reflect.ValueOf(&b).Elem().Field(i)
+		if av.Kind() != reflect.Int && av.Kind() != reflect.Int64 {
+			t.Fatalf("field %s has kind %v; extend this test for non-integer stats", f.Name, av.Kind())
+		}
+		av.SetInt(1)
+		bv.SetInt(2)
+		m := a.Merge(b)
+		got := reflect.ValueOf(m).Field(i).Int()
+		// Additive counters merge to 3, gauges to max(1,2)=2; a dropped
+		// field comes back 0 (missing from Merge's literal) or 1 (only
+		// the receiver's side kept).
+		if got < 2 {
+			t.Errorf("Stats.Merge drops field %s: merge(1,2) = %d", f.Name, got)
+		}
+	}
+}
+
+// TestDuplexStatsMergeBothRings drives one message each way and checks
+// the merged view sums counters from both rings — including fields the
+// old field-by-field merge missed, like Ticks and BusySegmentTicks.
+func TestDuplexStatsMergeBothRings(t *testing.T) {
+	n, err := New(Config{Nodes: 10, Buses: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(0, 2, []uint64{1}); err != nil { // clockwise
+		t.Fatal(err)
+	}
+	if _, err := n.Send(0, 8, []uint64{2}); err != nil { // counter-clockwise
+		t.Fatal(err)
+	}
+	if err := n.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	cw, ccw := n.Rings()
+	if st.Delivered != 2 {
+		t.Fatalf("merged Delivered = %d, want 2", st.Delivered)
+	}
+	if want := cw.Stats().BusySegmentTicks + ccw.Stats().BusySegmentTicks; st.BusySegmentTicks != want {
+		t.Errorf("merged BusySegmentTicks = %d, want %d", st.BusySegmentTicks, want)
+	}
+	if st.Ticks == 0 {
+		t.Error("merged Ticks is zero; the merge dropped the clock gauge")
 	}
 }

@@ -42,6 +42,7 @@ func TestArtifactContents(t *testing.T) {
 		"X1":  {"torus"},
 		"MB1": {"arbitrated", "RMB (reconfigurable)"},
 		"FA1": {"spread", "compaction"},
+		"D1":  {"graceful degradation", "failed segments", "accepted"},
 	}
 	for id, wants := range checks {
 		id, wants := id, wants
@@ -61,5 +62,47 @@ func TestArtifactContents(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDegradationCurveShape asserts the property the D1 artifact exists
+// to demonstrate, without parsing its rendered text: as segments fail,
+// accepted throughput never increases, it strictly falls once capacity
+// binds, and latency strictly rises across the curve — degradation is
+// graceful, not a cliff at the first fault.
+func TestDegradationCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full degradation sweep")
+	}
+	pts, err := DegradationSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("curve has only %d points", len(pts))
+	}
+	if pts[0].FailedSegments != 0 || pts[0].Saturated {
+		t.Fatalf("healthy baseline wrong: %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FailedSegments <= pts[i-1].FailedSegments {
+			t.Fatalf("failed-segment counts not increasing at point %d", i)
+		}
+		// Monotone non-increasing with a hair of float tolerance.
+		if pts[i].Accepted > pts[i-1].Accepted*1.0001 {
+			t.Errorf("throughput rose from %.5f to %.5f at %d failed segments",
+				pts[i-1].Accepted, pts[i].Accepted, pts[i].FailedSegments)
+		}
+		if pts[i].MeanLatency <= pts[i-1].MeanLatency {
+			t.Errorf("mean latency fell from %.1f to %.1f at %d failed segments",
+				pts[i-1].MeanLatency, pts[i].MeanLatency, pts[i].FailedSegments)
+		}
+	}
+	last := pts[len(pts)-1]
+	if !(last.Accepted < pts[0].Accepted) {
+		t.Errorf("throughput never fell across the curve (%.5f -> %.5f); the load does not bind", pts[0].Accepted, last.Accepted)
+	}
+	if !last.Saturated {
+		t.Error("half the segments failed without saturating; the operating point is too light")
 	}
 }

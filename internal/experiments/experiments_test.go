@@ -23,8 +23,8 @@ func TestAllExperimentsRun(t *testing.T) {
 			}
 		})
 	}
-	if len(ids) != 37 {
-		t.Errorf("%d experiments, want 37 (2 tables + 11 figures + L1 + TH1 + 4 analysis + P1 P2 + C1 C2 + 3 ablations + 11 extensions)", len(ids))
+	if len(ids) != 38 {
+		t.Errorf("%d experiments, want 38 (2 tables + 11 figures + L1 + TH1 + 4 analysis + P1 P2 + C1 C2 + 3 ablations + 12 extensions)", len(ids))
 	}
 }
 

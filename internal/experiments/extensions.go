@@ -34,6 +34,7 @@ func Extensions() []Experiment {
 		{"MB1", "RMB vs conventional arbitrated multiple buses", MultibusComparison},
 		{"FA1", "network-access fairness with and without early compaction", Fairness},
 		{"DL1", "establishment gridlock without the starvation valve", Deadlock},
+		{"D1", "graceful degradation under failed segments", Degradation},
 	}
 }
 

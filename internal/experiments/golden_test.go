@@ -6,11 +6,11 @@ import (
 	"testing"
 )
 
-// goldenIDs are the artifacts that are pure functions of the
-// implementation (no simulation seeds): the paper's static tables and
-// protocol figures. Run with UPDATE_GOLDEN=1 to regenerate after an
-// intentional change.
-var goldenIDs = []string{"T1", "T2", "F1", "F6", "F7", "F8", "F9", "F10", "F11", "A1", "A2", "A3", "A4"}
+// goldenIDs are the artifacts that are deterministic functions of the
+// implementation: the paper's static tables and protocol figures (no
+// simulation at all) plus the fixed-seed degradation curve D1. Run with
+// UPDATE_GOLDEN=1 to regenerate after an intentional change.
+var goldenIDs = []string{"T1", "T2", "F1", "F6", "F7", "F8", "F9", "F10", "F11", "A1", "A2", "A3", "A4", "D1"}
 
 func TestGoldenArtifacts(t *testing.T) {
 	update := os.Getenv("UPDATE_GOLDEN") != ""

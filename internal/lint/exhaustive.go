@@ -18,7 +18,8 @@ func analyzerExhaustive() *Analyzer {
 	a := &Analyzer{
 		Name: "exhaustive",
 		Doc: "Every switch over a protocol enum (flit.Kind, flit.Ack, core.PortStatus, " +
-			"core.VBState, core.Phase, core.SyncMode, core.HeadRule, async event kinds) " +
+			"core.VBState, core.Phase, core.SyncMode, core.HeadRule, core.FaultKind, " +
+			"async event kinds) " +
 			"must either cover every declared variant or carry a non-empty default " +
 			"clause, so adding a variant can never silently skip a protocol rule. " +
 			"Guards the six-state Table 1 algebra, the HF/DF/FF sequencing and the " +

@@ -32,6 +32,26 @@ func Describe(k Kind) string {
 	return ""
 }
 
+// FaultKind is a fixture fault-event enum, mirroring core.FaultKind.
+type FaultKind uint8
+
+// The fixture fault kinds.
+const (
+	FaultFail FaultKind = iota + 1
+	FaultRepair
+)
+
+// ApplyFault seeds an exhaustive violation over the fault enum:
+// FaultRepair is not covered and there is no default clause — the bug
+// class where a new fault kind silently becomes a no-op.
+func ApplyFault(k FaultKind) bool {
+	switch k {
+	case FaultFail:
+		return true
+	}
+	return false
+}
+
 // Stamp seeds a determinism violation: a wall-clock read in the
 // deterministic tier.
 func Stamp() int64 { return time.Now().UnixNano() }

@@ -32,6 +32,9 @@ type Config struct {
 	Pattern DestFn
 	// Seed drives arrivals and destinations.
 	Seed uint64
+	// Faults optionally injects a fault schedule before traffic starts
+	// (chaos mode). The plan's ticks are absolute run ticks.
+	Faults core.FaultPlan
 }
 
 // DestFn picks a destination for a new message from src on an n-node
@@ -74,6 +77,11 @@ type Result struct {
 	// at the end of the measurement window exceeded what the drain
 	// budget could flush.
 	Saturated bool
+	// FaultTeardowns counts circuits torn down mid-flight by faults;
+	// MeanFaultySegments is the time-averaged number of unusable
+	// segments. Both are zero for fault-free runs.
+	FaultTeardowns     int64
+	MeanFaultySegments float64
 }
 
 // Run drives the network with open-loop traffic and measures steady-state
@@ -90,6 +98,11 @@ func Run(n *core.Network, cfg Config) (Result, error) {
 	}
 	if cfg.Drain == 0 {
 		cfg.Drain = 100 * sim.Tick(n.Config().Nodes)
+	}
+	if len(cfg.Faults.Events) > 0 {
+		if err := n.InjectFaults(cfg.Faults); err != nil {
+			return Result{}, fmt.Errorf("loadgen: %w", err)
+		}
 	}
 	nodes := n.Config().Nodes
 	rng := sim.NewRNG(cfg.Seed ^ 0x10ad)
@@ -134,5 +147,7 @@ func Run(n *core.Network, cfg Config) (Result, error) {
 	res.AcceptedRate = float64(res.Delivered) / float64(cfg.Measure) / float64(nodes)
 	st := n.Stats()
 	res.MeanUtilization = st.MeanUtilization(nodes * n.Config().Buses)
+	res.FaultTeardowns = st.FaultTeardowns
+	res.MeanFaultySegments = st.MeanFaultySegments()
 	return res, nil
 }

@@ -121,3 +121,45 @@ func TestSaturationDetected(t *testing.T) {
 		t.Errorf("accepted %.4f not below offered %.4f under overload", res.AcceptedRate, res.OfferedRate)
 	}
 }
+
+// TestChaosMode injects a fault schedule under light open-loop traffic:
+// the run must still complete, the fault metrics must surface in the
+// Result, and an invalid plan must be rejected before traffic starts.
+func TestChaosMode(t *testing.T) {
+	plan := core.ChaosPlan(16, 3, core.ChaosOptions{
+		Seed: 5, Horizon: 2000, SegmentRate: 0.3, INCRate: 0.15,
+		MeanDown: 150, MeanUp: 300,
+	})
+	n := freshNet(t, 3)
+	res, err := Run(n, Config{
+		Rate: 0.004, PayloadLen: 4, Warmup: 200, Measure: 1800,
+		Drain: 20_000, Seed: 1, Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted == 0 || res.Delivered == 0 {
+		t.Fatalf("chaos run moved no traffic: %+v", res)
+	}
+	if res.MeanFaultySegments <= 0 {
+		t.Errorf("MeanFaultySegments = %v under a dense fault plan", res.MeanFaultySegments)
+	}
+	if res.FaultTeardowns != n.Stats().FaultTeardowns {
+		t.Errorf("Result.FaultTeardowns = %d, network says %d", res.FaultTeardowns, n.Stats().FaultTeardowns)
+	}
+
+	// Fault-free runs report zeroed fault metrics.
+	clean, err := Run(freshNet(t, 3), Config{Rate: 0.004, PayloadLen: 4, Warmup: 200, Measure: 1800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FaultTeardowns != 0 || clean.MeanFaultySegments != 0 {
+		t.Errorf("fault-free run reports fault metrics: %+v", clean)
+	}
+
+	// A plan that does not fit the network is rejected up front.
+	bad := core.FaultPlan{Events: []core.FaultEvent{{Kind: core.FaultSegmentFail, Node: 99}}}
+	if _, err := Run(freshNet(t, 3), Config{Rate: 0.01, Measure: 100, Faults: bad}); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+}

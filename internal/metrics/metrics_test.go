@@ -173,3 +173,99 @@ func TestSeriesAndCrossover(t *testing.T) {
 		t.Error("YAt(99) found")
 	}
 }
+
+// TestPercentileNearestRankSmallN pins the nearest-rank definition at
+// the sample sizes where off-by-one bugs hide: rank = ceil(p/100 * n),
+// 1-indexed, so the median of two samples is the LOWER one and any
+// p in (0, 100/n] maps to the first element.
+func TestPercentileNearestRankSmallN(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"n=1 p=0", []float64{7}, 0, 7},
+		{"n=1 p=1", []float64{7}, 1, 7},
+		{"n=1 p=50", []float64{7}, 50, 7},
+		{"n=1 p=99", []float64{7}, 99, 7},
+		{"n=1 p=100", []float64{7}, 100, 7},
+		{"n=2 p=25", []float64{10, 20}, 25, 10},
+		{"n=2 p=50", []float64{10, 20}, 50, 10}, // nearest-rank median = lower
+		{"n=2 p=50.1", []float64{10, 20}, 50.1, 20},
+		{"n=2 p=75", []float64{10, 20}, 75, 20},
+		{"n=2 p=100", []float64{10, 20}, 100, 20},
+		{"n=2 unsorted", []float64{20, 10}, 50, 10},
+		{"n=3 p=33.3", []float64{1, 2, 3}, 33.3, 1},
+		{"n=3 p=33.4", []float64{1, 2, 3}, 33.4, 2},
+		{"n=4 p=25", []float64{1, 2, 3, 4}, 25, 1},
+		{"n=4 p=50", []float64{1, 2, 3, 4}, 50, 2},
+		{"n=4 p=75", []float64{1, 2, 3, 4}, 75, 3},
+		{"p<0 clamps", []float64{10, 20}, -5, 10},
+		{"p>100 clamps", []float64{10, 20}, 200, 20},
+	}
+	for _, tc := range cases {
+		var s Sample
+		for _, x := range tc.xs {
+			s.Add(x)
+		}
+		if got := s.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	var empty Sample
+	if got := empty.Percentile(50); got != 0 {
+		t.Errorf("empty sample Percentile = %v, want 0", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the left-closed bucket convention
+// [i*w, (i+1)*w) and, in particular, that a value exactly on the last
+// bucket's upper edge lands in the overflow bucket, not the last bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		name       string
+		x          float64
+		bucket     int // -1 means overflow
+	}{
+		{"zero", 0, 0},
+		{"negative clamps to zero", -3, 0},
+		{"interior", 5, 0},
+		{"first edge", 10, 1},
+		{"just below edge", 9.999, 0},
+		{"last bucket low edge", 20, 2},
+		{"last bucket interior", 29.999, 2},
+		{"overflow edge exactly", 30, -1},
+		{"beyond overflow edge", 31, -1},
+		{"far overflow", 1e9, -1},
+	}
+	for _, tc := range cases {
+		h := NewHistogram(10, 3)
+		h.Add(tc.x)
+		if tc.bucket == -1 {
+			if h.Overflow() != 1 {
+				t.Errorf("%s: Add(%v) overflow=%d, want 1", tc.name, tc.x, h.Overflow())
+			}
+			continue
+		}
+		if h.Bucket(tc.bucket) != 1 {
+			got := -1
+			for i := 0; i < 3; i++ {
+				if h.Bucket(i) == 1 {
+					got = i
+				}
+			}
+			t.Errorf("%s: Add(%v) landed in bucket %d (overflow=%d), want %d",
+				tc.name, tc.x, got, h.Overflow(), tc.bucket)
+		}
+		if h.Total() != 1 {
+			t.Errorf("%s: Total=%d, want 1", tc.name, h.Total())
+		}
+	}
+	// The overflow row renders with the correct lower edge.
+	h := NewHistogram(10, 3)
+	h.Add(30)
+	if r := h.Render(10); !strings.Contains(r, "      30,     inf") {
+		t.Errorf("overflow row mislabelled:\n%s", r)
+	}
+}

@@ -55,6 +55,13 @@ type Totals struct {
 	MeanLatency       float64 `json:"meanLatency"`
 	MeanUtilization   float64 `json:"meanUtilization"`
 	PeakVirtualBuses  int     `json:"peakVirtualBuses"`
+	// Fault counters; all zero (and omitted) for fault-free runs.
+	SegmentFailEvents   int64   `json:"segmentFailEvents,omitempty"`
+	INCFailEvents       int64   `json:"incFailEvents,omitempty"`
+	FaultTeardowns      int64   `json:"faultTeardowns,omitempty"`
+	FaultInsertRefusals int64   `json:"faultInsertRefusals,omitempty"`
+	FaultDestRefusals   int64   `json:"faultDestRefusals,omitempty"`
+	MeanFaultySegments  float64 `json:"meanFaultySegments,omitempty"`
 }
 
 // Message is one message's lifecycle.
@@ -115,6 +122,12 @@ func FromNetwork(n *core.Network, workloadName string, includeMessages, includeS
 			MeanLatency:       st.MeanDeliverLatency(),
 			MeanUtilization:   st.MeanUtilization(cfg.Nodes * cfg.Buses),
 			PeakVirtualBuses:  st.PeakActiveVBs,
+			SegmentFailEvents:   st.SegmentFailEvents,
+			INCFailEvents:       st.INCFailEvents,
+			FaultTeardowns:      st.FaultTeardowns,
+			FaultInsertRefusals: st.FaultInsertRefusals,
+			FaultDestRefusals:   st.FaultDestRefusals,
+			MeanFaultySegments:  st.MeanFaultySegments(),
 		},
 	}
 	if includeMessages {

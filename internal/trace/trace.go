@@ -33,6 +33,12 @@ type CycleEvent struct {
 	Cycle int64
 }
 
+// FaultRecord is one recorded fault-plan transition.
+type FaultRecord struct {
+	At    sim.Tick
+	Event core.FaultEvent
+}
+
 // Log implements core.Recorder, retaining up to Cap events of each kind
 // (0 means unbounded). It is not safe for concurrent use.
 type Log struct {
@@ -42,6 +48,7 @@ type Log struct {
 	Moves  []core.Move
 	VBEv   []VBEvent
 	Cycles []CycleEvent
+	Faults []FaultRecord
 }
 
 // NewLog builds a log retaining up to cap events per kind.
@@ -73,6 +80,14 @@ func (l *Log) CycleSwitch(at sim.Tick, inc core.NodeID, cycle int64) {
 	l.Cycles = append(l.Cycles, CycleEvent{At: at, INC: inc, Cycle: cycle})
 	if l.Cap > 0 && len(l.Cycles) > l.Cap {
 		l.Cycles = l.Cycles[1:]
+	}
+}
+
+// Fault implements core.Recorder.
+func (l *Log) Fault(at sim.Tick, ev core.FaultEvent) {
+	l.Faults = append(l.Faults, FaultRecord{At: at, Event: ev})
+	if l.Cap > 0 && len(l.Faults) > l.Cap {
+		l.Faults = l.Faults[1:]
 	}
 }
 
@@ -119,13 +134,25 @@ func RenderOccupancy(s *core.Snapshot) string {
 		fmt.Fprintf(&b, "bus %2d  ", l)
 		for h := 0; h < s.Nodes; h++ {
 			id := s.Occ[h][l]
-			if id == 0 {
-				b.WriteString(" . ")
-			} else {
+			switch {
+			case id != 0:
 				fmt.Fprintf(&b, " %c ", glyphFor(id))
+			case len(s.FaultySegs) > h && len(s.FaultySegs[h]) > l && s.FaultySegs[h][l]:
+				b.WriteString(" x ")
+			default:
+				b.WriteString(" . ")
 			}
 		}
 		b.WriteByte('\n')
+	}
+	var down []string
+	for i, f := range s.FaultyINCs {
+		if f {
+			down = append(down, fmt.Sprintf("%d", i))
+		}
+	}
+	if len(down) > 0 {
+		fmt.Fprintf(&b, "  faulty INCs: %s\n", strings.Join(down, " "))
 	}
 	legend := make([]string, 0, len(s.VBs))
 	for _, vb := range s.VBs {
