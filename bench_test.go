@@ -23,9 +23,13 @@ import (
 
 // -rmbsched forces the core scheduler for every network the benchmarks
 // build (experiments construct their own Configs with SchedulerAuto, so a
-// package default is the only practical lever). scripts/bench.sh runs the
-// suite once per scheduler to produce BENCH_baseline.json.
-var rmbsched = flag.String("rmbsched", "", `force the core scheduler: "event" or "naive" (default: package default)`)
+// package default is the only practical lever), and -rmbworkers sets the
+// default arc-worker count for -rmbsched=sharded. scripts/bench.sh runs
+// the suite once per scheduler to produce BENCH_baseline.json.
+var (
+	rmbsched   = flag.String("rmbsched", "", `force the core scheduler: "event", "naive" or "sharded" (default: package default)`)
+	rmbworkers = flag.Int("rmbworkers", 0, "default arc workers for -rmbsched=sharded (0 = GOMAXPROCS)")
+)
 
 func TestMain(m *testing.M) {
 	flag.Parse()
@@ -35,8 +39,11 @@ func TestMain(m *testing.M) {
 		core.SetDefaultScheduler(core.SchedulerEventDriven)
 	case "naive":
 		core.SetDefaultScheduler(core.SchedulerNaive)
+	case "sharded":
+		core.SetDefaultScheduler(core.SchedulerSharded)
+		core.SetDefaultWorkers(*rmbworkers)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -rmbsched %q (want event or naive)\n", *rmbsched)
+		fmt.Fprintf(os.Stderr, "unknown -rmbsched %q (want event, naive or sharded)\n", *rmbsched)
 		os.Exit(2)
 	}
 	os.Exit(m.Run())
@@ -336,6 +343,78 @@ func BenchmarkLargeRingShift(b *testing.B) {
 		ticks = n.Now()
 	}
 	b.ReportMetric(float64(ticks), "ticks")
+}
+
+// BenchmarkLargeRingShiftSharded is the sharded scheduler's P-scaling
+// curve on the BenchmarkLargeRingShift workload: identical traffic,
+// identical (trace-equal) results, stepping fanned across P arc workers.
+// P=1 resolves below two arcs and measures the event-path fallback, so
+// the P=1 row doubles as the coordination-overhead baseline. Speedups
+// are only meaningful where GOMAXPROCS >= P; on a single-core runner
+// every P degenerates to the same serialized work plus barrier cost
+// (EXPERIMENTS.md records the measured numbers honestly).
+func BenchmarkLargeRingShiftSharded(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var ticks sim.Tick
+			for i := 0; i < b.N; i++ {
+				n, err := core.NewNetwork(core.Config{
+					Nodes: 256, Buses: 8, Seed: uint64(i) + 1,
+					Scheduler: core.SchedulerSharded, Workers: p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pat := workload.RingShift(256, 8)
+				for _, d := range pat.Demands {
+					if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 16)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := n.Drain(5_000_000); err != nil {
+					b.Fatal(err)
+				}
+				ticks = n.Now()
+				n.Close()
+			}
+			b.ReportMetric(float64(ticks), "ticks")
+		})
+	}
+}
+
+// BenchmarkHugeRingSaturated keeps a 1024-node, 8-bus ring saturated
+// (shift load exactly k, 64-flit payloads) — the shape where per-tick
+// work is large enough that the sharded cutoff engages on its own and
+// arc-parallel stepping has real work to split.
+func BenchmarkHugeRingSaturated(b *testing.B) {
+	run := func(b *testing.B, cfg core.Config) {
+		var ticks sim.Tick
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i) + 1
+			n, err := core.NewNetwork(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pat := workload.RingShift(1024, 8)
+			for _, d := range pat.Demands {
+				if _, err := n.Send(core.NodeID(d.Src), core.NodeID(d.Dst), make([]uint64, 64)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := n.Drain(20_000_000); err != nil {
+				b.Fatal(err)
+			}
+			ticks = n.Now()
+			n.Close()
+		}
+		b.ReportMetric(float64(ticks), "ticks")
+	}
+	b.Run("event", func(b *testing.B) {
+		run(b, core.Config{Nodes: 1024, Buses: 8, Scheduler: core.SchedulerEventDriven})
+	})
+	b.Run("sharded/P=4", func(b *testing.B) {
+		run(b, core.Config{Nodes: 1024, Buses: 8, Scheduler: core.SchedulerSharded, Workers: 4})
+	})
 }
 
 func BenchmarkSendDrainSmall(b *testing.B) {

@@ -19,6 +19,7 @@ import (
 
 	"rmb/internal/experiments"
 	"rmb/internal/parallel"
+	"rmb/internal/prof"
 )
 
 func main() {
@@ -26,7 +27,20 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	jobs := flag.Int("j", 1, "experiments to compute in parallel with -all (0 = GOMAXPROCS)")
 	benchjson := flag.Bool("benchjson", false, "parse `go test -bench` text on stdin into JSON on stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbbench: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbbench: %v\n", err)
+		}
+	}()
 
 	switch {
 	case *benchjson:

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"rmb/internal/core"
+	"rmb/internal/prof"
 	"rmb/internal/report"
 	"rmb/internal/results"
 	"rmb/internal/schedule"
@@ -33,6 +34,8 @@ func main() {
 	payload := flag.Int("payload", 8, "data flits per message")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	mode := flag.String("mode", "lockstep", "compaction cycle mode: lockstep or async")
+	sched := flag.String("sched", "event", "tick scheduler: event, naive, sharded")
+	jobs := flag.Int("j", 0, "arc workers for -sched sharded (0 = GOMAXPROCS)")
 	headRule := flag.String("head", "flexible", "header advance rule: flexible, straight, strict-top")
 	noCompact := flag.Bool("no-compaction", false, "disable the compaction protocol")
 	traceNet := flag.Bool("trace", false, "print occupancy snapshots while routing")
@@ -43,13 +46,23 @@ func main() {
 	faultINCs := flag.Float64("fault-incs", 0, "chaos mode: probability each INC experiences fail/repair episodes")
 	faultHorizon := flag.Int64("fault-horizon", 1000, "chaos mode: last tick of injected fault activity (faults heal by then)")
 	faultSeed := flag.Uint64("fault-seed", 0, "chaos mode: fault-schedule seed (default: -seed)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+		}
+	}()
+
 	rng := sim.NewRNG(*seed)
-	var (
-		p   workload.Pattern
-		err error
-	)
+	var p workload.Pattern
 	switch *pattern {
 	case "permutation":
 		p = workload.RandomPermutation(*nodes, rng)
@@ -116,6 +129,18 @@ func main() {
 		cfg.HeadRule = core.HeadStrictTop
 	default:
 		fmt.Fprintf(os.Stderr, "rmbsim: unknown head rule %q\n", *headRule)
+		os.Exit(2)
+	}
+	switch *sched {
+	case "event":
+		cfg.Scheduler = core.SchedulerEventDriven
+	case "naive":
+		cfg.Scheduler = core.SchedulerNaive
+	case "sharded":
+		cfg.Scheduler = core.SchedulerSharded
+		cfg.Workers = *jobs
+	default:
+		fmt.Fprintf(os.Stderr, "rmbsim: unknown scheduler %q\n", *sched)
 		os.Exit(2)
 	}
 

@@ -50,36 +50,14 @@ func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
 	// well-defined. The plan buffer is reused across cycles; quiescent
 	// buses (see compactQuietCycles) are skipped by the event scheduler.
 	plan := n.planBuf[:0]
-	nodes := n.cfg.Nodes
 	cyc := int(cycle & 1)
 	strictTop := n.cfg.HeadRule == HeadStrictTop
 	for _, vb := range n.active {
 		if !n.naive && vb.compactQuiet >= compactQuietCycles {
 			continue
 		}
-		planned := false
-		levels := vb.Levels
-		h := int(vb.Src)
-		for j, l := range levels {
-			if h >= nodes {
-				h -= nodes
-			}
-			// Inlined switchableDown (Figure 7), reusing the tracked hop
-			// index h instead of re-deriving it per candidate: the INC's
-			// parity turn, a usable (free and fault-free) segment below,
-			// the ±1 bound against both neighbouring hops, and the
-			// strict-top head pin. Faulty segments read as permanently
-			// occupied, so buses sink around them.
-			if (l+h+cyc)&1 == 0 && l > 0 && n.segUsable(h, l-1) &&
-				(j == 0 || levels[j-1] <= l) {
-				if last := j == len(levels)-1; (!last && levels[j+1] <= l) ||
-					(last && !(strictTop && vb.State == VBExtending)) {
-					plan = append(plan, plannedMove{vb, j})
-					planned = true
-				}
-			}
-			h++
-		}
+		var planned bool
+		plan, planned = n.planBusMoves(vb, cyc, strictTop, plan)
 		if !planned && vb.compactQuiet < compactQuietCycles {
 			vb.compactQuiet++
 			if vb.compactQuiet == compactQuietCycles {
@@ -92,6 +70,40 @@ func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
 	}
 	n.planBuf = plan[:0]
 	return len(plan) > 0
+}
+
+// planBusMoves appends vb's switchable hops for cycle parity cyc to plan
+// (decided against the current, i.e. pre-cycle, occupancy) and reports
+// whether any move was planned. This is the inlined switchableDown of
+// Figure 7, reusing a tracked hop index h instead of re-deriving it per
+// candidate: the INC's parity turn, a usable (free and fault-free)
+// segment below, the ±1 bound against both neighbouring hops, and the
+// strict-top head pin. Faulty segments read as permanently occupied, so
+// buses sink around them. The function performs pure reads of shared
+// state plus writes to plan only, so the sharded scheduler's arc workers
+// may call it concurrently on distinct buses with arc-local plan
+// buffers; appending per arc in bus order and applying the arc plans in
+// arc order reproduces the sequential plan order exactly.
+func (n *Network) planBusMoves(vb *VirtualBus, cyc int, strictTop bool, plan []plannedMove) ([]plannedMove, bool) {
+	planned := false
+	levels := vb.Levels
+	nodes := n.cfg.Nodes
+	h := int(vb.Src)
+	for j, l := range levels {
+		if h >= nodes {
+			h -= nodes
+		}
+		if (l+h+cyc)&1 == 0 && l > 0 && n.segUsable(h, l-1) &&
+			(j == 0 || levels[j-1] <= l) {
+			if last := j == len(levels)-1; (!last && levels[j+1] <= l) ||
+				(last && !(strictTop && vb.State == VBExtending)) {
+				plan = append(plan, plannedMove{vb, j})
+				planned = true
+			}
+		}
+		h++
+	}
+	return plan, planned
 }
 
 // stepCompactionAsync drives each INC's CycleFSM one step; an INC whose

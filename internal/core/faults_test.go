@@ -397,10 +397,10 @@ func TestRetryBackoffClamp(t *testing.T) {
 		wantBase, wantCap int
 	}{
 		{0, 0, 4, 256},
-		{0, 2, 4, 4},    // cap below the defaulted base is raised to it
-		{8, 2, 8, 8},    // cap below an explicit base is raised to it
-		{3, 0, 3, 256},  // zero cap takes the default
-		{5, 5, 5, 5},    // already consistent
+		{0, 2, 4, 4},   // cap below the defaulted base is raised to it
+		{8, 2, 8, 8},   // cap below an explicit base is raised to it
+		{3, 0, 3, 256}, // zero cap takes the default
+		{5, 5, 5, 5},   // already consistent
 		{1, 1024, 1, 1024},
 	}
 	for _, tc := range cases {
@@ -461,6 +461,7 @@ func TestEmptyFaultPlanIsSeedIdentical(t *testing.T) {
 // identical between the naive and event-driven schedulers. CI runs it
 // under -race.
 func TestChaosSoak(t *testing.T) {
+	forceShardParallel(t)
 	for _, m := range []struct {
 		name string
 		mode SyncMode
@@ -486,6 +487,13 @@ func TestChaosSoak(t *testing.T) {
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("seed %d: chaos run diverged between schedulers:\n event: t=%v %+v\n naive: t=%v %+v",
 						seed, got.now, got.stats, want.now, want.stats)
+				}
+				cfg.Scheduler = SchedulerSharded
+				cfg.Workers = 3
+				sharded := runPermutationWorkload(t, cfg, seed)
+				if !reflect.DeepEqual(sharded, want) {
+					t.Fatalf("seed %d: chaos run diverged between schedulers:\n sharded: t=%v %+v\n naive:   t=%v %+v",
+						seed, sharded.now, sharded.stats, want.now, want.stats)
 				}
 				if want.stats.FaultTeardowns == 0 && want.stats.FaultInsertRefusals == 0 &&
 					want.stats.FaultDestRefusals == 0 {

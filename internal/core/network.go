@@ -101,6 +101,12 @@ type Network struct {
 	// hot loops allocation-free.
 	planBuf  []plannedMove
 	headCand [3]int
+	// sh is the sharded scheduler's runtime (arc-worker pool, per-arc
+	// scratch); nil unless Config.Scheduler == SchedulerSharded resolved
+	// to 2+ arcs (see initShard in sharded.go). When nil, Step takes the
+	// sequential phase path.
+	sh *shardState
+
 	// vbFree recycles torn-down VirtualBus structs (and their Levels /
 	// claimedTaps / sendTicks backing arrays) for later insertions. A
 	// recycled bus is only handed out by insert, which overwrites every
@@ -154,6 +160,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 		rec:           nopRecorder{},
 	}
 	n.naive = cfg.Scheduler == SchedulerNaive
+	if cfg.Scheduler == SchedulerSharded {
+		n.initShard()
+	}
 	if cfg.Mode == Async {
 		n.asyncDirty = make([]bool, cfg.Nodes)
 	}
@@ -270,19 +279,29 @@ func (n *Network) Step() bool {
 	if n.retries.RunDue(now) > 0 {
 		progress = true
 	}
-	if n.stepBackwardSignals(now) {
-		progress = true
-	}
-	if n.stepForward(now) {
-		progress = true
-	}
-	if !n.cfg.DisableCompaction {
-		if n.stepCompaction(now) {
+	if n.sh != nil {
+		// Sharded stepper: same phases, with the read-mostly kernels
+		// fanned across arc workers and cross-arc effects committed in
+		// fixed arc order (see sharded.go). Trace-identical to the
+		// sequential path below by construction.
+		if n.stepPhasesSharded(now) {
 			progress = true
 		}
-	}
-	if n.stepInsertion(now) {
-		progress = true
+	} else {
+		if n.stepBackwardSignals(now) {
+			progress = true
+		}
+		if n.stepForward(now) {
+			progress = true
+		}
+		if !n.cfg.DisableCompaction {
+			if n.stepCompaction(now) {
+				progress = true
+			}
+		}
+		if n.stepInsertion(now) {
+			progress = true
+		}
 	}
 	// Pending timers guarantee future progress: retry backoffs will fire,
 	// and with the head timeout armed every blocked header eventually
@@ -303,6 +322,19 @@ func (n *Network) Step() bool {
 		}
 	}
 	return progress
+}
+
+// Close releases the sharded scheduler's worker pool, if any. The
+// network stays usable: subsequent Steps take the sequential
+// event-driven path, which produces identical results. Close is
+// idempotent and a no-op for the other schedulers; a finalizer on the
+// pool also reclaims the workers if Close is never called, so forgetting
+// it leaks nothing permanently.
+func (n *Network) Close() {
+	if n.sh != nil {
+		n.sh.pool.Close()
+		n.sh = nil
+	}
 }
 
 // Drain runs the network until it is idle or the tick budget is spent.

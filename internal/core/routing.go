@@ -32,8 +32,22 @@ func (n *Network) stepBackwardSignals(now sim.Tick) bool {
 		// no teardown can be pending: only this phase creates dead buses).
 		return false
 	}
+	progress := n.stepBackwardRange(now, 0, len(n.active))
+	n.sweepRemoved()
+	return progress
+}
+
+// stepBackwardRange runs the backward kernel over active[lo:hi).
+// Teardowns mark buses terminal in place (the active set is stable), so
+// ranges tile the set exactly; the caller sweeps once after the last
+// range. The kernel is order-sensitive — releasing a hop wakes the bus
+// above it (a read of occupancy other ranges mutate) and completed
+// teardowns draw the retry RNG — so the sharded scheduler runs the
+// ranges sequentially in ascending arc order, which is exactly the
+// full-range walk.
+func (n *Network) stepBackwardRange(now sim.Tick, lo, hi int) bool {
 	progress := false
-	for i := 0; i < len(n.active); i++ {
+	for i := lo; i < hi; i++ {
 		vb := n.active[i]
 		switch vb.State {
 		case VBHackReturning:
@@ -52,10 +66,10 @@ func (n *Network) stepBackwardSignals(now sim.Tick) bool {
 		case VBExtending, VBTransferring, VBFinalPropagating:
 			// Forward-path states; advanced by stepForward.
 		case VBDone, VBRefused:
-			// Terminal states entered earlier this tick; swept below.
+			// Terminal states entered earlier this tick; swept after the
+			// last range.
 		}
 	}
-	n.sweepRemoved()
 	return progress
 }
 
@@ -307,6 +321,21 @@ func (n *Network) releaseTaps(vb *VirtualBus) {
 // control window, tracks arrivals, and schedules the final flit.
 func (n *Network) clockData(now sim.Tick, vb *VirtualBus) bool {
 	n.updateArrivals(now, vb)
+	if n.pumpData(now, vb) {
+		n.setState(vb, VBFinalPropagating)
+		n.wakeCompaction(vb)
+		vb.progress.ffArriveAt = vb.progress.ffLaunchAt + sim.Tick(vb.Span())
+		n.rec.VBEvent(now, vb, "final-sent")
+	}
+	return true
+}
+
+// pumpData advances the source's data-flit clocking one tick and reports
+// whether the final flit is due to launch now. It touches only vb (and
+// the read-only config), so the sharded scheduler's arc workers may call
+// it concurrently on distinct buses; the state transition the final
+// flit triggers stays with the caller.
+func (n *Network) pumpData(now sim.Tick, vb *VirtualBus) bool {
 	p := &vb.progress
 	if vb.DataSent < vb.PayloadLen {
 		due := vb.TransferStart
@@ -322,13 +351,7 @@ func (n *Network) clockData(now sim.Tick, vb *VirtualBus) bool {
 			}
 		}
 	}
-	if p.ffScheduled && now >= p.ffLaunchAt {
-		n.setState(vb, VBFinalPropagating)
-		n.wakeCompaction(vb)
-		p.ffArriveAt = p.ffLaunchAt + sim.Tick(vb.Span())
-		n.rec.VBEvent(now, vb, "final-sent")
-	}
-	return true
+	return p.ffScheduled && now >= p.ffLaunchAt
 }
 
 // windowOpen reports whether Dack flow control permits another data flit.

@@ -86,6 +86,7 @@ func runPermutationWorkload(t *testing.T, cfg Config, seed uint64) schedulerRunR
 		}
 	}
 	drainErr := n.Drain(sim.Tick(200_000))
+	n.Close()
 
 	res := schedulerRunResult{
 		now:       n.Now(),
@@ -99,11 +100,59 @@ func runPermutationWorkload(t *testing.T, cfg Config, seed uint64) schedulerRunR
 	return res
 }
 
-// TestSchedulerDifferential asserts the event-driven scheduler is
-// tick-for-tick indistinguishable from the naive reference: identical
-// final time, Stats, per-message records, delivery order and recorded
-// event stream, across many seeds, in both synchronization modes.
+// forceShardParallel routes every sharded tick through the real worker
+// pool for the duration of a test: the differential workloads are far
+// below the work cutoff that normally gates cross-goroutine dispatch,
+// and the point is to prove the pool path (not the inline fallback)
+// trace-identical — under -race, with real barriers.
+func forceShardParallel(t *testing.T) {
+	t.Helper()
+	prev := shardForceParallel
+	shardForceParallel = true
+	t.Cleanup(func() { shardForceParallel = prev })
+}
+
+// compareRuns requires two runs to be externally indistinguishable:
+// identical final time, Stats, global cycle, per-message records,
+// delivery order and recorded event stream.
+func compareRuns(t *testing.T, label string, got, want schedulerRunResult) {
+	t.Helper()
+	if got.now != want.now {
+		t.Fatalf("%s: final tick %v != oracle %v", label, got.now, want.now)
+	}
+	if got.stats != want.stats {
+		t.Fatalf("%s: stats diverged:\n got:    %+v\n oracle: %+v", label, got.stats, want.stats)
+	}
+	if got.cycle != want.cycle {
+		t.Fatalf("%s: global cycle %d != oracle %d", label, got.cycle, want.cycle)
+	}
+	if (got.drainErr == nil) != (want.drainErr == nil) {
+		t.Fatalf("%s: drain error %v != oracle %v", label, got.drainErr, want.drainErr)
+	}
+	if !reflect.DeepEqual(got.records, want.records) {
+		t.Fatalf("%s: per-message records diverged", label)
+	}
+	if !reflect.DeepEqual(got.delivered, want.delivered) {
+		t.Fatalf("%s: delivery order diverged", label)
+	}
+	if !reflect.DeepEqual(got.events, want.events) {
+		for i := range got.events {
+			if i >= len(want.events) || got.events[i] != want.events[i] {
+				t.Fatalf("%s: event %d diverged:\n got:    %s\n oracle: %s", label, i,
+					got.events[i], eventOr(want.events, i))
+			}
+		}
+		t.Fatalf("%s: event stream diverged (lengths %d vs %d)", label, len(got.events), len(want.events))
+	}
+}
+
+// TestSchedulerDifferential asserts the event-driven and sharded
+// schedulers are tick-for-tick indistinguishable from the naive
+// reference: identical final time, Stats, per-message records, delivery
+// order and recorded event stream, across many seeds, in both
+// synchronization modes — the three-way oracle naive ↔ event ↔ sharded.
 func TestSchedulerDifferential(t *testing.T) {
+	forceShardParallel(t)
 	modes := []struct {
 		name string
 		mode SyncMode
@@ -129,34 +178,14 @@ func TestSchedulerDifferential(t *testing.T) {
 				want := runPermutationWorkload(t, cfg, seed)
 				cfg.Scheduler = SchedulerEventDriven
 				got := runPermutationWorkload(t, cfg, seed)
+				compareRuns(t, fmt.Sprintf("seed %d event", seed), got, want)
 
-				if got.now != want.now {
-					t.Fatalf("seed %d: final tick %v != naive %v", seed, got.now, want.now)
-				}
-				if got.stats != want.stats {
-					t.Fatalf("seed %d: stats diverged:\n event: %+v\n naive: %+v", seed, got.stats, want.stats)
-				}
-				if got.cycle != want.cycle {
-					t.Fatalf("seed %d: global cycle %d != naive %d", seed, got.cycle, want.cycle)
-				}
-				if (got.drainErr == nil) != (want.drainErr == nil) {
-					t.Fatalf("seed %d: drain error %v != naive %v", seed, got.drainErr, want.drainErr)
-				}
-				if !reflect.DeepEqual(got.records, want.records) {
-					t.Fatalf("seed %d: per-message records diverged", seed)
-				}
-				if !reflect.DeepEqual(got.delivered, want.delivered) {
-					t.Fatalf("seed %d: delivery order diverged", seed)
-				}
-				if !reflect.DeepEqual(got.events, want.events) {
-					for i := range got.events {
-						if i >= len(want.events) || got.events[i] != want.events[i] {
-							t.Fatalf("seed %d: event %d diverged:\n event: %s\n naive: %s", seed, i,
-								got.events[i], eventOr(want.events, i))
-						}
-					}
-					t.Fatalf("seed %d: event stream diverged (lengths %d vs %d)", seed, len(got.events), len(want.events))
-				}
+				// Three arcs on twelve nodes: interior and boundary nodes
+				// in every arc, with the bus set re-partitioned per tick.
+				cfg.Scheduler = SchedulerSharded
+				cfg.Workers = 3
+				sharded := runPermutationWorkload(t, cfg, seed)
+				compareRuns(t, fmt.Sprintf("seed %d sharded", seed), sharded, want)
 			}
 		})
 	}
@@ -172,6 +201,7 @@ func eventOr(events []string, i int) string {
 // TestSchedulerDifferentialHeadRules covers the head-rule ablations,
 // where compaction quiescence interacts with the strict-top head pin.
 func TestSchedulerDifferentialHeadRules(t *testing.T) {
+	forceShardParallel(t)
 	for _, rule := range []HeadRule{HeadFlexible, HeadStraightOnly, HeadStrictTop} {
 		t.Run(rule.String(), func(t *testing.T) {
 			for seed := uint64(0); seed < 8; seed++ {
@@ -180,13 +210,11 @@ func TestSchedulerDifferentialHeadRules(t *testing.T) {
 				want := runPermutationWorkload(t, cfg, seed)
 				cfg.Scheduler = SchedulerEventDriven
 				got := runPermutationWorkload(t, cfg, seed)
-				if got.now != want.now || got.stats != want.stats {
-					t.Fatalf("seed %d: diverged:\n event: t=%v %+v\n naive: t=%v %+v",
-						seed, got.now, got.stats, want.now, want.stats)
-				}
-				if !reflect.DeepEqual(got.events, want.events) {
-					t.Fatalf("seed %d: event stream diverged", seed)
-				}
+				compareRuns(t, fmt.Sprintf("seed %d event", seed), got, want)
+				cfg.Scheduler = SchedulerSharded
+				cfg.Workers = 2
+				sharded := runPermutationWorkload(t, cfg, seed)
+				compareRuns(t, fmt.Sprintf("seed %d sharded", seed), sharded, want)
 			}
 		})
 	}
@@ -195,9 +223,11 @@ func TestSchedulerDifferentialHeadRules(t *testing.T) {
 // TestSchedulerDifferentialFaults repeats the trace-identity check with
 // a nonzero fault plan riding in the config: fail/repair episodes tear
 // circuits down mid-flight, refuse insertions and destinations, and the
-// event-driven scheduler must still match the naive oracle event for
-// event — including the fault counters and the recorded fault stream.
+// event-driven and sharded schedulers must still match the naive oracle
+// event for event — including fault counters and the recorded fault
+// stream.
 func TestSchedulerDifferentialFaults(t *testing.T) {
+	forceShardParallel(t)
 	modes := []struct {
 		name string
 		mode SyncMode
@@ -229,29 +259,12 @@ func TestSchedulerDifferentialFaults(t *testing.T) {
 				want := runPermutationWorkload(t, cfg, seed)
 				cfg.Scheduler = SchedulerEventDriven
 				got := runPermutationWorkload(t, cfg, seed)
+				compareRuns(t, fmt.Sprintf("seed %d event", seed), got, want)
 
-				if got.now != want.now || got.stats != want.stats || got.cycle != want.cycle {
-					t.Fatalf("seed %d: diverged:\n event: t=%v c=%d %+v\n naive: t=%v c=%d %+v",
-						seed, got.now, got.cycle, got.stats, want.now, want.cycle, want.stats)
-				}
-				if (got.drainErr == nil) != (want.drainErr == nil) {
-					t.Fatalf("seed %d: drain error %v != naive %v", seed, got.drainErr, want.drainErr)
-				}
-				if !reflect.DeepEqual(got.records, want.records) {
-					t.Fatalf("seed %d: per-message records diverged", seed)
-				}
-				if !reflect.DeepEqual(got.delivered, want.delivered) {
-					t.Fatalf("seed %d: delivery order diverged", seed)
-				}
-				if !reflect.DeepEqual(got.events, want.events) {
-					for i := range got.events {
-						if i >= len(want.events) || got.events[i] != want.events[i] {
-							t.Fatalf("seed %d: event %d diverged:\n event: %s\n naive: %s", seed, i,
-								got.events[i], eventOr(want.events, i))
-						}
-					}
-					t.Fatalf("seed %d: event stream diverged (lengths %d vs %d)", seed, len(got.events), len(want.events))
-				}
+				cfg.Scheduler = SchedulerSharded
+				cfg.Workers = 3
+				sharded := runPermutationWorkload(t, cfg, seed)
+				compareRuns(t, fmt.Sprintf("seed %d sharded", seed), sharded, want)
 			}
 		})
 	}

@@ -1,0 +1,447 @@
+package core
+
+// The sharded scheduler: one simulation's tick phases executed across a
+// persistent pool of arc workers (Config.Scheduler == SchedulerSharded),
+// tick-for-tick trace-identical to the event-driven scheduler.
+//
+// The RMB's protocols are local — an INC's tick depends only on its two
+// ring neighbours, and Lemma 1 bounds neighbour cycle skew to one — so
+// the ring decomposes into P contiguous arcs whose interiors never
+// interact within a phase. Each phase therefore splits into
+//
+//   plan (parallel)  — arc workers run the read-mostly kernel over their
+//                      arc: pumping data flits on transferring buses,
+//                      tracking final-flit arrival, planning compaction
+//                      moves against the pre-cycle occupancy, scanning
+//                      insertion candidates. Writes are confined to
+//                      bus-local fields of the arc's own buses and to
+//                      per-arc scratch; shared state (occupancy, faults,
+//                      counters) is read-only during the section.
+//   commit (sequential) — the coordinator applies every cross-arc
+//                      effect in fixed arc order, which equals bus-ID /
+//                      rotation order: head-segment claims, receive-port
+//                      accounting, recorder events, deliveries,
+//                      compaction applyMove, insertions, and every RNG
+//                      draw (backoff, head limits).
+//
+// The width-1 boundary halo of the domain decomposition — the neighbour
+// INC state and the segment claims at arc edges — is exactly the state a
+// commit mutates and the next phase's plan re-reads; no other exchange
+// is needed because a bus hop only ever inspects the segment directly
+// below itself and its two adjacent hops (the ±1 invariant). Because
+// every order-sensitive effect and every RNG draw happens in the
+// sequential commits, the protocol RNG consumes the same stream in the
+// same order as the event scheduler, and the trace (recorder events,
+// delivery order, stats, tick count) is bit-identical for any worker
+// count — the property the three-way differential tests pin down.
+//
+// The backward-signal phase stays sequential even here: releasing a hop
+// wakes the bus above it (a read of occupancy other arcs mutate in the
+// same phase) and completed teardowns draw the retry RNG. It is also the
+// cheapest phase by profile, so Amdahl losses are small.
+
+import (
+	"rmb/internal/shard"
+	"rmb/internal/sim"
+)
+
+// shardFlags bits: per-tick findings the parallel forward pass hands to
+// the sequential commit walk.
+const (
+	// shardFinalSent: the bus launched its final flit this tick (the
+	// worker performed the Transferring -> FinalPropagating transition);
+	// the commit emits the "final-sent" event at the bus's position.
+	shardFinalSent uint8 = 1 << iota
+	// shardDeliver: the final flit reached the destination this tick;
+	// the commit runs deliver at the bus's position.
+	shardDeliver
+)
+
+// shardCutoffPerArc is the minimum work items (active buses + pending
+// requests) per arc before a tick is worth dispatching across the pool;
+// below it the kernels run inline on the coordinator. Determinism is
+// unaffected either way — the kernels are identical — only wall-clock.
+const shardCutoffPerArc = 32
+
+// shardForceParallel forces cross-goroutine dispatch regardless of the
+// cutoff. Tests set it so small differential workloads exercise the real
+// pool path (and the race detector observes it).
+var shardForceParallel = false
+
+// shardState is the sharded scheduler's runtime.
+type shardState struct {
+	pool *shard.Pool
+	// arcs is the resolved worker count P (>= 2, <= Nodes).
+	arcs int
+	// cutoff gates pool dispatch: ticks with fewer work items run the
+	// same kernels inline.
+	cutoff int
+	// nodeBounds is the fixed partition of the N nodes into arcs
+	// (len arcs+1); the active-bus partition is re-derived per phase
+	// from the current set size via shard.Range.
+	nodeBounds []int
+	// scratch[a] is arc a's private kernel output, merged by the
+	// coordinator in arc order after each barrier.
+	scratch []arcScratch
+	// candAll is the reusable concatenation buffer for the insertion
+	// candidate walk.
+	candAll []int32
+}
+
+// arcScratch is one arc's kernel output. Padded so adjacent arcs' hot
+// writes do not share a cache line.
+type arcScratch struct {
+	// progress mirrors the sequential phase's progress flag for the
+	// arc's transferring / final-propagating buses.
+	progress bool
+	// awakeDelta accumulates compactAwake changes the arc observed:
+	// positive from forward-pass wake-ups, negative from compaction
+	// quiescence. Folded into the shared counter at commit.
+	awakeDelta int
+	// plan is the arc's compaction plan, in bus order within the arc.
+	plan []plannedMove
+	// cand lists the arc's nodes with non-empty insertion queues, in
+	// ascending node order.
+	cand []int32
+	_    [64]byte
+}
+
+// initShard resolves the sharded configuration and builds the worker
+// pool. Async mode falls back to the event path (its compaction
+// wavefront is inherently sequential: each INC reads its neighbours'
+// just-updated flags within the tick), as do rings too small to have an
+// arc interior (N < 3) and resolved worker counts below 2. Fallback is
+// invisible in results — the event path is what sharding must match.
+func (n *Network) initShard() {
+	if n.cfg.Mode != Lockstep || n.cfg.Nodes < 3 {
+		return
+	}
+	arcs := shard.Workers(n.cfg.Workers)
+	if arcs > n.cfg.Nodes {
+		arcs = n.cfg.Nodes
+	}
+	if arcs < 2 {
+		return
+	}
+	n.sh = &shardState{
+		pool:       shard.New(arcs),
+		arcs:       arcs,
+		cutoff:     shardCutoffPerArc * arcs,
+		nodeBounds: shard.Split(n.cfg.Nodes, arcs),
+		scratch:    make([]arcScratch, arcs),
+	}
+}
+
+// busRange returns the active-set slice arc a covers this phase.
+func (n *Network) busRange(a int) (lo, hi int) {
+	return shard.Range(len(n.active), n.sh.arcs, a)
+}
+
+// runArcs executes the kernel for every arc: across the pool when the
+// tick has enough work, inline otherwise. Both paths perform identical
+// state mutations (the kernels' writes are arc-disjoint), so the choice
+// affects wall-clock only.
+func (n *Network) runArcs(par bool, fn func(arc int)) {
+	if par {
+		n.sh.pool.Run(fn)
+		return
+	}
+	for a := 0; a < n.sh.arcs; a++ {
+		fn(a)
+	}
+}
+
+// stepPhasesSharded runs one tick's four phases with the parallel
+// plan / sequential commit structure described in the file comment. The
+// phase order and every observable effect match the sequential path in
+// network.go exactly.
+func (n *Network) stepPhasesSharded(now sim.Tick) bool {
+	sh := n.sh
+	progress := false
+	par := shardForceParallel || len(n.active)+n.pendingCount >= sh.cutoff
+
+	// Phase 1: backward signals — sequential, in arc order (== the full
+	// ID-order walk). See stepBackwardRange for why.
+	if n.bwdActive > 0 {
+		for a := 0; a < sh.arcs; a++ {
+			lo, hi := n.busRange(a)
+			if n.stepBackwardRange(now, lo, hi) {
+				progress = true
+			}
+		}
+		n.sweepRemoved()
+	}
+
+	// Phase 2: forward. Parallel section A pumps data and tracks final
+	// flits on the arcs' transferring / final-propagating buses, and
+	// piggybacks the insertion candidate scan (pending-queue lengths are
+	// frozen until phase 4 commits). The sequential commit then walks
+	// the whole active set in ID order: extending heads claim segments,
+	// flagged buses emit their events and deliver — the same per-bus
+	// effects, in the same order, as the event scheduler's single pass.
+	fwdWork := n.fwdActive > 0
+	insWork := n.pendingCount > 0
+	if fwdWork || insWork {
+		n.runArcs(par, func(a int) {
+			sc := &sh.scratch[a]
+			if fwdWork {
+				lo, hi := n.busRange(a)
+				n.forwardArcWorker(now, lo, hi, sc)
+			}
+			if insWork {
+				n.insertScanArc(sh.nodeBounds[a], sh.nodeBounds[a+1], sc)
+			}
+		})
+	}
+	if fwdWork {
+		for a := range sh.scratch {
+			sc := &sh.scratch[a]
+			if sc.progress {
+				progress = true
+				sc.progress = false
+			}
+			n.compactAwake += sc.awakeDelta
+			sc.awakeDelta = 0
+		}
+		if n.forwardCommit(now) {
+			progress = true
+		}
+	}
+
+	// Phase 3: compaction — parallel planning against the pre-cycle
+	// occupancy, sequential application in arc order (== plan order of
+	// the sequential scheduler).
+	if !n.cfg.DisableCompaction {
+		if n.stepCompactionSharded(now, par) {
+			progress = true
+		}
+	}
+
+	// Phase 4: insertion — the candidate walk commits in rotation order.
+	if n.insertCommit(now, insWork) {
+		progress = true
+	}
+	return progress
+}
+
+// forwardArcWorker runs the parallel half of the forward phase over
+// active[lo:hi): data pumping on transferring buses and arrival tracking
+// on final-propagating ones. All writes stay on the arc's own buses or
+// in sc; state transitions that would touch shared counters are either
+// phase-population-neutral (Transferring -> FinalPropagating keeps the
+// bus in the forward set, so State is written directly rather than via
+// setState) or deferred to the commit via shardFlags.
+func (n *Network) forwardArcWorker(now sim.Tick, lo, hi int, sc *arcScratch) {
+	for _, vb := range n.active[lo:hi] {
+		switch vb.State {
+		case VBTransferring:
+			sc.progress = true
+			n.updateArrivals(now, vb)
+			if n.pumpData(now, vb) {
+				vb.State = VBFinalPropagating
+				// wakeCompaction, with the shared-counter half deferred.
+				if vb.compactQuiet >= compactQuietCycles {
+					sc.awakeDelta++
+				}
+				vb.compactQuiet = 0
+				vb.progress.ffArriveAt = vb.progress.ffLaunchAt + sim.Tick(vb.Span())
+				vb.shardFlags |= shardFinalSent
+			}
+		case VBFinalPropagating:
+			sc.progress = true
+			n.updateArrivals(now, vb)
+			if now >= vb.progress.ffArriveAt {
+				vb.shardFlags |= shardDeliver
+			}
+		case VBExtending:
+			// Head claims contend across arcs; resolved by the commit
+			// walk in ID order.
+		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
+			// Backward-path states; advanced in phase 1.
+		case VBDone, VBRefused:
+			// Terminal states never survive phase 1's sweep.
+		}
+	}
+}
+
+// forwardCommit is the sequential half of the forward phase: one walk of
+// the active set in bus-ID order, performing exactly the order-sensitive
+// work the event scheduler's forward pass interleaves with the per-bus
+// kernels — head advances (segment claims, receive-port accounting,
+// timeouts), the flagged final-sent events, and deliveries.
+func (n *Network) forwardCommit(now sim.Tick) bool {
+	progress := false
+	for _, vb := range n.active {
+		switch vb.State {
+		case VBExtending:
+			if n.advanceHead(now, vb) {
+				progress = true
+			}
+		case VBFinalPropagating:
+			f := vb.shardFlags
+			if f == 0 {
+				continue
+			}
+			vb.shardFlags = 0
+			if f&shardFinalSent != 0 {
+				n.rec.VBEvent(now, vb, "final-sent")
+			}
+			if f&shardDeliver != 0 {
+				n.deliver(now, vb)
+			}
+		case VBTransferring:
+			// Fully handled by the arc workers.
+		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
+			// Backward-path states; advanced in phase 1.
+		case VBDone, VBRefused:
+			// Terminal states never survive phase 1's sweep.
+		}
+	}
+	return progress
+}
+
+// stepCompactionSharded is the lockstep odd/even cycle with the plan
+// loop fanned across arcs. Planning reads only the pre-cycle occupancy
+// (nothing mutates the grid between the barrier and the commit), so the
+// arc plans concatenated in arc order equal the sequential plan; the
+// simultaneous application of Section 2.4 then proceeds in that order.
+func (n *Network) stepCompactionSharded(now sim.Tick, par bool) bool {
+	if int64(now)%int64(n.cfg.CompactionPeriod) != 0 {
+		return false
+	}
+	cycle := n.globalCycle
+	n.globalCycle++
+	n.stats.Cycles++
+	if n.compactAwake == 0 {
+		return false // every active bus is provably stable this cycle
+	}
+	sh := n.sh
+	n.runArcs(par, func(a int) {
+		lo, hi := n.busRange(a)
+		n.compactPlanArc(cycle, lo, hi, &sh.scratch[a])
+	})
+	moved := false
+	for a := range sh.scratch {
+		sc := &sh.scratch[a]
+		n.compactAwake += sc.awakeDelta
+		sc.awakeDelta = 0
+		for _, p := range sc.plan {
+			n.applyMove(now, p.vb, p.hop)
+		}
+		if len(sc.plan) > 0 {
+			moved = true
+		}
+		sc.plan = sc.plan[:0]
+	}
+	return moved
+}
+
+// compactPlanArc plans the arc's moves against the pre-cycle snapshot,
+// maintaining each bus's quiescence streak exactly as the sequential
+// scheduler does (the shared-awake half of the bookkeeping lands in
+// sc.awakeDelta).
+func (n *Network) compactPlanArc(cycle int64, lo, hi int, sc *arcScratch) {
+	cyc := int(cycle & 1)
+	strictTop := n.cfg.HeadRule == HeadStrictTop
+	plan := sc.plan[:0]
+	for _, vb := range n.active[lo:hi] {
+		if vb.compactQuiet >= compactQuietCycles {
+			continue
+		}
+		var planned bool
+		plan, planned = n.planBusMoves(vb, cyc, strictTop, plan)
+		if !planned && vb.compactQuiet < compactQuietCycles {
+			vb.compactQuiet++
+			if vb.compactQuiet == compactQuietCycles {
+				sc.awakeDelta--
+			}
+		}
+	}
+	sc.plan = plan
+}
+
+// insertScanArc lists the arc's nodes with queued requests, in ascending
+// node order. Queue lengths are frozen for the whole tick until the
+// insertion commit pops them, so this prefilter is exact.
+func (n *Network) insertScanArc(lo, hi int, sc *arcScratch) {
+	sc.cand = sc.cand[:0]
+	for node := lo; node < hi; node++ {
+		if len(n.pending[node]) > 0 {
+			sc.cand = append(sc.cand, int32(node))
+		}
+	}
+}
+
+// insertCommit is the sequential insertion phase over the pre-scanned
+// candidates: the concatenated arc lists are ascending in node ID, and
+// the walk starts at the rotating origin and wraps — visiting exactly
+// the non-empty queues the event scheduler's full scan would visit, in
+// the same order, with the same per-node decision body (and therefore
+// the same RNG draws for refusals and head limits).
+func (n *Network) insertCommit(now sim.Tick, insWork bool) bool {
+	nodes := n.cfg.Nodes
+	if !insWork {
+		// Nothing queued anywhere; only the rotation (pure bookkeeping)
+		// must still advance to keep fairness identical.
+		n.insertRotate++
+		if n.insertRotate >= nodes {
+			n.insertRotate = 0
+		}
+		return false
+	}
+	sh := n.sh
+	all := sh.candAll[:0]
+	for a := range sh.scratch {
+		all = append(all, sh.scratch[a].cand...)
+	}
+	// Lower bound of insertRotate in the ascending candidate list: the
+	// walk order is all[start:], all[:start].
+	lo, hi := 0, len(all)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(all[mid]) < n.insertRotate {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	progress := false
+	k := n.cfg.Buses
+	for i := 0; i < len(all); i++ {
+		j := start + i
+		if j >= len(all) {
+			j -= len(all)
+		}
+		node := int(all[j])
+		q := n.pending[node]
+		if len(q) > 0 {
+			inc := &n.incs[node]
+			h := n.hopOf(NodeID(node))
+			if n.faultyAt(h, k-1) {
+				// The top segment (or the whole INC) is down: the request is
+				// refused like a Nack and re-enters the randomized-backoff
+				// retry path instead of spinning in the queue.
+				req := q[0]
+				n.pending[node] = q[1:]
+				n.pendingCount--
+				req.attempts++
+				n.stats.FaultInsertRefusals++
+				n.scheduleRequeue(now, NodeID(node), req)
+				progress = true
+			} else if inc.sendActive < n.cfg.MaxSendPerNode && n.segFree(h, k-1) {
+				req := q[0]
+				n.pending[node] = q[1:]
+				n.pendingCount--
+				n.insert(now, NodeID(node), req)
+				progress = true
+			}
+		}
+	}
+	sh.candAll = all[:0]
+	n.insertRotate++
+	if n.insertRotate >= nodes {
+		n.insertRotate = 0
+	}
+	return progress
+}

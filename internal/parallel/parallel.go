@@ -1,15 +1,19 @@
 // Package parallel fans independent simulation runs across worker
 // goroutines with deterministic, index-ordered result collection.
 //
-// This is the ONLY package in this repository that may spawn goroutines
-// around simulator state, and it preserves determinism by construction:
-// each task index is executed by exactly one worker, every task owns its
-// inputs (its own core.Network, RNG, workload) exclusively, and results
-// land in a slice slot reserved for their index — so the output of Map is
-// byte-identical to a sequential loop regardless of worker count or OS
-// scheduling. Nothing here may be imported by internal/core, internal/sim
-// or internal/flit (rmbvet enforces the inverse: those tiers cannot use
-// the go statement at all).
+// Only two packages in this repository may spawn goroutines around
+// simulator state: this one (whole independent runs) and internal/shard
+// (arc workers inside one run, behind audited //rmbvet:allow waivers).
+// This package preserves determinism by construction: each task index is
+// executed by exactly one worker, every task owns its inputs (its own
+// core.Network, RNG, workload) exclusively, and results land in a slice
+// slot reserved for their index — so the output of Map is byte-identical
+// to a sequential loop regardless of worker count or OS scheduling.
+// Nothing here may be imported by internal/core, internal/sim or
+// internal/flit (rmbvet enforces the inverse: those tiers cannot use the
+// go statement; internal/core reaches worker-count normalization through
+// shard.Workers, which deliberately duplicates Workers' rule instead of
+// importing this package — see the comment there).
 package parallel
 
 import (

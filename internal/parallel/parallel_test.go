@@ -134,3 +134,28 @@ func TestMapSimulationsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkersNormalization pins the -j flag convention shared by every
+// consumer (rmbsweep, rmbbench, and the sharded scheduler via
+// shard.Workers): non-positive means "use the machine", anything else
+// passes through untouched — including absurdly large requests, which
+// callers clamp against their own work size, not here.
+func TestWorkersNormalization(t *testing.T) {
+	auto := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		j, want int
+	}{
+		{-3, auto},
+		{-1, auto},
+		{0, auto},
+		{1, 1},
+		{2, 2},
+		{7, 7},
+		{1 << 16, 1 << 16},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.j); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.j, got, tc.want)
+		}
+	}
+}

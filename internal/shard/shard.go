@@ -1,0 +1,151 @@
+// Package shard provides the persistent arc-worker pool behind the
+// sharded scheduler (core.SchedulerSharded): one simulation tick is
+// split into P contiguous arcs and each phase kernel runs once per arc,
+// with a barrier between phases.
+//
+// Determinism contract. The pool is deliberately dumb: Run(fn) executes
+// fn(0) .. fn(arcs-1) exactly once each and returns only after all have
+// finished. Which OS thread runs which arc, and in which real-time
+// order, is unobservable by construction because the caller guarantees
+// that concurrent fn(a) invocations write only arc-local state (their
+// own buses, their own scratch buffers) and read only state that no arc
+// writes during the same phase. Cross-arc effects are applied by the
+// caller after Run returns, in fixed arc order. Under that contract a
+// Run is equivalent to the inline loop `for a := range arcs { fn(a) }`,
+// which is exactly what Run degenerates to for a single-arc pool — so
+// simulation results are bit-identical whatever the worker count or the
+// OS scheduler does, and the sharded scheduler's three-way differential
+// tests (naive / event / sharded) can demand trace equality.
+//
+// This package sits inside rmbvet's strict deterministic tier: its two
+// goroutine sites carry audited //rmbvet:allow waivers documenting the
+// argument above, and the ban on the go statement everywhere else in
+// internal/core stands.
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob exactly like parallel.Workers
+// (values <= 0 select GOMAXPROCS, anything else passes through). The
+// rule is duplicated rather than imported so this package has no intra-
+// repo dependencies: internal/parallel's own tests exercise core-backed
+// simulations, which would otherwise close an import cycle through
+// core -> shard -> parallel. A cross-check test keeps the two in step.
+func Workers(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// Range returns the half-open slice [lo, hi) of n contiguous items that
+// arc a of `arcs` covers. Sizes differ by at most one, with earlier arcs
+// absorbing the remainder, so Range(n, arcs, a) for a = 0..arcs-1 tiles
+// [0, n) exactly; arcs beyond n produce empty ranges.
+func Range(n, arcs, a int) (lo, hi int) {
+	base, rem := n/arcs, n%arcs
+	lo = a*base + min(a, rem)
+	hi = lo + base
+	if a < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Split returns the arcs+1 ascending offsets of the Range partition of
+// n items: arc a covers [b[a], b[a+1]).
+func Split(n, arcs int) []int {
+	b := make([]int, arcs+1)
+	for a := 0; a < arcs; a++ {
+		b[a], _ = Range(n, arcs, a)
+	}
+	b[arcs] = n
+	return b
+}
+
+// Pool is a fixed-size pool of persistent arc workers. The zero value is
+// not usable; construct with New. A Pool holds arcs-1 parked goroutines
+// (arc 0 always runs on the calling goroutine), released by Close or,
+// as a backstop, by a finalizer when the handle is garbage collected —
+// tests and sweeps that build thousands of sharded networks do not leak.
+type Pool struct {
+	w *workers
+}
+
+// workers is the pool body. It is referenced by the worker goroutines,
+// so the Pool handle above can become unreachable (triggering its
+// finalizer) while workers are still parked on their request channels.
+type workers struct {
+	arcs int
+	// req[i] feeds worker i, which serves arc i+1; closing it retires
+	// the worker. done is buffered to arcs-1 so workers never block
+	// handing back completions while arc 0 still runs on the caller.
+	req  []chan func(int)
+	done chan struct{}
+	once sync.Once
+}
+
+// New builds a pool of `arcs` arcs (clamped to at least 1) and starts
+// its arcs-1 worker goroutines.
+func New(arcs int) *Pool {
+	if arcs < 1 {
+		arcs = 1
+	}
+	w := &workers{
+		arcs: arcs,
+		req:  make([]chan func(int), arcs-1),
+		done: make(chan struct{}, arcs-1),
+	}
+	for i := range w.req {
+		ch := make(chan func(int))
+		w.req[i] = ch
+		arc := i + 1
+		// Safe under the package determinism contract: the worker runs
+		// only kernels whose writes are arc-local, and every cross-arc
+		// effect is applied by the coordinator in fixed arc order after
+		// the Run barrier, so scheduling order is unobservable.
+		//rmbvet:allow determinism arc workers only touch arc-local state; commits are sequential in arc order behind the Run barrier
+		go func() {
+			for fn := range ch {
+				fn(arc)
+				w.done <- struct{}{}
+			}
+		}()
+	}
+	p := &Pool{w: w}
+	runtime.SetFinalizer(p, (*Pool).Close)
+	return p
+}
+
+// Arcs reports the pool's arc count P.
+func (p *Pool) Arcs() int { return p.w.arcs }
+
+// Run executes fn(a) for every arc a in [0, arcs) — arc 0 inline on the
+// calling goroutine, the rest on the pool workers — and returns after
+// all have completed (the per-phase barrier). fn must confine its writes
+// to arc-local state; see the package comment. Run must not be called
+// after Close, nor from multiple goroutines at once.
+func (p *Pool) Run(fn func(arc int)) {
+	w := p.w
+	for _, ch := range w.req {
+		ch <- fn
+	}
+	fn(0)
+	for range w.req {
+		<-w.done
+	}
+}
+
+// Close retires the worker goroutines. It is idempotent and safe to call
+// on a pool whose finalizer may also run; Run must not be called after.
+func (p *Pool) Close() {
+	p.w.once.Do(func() {
+		for _, ch := range p.w.req {
+			close(ch)
+		}
+	})
+	runtime.SetFinalizer(p, nil)
+}

@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+
+	"rmb/internal/parallel"
+)
+
+func TestRangeTilesExactly(t *testing.T) {
+	for _, tc := range []struct{ n, arcs int }{
+		{0, 1}, {1, 1}, {5, 1}, {6, 2}, {7, 3}, {10, 3}, {12, 4}, {3, 8}, {256, 8},
+	} {
+		prev := 0
+		minSize, maxSize := tc.n+1, -1
+		for a := 0; a < tc.arcs; a++ {
+			lo, hi := Range(tc.n, tc.arcs, a)
+			if lo != prev {
+				t.Fatalf("Range(%d,%d,%d) starts at %d, want %d (gap or overlap)", tc.n, tc.arcs, a, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("Range(%d,%d,%d) = [%d,%d) is inverted", tc.n, tc.arcs, a, lo, hi)
+			}
+			if s := hi - lo; s < minSize {
+				minSize = s
+			}
+			if s := hi - lo; s > maxSize {
+				maxSize = s
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("Range(%d,%d,·) tiles [0,%d), want [0,%d)", tc.n, tc.arcs, prev, tc.n)
+		}
+		if tc.arcs > 1 && maxSize-minSize > 1 {
+			t.Fatalf("Range(%d,%d,·) sizes span [%d,%d]; want within 1", tc.n, tc.arcs, minSize, maxSize)
+		}
+	}
+}
+
+func TestSplitMatchesRange(t *testing.T) {
+	for _, tc := range []struct{ n, arcs int }{{10, 3}, {4, 7}, {0, 2}, {256, 8}} {
+		b := Split(tc.n, tc.arcs)
+		if len(b) != tc.arcs+1 || b[0] != 0 || b[tc.arcs] != tc.n {
+			t.Fatalf("Split(%d,%d) = %v", tc.n, tc.arcs, b)
+		}
+		for a := 0; a < tc.arcs; a++ {
+			lo, hi := Range(tc.n, tc.arcs, a)
+			if b[a] != lo || b[a+1] != hi {
+				t.Fatalf("Split(%d,%d)[%d:%d] = [%d,%d), Range says [%d,%d)", tc.n, tc.arcs, a, a+1, b[a], b[a+1], lo, hi)
+			}
+		}
+	}
+}
+
+// TestPoolRunsEveryArcOnce drives many barriers through one pool and
+// checks each arc index is executed exactly once per Run, regardless of
+// which goroutine picked it up.
+func TestPoolRunsEveryArcOnce(t *testing.T) {
+	for _, arcs := range []int{1, 2, 3, 8} {
+		p := New(arcs)
+		if p.Arcs() != arcs {
+			t.Fatalf("Arcs() = %d, want %d", p.Arcs(), arcs)
+		}
+		counts := make([]int, arcs) // arc-local: each slot written by exactly one arc
+		for round := 0; round < 100; round++ {
+			p.Run(func(a int) { counts[a]++ })
+		}
+		for a, c := range counts {
+			if c != 100 {
+				t.Fatalf("arcs=%d: arc %d ran %d times, want 100", arcs, a, c)
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+// TestPoolBarrier proves Run does not return before every arc finished:
+// each arc writes its slot, and the coordinator reads all slots
+// immediately after the barrier.
+func TestPoolBarrier(t *testing.T) {
+	const arcs = 4
+	p := New(arcs)
+	defer p.Close()
+	var marks [arcs]int
+	for round := 1; round <= 200; round++ {
+		r := round
+		p.Run(func(a int) { marks[a] = r })
+		for a, m := range marks {
+			if m != r {
+				t.Fatalf("round %d: arc %d not finished at barrier (mark %d)", r, a, m)
+			}
+		}
+	}
+}
+
+func TestWorkersMatchesParallel(t *testing.T) {
+	for _, j := range []int{-3, 0, 1, 2, 7, 1 << 16} {
+		if got, want := Workers(j), parallel.Workers(j); got != want {
+			t.Fatalf("Workers(%d) = %d, parallel.Workers = %d", j, got, want)
+		}
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
