@@ -8,12 +8,15 @@
 //	rmbsim -nodes 16 -buses 4 -pattern permutation -payload 8
 //	rmbsim -nodes 32 -buses 2 -pattern shift -shift 5 -trace
 //	rmbsim -nodes 16 -buses 4 -pattern hotspot -messages 64 -mode async
+//	rmbsim -nodes 32 -pattern alltoall -http :8080 -hold 30s
+//	rmbsim -nodes 16 -pattern permutation -trace-out run.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rmb/internal/core"
 	"rmb/internal/prof"
@@ -21,6 +24,7 @@ import (
 	"rmb/internal/results"
 	"rmb/internal/schedule"
 	"rmb/internal/sim"
+	"rmb/internal/telemetry"
 	"rmb/internal/trace"
 	"rmb/internal/workload"
 )
@@ -48,6 +52,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "chaos mode: fault-schedule seed (default: -seed)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	httpAddr := flag.String("http", "", "serve the live observer (/metrics, /snapshot, /vb, pprof) on this address")
+	hold := flag.Duration("hold", 0, "keep the -http observer serving this long after the run completes")
+	sample := flag.Int("sample", 1, "with -http: publish a snapshot to the observer every N ticks")
+	traceOut := flag.String("trace-out", "", "write the JSONL event stream to this file (analyze with rmbtrace)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -144,6 +152,45 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Telemetry rides along through the recorder tee and snapshot pulls;
+	// the simulation itself is identical with or without it.
+	var eventWriter *telemetry.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		eventWriter = telemetry.NewWriter(f)
+		defer func() {
+			if err := eventWriter.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+			}
+		}()
+		cfg.Recorder = core.Tee(cfg.Recorder, &telemetry.Adapter{Observe: eventWriter.Observe})
+	}
+	var obs *telemetry.Observatory
+	if *httpAddr != "" {
+		if *sample < 1 {
+			*sample = 1
+		}
+		obs = telemetry.NewObservatory(telemetry.NewSampler(1, 512))
+		srv, err := telemetry.StartServer(*httpAddr, obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rmbsim: observer listening on %s\n", srv.Addr)
+		defer func() {
+			if *hold > 0 {
+				fmt.Fprintf(os.Stderr, "rmbsim: holding observer for %v\n", *hold)
+				time.Sleep(*hold)
+			}
+		}()
+	}
+
 	n, err := core.NewNetwork(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
@@ -165,13 +212,27 @@ func main() {
 			p.Name, *nodes, *buses, map[bool]string{false: cfg.Mode.String(), true: "disabled"}[*noCompact], cfg.HeadRule)
 	}
 
-	if *traceNet {
-		for i := int64(0); i < *maxTicks && !n.Idle(); i++ {
+	if *traceNet || obs != nil {
+		// Manual tick loop: the occupancy trace and the observer both pull
+		// immutable snapshots between ticks, so the run stays identical to
+		// a plain Drain.
+		i := int64(0)
+		for ; i < *maxTicks && !n.Idle(); i++ {
 			n.Step()
-			if i%8 == 0 {
+			if *traceNet && i%8 == 0 {
 				fmt.Print(trace.RenderOccupancy(n.Snapshot()))
 				fmt.Println()
 			}
+			if obs != nil && i%int64(*sample) == 0 {
+				obs.Publish(n.Snapshot(), n.Stats())
+			}
+		}
+		if obs != nil {
+			obs.Publish(n.Snapshot(), n.Stats())
+		}
+		if i >= *maxTicks && !n.Idle() {
+			fmt.Fprintf(os.Stderr, "rmbsim: tick budget %d exhausted before quiescence\n", *maxTicks)
+			os.Exit(1)
 		}
 	} else if err := n.Drain(sim.Tick(*maxTicks)); err != nil {
 		fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)

@@ -1,0 +1,141 @@
+// Command rmbtrace analyzes a JSONL event stream recorded by
+// rmbsim -trace-out: it reassembles per-message lifecycle spans, prints
+// the latency decomposition (per-phase percentiles), and optionally
+// converts the stream into a Chrome trace-event file loadable in
+// Perfetto or chrome://tracing.
+//
+// Usage examples:
+//
+//	rmbsim -nodes 16 -pattern permutation -trace-out run.jsonl
+//	rmbtrace run.jsonl
+//	rmbtrace -messages run.jsonl
+//	rmbtrace -perfetto run.trace.json run.jsonl
+//	rmbsim -trace-out /dev/stdout -json >/dev/null | rmbtrace -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rmb/internal/metrics"
+	"rmb/internal/report"
+	"rmb/internal/telemetry"
+)
+
+func main() {
+	perfetto := flag.String("perfetto", "", "write a Chrome trace-event file to this path")
+	perMsg := flag.Bool("messages", false, "print the per-message table")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rmbtrace [-perfetto out.json] [-messages] <events.jsonl | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbtrace: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := telemetry.ReadEvents(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmbtrace: %v\n", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "rmbtrace: empty event stream")
+		os.Exit(1)
+	}
+
+	tr := telemetry.Replay(events)
+	var last int64
+	for _, e := range events {
+		if e.At > last {
+			last = e.At
+		}
+	}
+	tr.Finish(last)
+	traces := tr.Traces()
+
+	var delivered, retriedMsgs, moves int
+	for _, m := range traces {
+		if m.Done {
+			delivered++
+		}
+		if m.Attempts > 1 {
+			retriedMsgs++
+		}
+		moves += m.Moves
+	}
+	fmt.Printf("events %d  span [0,%d] ticks  messages %d  delivered %d  retried %d  moves %d  faults %d\n\n",
+		len(events), last, len(traces), delivered, retriedMsgs, moves, len(tr.Faults))
+
+	// Latency decomposition over delivered messages: per-phase totals
+	// plus the end-to-end figure.
+	phases := []struct {
+		name string
+		get  func(telemetry.Breakdown) int64
+	}{
+		{"queue", func(b telemetry.Breakdown) int64 { return b.Queue }},
+		{"header", func(b telemetry.Breakdown) int64 { return b.Header }},
+		{"ack", func(b telemetry.Breakdown) int64 { return b.Ack }},
+		{"transfer", func(b telemetry.Breakdown) int64 { return b.Transfer }},
+		{"flight", func(b telemetry.Breakdown) int64 { return b.Flight }},
+		{"teardown", func(b telemetry.Breakdown) int64 { return b.Teardown }},
+		{"backoff", func(b telemetry.Breakdown) int64 { return b.Backoff }},
+	}
+	samples := make([]metrics.Sample, len(phases))
+	var deliver metrics.Sample
+	for _, m := range traces {
+		if !m.Done {
+			continue
+		}
+		b := m.Breakdown()
+		for i, p := range phases {
+			samples[i].Add(float64(p.get(b)))
+		}
+		deliver.Add(float64(m.DeliverLatency()))
+	}
+	tb := report.NewTable("latency decomposition over delivered messages (ticks)",
+		"phase", "mean", "p50", "p90", "p99", "max")
+	row := func(name string, s *metrics.Sample) {
+		tb.AddRowf(name, s.Mean(), s.Percentile(50), s.Percentile(90), s.Percentile(99), s.Percentile(100))
+	}
+	for i, p := range phases {
+		row(p.name, &samples[i])
+	}
+	row("deliver", &deliver)
+	fmt.Println(tb.Render())
+
+	if *perMsg {
+		mt := report.NewTable("messages", "msg", "src", "dst", "dist", "payload", "attempts", "moves", "latency", "done")
+		for _, m := range traces {
+			mt.AddRowf(m.Msg, m.Src, m.Dst, m.Distance, m.Payload, m.Attempts, m.Moves, m.DeliverLatency(), m.Done)
+		}
+		fmt.Println(mt.Render())
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbtrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telemetry.WriteChromeTrace(f, events); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "rmbtrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", *perfetto)
+	}
+}

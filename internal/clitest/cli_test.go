@@ -19,7 +19,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"rmbsim", "rmbcompare", "rmbfigures", "rmbbench", "rmbsweep", "rmbvet"} {
+	for _, tool := range []string{"rmbsim", "rmbcompare", "rmbfigures", "rmbbench", "rmbsweep", "rmbvet", "rmbtrace"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "rmb/cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {

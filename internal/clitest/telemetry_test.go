@@ -1,0 +1,154 @@
+package clitest
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRmbsimTraceOutToRmbtrace(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "run.jsonl")
+	out, err := run(t, "rmbsim", "-nodes", "12", "-buses", "3", "-pattern", "hotspot",
+		"-messages", "24", "-trace-out", jsonl)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	info, err := os.Stat(jsonl)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace-out produced nothing: %v", err)
+	}
+
+	rep, err := run(t, "rmbtrace", jsonl)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, rep)
+	}
+	for _, want := range []string{"latency decomposition", "queue", "transfer", "deliver", "messages 24"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("rmbtrace output missing %q:\n%s", want, rep)
+		}
+	}
+
+	perfetto := filepath.Join(dir, "run.trace.json")
+	if out, err := run(t, "rmbtrace", "-perfetto", perfetto, "-messages", jsonl); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(perfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc []map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto output is not a JSON array: %v", err)
+	}
+	if len(doc) == 0 {
+		t.Fatal("perfetto trace is empty")
+	}
+}
+
+func TestRmbtraceBadInput(t *testing.T) {
+	if out, err := run(t, "rmbtrace", filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Errorf("missing file accepted:\n%s", out)
+	}
+	if out, err := run(t, "rmbtrace"); err == nil {
+		t.Errorf("no arguments accepted:\n%s", out)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := run(t, "rmbtrace", empty); err == nil {
+		t.Errorf("empty stream accepted:\n%s", out)
+	}
+}
+
+// TestRmbsimHTTPObserver boots the live observer on an ephemeral port,
+// scrapes the key endpoints while the process holds, and shuts it down.
+func TestRmbsimHTTPObserver(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "rmbsim"),
+		"-nodes", "12", "-buses", "3", "-pattern", "alltoall",
+		"-http", "127.0.0.1:0", "-hold", "60s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	// The listen line is printed before the run starts.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				got <- strings.TrimSpace(line[i+len("listening on "):])
+				break
+			}
+		}
+		close(got)
+	}()
+	select {
+	case a, ok := <-got:
+		if !ok {
+			t.Fatal("rmbsim exited without printing the observer address")
+		}
+		addr = a
+	case <-deadline:
+		t.Fatal("timed out waiting for the observer address")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		var lastErr error
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				lastErr = err
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+			}
+			return string(body)
+		}
+		t.Fatalf("GET %s never succeeded: %v", path, lastErr)
+		return ""
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "rmb_ticks_total") ||
+		!strings.Contains(body, "rmb_retry_queue_depth") {
+		t.Errorf("/metrics incomplete:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index incomplete:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "rmb_ticks") {
+		t.Errorf("expvar incomplete:\n%s", body)
+	}
+	if body := get("/snapshot"); !strings.Contains(body, "bus") {
+		t.Errorf("/snapshot incomplete:\n%s", body)
+	}
+}

@@ -26,7 +26,7 @@ func TestRmbvetList(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out)
 	}
-	for _, name := range []string{"determinism", "exhaustive", "inc-ownership", "atomic-discipline", "unbounded-send"} {
+	for _, name := range []string{"determinism", "isolation", "exhaustive", "inc-ownership", "atomic-discipline", "unbounded-send"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list missing analyzer %q:\n%s", name, out)
 		}

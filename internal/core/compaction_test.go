@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"rmb/internal/flit"
 	"rmb/internal/sim"
 )
 
@@ -254,6 +255,8 @@ func (l *moveLog) CycleSwitch(sim.Tick, NodeID, int64) {}
 func (l *moveLog) Fault(at sim.Tick, ev FaultEvent) {
 	l.events = append(l.events, ev.String())
 }
+func (l *moveLog) Submit(sim.Tick, MsgRecord)                 {}
+func (l *moveLog) Requeue(sim.Tick, flit.MessageID, int, sim.Tick) {}
 
 func TestDisableCompactionAblation(t *testing.T) {
 	cfg := Config{Nodes: 8, Buses: 3, Seed: 5, DisableCompaction: true}

@@ -220,6 +220,15 @@ type Config struct {
 	// to finish its datapath work in Async mode (default 3).
 	JitterMax int
 
+	// Recorder, when non-nil, is installed as the network's event
+	// recorder at construction — equivalent to calling SetRecorder
+	// immediately after NewNetwork, but early enough to observe the
+	// Submit events of messages sent before the first Step. Use Tee to
+	// attach several observers (the trace figures and the telemetry
+	// tracer, say) to one run. Recorders observe; they never influence
+	// the simulation, so a run's trace is identical with or without one.
+	Recorder Recorder
+
 	// Faults schedules deterministic segment and INC fail/repair events
 	// applied through the tick loop (see FaultPlan and ChaosPlan). The
 	// zero plan injects nothing and leaves the run tick-for-tick

@@ -61,6 +61,7 @@ func (n *Network) SendMulticast(src NodeID, dsts []NodeID, payload []uint64) (fl
 	})
 	n.payloads = append(n.payloads, m.Payload)
 	n.stats.MessagesSubmitted++
+	n.rec.Submit(n.clock.Now(), n.records[len(n.records)-1])
 	return id, nil
 }
 

@@ -166,6 +166,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Mode == Async {
 		n.asyncDirty = make([]bool, cfg.Nodes)
 	}
+	if cfg.Recorder != nil {
+		n.rec = cfg.Recorder
+	}
 	for h := range n.occ {
 		n.occ[h] = n.occFlat[h*cfg.Buses : (h+1)*cfg.Buses : (h+1)*cfg.Buses]
 		n.segFaulty[h] = n.segFaultyFlat[h*cfg.Buses : (h+1)*cfg.Buses : (h+1)*cfg.Buses]
@@ -232,6 +235,7 @@ func (n *Network) Send(src, dst NodeID, payload []uint64) (flit.MessageID, error
 	})
 	n.payloads = append(n.payloads, m.Payload)
 	n.stats.MessagesSubmitted++
+	n.rec.Submit(n.clock.Now(), n.records[len(n.records)-1])
 	return id, nil
 }
 

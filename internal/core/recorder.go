@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rmb/internal/flit"
 	"rmb/internal/sim"
 )
 
@@ -56,9 +57,10 @@ func (m Move) String() string {
 	return fmt.Sprintf("%v inc%d vb%d hop%d %d->%d", m.At, m.Node, m.VB, m.Hop, m.From, m.To)
 }
 
-// Recorder observes protocol-level events; the trace package provides
-// implementations. All methods are called synchronously from Step, so
-// implementations must be fast and must not call back into the network.
+// Recorder observes protocol-level events; the trace and telemetry
+// packages provide implementations. All methods are called synchronously
+// from Send/Step, so implementations must be fast and must not call back
+// into the network.
 type Recorder interface {
 	// Move reports a completed compaction move with its status sequences.
 	Move(m Move)
@@ -71,15 +73,93 @@ type Recorder interface {
 	// Fault reports an applied fault-plan transition (redundant events
 	// are filtered out before reaching the recorder).
 	Fault(at sim.Tick, ev FaultEvent)
+	// Submit reports a message accepted by Send or SendMulticast; rec is
+	// the freshly created lifecycle record. Together with the VBEvent
+	// stream this makes the full submit -> retry -> deliver lifecycle
+	// observable (the queue wait before the first insertion starts here).
+	Submit(at sim.Tick, rec MsgRecord)
+	// Requeue reports a message entering the randomized-backoff retry
+	// wheel after a Nack, timeout or fault refusal: it will rejoin its
+	// source's insertion queue at readyAt. attempt counts tries so far.
+	Requeue(at sim.Tick, msg flit.MessageID, attempt int, readyAt sim.Tick)
 }
 
 // nopRecorder discards everything; installed by default.
 type nopRecorder struct{}
 
-func (nopRecorder) Move(Move)                             {}
-func (nopRecorder) VBEvent(sim.Tick, *VirtualBus, string) {}
-func (nopRecorder) CycleSwitch(sim.Tick, NodeID, int64)   {}
-func (nopRecorder) Fault(sim.Tick, FaultEvent)            {}
+func (nopRecorder) Move(Move)                                  {}
+func (nopRecorder) VBEvent(sim.Tick, *VirtualBus, string)      {}
+func (nopRecorder) CycleSwitch(sim.Tick, NodeID, int64)        {}
+func (nopRecorder) Fault(sim.Tick, FaultEvent)                 {}
+func (nopRecorder) Submit(sim.Tick, MsgRecord)                 {}
+func (nopRecorder) Requeue(sim.Tick, flit.MessageID, int, sim.Tick) {}
+
+// MultiRecorder fans every recorder event out to each element in slice
+// order, so independent observers (the trace figures and the telemetry
+// tracer, say) can watch the same run. It is itself a Recorder; build one
+// with Tee to drop nils and avoid needless indirection.
+type MultiRecorder []Recorder
+
+// Move implements Recorder.
+func (m MultiRecorder) Move(mv Move) {
+	for _, r := range m {
+		r.Move(mv)
+	}
+}
+
+// VBEvent implements Recorder.
+func (m MultiRecorder) VBEvent(at sim.Tick, vb *VirtualBus, event string) {
+	for _, r := range m {
+		r.VBEvent(at, vb, event)
+	}
+}
+
+// CycleSwitch implements Recorder.
+func (m MultiRecorder) CycleSwitch(at sim.Tick, inc NodeID, cycle int64) {
+	for _, r := range m {
+		r.CycleSwitch(at, inc, cycle)
+	}
+}
+
+// Fault implements Recorder.
+func (m MultiRecorder) Fault(at sim.Tick, ev FaultEvent) {
+	for _, r := range m {
+		r.Fault(at, ev)
+	}
+}
+
+// Submit implements Recorder.
+func (m MultiRecorder) Submit(at sim.Tick, rec MsgRecord) {
+	for _, r := range m {
+		r.Submit(at, rec)
+	}
+}
+
+// Requeue implements Recorder.
+func (m MultiRecorder) Requeue(at sim.Tick, msg flit.MessageID, attempt int, readyAt sim.Tick) {
+	for _, r := range m {
+		r.Requeue(at, msg, attempt, readyAt)
+	}
+}
+
+// Tee combines recorders into one. Nils are dropped; zero survivors
+// yield the no-op recorder and a single survivor is returned unwrapped,
+// so the tee costs nothing unless it is actually fanning out.
+func Tee(recs ...Recorder) Recorder {
+	kept := make(MultiRecorder, 0, len(recs))
+	for _, r := range recs {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nopRecorder{}
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
 
 // moveSequences derives the three Figure 7 status sequences for moving
 // the virtual bus's hop j from level b to b-1. a is the bus's input level

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMultiRecorderTeeIdentical wires two capture recorders through
+// Config via Tee and requires both to observe the exact same event
+// sequence — the contract that lets the trace figures and the telemetry
+// tracer watch one run without interfering with each other.
+func TestMultiRecorderTeeIdentical(t *testing.T) {
+	a, b := &captureRecorder{}, &captureRecorder{}
+	cfg := Config{
+		Nodes: 8, Buses: 3, Seed: 11,
+		Recorder: Tee(a, nil, b), // nils are dropped
+	}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	// Oversubscribe one destination so the run includes Nacks, requeues
+	// and retries, not just the happy path.
+	for src := 1; src < 6; src++ {
+		if _, err := n.Send(NodeID(src), 7, []uint64{1, 2, 3}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := n.Drain(100_000); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	if len(a.events) == 0 {
+		t.Fatal("tee recorded no events")
+	}
+	if !reflect.DeepEqual(a.events, b.events) {
+		t.Fatalf("tee'd recorders diverged:\n a: %v\n b: %v", a.events, b.events)
+	}
+	var submits, requeues bool
+	for _, e := range a.events {
+		if len(e) >= 6 && e[:6] == "submit" {
+			submits = true
+		}
+		if len(e) >= 7 && e[:7] == "requeue" {
+			requeues = true
+		}
+	}
+	if !submits || !requeues {
+		t.Errorf("event stream missing submit/requeue coverage (submits=%v requeues=%v)", submits, requeues)
+	}
+}
+
+// TestTeeUnwrapping pins Tee's degenerate cases: no survivors yield the
+// no-op recorder, one survivor is returned unwrapped.
+func TestTeeUnwrapping(t *testing.T) {
+	if _, ok := Tee().(nopRecorder); !ok {
+		t.Errorf("Tee() = %T, want nopRecorder", Tee())
+	}
+	if _, ok := Tee(nil, nil).(nopRecorder); !ok {
+		t.Errorf("Tee(nil, nil) = %T, want nopRecorder", Tee(nil, nil))
+	}
+	r := &captureRecorder{}
+	if got := Tee(nil, r); got != Recorder(r) {
+		t.Errorf("Tee(nil, r) = %T, want the recorder itself", got)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rmb/internal/flit"
 	"rmb/internal/sim"
 )
 
@@ -238,6 +239,13 @@ func (h *HardwareShadow) CycleSwitch(sim.Tick, NodeID, int64) {}
 // Fault implements Recorder; fault transitions have no register-level
 // sequence to replay (the status codes of surviving ports are unchanged).
 func (h *HardwareShadow) Fault(sim.Tick, FaultEvent) {}
+
+// Submit and Requeue implement Recorder; queue transitions have no
+// register-level footprint.
+func (h *HardwareShadow) Submit(sim.Tick, MsgRecord) {}
+
+// Requeue implements Recorder.
+func (h *HardwareShadow) Requeue(sim.Tick, flit.MessageID, int, sim.Tick) {}
 
 // Err reports the first unrealizable move, if any.
 func (h *HardwareShadow) Err() error { return h.err }

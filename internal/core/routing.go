@@ -129,10 +129,12 @@ func (n *Network) backoffDelay(attempt int) sim.Tick {
 // fires the request rejoins its source's insertion queue.
 func (n *Network) scheduleRequeue(now sim.Tick, src NodeID, req *request) {
 	n.stats.Retries++
-	n.retries.Schedule(now+n.backoffDelay(req.attempts), func() {
+	readyAt := now + n.backoffDelay(req.attempts)
+	n.retries.Schedule(readyAt, func() {
 		n.pending[src] = append(n.pending[src], req)
 		n.pendingCount++
 	})
+	n.rec.Requeue(now, req.msg.ID, req.attempts, readyAt)
 }
 
 // scheduleRetry re-queues a refused message after randomized exponential

@@ -31,6 +31,14 @@ func (r *captureRecorder) Fault(at sim.Tick, ev FaultEvent) {
 	r.events = append(r.events, fmt.Sprintf("fault %v %s", at, ev))
 }
 
+func (r *captureRecorder) Submit(at sim.Tick, rec MsgRecord) {
+	r.events = append(r.events, fmt.Sprintf("submit %v m%d %d->%d len%d", at, rec.ID, rec.Src, rec.Dst, rec.PayloadLen))
+}
+
+func (r *captureRecorder) Requeue(at sim.Tick, msg flit.MessageID, attempt int, readyAt sim.Tick) {
+	r.events = append(r.events, fmt.Sprintf("requeue %v m%d a%d ready %v", at, msg, attempt, readyAt))
+}
+
 // schedulerRunResult is everything externally observable about a run.
 type schedulerRunResult struct {
 	now       sim.Tick

@@ -23,6 +23,17 @@ type Snapshot struct {
 	FaultyINCs []bool
 	// VBs summarizes the active virtual buses in ID order.
 	VBs []VBSummary
+
+	// The remaining fields are the scheduler's activity gauges, captured
+	// for the telemetry sampler: RetryDepth is the retry-wheel population,
+	// PendingRequests the messages queued for insertion across all nodes,
+	// and ForwardActive / BackwardActive the forward- and backward-phase
+	// bus populations (extending/transferring/final-propagating versus
+	// Hack/Fack/Nack/fault returning).
+	RetryDepth      int
+	PendingRequests int
+	ForwardActive   int
+	BackwardActive  int
 }
 
 // VBSummary is a copy of one virtual bus's externally relevant state.
@@ -46,6 +57,11 @@ func (n *Network) Snapshot() *Snapshot {
 		Status:     make([][]PortStatus, n.cfg.Nodes),
 		FaultySegs: make([][]bool, n.cfg.Nodes),
 		FaultyINCs: append([]bool(nil), n.incFaulty...),
+
+		RetryDepth:      n.retries.Len(),
+		PendingRequests: n.pendingCount,
+		ForwardActive:   n.fwdActive,
+		BackwardActive:  n.bwdActive,
 	}
 	for h := range n.occ {
 		s.Occ[h] = append([]VBID(nil), n.occ[h]...)

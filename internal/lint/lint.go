@@ -7,6 +7,10 @@
 //   - determinism: the cycle-accurate tier (internal/core, internal/sim,
 //     internal/flit) must stay bit-reproducible — no wall-clock reads, no
 //     ambient math/rand, no map-order iteration over protocol state.
+//   - isolation: the same tier must not import observability or I/O
+//     machinery (net, net/http, expvar, pprof, time, internal/telemetry);
+//     telemetry observes through Recorder callbacks and snapshot pulls,
+//     preserving the zero-observer-effect guarantee.
 //   - exhaustive: every switch over a protocol enum (flit.Kind, flit.Ack,
 //     the Table 1 / Table 2 / FSM enums) covers all variants or handles
 //     the remainder explicitly, so adding a variant cannot silently skip
@@ -67,6 +71,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerDeterminism(),
+		analyzerIsolation(),
 		analyzerExhaustive(),
 		analyzerIncOwnership(),
 		analyzerAtomicDiscipline(),

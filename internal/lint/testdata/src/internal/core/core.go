@@ -5,7 +5,9 @@
 package core
 
 import (
+	"expvar"    // seeded isolation violation: observability in the core tier
 	"math/rand" // seeded determinism violation: ambient randomness import
+	"net/http"  // seeded isolation violation: an embedded observer endpoint
 	"sync/atomic"
 	"time"
 )
@@ -55,6 +57,14 @@ func ApplyFault(k FaultKind) bool {
 // Stamp seeds a determinism violation: a wall-clock read in the
 // deterministic tier.
 func Stamp() int64 { return time.Now().UnixNano() }
+
+// Serve seeds the isolation bug class: the simulator growing its own
+// observability endpoints instead of being observed from outside
+// through Recorder callbacks and snapshot pulls.
+func Serve() {
+	expvar.NewInt("fixture_ticks")
+	_ = http.NewServeMux()
+}
 
 // Jitter uses the ambient generator imported above.
 func Jitter() int { return rand.Int() }

@@ -33,6 +33,32 @@ func (s *Summary) Add(x float64) {
 	s.hasSamples = true
 }
 
+// Merge folds another summary into this one using the pairwise
+// (Chan et al.) update, so sharded or windowed collection composes:
+// merging the summaries of any split of a stream yields the same
+// count, mean, variance and extremes as a single pass (up to float
+// rounding).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.mean += d * float64(o.n) / float64(n)
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
 // Count reports the number of observations.
 func (s *Summary) Count() int64 { return s.n }
 

@@ -269,3 +269,64 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		t.Errorf("overflow row mislabelled:\n%s", r)
 	}
 }
+
+// TestSummaryMergeOfSplits is the property pinned in the docs: split a
+// stream at an arbitrary set of cut points, summarize each piece, merge
+// the pieces in order — the result must match a single-pass summary in
+// count, mean, variance, min and max.
+func TestSummaryMergeOfSplits(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		var single Summary
+		for i := range xs {
+			xs[i] = rng.Float64()*1000 - 500
+			single.Add(xs[i])
+		}
+		// Split into 1..8 contiguous pieces (empty pieces allowed).
+		pieces := 1 + rng.Intn(8)
+		var merged Summary
+		start := 0
+		for p := 0; p < pieces; p++ {
+			end := n
+			if p < pieces-1 {
+				end = start + rng.Intn(n-start+1)
+			}
+			var part Summary
+			for _, x := range xs[start:end] {
+				part.Add(x)
+			}
+			merged.Merge(part)
+			start = end
+		}
+		if merged.Count() != single.Count() {
+			return false
+		}
+		if merged.Min() != single.Min() || merged.Max() != single.Max() {
+			return false
+		}
+		if math.Abs(merged.Mean()-single.Mean()) > 1e-9 {
+			return false
+		}
+		return math.Abs(merged.Variance()-single.Variance()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmptySides(t *testing.T) {
+	var a, b Summary
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b) // empty receiver adopts the argument wholesale
+	if a.Count() != 2 || a.Mean() != 4 || a.Min() != 3 || a.Max() != 5 {
+		t.Errorf("empty-receiver merge: %s", a.String())
+	}
+	before := a
+	a.Merge(Summary{}) // merging an empty summary is a no-op
+	if a != before {
+		t.Errorf("empty-argument merge changed summary: %s", a.String())
+	}
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array flavour), loadable by Perfetto and chrome://tracing. Ticks map
+// directly onto microseconds: one simulator tick renders as 1us.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a captured event stream as a Chrome trace:
+// each message becomes one track (tid = message ID) carrying its phase
+// spans as complete ("X") events, and faults appear as global instants.
+// Zero-length spans are kept (dur 1) so instantaneous phases remain
+// visible when zoomed out.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	tr := Replay(events)
+	var last int64
+	for _, e := range events {
+		if e.At > last {
+			last = e.At
+		}
+	}
+	tr.Finish(last)
+
+	out := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "rmb messages"},
+	}}
+	for _, m := range tr.Traces() {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: m.Msg,
+			Args: map[string]any{"name": fmt.Sprintf("msg %d (%d->%d)", m.Msg, m.Src, m.Dst)},
+		})
+		for _, s := range m.Spans {
+			name := s.Phase.String()
+			if s.Note != "" {
+				name += ":" + s.Note
+			}
+			dur := s.Dur()
+			if dur == 0 {
+				dur = 1
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "X", Ts: s.Start, Dur: dur,
+				Pid: 1, Tid: m.Msg,
+				Args: map[string]any{"attempts": m.Attempts},
+			})
+		}
+	}
+	for _, f := range tr.Faults {
+		out = append(out, chromeEvent{
+			Name: f.Name, Ph: "i", Ts: f.At, Pid: 1, Tid: 0, S: "g",
+			Args: map[string]any{"node": f.Node, "level": f.Level},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

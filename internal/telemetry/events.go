@@ -1,0 +1,132 @@
+// Package telemetry turns the core simulator's Recorder callbacks into
+// analyzable artifacts without perturbing the simulation: a normalized
+// event stream, per-message lifecycle spans with a latency
+// decomposition, JSONL and Chrome-trace exporters, a Prometheus text
+// exporter over Stats/Snapshot, a per-tick time-series sampler, and a
+// live HTTP observer fed only by immutable snapshots pulled between
+// ticks. The core tiers never import this package (rmbvet's isolation
+// analyzer enforces that); telemetry observes through core.Recorder and
+// core.Snapshot alone, so attaching it leaves every scheduler's trace
+// byte-identical.
+package telemetry
+
+import (
+	"rmb/internal/core"
+	"rmb/internal/flit"
+	"rmb/internal/sim"
+)
+
+// Event types, in the Type field of every Event.
+const (
+	TypeSubmit  = "submit"  // message accepted by Send/SendMulticast
+	TypeVB      = "vb"      // virtual-bus lifecycle transition
+	TypeMove    = "move"    // compaction move completed
+	TypeCycle   = "cycle"   // INC odd/even cycle switch
+	TypeFault   = "fault"   // fault-plan transition applied
+	TypeRequeue = "requeue" // message entered the retry wheel
+)
+
+// Event is one normalized simulator event. At and Type are always set;
+// every other field is meaningful only for some types and omitted from
+// JSON when zero. Because the zero value is exactly what a reader
+// reconstructs for an omitted field, omission is lossless and the JSONL
+// encoding round-trips byte-identically.
+type Event struct {
+	At   int64  `json:"at"`
+	Type string `json:"type"`
+
+	// Msg identifies the message (submit, requeue, and vb events).
+	Msg int64 `json:"msg,omitempty"`
+	// VB identifies the virtual bus (vb and move events).
+	VB int64 `json:"vb,omitempty"`
+	// Name is the vb transition name ("inserted", "accepted", ...), the
+	// fault kind, or empty.
+	Name string `json:"name,omitempty"`
+	// State is the vb lifecycle state at the instant of the event.
+	State string `json:"state,omitempty"`
+
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+	// Node is the INC for move, cycle and fault events.
+	Node int `json:"node,omitempty"`
+	// Level is the segment level for fault events.
+	Level int `json:"level,omitempty"`
+
+	// Hop, From and To describe a compaction move.
+	Hop  int `json:"hop,omitempty"`
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+
+	// Span is len(Levels) at the instant of a vb event.
+	Span int `json:"span,omitempty"`
+	// Attempt counts insertion tries (vb and requeue events).
+	Attempt int `json:"attempt,omitempty"`
+
+	// Payload, Fanout and Distance copy the message shape on submit.
+	Payload  int `json:"payload,omitempty"`
+	Fanout   int `json:"fanout,omitempty"`
+	Distance int `json:"distance,omitempty"`
+
+	// Ready is the tick a requeued message rejoins its insertion queue.
+	Ready int64 `json:"ready,omitempty"`
+	// Cycle is the completed odd/even cycle count on cycle events.
+	Cycle int64 `json:"cycle,omitempty"`
+}
+
+// Adapter is a core.Recorder that normalizes every callback into an
+// Event and hands it to Observe. It allocates nothing beyond the Event
+// value and never calls back into the network, so it is safe to install
+// on hot simulation loops.
+type Adapter struct {
+	Observe func(Event)
+}
+
+// Move implements core.Recorder.
+func (a *Adapter) Move(m core.Move) {
+	a.Observe(Event{
+		At: int64(m.At), Type: TypeMove,
+		VB: int64(m.VB), Node: int(m.Node),
+		Hop: m.Hop, From: m.From, To: m.To,
+	})
+}
+
+// VBEvent implements core.Recorder.
+func (a *Adapter) VBEvent(at sim.Tick, vb *core.VirtualBus, event string) {
+	a.Observe(Event{
+		At: int64(at), Type: TypeVB,
+		Msg: int64(vb.Msg), VB: int64(vb.ID), Name: event,
+		State: vb.State.String(),
+		Src:   int(vb.Src), Dst: int(vb.Dst),
+		Span: len(vb.Levels), Attempt: vb.Attempt,
+	})
+}
+
+// CycleSwitch implements core.Recorder.
+func (a *Adapter) CycleSwitch(at sim.Tick, inc core.NodeID, cycle int64) {
+	a.Observe(Event{At: int64(at), Type: TypeCycle, Node: int(inc), Cycle: cycle})
+}
+
+// Fault implements core.Recorder.
+func (a *Adapter) Fault(at sim.Tick, ev core.FaultEvent) {
+	a.Observe(Event{
+		At: int64(at), Type: TypeFault,
+		Name: ev.Kind.String(), Node: int(ev.Node), Level: ev.Level,
+	})
+}
+
+// Submit implements core.Recorder.
+func (a *Adapter) Submit(at sim.Tick, rec core.MsgRecord) {
+	a.Observe(Event{
+		At: int64(at), Type: TypeSubmit,
+		Msg: int64(rec.ID), Src: int(rec.Src), Dst: int(rec.Dst),
+		Payload: rec.PayloadLen, Fanout: rec.Fanout, Distance: rec.Distance,
+	})
+}
+
+// Requeue implements core.Recorder.
+func (a *Adapter) Requeue(at sim.Tick, msg flit.MessageID, attempt int, readyAt sim.Tick) {
+	a.Observe(Event{
+		At: int64(at), Type: TypeRequeue,
+		Msg: int64(msg), Attempt: attempt, Ready: int64(readyAt),
+	})
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Writer streams events as JSONL: one JSON object per line, fields in
+// struct order, zero-valued optionals omitted. Errors are sticky so the
+// Observe callback can stay error-free on the hot path; check Err (or
+// Flush's return) once at the end of the run.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int64
+}
+
+// NewWriter wraps w in a buffered JSONL event writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observe writes one event line. It satisfies Adapter.Observe, so
+// Adapter{Observe: w.Observe} records a live run straight to disk.
+func (w *Writer) Observe(e Event) {
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(e); err != nil {
+		w.err = fmt.Errorf("telemetry: writing event %d: %w", w.n, err)
+		return
+	}
+	w.n++
+}
+
+// Count reports events written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Err reports the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Flush drains the buffer and reports the first error of the stream.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// WriteEvents writes a captured event slice as JSONL.
+func WriteEvents(w io.Writer, events []Event) error {
+	jw := NewWriter(w)
+	for _, e := range events {
+		jw.Observe(e)
+	}
+	return jw.Flush()
+}
+
+// ReadEvents parses a JSONL event stream. Unknown fields are rejected
+// so schema drift surfaces as an error instead of silent data loss.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields()
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("telemetry: event %d: %w", len(out), err)
+		}
+		if e.Type == "" {
+			return nil, fmt.Errorf("telemetry: event %d has no type", len(out))
+		}
+		out = append(out, e)
+	}
+}

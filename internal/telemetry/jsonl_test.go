@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rmb/internal/core"
+)
+
+// TestJSONLRoundTripByteIdentical pins the schema contract: emit a
+// captured fixed-seed stream, parse it back, re-emit, and require the
+// two encodings byte-identical (omitted zero fields reconstruct to
+// zero, so omission loses nothing).
+func TestJSONLRoundTripByteIdentical(t *testing.T) {
+	events, _ := runEvents(t, core.Config{Nodes: 10, Buses: 2, Seed: 9}, hotspotTraffic(t, 6))
+	if len(events) == 0 {
+		t.Fatal("no events captured")
+	}
+
+	var first bytes.Buffer
+	if err := WriteEvents(&first, events); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	parsed, err := ReadEvents(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, events) {
+		t.Fatal("parsed events differ from originals")
+	}
+	var second bytes.Buffer
+	if err := WriteEvents(&second, parsed); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("re-emitted JSONL is not byte-identical")
+	}
+	if lines := bytes.Count(first.Bytes(), []byte("\n")); lines != len(events) {
+		t.Errorf("%d lines for %d events", lines, len(events))
+	}
+}
+
+func TestJSONLWriterMatchesWriteEvents(t *testing.T) {
+	// Streaming through Adapter{Observe: w.Observe} during a live run
+	// must produce the same bytes as capturing and bulk-writing.
+	var streamed bytes.Buffer
+	w := NewWriter(&streamed)
+	cfg := core.Config{Nodes: 10, Buses: 2, Seed: 9, Recorder: &Adapter{Observe: w.Observe}}
+	events, _ := runEvents(t, cfg, hotspotTraffic(t, 6))
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if w.Count() != int64(len(events)) {
+		t.Fatalf("writer saw %d events, capture saw %d", w.Count(), len(events))
+	}
+	var bulk bytes.Buffer
+	if err := WriteEvents(&bulk, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), bulk.Bytes()) {
+		t.Fatal("streamed and bulk JSONL differ")
+	}
+}
+
+func TestReadEventsRejectsSchemaDrift(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader(`{"at":1,"type":"vb","bogus":3}` + "\n")); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadEvents(strings.NewReader(`{"at":1}` + "\n")); err == nil {
+		t.Error("typeless event accepted")
+	}
+	if _, err := ReadEvents(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	out, err := ReadEvents(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty stream: %v, %d events", err, len(out))
+	}
+}
+
+func TestWriteChromeTraceLoadable(t *testing.T) {
+	events, _ := runEvents(t, core.Config{Nodes: 10, Buses: 2, Seed: 9}, hotspotTraffic(t, 6))
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be a JSON array of objects with the trace-event
+	// required fields; every complete event needs a non-negative ts and
+	// positive dur.
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not a JSON array: %v", err)
+	}
+	spans, instants := 0, 0
+	for i, e := range out {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d has no ph", i)
+		}
+		switch ph {
+		case "X":
+			spans++
+			if e["dur"].(float64) <= 0 {
+				t.Errorf("event %d has dur %v", i, e["dur"])
+			}
+			if e["ts"].(float64) < 0 {
+				t.Errorf("event %d has ts %v", i, e["ts"])
+			}
+		case "i":
+			instants++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no complete events emitted")
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"rmb/internal/core"
+)
+
+// promMetric is one metric in Prometheus text exposition format 0.0.4.
+type promMetric struct {
+	name, help, typ string
+	value           float64
+}
+
+// WritePrometheus renders the run's counters and the snapshot's gauges
+// in Prometheus text exposition format. Metrics appear in a fixed order
+// so scrapes (and the golden test) are byte-stable. snap may be nil
+// when only the counters are wanted.
+func WritePrometheus(w io.Writer, stats core.Stats, snap *core.Snapshot) error {
+	ms := []promMetric{
+		{"rmb_ticks_total", "Simulation ticks executed.", "counter", float64(stats.Ticks)},
+		{"rmb_cycles_total", "Completed odd/even compaction cycles.", "counter", float64(stats.Cycles)},
+		{"rmb_messages_submitted_total", "Messages accepted by Send.", "counter", float64(stats.MessagesSubmitted)},
+		{"rmb_insertions_total", "Header flits that entered the network.", "counter", float64(stats.Insertions)},
+		{"rmb_delivered_total", "Messages fully delivered.", "counter", float64(stats.Delivered)},
+		{"rmb_nacks_total", "Destination refusals.", "counter", float64(stats.Nacks)},
+		{"rmb_head_timeouts_total", "Headers aborted by the starvation safety valve.", "counter", float64(stats.HeadTimeouts)},
+		{"rmb_retries_total", "Reinsertions after a Nack or timeout.", "counter", float64(stats.Retries)},
+		{"rmb_compaction_moves_total", "Single-hop downward compaction moves.", "counter", float64(stats.CompactionMoves)},
+		{"rmb_head_block_ticks_total", "Ticks headers spent blocked.", "counter", float64(stats.HeadBlockTicks)},
+		{"rmb_busy_segment_ticks_total", "Sum over ticks of occupied segments.", "counter", float64(stats.BusySegmentTicks)},
+		{"rmb_segment_fail_events_total", "Applied segment failures.", "counter", float64(stats.SegmentFailEvents)},
+		{"rmb_segment_repair_events_total", "Applied segment repairs.", "counter", float64(stats.SegmentRepairEvents)},
+		{"rmb_inc_fail_events_total", "Applied INC failures.", "counter", float64(stats.INCFailEvents)},
+		{"rmb_inc_repair_events_total", "Applied INC repairs.", "counter", float64(stats.INCRepairEvents)},
+		{"rmb_fault_teardowns_total", "Circuits torn down by mid-flight faults.", "counter", float64(stats.FaultTeardowns)},
+		{"rmb_fault_insert_refusals_total", "Insertions refused at a faulty source.", "counter", float64(stats.FaultInsertRefusals)},
+		{"rmb_fault_dest_refusals_total", "Headers refused at a faulty destination.", "counter", float64(stats.FaultDestRefusals)},
+		{"rmb_faulty_segment_ticks_total", "Sum over ticks of fault-disabled segments.", "counter", float64(stats.FaultySegmentTicks)},
+
+		{"rmb_peak_active_virtual_buses", "Maximum simultaneously active virtual buses.", "gauge", float64(stats.PeakActiveVBs)},
+		{"rmb_peak_busy_segments", "Maximum simultaneously occupied segments.", "gauge", float64(stats.PeakBusySegments)},
+		{"rmb_mean_deliver_latency_ticks", "Mean enqueue-to-delivery latency.", "gauge", stats.MeanDeliverLatency()},
+		{"rmb_mean_establish_latency_ticks", "Mean enqueue-to-circuit latency.", "gauge", stats.MeanEstablishLatency()},
+	}
+	if snap != nil {
+		faultySegs := 0
+		for _, hop := range snap.FaultySegs {
+			for _, f := range hop {
+				if f {
+					faultySegs++
+				}
+			}
+		}
+		faultyINCs := 0
+		for _, f := range snap.FaultyINCs {
+			if f {
+				faultyINCs++
+			}
+		}
+		ms = append(ms,
+			promMetric{"rmb_nodes", "Network size N.", "gauge", float64(snap.Nodes)},
+			promMetric{"rmb_buses", "Buses per hop k.", "gauge", float64(snap.Buses)},
+			promMetric{"rmb_snapshot_tick", "Tick of the exported snapshot.", "gauge", float64(snap.At)},
+			promMetric{"rmb_active_virtual_buses", "Live virtual buses in the snapshot.", "gauge", float64(len(snap.VBs))},
+			promMetric{"rmb_busy_segments", "Occupied segments in the snapshot.", "gauge", float64(snap.BusySegments())},
+			promMetric{"rmb_retry_queue_depth", "Messages waiting in the retry wheel.", "gauge", float64(snap.RetryDepth)},
+			promMetric{"rmb_pending_requests", "Messages queued for insertion.", "gauge", float64(snap.PendingRequests)},
+			promMetric{"rmb_forward_active", "Buses in a forward phase (extending/transferring/final).", "gauge", float64(snap.ForwardActive)},
+			promMetric{"rmb_backward_active", "Buses in a backward phase (Hack/Fack/Nack/fault sweep).", "gauge", float64(snap.BackwardActive)},
+			promMetric{"rmb_faulty_segments", "Segments currently disabled by faults.", "gauge", float64(faultySegs)},
+			promMetric{"rmb_faulty_incs", "INCs currently failed.", "gauge", float64(faultyINCs)},
+		)
+	}
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			m.name, m.help, m.name, m.typ, m.name, formatValue(m.value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample the way Prometheus expects: integers
+// without an exponent or trailing zeros, other values in shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

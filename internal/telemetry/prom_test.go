@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rmb/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the Prometheus golden file")
+
+// TestPrometheusGolden pins the exporter's exact text exposition for a
+// fixed-seed run against testdata/metrics.golden (regenerate with
+// `go test ./internal/telemetry -run TestPrometheusGolden -update`).
+// The run uses an explicit scheduler so harness-level default flips
+// cannot move the golden.
+func TestPrometheusGolden(t *testing.T) {
+	cfg := core.Config{Nodes: 10, Buses: 2, Seed: 9, Scheduler: core.SchedulerEventDriven}
+	cfg.Faults = core.FaultPlan{Events: []core.FaultEvent{
+		{At: 6, Kind: core.FaultSegmentFail, Node: 3, Level: 1},
+		{At: 60, Kind: core.FaultSegmentRepair, Node: 3, Level: 1},
+	}}
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotspotTraffic(t, 6)(n)
+	if err := n.Drain(500_000); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, n.Stats(), n.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus exposition diverged from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusWellFormed checks structural rules independent of the
+// golden: every sample has HELP and TYPE lines, counters end in _total,
+// and no metric name repeats.
+func TestPrometheusWellFormed(t *testing.T) {
+	events, stats := runEvents(t, core.Config{Nodes: 10, Buses: 2, Seed: 9}, hotspotTraffic(t, 6))
+	_ = events
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, stats, nil); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines)%3 != 0 {
+		t.Fatalf("%d lines, want HELP/TYPE/sample triplets", len(lines))
+	}
+	for i := 0; i < len(lines); i += 3 {
+		help, typ, sample := lines[i], lines[i+1], lines[i+2]
+		if !strings.HasPrefix(help, "# HELP ") {
+			t.Fatalf("line %d: %q not a HELP line", i, help)
+		}
+		name := strings.Fields(help)[2]
+		if seen[name] {
+			t.Errorf("metric %s emitted twice", name)
+		}
+		seen[name] = true
+		if !strings.HasPrefix(typ, "# TYPE "+name+" ") {
+			t.Errorf("metric %s TYPE line mismatched: %q", name, typ)
+		}
+		if !strings.HasPrefix(sample, name+" ") {
+			t.Errorf("metric %s sample line mismatched: %q", name, sample)
+		}
+		if strings.HasSuffix(typ, " counter") && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter %s does not end in _total", name)
+		}
+	}
+	if !seen["rmb_delivered_total"] || !seen["rmb_mean_deliver_latency_ticks"] {
+		t.Error("expected core metrics missing")
+	}
+	if seen["rmb_busy_segments"] {
+		t.Error("snapshot gauge emitted without a snapshot")
+	}
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"rmb/internal/core"
+	"rmb/internal/metrics"
+)
+
+// SamplePoint is one per-tick observation of the network's activity
+// gauges, copied out of an immutable snapshot.
+type SamplePoint struct {
+	At             int64 `json:"at"`
+	BusySegments   int   `json:"busy"`
+	ActiveVBs      int   `json:"vbs"`
+	RetryDepth     int   `json:"retry"`
+	Pending        int   `json:"pending"`
+	ForwardActive  int   `json:"fwd"`
+	BackwardActive int   `json:"bwd"`
+	FaultySegments int   `json:"faulty"`
+}
+
+// Sampler accumulates a time series of activity gauges from snapshots
+// pulled between ticks, summarizing each series online (Welford) and
+// optionally retaining the most recent points for rendering. It reads
+// only Snapshot values, never the live network, so sampling cannot
+// perturb a run.
+type Sampler struct {
+	// Every samples one snapshot in Every calls (0 or 1: all of them).
+	Every int
+	// MaxPoints bounds the retained point list (0: retain nothing).
+	MaxPoints int
+
+	BusySegments   metrics.Summary
+	ActiveVBs      metrics.Summary
+	RetryDepth     metrics.Summary
+	Pending        metrics.Summary
+	ForwardActive  metrics.Summary
+	BackwardActive metrics.Summary
+	FaultySegments metrics.Summary
+
+	Points []SamplePoint
+
+	calls int64
+}
+
+// NewSampler builds a sampler taking every every-th snapshot and
+// retaining up to maxPoints recent points.
+func NewSampler(every, maxPoints int) *Sampler {
+	return &Sampler{Every: every, MaxPoints: maxPoints}
+}
+
+// Sample records one snapshot (subject to the Every stride).
+func (s *Sampler) Sample(snap *core.Snapshot) {
+	s.calls++
+	if s.Every > 1 && (s.calls-1)%int64(s.Every) != 0 {
+		return
+	}
+	faulty := 0
+	for _, hop := range snap.FaultySegs {
+		for _, f := range hop {
+			if f {
+				faulty++
+			}
+		}
+	}
+	p := SamplePoint{
+		At:             int64(snap.At),
+		BusySegments:   snap.BusySegments(),
+		ActiveVBs:      len(snap.VBs),
+		RetryDepth:     snap.RetryDepth,
+		Pending:        snap.PendingRequests,
+		ForwardActive:  snap.ForwardActive,
+		BackwardActive: snap.BackwardActive,
+		FaultySegments: faulty,
+	}
+	s.BusySegments.Add(float64(p.BusySegments))
+	s.ActiveVBs.Add(float64(p.ActiveVBs))
+	s.RetryDepth.Add(float64(p.RetryDepth))
+	s.Pending.Add(float64(p.Pending))
+	s.ForwardActive.Add(float64(p.ForwardActive))
+	s.BackwardActive.Add(float64(p.BackwardActive))
+	s.FaultySegments.Add(float64(p.FaultySegments))
+	if s.MaxPoints > 0 {
+		s.Points = append(s.Points, p)
+		if len(s.Points) > s.MaxPoints {
+			s.Points = s.Points[1:]
+		}
+	}
+}
+
+// Count reports samples taken.
+func (s *Sampler) Count() int64 { return s.BusySegments.Count() }
+
+// Render draws each series' summary as an aligned text block.
+func (s *Sampler) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sampler: %d samples\n", s.Count())
+	row := func(name string, sum *metrics.Summary) {
+		fmt.Fprintf(&b, "  %-16s %s\n", name, sum.String())
+	}
+	row("busy segments", &s.BusySegments)
+	row("active vbs", &s.ActiveVBs)
+	row("retry depth", &s.RetryDepth)
+	row("pending", &s.Pending)
+	row("forward active", &s.ForwardActive)
+	row("backward active", &s.BackwardActive)
+	row("faulty segments", &s.FaultySegments)
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"rmb/internal/core"
+	"rmb/internal/trace"
+)
+
+// Observatory decouples the wall-clock world of HTTP from the logical
+// world of the simulator: the simulation loop Publishes an immutable
+// snapshot + stats pair between ticks, and handlers only ever read the
+// latest published pair. The core never sees the observer, goroutines
+// never touch live network state, and attaching the server cannot
+// change a single RNG draw — the zero-observer-effect property the
+// differential tests pin down.
+type Observatory struct {
+	mu      sync.RWMutex
+	snap    *core.Snapshot
+	stats   core.Stats
+	sampler *Sampler
+}
+
+// NewObservatory builds an observatory; sampler may be nil.
+func NewObservatory(sampler *Sampler) *Observatory {
+	return &Observatory{sampler: sampler}
+}
+
+// Publish installs the latest snapshot/stats pair and feeds the
+// sampler. Call it from the simulation loop between ticks; snap must
+// not be mutated afterwards (core.Snapshot is a deep copy, so the
+// natural call Publish(n.Snapshot(), n.Stats()) is safe).
+func (o *Observatory) Publish(snap *core.Snapshot, stats core.Stats) {
+	o.mu.Lock()
+	o.snap, o.stats = snap, stats
+	if o.sampler != nil && snap != nil {
+		o.sampler.Sample(snap)
+	}
+	o.mu.Unlock()
+}
+
+// Latest returns the most recently published pair (snap may be nil
+// before the first Publish).
+func (o *Observatory) Latest() (*core.Snapshot, core.Stats) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.snap, o.stats
+}
+
+// expvarOnce guards process-global expvar registration: expvar.Publish
+// panics on duplicate names, and tests build several observatories.
+var expvarOnce sync.Once
+
+// Handler builds the observer mux:
+//
+//	/metrics       Prometheus text exposition (counters + gauges)
+//	/snapshot      occupancy grid + status registers (text art)
+//	/vb            virtual-bus table + sampler summaries
+//	/debug/vars    expvar JSON (includes rmb_delivered / rmb_ticks)
+//	/debug/pprof/  the standard pprof handlers
+func (o *Observatory) Handler() http.Handler {
+	expvarOnce.Do(func() {
+		expvar.Publish("rmb_ticks", expvar.Func(func() any {
+			_, st := o.Latest()
+			return int64(st.Ticks)
+		}))
+		expvar.Publish("rmb_delivered", expvar.Func(func() any {
+			_, st := o.Latest()
+			return st.Delivered
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, stats := o.Latest()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, stats, snap)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap, _ := o.Latest()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if snap == nil {
+			fmt.Fprintln(w, "no snapshot published yet")
+			return
+		}
+		fmt.Fprint(w, trace.RenderOccupancy(snap))
+		fmt.Fprint(w, trace.RenderStatusRegisters(snap))
+	})
+	mux.HandleFunc("/vb", func(w http.ResponseWriter, r *http.Request) {
+		snap, stats := o.Latest()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if snap == nil {
+			fmt.Fprintln(w, "no snapshot published yet")
+			return
+		}
+		fmt.Fprint(w, trace.RenderVirtualBuses(snap))
+		fmt.Fprintf(w, "\nstats: %s\n", stats.String())
+		o.mu.RLock()
+		if o.sampler != nil {
+			fmt.Fprintf(w, "\n%s", o.sampler.Render())
+		}
+		o.mu.RUnlock()
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "rmb observer: /metrics /snapshot /vb /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Server is a live HTTP observer bound to a local address.
+type Server struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr and serves the observatory in a background
+// goroutine. The caller keeps Publishing between ticks and Closes the
+// server when the run ends.
+func StartServer(addr string, o *Observatory) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: observer listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

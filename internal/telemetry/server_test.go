@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rmb/internal/core"
+)
+
+func TestObserverEndpoints(t *testing.T) {
+	sampler := NewSampler(1, 64)
+	obs := NewObservatory(sampler)
+
+	// Drive a short run, publishing between ticks the way rmbsim does.
+	n, err := core.NewNetwork(core.Config{Nodes: 10, Buses: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 4; s++ {
+		if _, err := n.Send(core.NodeID(s), 0, []uint64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for !n.Idle() {
+		n.Step()
+		obs.Publish(n.Snapshot(), n.Stats())
+	}
+	if sampler.Count() == 0 {
+		t.Fatal("sampler saw no snapshots")
+	}
+
+	srv, err := StartServer("127.0.0.1:0", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "rmb_delivered_total 4") ||
+		!strings.Contains(body, "rmb_retry_queue_depth 0") {
+		t.Errorf("/metrics missing expected samples:\n%s", body)
+	}
+	if body := get("/snapshot"); !strings.Contains(body, "bus  1") {
+		t.Errorf("/snapshot missing occupancy grid:\n%s", body)
+	}
+	if body := get("/vb"); !strings.Contains(body, "virtual buses at") ||
+		!strings.Contains(body, "sampler:") {
+		t.Errorf("/vb missing sections:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "rmb_delivered") {
+		t.Errorf("/debug/vars missing rmb_delivered:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+	if body := get("/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index page missing endpoint list:\n%s", body)
+	}
+}
+
+func TestObservatoryBeforeFirstPublish(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", NewObservatory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/snapshot", "/vb"} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s before publish: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"rmb/internal/core"
+)
+
+// Phase labels one stage of a message's lifecycle.
+type Phase uint8
+
+const (
+	// PhaseQueue: waiting in the source's insertion queue (from Send, or
+	// from a retry wheel release, until the header enters the network).
+	PhaseQueue Phase = iota + 1
+	// PhaseHeader: the header flit is extending the virtual bus.
+	PhaseHeader
+	// PhaseAck: the destination accepted; the Hack is returning.
+	PhaseAck
+	// PhaseTransfer: the source is clocking data flits.
+	PhaseTransfer
+	// PhaseFlight: the final flit is in flight to the destination.
+	PhaseFlight
+	// PhaseTeardown: a Fack, Nack or fault sweep is releasing the bus.
+	PhaseTeardown
+	// PhaseBackoff: the message sits in the randomized retry wheel.
+	PhaseBackoff
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseQueue:
+		return "queue"
+	case PhaseHeader:
+		return "header"
+	case PhaseAck:
+		return "ack"
+	case PhaseTransfer:
+		return "transfer"
+	case PhaseFlight:
+		return "flight"
+	case PhaseTeardown:
+		return "teardown"
+	case PhaseBackoff:
+		return "backoff"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// phaseCount sizes Breakdown's per-phase accumulator.
+const phaseCount = int(PhaseBackoff) + 1
+
+// Span is one contiguous interval a message spent in a phase. Note
+// qualifies teardown spans ("fack", "nack", "timeout", "fault").
+type Span struct {
+	Phase Phase  `json:"phase"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	Note  string `json:"note,omitempty"`
+}
+
+// Dur is the span's length in ticks.
+func (s Span) Dur() int64 { return s.End - s.Start }
+
+// MessageTrace is the assembled lifecycle of one message: its shape,
+// its outcome and the ordered spans covering submit to teardown
+// (including every retry round).
+type MessageTrace struct {
+	Msg      int64 `json:"msg"`
+	Src      int   `json:"src"`
+	Dst      int   `json:"dst"`
+	Distance int   `json:"distance,omitempty"`
+	Payload  int   `json:"payload,omitempty"`
+	Fanout   int   `json:"fanout,omitempty"`
+
+	// Attempts counts insertions; Moves counts compaction moves applied
+	// to this message's circuits.
+	Attempts int `json:"attempts,omitempty"`
+	Moves    int `json:"moves,omitempty"`
+
+	Submitted int64 `json:"submitted"`
+	// Delivered is the tick the final flit arrived (0 until Done).
+	Delivered int64 `json:"delivered,omitempty"`
+	// Done reports successful delivery and a fully closed span list.
+	Done bool `json:"done,omitempty"`
+
+	Spans []Span `json:"spans"`
+
+	// open tracks the phase currently accumulating; zero when no span is
+	// open (complete, or awaiting a retry-wheel release).
+	open      Phase
+	openStart int64
+	openNote  string
+}
+
+// Breakdown decomposes a message's latency into per-phase totals.
+type Breakdown struct {
+	Queue, Header, Ack, Transfer, Flight, Teardown, Backoff int64
+	// Total is the sum over all spans (for a delivered message:
+	// Delivered-Submitted plus the trailing teardown).
+	Total int64
+}
+
+// Breakdown sums the trace's spans by phase.
+func (t *MessageTrace) Breakdown() Breakdown {
+	var by [phaseCount]int64
+	var b Breakdown
+	for _, s := range t.Spans {
+		by[int(s.Phase)] += s.Dur()
+		b.Total += s.Dur()
+	}
+	b.Queue = by[PhaseQueue]
+	b.Header = by[PhaseHeader]
+	b.Ack = by[PhaseAck]
+	b.Transfer = by[PhaseTransfer]
+	b.Flight = by[PhaseFlight]
+	b.Teardown = by[PhaseTeardown]
+	b.Backoff = by[PhaseBackoff]
+	return b
+}
+
+// DeliverLatency is submit-to-delivery in ticks; 0 until done.
+func (t *MessageTrace) DeliverLatency() int64 {
+	if !t.Done {
+		return 0
+	}
+	return t.Delivered - t.Submitted
+}
+
+// begin closes any open span at tick at and opens a new one.
+func (t *MessageTrace) begin(p Phase, at int64, note string) {
+	t.close(at)
+	t.open, t.openStart, t.openNote = p, at, note
+}
+
+// close flushes the open span, if any, ending it at tick at.
+func (t *MessageTrace) close(at int64) {
+	if t.open == 0 {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Phase: t.open, Start: t.openStart, End: at, Note: t.openNote})
+	t.open, t.openNote = 0, ""
+}
+
+// Tracer assembles MessageTraces from the normalized event stream. Feed
+// it through Recorder() on a live network, or Replay a captured event
+// slice; both paths produce identical traces. It keeps per-message
+// state in a dense slice indexed by message ID and a vb-to-message
+// lookup table, so assembly is allocation-light and fully deterministic
+// (no map iteration anywhere).
+type Tracer struct {
+	byMsg []*MessageTrace // index = MessageID (IDs start at 1)
+	vbMsg []int64         // index = VBID -> owning message ID
+	// Faults retains fault events for exporters that render them as
+	// global instants alongside the per-message spans.
+	Faults []Event
+}
+
+// NewTracer builds an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Recorder adapts the tracer into a core.Recorder for live assembly.
+func (t *Tracer) Recorder() core.Recorder { return &Adapter{Observe: t.Observe} }
+
+// Replay assembles traces from a captured event stream.
+func Replay(events []Event) *Tracer {
+	t := NewTracer()
+	for _, e := range events {
+		t.Observe(e)
+	}
+	return t
+}
+
+// msg returns (allocating if needed) the trace for message id.
+func (t *Tracer) msg(id int64) *MessageTrace {
+	for int64(len(t.byMsg)) <= id {
+		t.byMsg = append(t.byMsg, nil)
+	}
+	if t.byMsg[id] == nil {
+		t.byMsg[id] = &MessageTrace{Msg: id}
+	}
+	return t.byMsg[id]
+}
+
+// Observe feeds one event into the span state machine.
+func (t *Tracer) Observe(e Event) {
+	switch e.Type {
+	case TypeSubmit:
+		m := t.msg(e.Msg)
+		m.Src, m.Dst = e.Src, e.Dst
+		m.Distance, m.Payload, m.Fanout = e.Distance, e.Payload, e.Fanout
+		m.Submitted = e.At
+		m.begin(PhaseQueue, e.At, "")
+
+	case TypeVB:
+		t.observeVB(e)
+
+	case TypeRequeue:
+		m := t.msg(e.Msg)
+		m.Attempts = e.Attempt
+		// The refusal/timeout/fault teardown span (if open) ends when the
+		// backoff timer starts; the queue reopens at the release tick.
+		m.close(e.At)
+		m.Spans = append(m.Spans, Span{Phase: PhaseBackoff, Start: e.At, End: e.Ready})
+		m.open, m.openStart, m.openNote = PhaseQueue, e.Ready, ""
+
+	case TypeMove:
+		if e.VB < int64(len(t.vbMsg)) && t.vbMsg[e.VB] != 0 {
+			t.msg(t.vbMsg[e.VB]).Moves++
+		}
+
+	case TypeFault:
+		t.Faults = append(t.Faults, e)
+	}
+}
+
+// observeVB advances one message's span state machine by a virtual-bus
+// lifecycle transition.
+func (t *Tracer) observeVB(e Event) {
+	for int64(len(t.vbMsg)) <= e.VB {
+		t.vbMsg = append(t.vbMsg, 0)
+	}
+	t.vbMsg[e.VB] = e.Msg
+	m := t.msg(e.Msg)
+	if e.Attempt > m.Attempts {
+		m.Attempts = e.Attempt
+	}
+	switch e.Name {
+	case "inserted":
+		m.begin(PhaseHeader, e.At, "")
+	case "accepted":
+		m.begin(PhaseAck, e.At, "")
+	case "established":
+		m.begin(PhaseTransfer, e.At, "")
+	case "final-sent":
+		m.begin(PhaseFlight, e.At, "")
+	case "delivered":
+		m.Delivered = e.At
+		m.Done = true
+		m.begin(PhaseTeardown, e.At, "fack")
+	case "refused":
+		m.begin(PhaseTeardown, e.At, "nack")
+	case "timeout":
+		m.begin(PhaseTeardown, e.At, "timeout")
+	case "fault-teardown":
+		m.begin(PhaseTeardown, e.At, "fault")
+	case "torn-down":
+		// Only closes an open teardown; a stale sweep completing after
+		// the message already re-entered the queue must not clip the new
+		// attempt's spans.
+		if m.open == PhaseTeardown {
+			m.close(e.At)
+		}
+	}
+}
+
+// Finish closes any still-open spans at tick at (for runs cut short or
+// messages still in flight) so exporters see a fully closed span list.
+func (t *Tracer) Finish(at int64) {
+	for _, m := range t.byMsg {
+		if m != nil {
+			m.close(at)
+		}
+	}
+}
+
+// Traces returns every assembled message trace in message-ID order.
+func (t *Tracer) Traces() []*MessageTrace {
+	out := make([]*MessageTrace, 0, len(t.byMsg))
+	for _, m := range t.byMsg {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Trace returns one message's trace, or nil.
+func (t *Tracer) Trace(msg int64) *MessageTrace {
+	if msg < 0 || msg >= int64(len(t.byMsg)) {
+		return nil
+	}
+	return t.byMsg[msg]
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"rmb/internal/core"
+)
+
+// runEvents executes cfg with an event-capturing adapter installed,
+// drives traffic, drains, and returns the event stream and stats.
+func runEvents(t *testing.T, cfg core.Config, traffic func(n *core.Network)) ([]Event, core.Stats) {
+	t.Helper()
+	var events []Event
+	cfg.Recorder = core.Tee(cfg.Recorder, &Adapter{Observe: func(e Event) { events = append(events, e) }})
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	traffic(n)
+	if err := n.Drain(500_000); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	return events, n.Stats()
+}
+
+// hotspotTraffic oversubscribes node 0 so runs include Nacks, backoff
+// and retries alongside clean deliveries.
+func hotspotTraffic(t *testing.T, senders int) func(n *core.Network) {
+	return func(n *core.Network) {
+		for s := 1; s <= senders; s++ {
+			if _, err := n.Send(core.NodeID(s), 0, []uint64{1, 2, 3, 4}); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}
+	}
+}
+
+func TestTracerAssemblesLifecycles(t *testing.T) {
+	events, stats := runEvents(t, core.Config{Nodes: 10, Buses: 2, Seed: 3}, hotspotTraffic(t, 6))
+	tr := Replay(events)
+	traces := tr.Traces()
+	if int64(len(traces)) != stats.MessagesSubmitted {
+		t.Fatalf("%d traces, %d submitted", len(traces), stats.MessagesSubmitted)
+	}
+	var delivered, retried int
+	for _, m := range traces {
+		if !m.Done {
+			t.Errorf("msg %d not done after drain", m.Msg)
+			continue
+		}
+		delivered++
+		if m.Attempts > 1 {
+			retried++
+		}
+		if len(m.Spans) == 0 {
+			t.Fatalf("msg %d has no spans", m.Msg)
+		}
+		// Spans tile the lifecycle: first opens at submit, consecutive
+		// spans abut, and the last is the fack teardown.
+		if m.Spans[0].Phase != PhaseQueue || m.Spans[0].Start != m.Submitted {
+			t.Errorf("msg %d first span %+v, want queue from %d", m.Msg, m.Spans[0], m.Submitted)
+		}
+		for i := 1; i < len(m.Spans); i++ {
+			if m.Spans[i].Start != m.Spans[i-1].End {
+				t.Errorf("msg %d spans %d/%d not contiguous: %+v %+v", m.Msg, i-1, i, m.Spans[i-1], m.Spans[i])
+			}
+		}
+		last := m.Spans[len(m.Spans)-1]
+		if last.Phase != PhaseTeardown || last.Note != "fack" {
+			t.Errorf("msg %d last span %+v, want fack teardown", m.Msg, last)
+		}
+		// The breakdown must tile submit..teardown-end exactly.
+		b := m.Breakdown()
+		if want := last.End - m.Submitted; b.Total != want {
+			t.Errorf("msg %d breakdown total %d, want %d", m.Msg, b.Total, want)
+		}
+		if got := b.Queue + b.Header + b.Ack + b.Transfer + b.Flight + b.Teardown + b.Backoff; got != b.Total {
+			t.Errorf("msg %d phase sum %d != total %d", m.Msg, got, b.Total)
+		}
+		if m.DeliverLatency() != m.Delivered-m.Submitted {
+			t.Errorf("msg %d latency %d", m.Msg, m.DeliverLatency())
+		}
+	}
+	if int64(delivered) != stats.Delivered {
+		t.Errorf("%d delivered traces, stats say %d", delivered, stats.Delivered)
+	}
+	if stats.Retries == 0 || retried == 0 {
+		t.Fatalf("hotspot produced no retries (stats %d, traced %d): weak test", stats.Retries, retried)
+	}
+	// Retried messages must show a backoff span bracketed by teardown
+	// before and queue after.
+	for _, m := range traces {
+		if m.Attempts <= 1 {
+			continue
+		}
+		found := false
+		for i, s := range m.Spans {
+			if s.Phase != PhaseBackoff {
+				continue
+			}
+			found = true
+			if i == 0 || m.Spans[i-1].Phase != PhaseTeardown {
+				t.Errorf("msg %d backoff not preceded by teardown", m.Msg)
+			}
+			if i+1 >= len(m.Spans) || m.Spans[i+1].Phase != PhaseQueue {
+				t.Errorf("msg %d backoff not followed by queue", m.Msg)
+			}
+		}
+		if !found {
+			t.Errorf("msg %d retried %d times but has no backoff span", m.Msg, m.Attempts)
+		}
+	}
+}
+
+func TestTracerLiveEqualsReplay(t *testing.T) {
+	// Feeding the tracer live through Recorder() must assemble the same
+	// traces as replaying the captured stream.
+	live := NewTracer()
+	cfg := core.Config{Nodes: 10, Buses: 2, Seed: 3, Recorder: live.Recorder()}
+	events, _ := runEvents(t, cfg, hotspotTraffic(t, 6))
+	replayed := Replay(events)
+	lt, rt := live.Traces(), replayed.Traces()
+	if len(lt) != len(rt) {
+		t.Fatalf("live %d traces, replay %d", len(lt), len(rt))
+	}
+	for i := range lt {
+		if !reflect.DeepEqual(lt[i], rt[i]) {
+			t.Errorf("trace %d differs:\n live   %+v\n replay %+v", i, lt[i], rt[i])
+		}
+	}
+}
+
+func TestTracerFinishClosesOpenSpans(t *testing.T) {
+	tr := NewTracer()
+	cfg := core.Config{Nodes: 8, Buses: 2, Seed: 1, Recorder: tr.Recorder()}
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(0, 5, make([]uint64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // cut the run short mid-transfer
+		n.Step()
+	}
+	tr.Finish(int64(n.Now()))
+	m := tr.Traces()[0]
+	if m.Done {
+		t.Fatal("message done after 10 ticks of a 64-flit transfer?")
+	}
+	if len(m.Spans) == 0 {
+		t.Fatal("no spans closed")
+	}
+	if got := m.Spans[len(m.Spans)-1].End; got != int64(n.Now()) {
+		t.Errorf("last span ends at %d, want %d", got, int64(n.Now()))
+	}
+}
+
+func TestTracerCountsMovesAndFaults(t *testing.T) {
+	cfg := core.Config{Nodes: 10, Buses: 3, Seed: 5}
+	cfg.Faults = core.FaultPlan{Events: []core.FaultEvent{
+		{At: 4, Kind: core.FaultSegmentFail, Node: 2, Level: 2},
+		{At: 40, Kind: core.FaultSegmentRepair, Node: 2, Level: 2},
+	}}
+	events, stats := runEvents(t, cfg, func(n *core.Network) {
+		for s := 0; s < 5; s++ {
+			if _, err := n.Send(core.NodeID(s), core.NodeID(s+5), make([]uint64, 20)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	tr := Replay(events)
+	if len(tr.Faults) != 2 {
+		t.Errorf("tracer retained %d fault events, want 2", len(tr.Faults))
+	}
+	moves := 0
+	for _, m := range tr.Traces() {
+		moves += m.Moves
+	}
+	if int64(moves) != stats.CompactionMoves {
+		t.Errorf("traced %d moves, stats %d", moves, stats.CompactionMoves)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"rmb/internal/core"
+	"rmb/internal/flit"
 	"rmb/internal/sim"
 )
 
@@ -39,16 +40,34 @@ type FaultRecord struct {
 	Event core.FaultEvent
 }
 
+// SubmitEvent is one recorded message submission.
+type SubmitEvent struct {
+	At  sim.Tick
+	Msg flit.MessageID
+	Src core.NodeID
+	Dst core.NodeID
+}
+
+// RequeueEvent is one recorded retry-wheel entry.
+type RequeueEvent struct {
+	At      sim.Tick
+	Msg     flit.MessageID
+	Attempt int
+	ReadyAt sim.Tick
+}
+
 // Log implements core.Recorder, retaining up to Cap events of each kind
 // (0 means unbounded). It is not safe for concurrent use.
 type Log struct {
 	// Cap bounds each event list; oldest events are dropped first.
 	Cap int
 
-	Moves  []core.Move
-	VBEv   []VBEvent
-	Cycles []CycleEvent
-	Faults []FaultRecord
+	Moves    []core.Move
+	VBEv     []VBEvent
+	Cycles   []CycleEvent
+	Faults   []FaultRecord
+	Submits  []SubmitEvent
+	Requeues []RequeueEvent
 }
 
 // NewLog builds a log retaining up to cap events per kind.
@@ -88,6 +107,22 @@ func (l *Log) Fault(at sim.Tick, ev core.FaultEvent) {
 	l.Faults = append(l.Faults, FaultRecord{At: at, Event: ev})
 	if l.Cap > 0 && len(l.Faults) > l.Cap {
 		l.Faults = l.Faults[1:]
+	}
+}
+
+// Submit implements core.Recorder.
+func (l *Log) Submit(at sim.Tick, rec core.MsgRecord) {
+	l.Submits = append(l.Submits, SubmitEvent{At: at, Msg: rec.ID, Src: rec.Src, Dst: rec.Dst})
+	if l.Cap > 0 && len(l.Submits) > l.Cap {
+		l.Submits = l.Submits[1:]
+	}
+}
+
+// Requeue implements core.Recorder.
+func (l *Log) Requeue(at sim.Tick, msg flit.MessageID, attempt int, readyAt sim.Tick) {
+	l.Requeues = append(l.Requeues, RequeueEvent{At: at, Msg: msg, Attempt: attempt, ReadyAt: readyAt})
+	if l.Cap > 0 && len(l.Requeues) > l.Cap {
+		l.Requeues = l.Requeues[1:]
 	}
 }
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the live HTTP observer: run rmbsim -http on an
+# ephemeral port against a short workload, then curl every observer
+# endpoint expecting HTTP 200s and the key content markers. Exercises
+# the exact path an operator uses to watch a long soak live.
+#
+# Exits non-zero (and prints the offending endpoint) on any failure.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill $simpid 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/rmbsim" ./cmd/rmbsim
+
+"$workdir/rmbsim" -nodes 16 -buses 3 -pattern alltoall -payload 4 \
+    -http 127.0.0.1:0 -hold 60s >"$workdir/stdout" 2>"$workdir/stderr" &
+simpid=$!
+
+# The observer address is printed to stderr before the run starts.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*observer listening on \(.*\)/\1/p' "$workdir/stderr")
+    [ -n "$addr" ] && break
+    kill -0 "$simpid" 2>/dev/null || { echo "rmbsim exited early:"; cat "$workdir/stderr"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "no observer address after 10s"; cat "$workdir/stderr"; exit 1; }
+echo "observer at $addr"
+
+check() {
+    path=$1; marker=$2
+    body=$(curl -fsS --max-time 10 "http://$addr$path") || {
+        echo "FAIL: GET $path did not return 200"; exit 1; }
+    case "$body" in
+        *"$marker"*) echo "ok   GET $path (saw \"$marker\")" ;;
+        *) echo "FAIL: GET $path missing \"$marker\""; printf '%s\n' "$body" | head -20; exit 1 ;;
+    esac
+}
+
+check /metrics rmb_ticks_total
+check /metrics rmb_retry_queue_depth
+check /snapshot "bus"
+check /vb "virtual buses"
+check /debug/vars rmb_delivered
+check /debug/pprof/ goroutine
+check / /metrics
+
+kill "$simpid"
+echo "httpsmoke: ok"
