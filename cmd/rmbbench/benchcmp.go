@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// benchCmp reads `go test -bench` text from in, compares it against one
+// section of a baseline file (the BENCH_baseline.json layout: named
+// sections, each a BenchReport), and writes a per-benchmark verdict
+// table to out. A benchmark regresses when its best (minimum) ns/op
+// exceeds the section's best by more than the tolerance factor; the
+// minimum over -count repetitions is the comparison point on both sides
+// because scheduling noise only ever inflates a run. Benchmarks present
+// on only one side are reported but never fail the comparison, so the
+// baseline does not have to be regenerated for every added benchmark.
+// Returns the number of regressions.
+func benchCmp(baselinePath, section string, tolerance float64, in io.Reader, out io.Writer) (int, error) {
+	if tolerance <= 0 {
+		return 0, fmt.Errorf("tolerance must be positive, got %g", tolerance)
+	}
+	rep, err := parseBench(in)
+	if err != nil {
+		return 0, err
+	}
+	got := minNsPerOp(rep.Runs)
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	var sections map[string]json.RawMessage
+	if err := json.Unmarshal(data, &sections); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	raw, ok := sections[section]
+	if !ok {
+		names := make([]string, 0, len(sections))
+		for k := range sections {
+			if k != "comment" {
+				names = append(names, k)
+			}
+		}
+		sort.Strings(names)
+		return 0, fmt.Errorf("%s has no section %q (have %v)", baselinePath, section, names)
+	}
+	var baseRep BenchReport
+	if err := json.Unmarshal(raw, &baseRep); err != nil {
+		return 0, fmt.Errorf("parsing section %q of %s: %w", section, baselinePath, err)
+	}
+	base := minNsPerOp(baseRep.Runs)
+
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions, compared := 0, 0
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(out, "%-40s %12.0f ns/op  (not in baseline, skipped)\n", name, got[name])
+			continue
+		}
+		compared++
+		ratio := got[name] / b
+		verdict := "ok"
+		if got[name] > b*tolerance {
+			verdict = fmt.Sprintf("REGRESSION (> %gx)", tolerance)
+			regressions++
+		}
+		fmt.Fprintf(out, "%-40s %12.0f ns/op  base %12.0f  x%-6.2f %s\n",
+			name, got[name], b, ratio, verdict)
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no benchmark on stdin matches section %q of %s", section, baselinePath)
+	}
+	fmt.Fprintf(out, "benchcmp: %d compared against %q, %d regression(s), tolerance %gx\n",
+		compared, section, regressions, tolerance)
+	return regressions, nil
+}
+
+// minNsPerOp reduces repeated runs (-count=N) of each benchmark to its
+// best ns/op; runs without an ns/op metric are ignored.
+func minNsPerOp(runs []BenchRun) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range runs {
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if cur, seen := out[r.Name]; !seen || ns < cur {
+			out[r.Name] = ns
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline writes a minimal BENCH_baseline.json-shaped file with
+// one section carrying repeated runs, mirroring -count=3 output.
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "baseline.json")
+	const body = `{
+  "comment": "test fixture",
+  "sharded": {
+    "runs": [
+      { "name": "LargeRingShift", "iterations": 100, "metrics": { "ns/op": 500000 } },
+      { "name": "LargeRingShift", "iterations": 100, "metrics": { "ns/op": 400000 } },
+      { "name": "LargeRingShift", "iterations": 100, "metrics": { "ns/op": 450000 } },
+      { "name": "SendDrainSmall", "iterations": 1000, "metrics": { "ns/op": 20000 } }
+    ]
+  }
+}`
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBenchCmpWithinTolerance(t *testing.T) {
+	in := `goos: linux
+BenchmarkLargeRingShift-8   100   650000 ns/op
+BenchmarkLargeRingShift-8   100   420000 ns/op
+BenchmarkSendDrainSmall-8   1000  30000 ns/op
+BenchmarkBrandNew-8         10    99 ns/op
+PASS
+`
+	var out strings.Builder
+	regressions, err := benchCmp(writeBaseline(t), "sharded", 2, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", regressions, out.String())
+	}
+	// The best of the repeated runs (420000) is the comparison point, a
+	// benchmark absent from the baseline is skipped without failing, and
+	// the summary counts only the compared pairs.
+	for _, want := range []string{
+		"LargeRingShift", "420000", "not in baseline, skipped",
+		"benchcmp: 2 compared against \"sharded\", 0 regression(s)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBenchCmpFlagsRegression(t *testing.T) {
+	in := `BenchmarkLargeRingShift-8   100   900000 ns/op
+BenchmarkSendDrainSmall-8   1000  21000 ns/op
+`
+	var out strings.Builder
+	regressions, err := benchCmp(writeBaseline(t), "sharded", 2, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 900000 > 400000*2 regresses; 21000 <= 20000*2 does not.
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output missing REGRESSION verdict:\n%s", out.String())
+	}
+}
+
+func TestBenchCmpErrors(t *testing.T) {
+	base := writeBaseline(t)
+	in := "BenchmarkLargeRingShift-8   100   1 ns/op\n"
+
+	if _, err := benchCmp(base, "nosuch", 2, strings.NewReader(in), &strings.Builder{}); err == nil {
+		t.Error("unknown section did not error")
+	} else if !strings.Contains(err.Error(), `"nosuch"`) || !strings.Contains(err.Error(), "sharded") {
+		t.Errorf("unknown-section error does not name the section and the candidates: %v", err)
+	}
+
+	if _, err := benchCmp(base, "sharded", 0, strings.NewReader(in), &strings.Builder{}); err == nil {
+		t.Error("zero tolerance did not error")
+	}
+
+	disjoint := "BenchmarkUnrelated-8   100   1 ns/op\n"
+	if _, err := benchCmp(base, "sharded", 2, strings.NewReader(disjoint), &strings.Builder{}); err == nil {
+		t.Error("disjoint benchmark sets did not error")
+	}
+}
+
+// TestBenchCmpAgainstRepoBaseline pins the tool to the real
+// BENCH_baseline.json layout: the committed file must stay parseable and
+// its sharded section must still carry the smoke benchmark CI compares.
+func TestBenchCmpAgainstRepoBaseline(t *testing.T) {
+	in := "BenchmarkLargeRingShift-8   100   500000 ns/op\n"
+	var out strings.Builder
+	regressions, err := benchCmp(filepath.Join("..", "..", "BENCH_baseline.json"), "sharded", 1e9, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("unexpected regression against the huge tolerance:\n%s", out.String())
+	}
+}

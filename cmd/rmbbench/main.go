@@ -9,6 +9,13 @@
 //	rmbbench -all       # print every artifact in DESIGN.md order
 //	rmbbench -all -j 8  # same, computing artifacts on 8 workers
 //	go test -bench . -benchtime=1x | rmbbench -benchjson
+//	go test -bench . -count=3 | rmbbench -benchcmp BENCH_baseline.json -section sharded
+//
+// -benchcmp compares `go test -bench` text on stdin against one section
+// of a baseline JSON file and exits 1 if any benchmark's best ns/op
+// exceeds the baseline's best by more than -tolerance; the default is
+// deliberately loose because CI hardware differs from the machine that
+// recorded the baseline, so only order-of-magnitude regressions fail.
 package main
 
 import (
@@ -27,6 +34,9 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	jobs := flag.Int("j", 1, "experiments to compute in parallel with -all (0 = GOMAXPROCS)")
 	benchjson := flag.Bool("benchjson", false, "parse `go test -bench` text on stdin into JSON on stdout")
+	benchcmp := flag.String("benchcmp", "", "compare `go test -bench` text on stdin against this baseline JSON file")
+	section := flag.String("section", "sharded", "baseline section to compare against with -benchcmp")
+	tolerance := flag.Float64("tolerance", 8, "fail -benchcmp when ns/op exceeds baseline by this factor")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -43,6 +53,15 @@ func main() {
 	}()
 
 	switch {
+	case *benchcmp != "":
+		regressions, err := benchCmp(*benchcmp, *section, *tolerance, os.Stdin, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbbench: -benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
 	case *benchjson:
 		rep, err := parseBench(os.Stdin)
 		if err != nil {

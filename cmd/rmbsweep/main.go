@@ -55,6 +55,7 @@ func main() {
 	pattern := flag.String("pattern", "uniform", "destination pattern: uniform, neighbour, hotspot")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	jobs := flag.Int("j", 1, "simulations to run in parallel (0 = GOMAXPROCS)")
+	totals := flag.Bool("totals", false, "print the aggregate counter table over all (k, rate) points")
 	faults := flag.Float64("faults", 0, "chaos mode: probability each segment experiences fail/repair episodes")
 	faultINCs := flag.Float64("fault-incs", 0, "chaos mode: probability each INC experiences fail/repair episodes")
 	flag.Parse()
@@ -150,4 +151,52 @@ func main() {
 		fmt.Println(tb.Render())
 	}
 	fmt.Println(chart.Render(48))
+	if *totals {
+		var agg core.Stats
+		for _, res := range results {
+			agg = agg.Merge(res.Stats)
+		}
+		fmt.Println(renderTotals(agg))
+	}
+}
+
+// renderTotals lists every core.Stats counter explicitly. rmbvet's
+// stats-exhaustive analyzer proves each Stats field appears here (or in a
+// method this table calls), so a counter added to Stats cannot silently
+// fall out of the sweep's reporting surface.
+func renderTotals(agg core.Stats) string {
+	tb := report.NewTable("aggregate counters over all points (Merge semantics: counters sum, peaks and clocks take the max)",
+		"counter", "value")
+	rows := []struct {
+		name  string
+		value any
+	}{
+		{"ticks (max point)", int64(agg.Ticks)},
+		{"compaction cycles (max point)", agg.Cycles},
+		{"messages submitted", agg.MessagesSubmitted},
+		{"insertions", agg.Insertions},
+		{"delivered", agg.Delivered},
+		{"nacks", agg.Nacks},
+		{"head timeouts", agg.HeadTimeouts},
+		{"retries", agg.Retries},
+		{"compaction moves", agg.CompactionMoves},
+		{"head blocked ticks", agg.HeadBlockTicks},
+		{"busy segment ticks", agg.BusySegmentTicks},
+		{"peak active virtual buses (max point)", agg.PeakActiveVBs},
+		{"peak busy segments (max point)", agg.PeakBusySegments},
+		{"establish latency sum (ticks)", int64(agg.SumEstablishLatency)},
+		{"deliver latency sum (ticks)", int64(agg.SumDeliverLatency)},
+		{"segment fail events", agg.SegmentFailEvents},
+		{"segment repair events", agg.SegmentRepairEvents},
+		{"INC fail events", agg.INCFailEvents},
+		{"INC repair events", agg.INCRepairEvents},
+		{"fault teardowns", agg.FaultTeardowns},
+		{"fault insert refusals", agg.FaultInsertRefusals},
+		{"fault destination refusals", agg.FaultDestRefusals},
+		{"faulty segment ticks", agg.FaultySegmentTicks},
+	}
+	for _, r := range rows {
+		tb.AddRowf(r.name, r.value)
+	}
+	return tb.Render()
 }

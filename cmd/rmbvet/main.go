@@ -14,6 +14,10 @@
 // patterns only filter what is reported.
 //
 // Exit status: 0 clean, 1 findings reported, 2 load or usage error.
+//
+// -json emits a stable machine-readable schema: a JSON array (empty when
+// clean) of {file, line, col, analyzer, message} objects, with file paths
+// relative to the module root so output is portable across checkouts.
 package main
 
 import (
@@ -78,18 +82,24 @@ func main() {
 	diags := filterDiags(lint.Run(m), m, patterns)
 
 	if *jsonFlag {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:     relPath(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
 	} else {
 		for _, d := range diags {
-			rel, err := filepath.Rel(root, d.Pos.Filename)
-			if err != nil || strings.HasPrefix(rel, "..") {
-				rel = d.Pos.Filename
-			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}
 	}
 	if len(diags) > 0 {
@@ -99,6 +109,26 @@ func main() {
 	if !*jsonFlag {
 		fmt.Printf("rmbvet: ok (%d packages, %d analyzers)\n", len(m.Pkgs), len(lint.Analyzers()))
 	}
+}
+
+// jsonFinding is the -json schema: one finding with its file path
+// relative to the module root. The field set is stable; additions only.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// relPath renders an absolute position root-relative (slash-separated)
+// when possible, so output does not leak the checkout location.
+func relPath(root, abs string) string {
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return abs
+	}
+	return filepath.ToSlash(rel)
 }
 
 // checkPatterns rejects directory patterns that match no loaded package,

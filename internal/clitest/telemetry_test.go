@@ -113,10 +113,14 @@ func TestRmbsimHTTPObserver(t *testing.T) {
 		t.Fatal("timed out waiting for the observer address")
 	}
 
-	get := func(path string) string {
+	// The listen line prints before the run starts, so the first 200
+	// response can precede the observatory's first Publish; poll until
+	// the body is complete rather than judging a single scrape.
+	get := func(path string, want ...string) {
 		t.Helper()
 		var lastErr error
-		for i := 0; i < 50; i++ {
+		var lastBody string
+		for i := 0; i < 100; i++ {
 			resp, err := http.Get("http://" + addr + path)
 			if err != nil {
 				lastErr = err
@@ -132,23 +136,24 @@ func TestRmbsimHTTPObserver(t *testing.T) {
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
 			}
-			return string(body)
+			lastBody = string(body)
+			complete := true
+			for _, w := range want {
+				if !strings.Contains(lastBody, w) {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
 		}
-		t.Fatalf("GET %s never succeeded: %v", path, lastErr)
-		return ""
+		t.Fatalf("GET %s never contained %q (%v); last body:\n%s", path, want, lastErr, lastBody)
 	}
 
-	if body := get("/metrics"); !strings.Contains(body, "rmb_ticks_total") ||
-		!strings.Contains(body, "rmb_retry_queue_depth") {
-		t.Errorf("/metrics incomplete:\n%s", body)
-	}
-	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
-		t.Errorf("pprof index incomplete:\n%s", body)
-	}
-	if body := get("/debug/vars"); !strings.Contains(body, "rmb_ticks") {
-		t.Errorf("expvar incomplete:\n%s", body)
-	}
-	if body := get("/snapshot"); !strings.Contains(body, "bus") {
-		t.Errorf("/snapshot incomplete:\n%s", body)
-	}
+	get("/metrics", "rmb_ticks_total", "rmb_retry_queue_depth")
+	get("/debug/pprof/", "goroutine")
+	get("/debug/vars", "rmb_ticks")
+	get("/snapshot", "bus")
 }

@@ -1,6 +1,7 @@
 package clitest
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,11 +27,83 @@ func TestRmbvetList(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out)
 	}
-	for _, name := range []string{"determinism", "isolation", "exhaustive", "inc-ownership", "atomic-discipline", "unbounded-send"} {
+	for _, name := range []string{
+		"determinism", "isolation", "exhaustive", "inc-ownership",
+		"atomic-discipline", "unbounded-send",
+		"shard-commit", "stats-exhaustive", "hotpath-alloc", "waiver-audit",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list missing analyzer %q:\n%s", name, out)
 		}
 	}
+}
+
+// TestRmbvetJSON checks the -json schema end to end: a clean repo emits
+// an empty array, and the seeded fixture emits root-relative
+// {file, line, col, analyzer, message} objects matching the golden file.
+func TestRmbvetJSON(t *testing.T) {
+	out, err := run(t, "rmbvet", "-json", "./...")
+	if err != nil {
+		t.Fatalf("rmbvet -json found violations in the repo:\n%s", out)
+	}
+	var clean []map[string]any
+	if err := decodeFindings(out, &clean); err != nil {
+		t.Fatalf("clean -json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(clean) != 0 {
+		t.Errorf("clean repo emitted %d findings", len(clean))
+	}
+
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureRoot := filepath.Join(repoRoot, "internal", "lint", "testdata", "src")
+	out, err = run(t, "rmbvet", "-json", "-root", fixtureRoot, "-module", "fixture", "./...")
+	if err == nil {
+		t.Fatalf("rmbvet exited 0 on the seeded fixture:\n%s", out)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := decodeFindings(out, &findings); err != nil {
+		t.Fatalf("fixture -json output did not decode: %v\n%s", err, out)
+	}
+	golden, err := os.ReadFile(filepath.Join(repoRoot, "internal", "lint", "testdata", "fixture.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenLines := strings.Split(strings.TrimSpace(string(golden)), "\n")
+	if len(findings) != len(goldenLines) {
+		t.Fatalf("-json emitted %d findings, golden has %d", len(findings), len(goldenLines))
+	}
+	for i, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding %d has empty schema fields: %+v", i, f)
+			continue
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding %d file is absolute, want root-relative: %s", i, f.File)
+		}
+		rendered := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		if rendered != goldenLines[i] {
+			t.Errorf("finding %d diverges from golden:\n got %s\nwant %s", i, rendered, goldenLines[i])
+		}
+	}
+}
+
+// decodeFindings parses the first JSON array in out into v, tolerating
+// the stderr summary banner before or after it (run merges the streams).
+func decodeFindings(out string, v any) error {
+	s := out
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		s = s[i:]
+	}
+	return json.NewDecoder(strings.NewReader(s)).Decode(v)
 }
 
 // TestRmbvetFixtureGolden runs the built binary against the seeded

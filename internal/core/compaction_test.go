@@ -255,7 +255,7 @@ func (l *moveLog) CycleSwitch(sim.Tick, NodeID, int64) {}
 func (l *moveLog) Fault(at sim.Tick, ev FaultEvent) {
 	l.events = append(l.events, ev.String())
 }
-func (l *moveLog) Submit(sim.Tick, MsgRecord)                 {}
+func (l *moveLog) Submit(sim.Tick, MsgRecord)                      {}
 func (l *moveLog) Requeue(sim.Tick, flit.MessageID, int, sim.Tick) {}
 
 func TestDisableCompactionAblation(t *testing.T) {

@@ -24,6 +24,15 @@ func TestWholeBusSinksOneLevelPerTwoCycles(t *testing.T) {
 		PayloadLen: 1 << 20,
 	}
 	n.nextVB = 1
+	// The planted bus must have the lifecycle record a real Send would
+	// have created, or the message-conservation invariant (rightly)
+	// reports an in-flight bus carrying an unknown message.
+	n.nextMsg = 1
+	n.records = append(n.records, MsgRecord{
+		ID: vb.Msg, Src: vb.Src, Dst: vb.Dst,
+		Distance:   n.Distance(vb.Src, vb.Dst),
+		PayloadLen: vb.PayloadLen,
+	})
 	for j, l := range vb.Levels {
 		n.claimSeg((1+j)%10, l, vb.ID)
 	}

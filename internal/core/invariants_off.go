@@ -1,0 +1,12 @@
+//go:build !invariants
+
+package core
+
+import "rmb/internal/sim"
+
+// checkTickInvariants is the default-build half of the runtime
+// invariant harness (see internal/invariant): an empty method the
+// compiler inlines away, so the hot Step path pays nothing when the
+// `invariants` tag is off. CI's bench smoke pins the no-op against
+// BENCH_baseline.json.
+func (n *Network) checkTickInvariants(sim.Tick) {}

@@ -1,0 +1,31 @@
+//go:build !invariants
+
+package core
+
+import (
+	"testing"
+
+	"rmb/internal/invariant"
+)
+
+// TestInvariantHarnessDisabled proves the default build pays nothing for
+// the harness: the constant is off and the per-tick check counter never
+// moves, so checkTickInvariants compiled to the empty no-op.
+func TestInvariantHarnessDisabled(t *testing.T) {
+	if invariant.Enabled {
+		t.Fatal("invariant.Enabled is true without the invariants build tag")
+	}
+	n, err := NewNetwork(Config{Nodes: 8, Buses: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(0, 4, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.InvariantChecks(); got != 0 {
+		t.Fatalf("InvariantChecks() = %d in a default build, want 0", got)
+	}
+}

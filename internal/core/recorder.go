@@ -87,11 +87,11 @@ type Recorder interface {
 // nopRecorder discards everything; installed by default.
 type nopRecorder struct{}
 
-func (nopRecorder) Move(Move)                                  {}
-func (nopRecorder) VBEvent(sim.Tick, *VirtualBus, string)      {}
-func (nopRecorder) CycleSwitch(sim.Tick, NodeID, int64)        {}
-func (nopRecorder) Fault(sim.Tick, FaultEvent)                 {}
-func (nopRecorder) Submit(sim.Tick, MsgRecord)                 {}
+func (nopRecorder) Move(Move)                                       {}
+func (nopRecorder) VBEvent(sim.Tick, *VirtualBus, string)           {}
+func (nopRecorder) CycleSwitch(sim.Tick, NodeID, int64)             {}
+func (nopRecorder) Fault(sim.Tick, FaultEvent)                      {}
+func (nopRecorder) Submit(sim.Tick, MsgRecord)                      {}
 func (nopRecorder) Requeue(sim.Tick, flit.MessageID, int, sim.Tick) {}
 
 // MultiRecorder fans every recorder event out to each element in slice

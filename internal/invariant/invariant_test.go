@@ -1,0 +1,23 @@
+package invariant
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestViolatef(t *testing.T) {
+	v := Violatef("conservation", 42, "lost %d message(s)", 3)
+	if v.Name != "conservation" || v.Tick != 42 || v.Detail != "lost 3 message(s)" {
+		t.Fatalf("Violatef = %+v", v)
+	}
+	want := "invariant conservation violated at tick 42: lost 3 message(s)"
+	if got := v.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	// The harness panics with the violation, but it is also an error so
+	// callers that recover can wrap it; keep that contract.
+	var asViolation *Violation
+	if err := error(v); !errors.As(err, &asViolation) {
+		t.Error("*Violation does not satisfy errors.As")
+	}
+}

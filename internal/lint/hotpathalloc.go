@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerHotpathAlloc keeps the per-tick simulation path allocation-free.
+// It roots at every method named Step in internal/core, walks the
+// intra-package call graph beneath them, and flags the constructs that
+// force a heap allocation every tick: make/new calls, slice and map
+// composite literals, heap-escaping &T{...} composites, closures, and
+// append calls whose result escapes the slice it grew (so growth cannot
+// amortize). The arena carve-out helpers and the retry-wheel closure are
+// deliberate amortized allocations and carry audited waivers; everything
+// else on the path must stay on the stack. The audit helpers are excluded
+// — they build maps by design and only run under cfg.Audit or the
+// invariants build tag, never on the measured path.
+func analyzerHotpathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath-alloc",
+		Doc: "Functions reachable from a Step method in internal/core must not " +
+			"allocate per tick: no make/new, no slice or map literals, no " +
+			"escaping composites or closures, and append results must feed " +
+			"back into their source slice. Amortized arena refills carry " +
+			"audited rmbvet:allow waivers.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		if !inTier(pkg.Path, "internal/core") {
+			return nil
+		}
+		decls := funcDecls(pkg)
+		var roots []reached
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Name.Name != "Step" || fd.Recv == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, reached{fn: fn, body: fd.Body})
+				}
+			}
+		}
+		if len(roots) == 0 {
+			return nil
+		}
+		skip := func(fn *types.Func) bool {
+			// The auditors allocate maps by design and never run on the
+			// measured path (cfg.Audit / the invariants tag gate them).
+			return strings.HasPrefix(fn.Name(), "Audit") || strings.HasPrefix(fn.Name(), "audit")
+		}
+
+		var out []Diagnostic
+		report := func(pos ast.Node, format string, args ...any) {
+			if d, ok := diag(m, pkg, a.Name, pos.Pos(), format, args...); ok {
+				out = append(out, d)
+			}
+		}
+		for _, r := range reachableFrom(pkg, decls, roots, skip) {
+			// First pass: append calls whose result is written straight back
+			// into the slice they grew are the amortized in-place idiom and
+			// stay legal.
+			selfAppend := make(map[*ast.CallExpr]bool)
+			ast.Inspect(r.body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !isBuiltin(pkg, call, "append") || len(call.Args) == 0 {
+						continue
+					}
+					if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+						selfAppend[call] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(r.body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					switch {
+					case isBuiltin(pkg, n, "make"):
+						report(n, "make on the Step hot path allocates every tick: carve from a pre-grown arena or hoist to construction")
+					case isBuiltin(pkg, n, "new"):
+						report(n, "new on the Step hot path allocates every tick: reuse pooled objects or hoist to construction")
+					case isBuiltin(pkg, n, "append") && !selfAppend[n]:
+						report(n, "append result escapes its source slice (%s): growth cannot amortize, so every overflow reallocates on the Step hot path", types.ExprString(n.Args[0]))
+					}
+				case *ast.CompositeLit:
+					if tv, ok := pkg.Info.Types[n]; ok && tv.Type != nil {
+						switch tv.Type.Underlying().(type) {
+						case *types.Slice:
+							report(n, "slice literal on the Step hot path allocates every evaluation: reuse a scratch slice")
+						case *types.Map:
+							report(n, "map literal on the Step hot path allocates every evaluation: reuse a scratch map")
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op.String() != "&" {
+						return true
+					}
+					if cl, ok := n.X.(*ast.CompositeLit); ok {
+						if tv, ok := pkg.Info.Types[cl]; ok && tv.Type != nil {
+							if _, isStruct := tv.Type.Underlying().(*types.Struct); isStruct {
+								report(n, "heap-escaping composite (&%s{...}) on the Step hot path: allocate it once and reuse, or pool it", types.ExprString(cl.Type))
+							}
+						}
+					}
+				case *ast.FuncLit:
+					report(n, "func literal on the Step hot path allocates a closure every evaluation: hoist it or restructure to a method value on pre-existing state")
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}
+
+// isBuiltin reports whether the call invokes the named Go builtin.
+func isBuiltin(pkg *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

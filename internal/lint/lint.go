@@ -23,6 +23,21 @@
 //   - unbounded-send: channel sends in the async tier must be select
 //     comm-clauses (shutdown-guarded), preventing the deadlock class that
 //     inbox buffering would otherwise hide.
+//   - shard-commit: code reachable from a runArcs arc-worker closure (the
+//     sharded scheduler's parallel plan phase) must not write shared
+//     network state, draw randomness, or emit recorder events — those
+//     belong to the sequential arc-ordered commit that makes the sharded
+//     scheduler bit-identical to the sequential ones.
+//   - stats-exhaustive: every core.Stats field must survive (Stats).Merge
+//     and be surfaced in both the results JSON totals and the rmbsweep
+//     aggregate table, so adding a counter cannot silently fall out of
+//     any reporting surface.
+//   - hotpath-alloc: functions reachable from a Step method in
+//     internal/core must not allocate per tick (make/new, slice/map
+//     literals, escaping composites and closures, non-amortizing append).
+//   - waiver-audit: every rmbvet:allow directive must name a known
+//     analyzer, carry a reason of at least two words, and still suppress
+//     a live finding; stale waivers are findings themselves.
 //
 // The suite is pure standard library (go/ast, go/parser, go/types plus a
 // small module loader in load.go) so it runs in hermetic environments.
@@ -76,6 +91,12 @@ func Analyzers() []*Analyzer {
 		analyzerIncOwnership(),
 		analyzerAtomicDiscipline(),
 		analyzerUnboundedSend(),
+		analyzerShardCommit(),
+		analyzerStatsExhaustive(),
+		analyzerHotpathAlloc(),
+		// waiver-audit re-runs the suite with waivers ignored, so it goes
+		// last and is the one analyzer whose findings cannot be waived.
+		analyzerWaiverAudit(),
 	}
 }
 
@@ -112,9 +133,12 @@ func RunAnalyzers(m *Module, analyzers []*Analyzer) []Diagnostic {
 }
 
 // diag builds a Diagnostic at pos unless a directive waives it; it
-// returns the finding and whether it should be reported.
+// returns the finding and whether it should be reported. When the
+// module's ignoreWaivers flag is set (the waiver-audit analyzer probing
+// for the raw findings a directive must still cover), waivers are not
+// consulted.
 func diag(m *Module, pkg *Package, name string, pos token.Pos, format string, args ...any) (Diagnostic, bool) {
-	if pkg.Allowed(m.Fset, pos, name) {
+	if !m.ignoreWaivers && pkg.Allowed(m.Fset, pos, name) {
 		return Diagnostic{}, false
 	}
 	return Diagnostic{

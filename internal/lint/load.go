@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -30,6 +31,31 @@ type Package struct {
 	// allow maps filename -> line -> analyzer names permitted by an
 	// inline "rmbvet:allow <name> <reason>" directive on that line.
 	allow map[string]map[int][]string
+	// directives lists every rmbvet:allow comment in the package with its
+	// full text, so the waiver-audit analyzer can check each one carries a
+	// reason and still suppresses a live finding.
+	directives []Directive
+}
+
+// Directive is one parsed "rmbvet:allow <analyzer> <reason>" comment.
+type Directive struct {
+	// Analyzer is the first word after rmbvet:allow (the waived analyzer).
+	Analyzer string
+	// Reason is the rest of the comment text (may be empty).
+	Reason string
+	// Pos locates the directive comment itself.
+	Pos token.Position
+}
+
+// SkippedFile records a .go file the loader saw but did not parse into
+// any package, with the reason — so tooling (and the loader's own
+// self-check test) can prove no source file silently fell through.
+type SkippedFile struct {
+	// Path is the file's absolute path.
+	Path string
+	// Reason says why it was skipped (test file, excluded by build
+	// constraints, ...).
+	Reason string
 }
 
 // Module is a loaded, type-checked Go module: every package found under
@@ -44,8 +70,17 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs lists the packages in topological (dependency-first) order.
 	Pkgs []*Package
+	// Skipped lists every .go file under the root that was not loaded
+	// into a package, each with its reason (test files, files excluded by
+	// build constraints for the default tag set, ...).
+	Skipped []SkippedFile
 
 	byPath map[string]*Package
+	// ignoreWaivers makes diag() report findings even where an
+	// rmbvet:allow directive would suppress them; the waiver-audit
+	// analyzer flips it to learn which directives still cover a live
+	// finding.
+	ignoreWaivers bool
 }
 
 // Lookup returns the package with the given import path, or nil.
@@ -110,6 +145,15 @@ func LoadModule(root, modpath string) (*Module, error) {
 	}
 	raw := make(map[string]*rawPkg)
 
+	// buildCtx evaluates //go:build lines and filename GOOS/GOARCH
+	// suffixes exactly as the go tool does for the default build (host
+	// GOOS/GOARCH, no extra tags), so a tag-gated pair like internal/core's
+	// invariants_{on,off}.go resolves to the same single implementation
+	// that `go build ./...` compiles — instead of both halves colliding at
+	// type-check time.
+	buildCtx := build.Default
+	buildCtx.BuildTags = nil
+
 	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -122,10 +166,20 @@ func LoadModule(root, modpath string) (*Module, error) {
 			}
 			return nil
 		}
-		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+		if !strings.HasSuffix(p, ".go") {
 			return nil
 		}
-		file, err := parser.ParseFile(m.Fset, p, nil, parser.ParseComments)
+		if strings.HasSuffix(p, "_test.go") {
+			m.Skipped = append(m.Skipped, SkippedFile{Path: p, Reason: "test file"})
+			return nil
+		}
+		if match, err := buildCtx.MatchFile(filepath.Dir(p), d.Name()); err != nil {
+			return fmt.Errorf("lint: evaluating build constraints of %s: %w", p, err)
+		} else if !match {
+			m.Skipped = append(m.Skipped, SkippedFile{Path: p, Reason: "excluded by build constraints for the default tag set"})
+			return nil
+		}
+		file, err := parser.ParseFile(m.Fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return fmt.Errorf("lint: parsing %s: %w", p, err)
 		}
@@ -238,28 +292,37 @@ func (i *moduleImporter) Import(path string) (*types.Package, error) {
 }
 
 // indexDirectives records "rmbvet:allow <analyzer> <reason>" comments by
-// file and line so analyzers can honour explicit, audited waivers.
+// file and line so analyzers can honour explicit, audited waivers, and
+// keeps the full directive list for the waiver-audit analyzer.
 func (p *Package) indexDirectives(fset *token.FileSet) {
 	p.allow = make(map[string]map[int][]string)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
-				idx := strings.Index(text, "rmbvet:allow")
-				if idx < 0 {
+				// Only the Go directive form "//rmbvet:allow ..." (no space,
+				// at the start of the comment) is a waiver; prose that merely
+				// mentions rmbvet:allow is not.
+				rest, ok := strings.CutPrefix(c.Text, "//rmbvet:allow")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
-				fields := strings.Fields(text[idx+len("rmbvet:allow"):])
-				if len(fields) == 0 {
-					continue
-				}
+				fields := strings.Fields(rest)
 				pos := fset.Position(c.Pos())
+				d := Directive{Pos: pos}
+				if len(fields) > 0 {
+					d.Analyzer = fields[0]
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				p.directives = append(p.directives, d)
+				if d.Analyzer == "" {
+					continue
+				}
 				byLine := p.allow[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int][]string)
 					p.allow[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				byLine[pos.Line] = append(byLine[pos.Line], d.Analyzer)
 			}
 		}
 	}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoaderAccountsForEveryFile walks the repository exactly as the
+// loader does and requires every non-test .go file to be either parsed
+// into a package or listed in Module.Skipped with a reason. A file that
+// is neither means the loader silently dropped source — the one failure
+// mode a static-analysis suite must never have.
+func TestLoaderAccountsForEveryFile(t *testing.T) {
+	m := loadRepo(t)
+
+	loaded := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			loaded[m.Fset.File(f.Pos()).Name()] = true
+		}
+	}
+	skipped := make(map[string]string)
+	for _, s := range m.Skipped {
+		if s.Reason == "" {
+			t.Errorf("skipped file %s has no reason", s.Path)
+		}
+		skipped[s.Path] = s.Reason
+	}
+
+	err := filepath.WalkDir(m.Root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != m.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		if loaded[p] {
+			if r, ok := skipped[p]; ok {
+				t.Errorf("%s is both loaded and skipped (%q)", p, r)
+			}
+			return nil
+		}
+		if _, ok := skipped[p]; !ok {
+			t.Errorf("%s is neither loaded nor skipped: the loader lost it", p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the two cases the accounting exists for: test files and the
+	// invariants build-tag pair, where exactly the default-tag half is
+	// type-checked and the tagged half is skipped with the reason named.
+	wantSkipped := map[string]string{
+		filepath.Join("internal", "core", "invariants_on.go"):    "excluded by build constraints",
+		filepath.Join("internal", "core", "conformance_test.go"): "test file",
+	}
+	for rel, wantReason := range wantSkipped {
+		abs := filepath.Join(m.Root, rel)
+		reason, ok := skipped[abs]
+		if !ok {
+			t.Errorf("%s missing from Skipped", rel)
+		} else if !strings.Contains(reason, wantReason) {
+			t.Errorf("%s skipped with reason %q, want it to mention %q", rel, reason, wantReason)
+		}
+	}
+	if off := filepath.Join(m.Root, "internal", "core", "invariants_off.go"); !loaded[off] {
+		t.Errorf("invariants_off.go (the default-tag half) was not loaded")
+	}
+}
+
+// TestLoaderGenericsAndBuildTags loads a synthetic module exercising the
+// two parsing features most likely to break a hand-rolled loader: type
+// parameters, and a //go:build-gated file pair where only one half may
+// reach the type checker.
+func TestLoaderGenericsAndBuildTags(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tiny\n\ngo 1.24\n")
+	write("pair/on.go", "//go:build sometag\n\npackage pair\n\nconst Tagged = true\n")
+	write("pair/off.go", "//go:build !sometag\n\npackage pair\n\nconst Tagged = false\n")
+	write("gen/gen.go", `package gen
+
+import "tiny/pair"
+
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+func Max[T int | int64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var Flag = pair.Tagged
+`)
+
+	m, err := LoadModule(root, "tiny")
+	if err != nil {
+		t.Fatalf("loading synthetic module: %v", err)
+	}
+	if len(m.Pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (pair, gen)", len(m.Pkgs))
+	}
+
+	pair := m.Lookup("tiny/pair")
+	if pair == nil {
+		t.Fatal("tiny/pair not loaded")
+	}
+	if len(pair.Files) != 1 {
+		t.Fatalf("pair has %d files type-checked, want exactly the default-tag half", len(pair.Files))
+	}
+	if name := m.Fset.File(pair.Files[0].Pos()).Name(); filepath.Base(name) != "off.go" {
+		t.Errorf("pair type-checked %s, want off.go", name)
+	}
+	var skippedOn bool
+	for _, s := range m.Skipped {
+		if filepath.Base(s.Path) == "on.go" && strings.Contains(s.Reason, "build constraints") {
+			skippedOn = true
+		}
+	}
+	if !skippedOn {
+		t.Errorf("on.go not recorded as skipped by build constraints; skipped = %+v", m.Skipped)
+	}
+
+	gen := m.Lookup("tiny/gen")
+	if gen == nil {
+		t.Fatal("tiny/gen not loaded")
+	}
+	// The generic declarations must have survived type checking with
+	// their type parameters intact.
+	maxObj := gen.Types.Scope().Lookup("Max")
+	if maxObj == nil {
+		t.Fatal("gen.Max not type-checked")
+	}
+	sig := maxObj.Type().String()
+	if !strings.Contains(sig, "[T int|int64]") && !strings.Contains(sig, "[T int | int64]") {
+		t.Errorf("gen.Max lost its type parameters: %s", sig)
+	}
+	if pairObj := gen.Types.Scope().Lookup("Pair"); pairObj == nil {
+		t.Error("gen.Pair not type-checked")
+	}
+}

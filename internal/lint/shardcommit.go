@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerShardCommit enforces the sharded scheduler's plan/commit split
+// (DESIGN.md §10): code reachable from a runArcs arc-worker closure runs
+// concurrently across arcs, so it may only read shared simulator state
+// and write arc-local scratch — every cross-arc effect (network field
+// writes, RNG draws, recorder events) must wait for the sequential,
+// arc-ordered commit half. The analyzer roots at each function literal
+// handed to a runArcs dispatch, walks the intra-package call graph under
+// it, and flags writes rooted at the dispatching type plus any rng/rec
+// access on the way. The discipline is what makes the sharded scheduler
+// bit-identical to the sequential ones; a single stray write here shows
+// up as a once-in-a-thousand-seeds divergence, which is exactly the class
+// of bug a differential test finds late and an analyzer finds instantly.
+func analyzerShardCommit() *Analyzer {
+	a := &Analyzer{
+		Name: "shard-commit",
+		Doc: "Code reachable from a runArcs plan closure must not mutate shared " +
+			"network state, draw randomness, or emit recorder events; those " +
+			"belong to the sequential arc-ordered commit. Guards the sharded " +
+			"scheduler's bit-identical-to-sequential guarantee.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		if !inTier(pkg.Path, "internal/core") {
+			return nil
+		}
+		decls := funcDecls(pkg)
+		// Roots: every function literal handed to a runArcs(...) dispatch,
+		// plus the named types those dispatches hang off (the "shared"
+		// world the plan phase must not write).
+		var roots []reached
+		shared := make(map[*types.Named]bool)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "runArcs" {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sel.X]
+				if !ok {
+					return true
+				}
+				named := namedOf(tv.Type)
+				if named == nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						shared[named] = true
+						roots = append(roots, reached{body: lit.Body})
+					}
+				}
+				return true
+			})
+		}
+		if len(roots) == 0 {
+			return nil
+		}
+
+		sharedRoot := func(e ast.Expr) *types.Named {
+			id := rootIdent(e)
+			if id == nil {
+				return nil
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pkg.Info.Defs[id]
+			}
+			if obj == nil {
+				return nil
+			}
+			if named := namedOf(obj.Type()); named != nil && shared[named] {
+				return named
+			}
+			return nil
+		}
+
+		var out []Diagnostic
+		flagWrite := func(lhs ast.Expr) {
+			named := sharedRoot(lhs)
+			if named == nil {
+				return
+			}
+			if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+				return // rebinding a local variable, not a field write
+			}
+			if d, ok := diag(m, pkg, a.Name, lhs.Pos(),
+				"plan-phase write to shared %s state (%s): arc workers may only touch arc-local bus and scratch state; move this into the sequential commit",
+				named.Obj().Name(), types.ExprString(lhs)); ok {
+				out = append(out, d)
+			}
+		}
+		for _, r := range reachableFrom(pkg, decls, roots, nil) {
+			ast.Inspect(r.body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						flagWrite(lhs)
+					}
+				case *ast.IncDecStmt:
+					flagWrite(n.X)
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+					if !ok || sharedRoot(sel.X) == nil {
+						return true
+					}
+					// Walk the selector chain under the call looking for the
+					// shared RNG or recorder fields.
+					for e := ast.Expr(sel.X); ; {
+						s, ok := ast.Unparen(e).(*ast.SelectorExpr)
+						if !ok {
+							break
+						}
+						switch s.Sel.Name {
+						case "rng":
+							if d, ok := diag(m, pkg, a.Name, n.Pos(),
+								"RNG draw in the plan phase: randomness must be drawn in the arc-ordered commit so the stream stays identical to the sequential schedulers"); ok {
+								out = append(out, d)
+							}
+						case "rec":
+							if d, ok := diag(m, pkg, a.Name, n.Pos(),
+								"recorder event in the plan phase: events must be emitted in the arc-ordered commit to keep traces deterministic"); ok {
+								out = append(out, d)
+							}
+						}
+						e = s.X
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}

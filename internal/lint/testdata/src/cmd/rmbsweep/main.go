@@ -1,0 +1,11 @@
+// Command rmbsweep is a lint fixture reporting surface for the
+// stats-exhaustive analyzer: it prints every fixture Stats counter except
+// SumLatency, seeding one finding at the dropped field.
+package main
+
+import "fixture/internal/core"
+
+func main() {
+	var s core.Stats
+	println(s.Ticks, s.Delivered, s.Dropped, int64(s.PeakBuses))
+}

@@ -1,0 +1,31 @@
+package core
+
+// Engine mirrors the Network's Step entry point for the hotpath-alloc
+// analyzer.
+type Engine struct {
+	queue []int
+	out   []int
+}
+
+// Step seeds four hotpath-alloc violations — a make, a slice literal, a
+// closure, and an append whose result escapes its source slice — plus a
+// transitive one through fill.
+func (e *Engine) Step() {
+	buf := make([]int, 8)
+	_ = buf
+	pair := []int{1, 2}
+	_ = pair
+	f := func() {}
+	f()
+	e.out = append(e.queue, 1)
+	e.fill()
+}
+
+type box struct{ v int }
+
+// fill seeds the transitive class: a heap-escaping composite in a
+// function only reached from Step.
+func (e *Engine) fill() {
+	p := &box{v: 1}
+	_ = p
+}

@@ -1,0 +1,49 @@
+package core
+
+// Sched mirrors the sharded scheduler's runArcs dispatch shape for the
+// shard-commit analyzer: work handed to runArcs as a closure is the
+// parallel plan phase and must not touch shared state.
+type Sched struct {
+	counter int
+	rng     *fixtureRNG
+	rec     *fixtureRec
+	buses   []int
+}
+
+type fixtureRNG struct{}
+
+func (r *fixtureRNG) Intn(n int) int { return n - 1 }
+
+type fixtureRec struct{}
+
+func (r *fixtureRec) Event(v int) {}
+
+// runArcs is the dispatch the analyzer keys on.
+func (s *Sched) runArcs(fn func(a int)) {
+	for a := 0; a < 2; a++ {
+		fn(a)
+	}
+}
+
+// Tick seeds three shard-commit violations inside the plan closure — a
+// shared-state write, an RNG draw, a recorder event — plus a transitive
+// one through scanArc.
+func (s *Sched) Tick() {
+	s.runArcs(func(a int) {
+		s.counter++
+		_ = s.rng.Intn(3)
+		s.rec.Event(a)
+		s.scanArc(a)
+	})
+	s.commit()
+}
+
+// scanArc seeds the transitive class: a shared write in a method only
+// reached from the plan closure.
+func (s *Sched) scanArc(a int) {
+	s.buses[a] = a
+}
+
+// commit is the sequential half; it is not reachable from the closure,
+// so its write is legal.
+func (s *Sched) commit() { s.counter = 0 }

@@ -1,0 +1,46 @@
+package core
+
+// Stats mirrors core.Stats for the stats-exhaustive analyzer, seeding
+// one violation per rule: Dropped is missing from Merge, PeakBuses from
+// the results surface, SumLatency from the rmbsweep surface.
+type Stats struct {
+	Ticks      int64
+	Delivered  int64
+	Dropped    int64
+	SumLatency int64
+	PeakBuses  int
+}
+
+// Merge seeds the dropped-counter class: Dropped is absent from the
+// merged composite.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		Ticks:      maxI64(s.Ticks, o.Ticks),
+		Delivered:  s.Delivered + o.Delivered,
+		SumLatency: s.SumLatency + o.SumLatency,
+		PeakBuses:  maxInt(s.PeakBuses, o.PeakBuses),
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MeanLatency derives the headline latency; a reporting surface calling
+// it covers SumLatency and Delivered.
+func (s Stats) MeanLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.SumLatency) / float64(s.Delivered)
+}

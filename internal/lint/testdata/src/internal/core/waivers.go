@@ -1,0 +1,30 @@
+package core
+
+// This file seeds the waiver-audit analyzer: one directive per violation
+// class — missing reason, unknown analyzer, empty directive, stale.
+
+// WaiveSum's directive waives a live determinism finding (the map range)
+// but gives no reason.
+func WaiveSum(m map[int]int) int {
+	total := 0
+	//rmbvet:allow determinism
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// WaiveUnknown seeds the unknown-analyzer and empty-directive classes.
+func WaiveUnknown() int {
+	//rmbvet:allow speed this analyzer does not exist
+	x := 1
+	//rmbvet:allow
+	return x
+}
+
+// WaiveStale seeds the stale class: no finding remains on the line the
+// directive covers.
+func WaiveStale() int {
+	//rmbvet:allow determinism the map range that lived here was removed
+	return 2
+}

@@ -1,0 +1,23 @@
+// Package results is a lint fixture reporting surface for the
+// stats-exhaustive analyzer: it surfaces every fixture Stats field except
+// PeakBuses, seeding one finding at the dropped field.
+package results
+
+import "fixture/internal/core"
+
+// Totals mirrors the real results totals document.
+type Totals struct {
+	Ticks, Delivered, Dropped int64
+	MeanLatency               float64
+}
+
+// FromStats surfaces all counters but PeakBuses; SumLatency is covered
+// through the MeanLatency accessor.
+func FromStats(s core.Stats) Totals {
+	return Totals{
+		Ticks:       s.Ticks,
+		Delivered:   s.Delivered,
+		Dropped:     s.Dropped,
+		MeanLatency: s.MeanLatency(),
+	}
+}

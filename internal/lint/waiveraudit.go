@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// analyzerWaiverAudit keeps the waiver mechanism itself honest. Every
+// "//rmbvet:allow <analyzer> <reason>" directive must (a) name a real
+// analyzer, (b) carry a reason of at least two words — "perf" tells the
+// next reader nothing — and (c) still suppress a live finding: the
+// analyzer re-runs the rest of the suite over the package with waivers
+// ignored and flags any directive whose line (or the line below, for
+// standalone comments) no longer produces the finding it waives. Stale
+// waivers are how disciplines rot — the offending code gets refactored
+// away, the directive stays, and months later it silently licenses a
+// brand-new violation on the same line.
+func analyzerWaiverAudit() *Analyzer {
+	a := &Analyzer{
+		Name: "waiver-audit",
+		Doc: "Every rmbvet:allow directive must name a known analyzer, give a " +
+			"reason of at least two words, and still suppress a live finding; " +
+			"stale or unexplained waivers are findings themselves.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		if len(pkg.directives) == 0 {
+			return nil
+		}
+		known := make(map[string]bool)
+		var others []*Analyzer
+		for _, other := range Analyzers() {
+			known[other.Name] = true
+			if other.Name != a.Name {
+				others = append(others, other)
+			}
+		}
+		// Raw findings: what the suite would report on this package if no
+		// directive suppressed anything. A valid waiver must cover one.
+		m.ignoreWaivers = true
+		covered := make(map[string]bool)
+		func() {
+			defer func() { m.ignoreWaivers = false }()
+			for _, other := range others {
+				for _, d := range other.Run(m, pkg) {
+					covered[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)] = true
+				}
+			}
+		}()
+
+		var out []Diagnostic
+		for _, dir := range pkg.directives {
+			report := func(format string, args ...any) {
+				out = append(out, Diagnostic{Pos: dir.Pos, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)})
+			}
+			switch {
+			case dir.Analyzer == "":
+				report("rmbvet:allow names no analyzer: write \"rmbvet:allow <analyzer> <reason>\"")
+			case !known[dir.Analyzer]:
+				report("rmbvet:allow names unknown analyzer %q: run rmbvet -list for the suite", dir.Analyzer)
+			case len(strings.Fields(dir.Reason)) < 2:
+				report("rmbvet:allow %s needs a reason (at least two words): say why the violation is acceptable here", dir.Analyzer)
+			default:
+				// A directive waives findings on its own line and the line
+				// below (mirroring Package.Allowed).
+				live := false
+				for _, line := range []int{dir.Pos.Line, dir.Pos.Line + 1} {
+					if covered[fmt.Sprintf("%s:%d:%s", dir.Pos.Filename, line, dir.Analyzer)] {
+						live = true
+						break
+					}
+				}
+				if !live {
+					report("stale rmbvet:allow %s: no %s finding remains on this line; delete the directive so it cannot license a future violation", dir.Analyzer, dir.Analyzer)
+				}
+			}
+		}
+		return out
+	}
+	return a
+}

@@ -82,6 +82,10 @@ type Result struct {
 	// segments. Both are zero for fault-free runs.
 	FaultTeardowns     int64
 	MeanFaultySegments float64
+	// Stats is the network's full counter set at the end of the run
+	// (warmup plus measurement plus drain), for consumers that aggregate
+	// beyond the derived headline numbers above.
+	Stats core.Stats
 }
 
 // Run drives the network with open-loop traffic and measures steady-state
@@ -149,5 +153,6 @@ func Run(n *core.Network, cfg Config) (Result, error) {
 	res.MeanUtilization = st.MeanUtilization(nodes * n.Config().Buses)
 	res.FaultTeardowns = st.FaultTeardowns
 	res.MeanFaultySegments = st.MeanFaultySegments()
+	res.Stats = st
 	return res, nil
 }

@@ -51,13 +51,20 @@ type Totals struct {
 	Retries           int64   `json:"retries"`
 	HeadTimeouts      int64   `json:"headTimeouts"`
 	CompactionMoves   int64   `json:"compactionMoves"`
+	HeadBlockTicks    int64   `json:"headBlockTicks"`
 	Cycles            int64   `json:"cycles"`
 	MeanLatency       float64 `json:"meanLatency"`
-	MeanUtilization   float64 `json:"meanUtilization"`
-	PeakVirtualBuses  int     `json:"peakVirtualBuses"`
+	// MeanEstablishLatency averages enqueue-to-circuit-established time;
+	// MeanLatency averages enqueue-to-delivery.
+	MeanEstablishLatency float64 `json:"meanEstablishLatency"`
+	MeanUtilization      float64 `json:"meanUtilization"`
+	PeakVirtualBuses     int     `json:"peakVirtualBuses"`
+	PeakBusySegments     int     `json:"peakBusySegments"`
 	// Fault counters; all zero (and omitted) for fault-free runs.
 	SegmentFailEvents   int64   `json:"segmentFailEvents,omitempty"`
+	SegmentRepairEvents int64   `json:"segmentRepairEvents,omitempty"`
 	INCFailEvents       int64   `json:"incFailEvents,omitempty"`
+	INCRepairEvents     int64   `json:"incRepairEvents,omitempty"`
 	FaultTeardowns      int64   `json:"faultTeardowns,omitempty"`
 	FaultInsertRefusals int64   `json:"faultInsertRefusals,omitempty"`
 	FaultDestRefusals   int64   `json:"faultDestRefusals,omitempty"`
@@ -110,24 +117,29 @@ func FromNetwork(n *core.Network, workloadName string, includeMessages, includeS
 			Seed:              cfg.Seed,
 		},
 		Totals: Totals{
-			Ticks:             int64(st.Ticks),
-			MessagesSubmitted: st.MessagesSubmitted,
-			Delivered:         st.Delivered,
-			Insertions:        st.Insertions,
-			Nacks:             st.Nacks,
-			Retries:           st.Retries,
-			HeadTimeouts:      st.HeadTimeouts,
-			CompactionMoves:   st.CompactionMoves,
-			Cycles:            n.GlobalCycle(),
-			MeanLatency:       st.MeanDeliverLatency(),
-			MeanUtilization:   st.MeanUtilization(cfg.Nodes * cfg.Buses),
-			PeakVirtualBuses:  st.PeakActiveVBs,
-			SegmentFailEvents:   st.SegmentFailEvents,
-			INCFailEvents:       st.INCFailEvents,
-			FaultTeardowns:      st.FaultTeardowns,
-			FaultInsertRefusals: st.FaultInsertRefusals,
-			FaultDestRefusals:   st.FaultDestRefusals,
-			MeanFaultySegments:  st.MeanFaultySegments(),
+			Ticks:                int64(st.Ticks),
+			MessagesSubmitted:    st.MessagesSubmitted,
+			Delivered:            st.Delivered,
+			Insertions:           st.Insertions,
+			Nacks:                st.Nacks,
+			Retries:              st.Retries,
+			HeadTimeouts:         st.HeadTimeouts,
+			CompactionMoves:      st.CompactionMoves,
+			HeadBlockTicks:       st.HeadBlockTicks,
+			Cycles:               n.GlobalCycle(),
+			MeanLatency:          st.MeanDeliverLatency(),
+			MeanEstablishLatency: st.MeanEstablishLatency(),
+			MeanUtilization:      st.MeanUtilization(cfg.Nodes * cfg.Buses),
+			PeakVirtualBuses:     st.PeakActiveVBs,
+			PeakBusySegments:     st.PeakBusySegments,
+			SegmentFailEvents:    st.SegmentFailEvents,
+			SegmentRepairEvents:  st.SegmentRepairEvents,
+			INCFailEvents:        st.INCFailEvents,
+			INCRepairEvents:      st.INCRepairEvents,
+			FaultTeardowns:       st.FaultTeardowns,
+			FaultInsertRefusals:  st.FaultInsertRefusals,
+			FaultDestRefusals:    st.FaultDestRefusals,
+			MeanFaultySegments:   st.MeanFaultySegments(),
 		},
 	}
 	if includeMessages {
