@@ -13,11 +13,16 @@ import (
 // pair on a benchmark line lands in Metrics, so domain metrics emitted
 // via b.ReportMetric (ticks, moves, ...) survive alongside ns/op.
 type BenchReport struct {
-	Goos   string     `json:"goos,omitempty"`
-	Goarch string     `json:"goarch,omitempty"`
-	Pkg    string     `json:"pkg,omitempty"`
-	CPU    string     `json:"cpu,omitempty"`
-	Runs   []BenchRun `json:"runs"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GoVersion records the toolchain that produced the run. `go test`
+	// text does not carry it, so -benchjson stamps its own
+	// runtime.Version() — bench.sh runs the benchmarks and the converter
+	// with the same toolchain.
+	GoVersion string     `json:"goversion,omitempty"`
+	Runs      []BenchRun `json:"runs"`
 }
 
 // BenchRun is one benchmark result line; with -count=N the same Name

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rmb/internal/experiments"
 	"rmb/internal/parallel"
@@ -68,6 +69,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rmbbench: -benchjson: %v\n", err)
 			os.Exit(1)
 		}
+		rep.GoVersion = runtime.Version()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {

@@ -20,6 +20,9 @@ func (n *Network) Audit() error {
 	if err := n.auditConservation(); err != nil {
 		return err
 	}
+	if err := n.auditMirrors(); err != nil {
+		return err
+	}
 	if n.cfg.Mode == Async {
 		if err := n.AuditLemma1(); err != nil {
 			return err

@@ -132,14 +132,14 @@ func TestAuditLemma1Detection(t *testing.T) {
 
 func TestSegmentOwnershipPanics(t *testing.T) {
 	n := mustNetwork(t, Config{Nodes: 4, Buses: 2, Seed: 1})
-	n.claimSeg(0, 0, 1)
+	n.claimSeg(0, 0, &VirtualBus{ID: 1})
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Error("double claim did not panic")
 			}
 		}()
-		n.claimSeg(0, 0, 2)
+		n.claimSeg(0, 0, &VirtualBus{ID: 2})
 	}()
 	func() {
 		defer func() {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rmb/internal/sim"
 )
@@ -52,16 +53,33 @@ func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
 	plan := n.planBuf[:0]
 	cyc := int(cycle & 1)
 	strictTop := n.cfg.HeadRule == HeadStrictTop
-	for _, vb := range n.active {
-		if !n.naive && vb.compactQuiet >= compactQuietCycles {
-			continue
+	if n.naive {
+		// Reference kernel: plan over every active bus in ID order.
+		for _, vb := range n.active {
+			var planned bool
+			plan, planned = n.planBusMoves(vb, cyc, strictTop, plan)
+			if !planned {
+				n.noteQuiescent(vb)
+			}
 		}
-		var planned bool
-		plan, planned = n.planBusMoves(vb, cyc, strictTop, plan)
-		if !planned && vb.compactQuiet < compactQuietCycles {
-			vb.compactQuiet++
-			if vb.compactQuiet == compactQuietCycles {
-				n.compactAwake--
+	} else {
+		// Word-parallel scan over the awake population: the bit for slot i
+		// is set exactly while active[i].compactQuiet < compactQuietCycles,
+		// so the walk visits precisely the buses the reference loop would
+		// not skip, in the same ID order. noteQuiescent clears only the
+		// visited bus's own bit; nothing sets bits during the plan walk
+		// (wake hooks fire in the apply loop below).
+		for w := range n.awakeBits {
+			m := n.awakeBits[w]
+			for m != 0 {
+				i := w<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				vb := n.active[i]
+				var planned bool
+				plan, planned = n.planBusMoves(vb, cyc, strictTop, plan)
+				if !planned {
+					n.noteQuiescent(vb)
+				}
 			}
 		}
 	}
@@ -70,6 +88,20 @@ func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
 	}
 	n.planBuf = plan[:0]
 	return len(plan) > 0
+}
+
+// noteQuiescent advances a bus's quiescence streak after a cycle in
+// which it planned no move, retiring it from the awake population (and
+// its awakeBits slot) when both parities have been tried.
+func (n *Network) noteQuiescent(vb *VirtualBus) {
+	if vb.compactQuiet >= compactQuietCycles {
+		return
+	}
+	vb.compactQuiet++
+	if vb.compactQuiet == compactQuietCycles {
+		n.compactAwake--
+		n.awakeBits.clear(int(vb.slot))
+	}
 }
 
 // planBusMoves appends vb's switchable hops for cycle parity cyc to plan
@@ -84,19 +116,63 @@ func (n *Network) stepCompactionLockstep(now sim.Tick) bool {
 // may call it concurrently on distinct buses with arc-local plan
 // buffers; appending per arc in bus order and applying the arc plans in
 // arc order reproduces the sequential plan order exactly.
+//
+//rmbvet:hotpath
 func (n *Network) planBusMoves(vb *VirtualBus, cyc int, strictTop bool, plan []plannedMove) ([]plannedMove, bool) {
 	planned := false
 	levels := vb.Levels
 	nodes := n.cfg.Nodes
+	// Hot loop: the busy rows are walked through the contiguous flat view
+	// (one bounds check, no per-level header load), and the strict-top pin
+	// is a per-bus constant hoisted out of the per-hop conditions.
+	busy := n.busyFlat
+	nw := n.soaNW
+	pin := strictTop && vb.State == VBExtending
+	last := len(levels) - 1
+
+	// Word-parallel candidate prefilter. When hop parity tracks the offset
+	// — h_j ≡ Src+j (mod 2), which holds whenever N is even or the bus
+	// does not wrap past node 0 — the Section 2.4 parity gate
+	// (l+h+cyc ≡ 0 mod 2) reduces to comparing the per-bus parityMask bit
+	// against the constant (Src+cyc)&1, and bottomMask drops level-0 hops,
+	// so the walk below touches only hops that can possibly move. A bus
+	// resting on a constant-parity staircase yields an empty mask half the
+	// cycles without visiting a single hop.
+	if last < 64 && (nodes&1 == 0 || int(vb.Src)+len(levels) <= nodes) {
+		cand := vb.parityMask
+		if (int(vb.Src)+cyc)&1 == 0 {
+			cand = ^cand
+		}
+		cand &= ^uint64(0) >> uint(63-last) // keep bits [0, last]
+		cand &^= vb.bottomMask
+		for cand != 0 {
+			j := bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			l := levels[j]
+			h := int(vb.Src) + j
+			if h >= nodes {
+				h -= nodes // fast path requires N even here, preserving parity
+			}
+			if busy[(l-1)*nw+(h>>6)]>>(uint(h)&63)&1 == 0 &&
+				(j == 0 || levels[j-1] <= l) {
+				if (j != last && levels[j+1] <= l) || (j == last && !pin) {
+					plan = append(plan, plannedMove{vb, j})
+					planned = true
+				}
+			}
+		}
+		return plan, planned
+	}
+
 	h := int(vb.Src)
 	for j, l := range levels {
 		if h >= nodes {
 			h -= nodes
 		}
-		if (l+h+cyc)&1 == 0 && l > 0 && n.segUsable(h, l-1) &&
+		if (l+h+cyc)&1 == 0 && l > 0 &&
+			busy[(l-1)*nw+(h>>6)]>>(uint(h)&63)&1 == 0 &&
 			(j == 0 || levels[j-1] <= l) {
-			if last := j == len(levels)-1; (!last && levels[j+1] <= l) ||
-				(last && !(strictTop && vb.State == VBExtending)) {
+			if (j != last && levels[j+1] <= l) || (j == last && !pin) {
 				plan = append(plan, plannedMove{vb, j})
 				planned = true
 			}
@@ -104,6 +180,23 @@ func (n *Network) planBusMoves(vb *VirtualBus, cyc int, strictTop bool, plan []p
 		h++
 	}
 	return plan, planned
+}
+
+// levelMasks derives the compaction planner's per-bus prefilter masks
+// from a level vector: parity bit j = (levels[j]+j)&1, bottom bit j =
+// levels[j]==0, for offsets below 64. addVB seeds them here; the three
+// Levels mutation sites maintain them in place.
+func levelMasks(levels []int) (parity, bottom uint64) {
+	for j, l := range levels {
+		if j == 64 {
+			break
+		}
+		parity |= uint64((l+j)&1) << uint(j)
+		if l == 0 {
+			bottom |= 1 << uint(j)
+		}
+	}
+	return parity, bottom
 }
 
 // stepCompactionAsync drives each INC's CycleFSM one step; an INC whose
@@ -146,7 +239,9 @@ func (n *Network) stepCompactionAsync(now sim.Tick) bool {
 		}
 		if res.SwitchedCycle {
 			n.stats.Cycles++
-			n.rec.CycleSwitch(now, NodeID(i), inc.fsm.Cycle)
+			if n.recOn {
+				n.rec.CycleSwitch(now, NodeID(i), inc.fsm.Cycle)
+			}
 		}
 		if inc.fsm.Phase() == PhaseReadyData && !inc.fsm.ID && inc.idDelay <= 0 {
 			inc.idDelay = 1 + n.rng.Intn(n.cfg.JitterMax)
@@ -176,11 +271,10 @@ func (n *Network) performINCMoves(now sim.Tick, node NodeID, cycle int64) bool {
 		if (l+int(node)+int(cycle))%2 != 0 {
 			continue
 		}
-		id := n.occ[h][l]
-		if id == 0 {
+		vb := n.occupant(h, l)
+		if vb == nil {
 			continue
 		}
-		vb := n.lookupVB(id)
 		j := n.hopIndex(vb, h)
 		if j < 0 || vb.Levels[j] != l {
 			continue
@@ -240,23 +334,34 @@ func (n *Network) switchableDown(vb *VirtualBus, j int) bool {
 func (n *Network) applyMove(now sim.Tick, vb *VirtualBus, j int) {
 	b := vb.Levels[j]
 	h := int(vb.HopNode(j, n.cfg.Nodes))
-	upOld, upNew, down, peSource, headHop := moveSequences(vb, j, b)
 
 	// Make: drive the lower segment in parallel; break: release the old.
 	// In the cycle simulator both happen within this tick; the recorded
 	// sequences preserve the transient states for verification.
-	n.claimSeg(h, b-1, vb.ID)
+	n.claimSeg(h, b-1, vb)
 	n.releaseSeg(h, b, vb.ID)
 	vb.Levels[j] = b - 1
+	if j < 64 {
+		vb.parityMask ^= 1 << uint(j)
+		if b == 1 {
+			vb.bottomMask |= 1 << uint(j)
+		}
+	}
 	n.wakeCompaction(vb) // the lowered hop may enable further moves
 
 	n.stats.CompactionMoves++
-	n.rec.Move(Move{
-		At: now, VB: vb.ID, Hop: j, Node: NodeID(h),
-		From: b, To: b - 1,
-		UpstreamOld: upOld, UpstreamNew: upNew, Downstream: down,
-		PESource: peSource, HeadHop: headHop,
-	})
+	if n.recOn {
+		// moveSequences reads only the neighbouring hops' levels, which
+		// this move did not touch, so deriving the Figure 7 sequences
+		// after the switch records exactly what the pre-switch state was.
+		upOld, upNew, down, peSource, headHop := moveSequences(vb, j, b)
+		n.rec.Move(Move{
+			At: now, VB: vb.ID, Hop: j, Node: NodeID(h),
+			From: b, To: b - 1,
+			UpstreamOld: upOld, UpstreamNew: upNew, Downstream: down,
+			PESource: peSource, HeadHop: headHop,
+		})
+	}
 }
 
 // Condition describes one of the paper's four switchable-down scenarios

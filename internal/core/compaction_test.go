@@ -85,7 +85,7 @@ func TestSwitchableDownConditions(t *testing.T) {
 	vb := &VirtualBus{ID: 1, Src: 0, Dst: 4, State: VBTransferring, Levels: []int{2, 2, 3, 2}}
 	n.nextVB = 1
 	for j, l := range vb.Levels {
-		n.claimSeg(j, l, vb.ID)
+		n.claimSeg(j, l, vb)
 	}
 	n.addVB(vb)
 
@@ -114,21 +114,21 @@ func TestSwitchableDownConditions(t *testing.T) {
 		t.Error("hop 3 should be switchable down once upstream sank")
 	}
 	// ...unless the segment below it is occupied.
-	n.claimSeg(3, 1, 999)
+	n.claimSeg(3, 1, &VirtualBus{ID: 999})
 	if n.switchableDown(vb, 3) {
 		t.Error("hop 3 movable despite occupied target")
 	}
-	n.occ[3][1] = 0
+	n.releaseSeg(3, 1, 999)
 	// Restore hop 2 for the bottom-level check below.
 	n.releaseSeg(2, 2, vb.ID)
 	vb.Levels[2] = 3
-	n.claimSeg(2, 3, vb.ID)
+	n.claimSeg(2, 3, vb)
 
 	// A hop at level 0 can never move.
 	vb.Levels[0] = 2 // restore
 	n.releaseSeg(0, 2, vb.ID)
 	vb.Levels[0] = 0
-	n.claimSeg(0, 0, vb.ID)
+	n.claimSeg(0, 0, vb)
 	if n.switchableDown(vb, 0) {
 		t.Error("bottom level reported switchable")
 	}
@@ -139,11 +139,13 @@ func TestApplyMovePreservesInvariants(t *testing.T) {
 	vb := &VirtualBus{ID: 1, Src: 1, Dst: 5, State: VBTransferring, Levels: []int{3, 3, 2, 2}}
 	n.nextVB = 1
 	for j, l := range vb.Levels {
-		n.claimSeg((1+j)%6, l, vb.ID)
+		n.claimSeg((1+j)%6, l, vb)
 	}
 	n.addVB(vb)
 	n.incs[1].sendActive++
+	n.refreshSendStatus(1)
 	n.incs[5].recvActive++
+	n.refreshRecvStatus(5)
 
 	moves := 0
 	for pass := 0; pass < 20; pass++ {

@@ -34,11 +34,13 @@ func TestWholeBusSinksOneLevelPerTwoCycles(t *testing.T) {
 		PayloadLen: vb.PayloadLen,
 	})
 	for j, l := range vb.Levels {
-		n.claimSeg((1+j)%10, l, vb.ID)
+		n.claimSeg((1+j)%10, l, vb)
 	}
 	n.addVB(vb)
 	n.incs[1].sendActive++
+	n.refreshSendStatus(1)
 	n.incs[7].recvActive++
+	n.refreshRecvStatus(7)
 	vb.claimedTaps = []NodeID{7}
 	vb.TransferStart = 0
 

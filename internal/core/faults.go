@@ -190,9 +190,13 @@ func (n *Network) InjectFaults(plan FaultPlan) error {
 func (n *Network) faultyAt(h, l int) bool { return n.segFaulty[h][l] || n.incFaulty[h] }
 
 // segUsable reports whether segment l of hop h is both unoccupied and
-// fault-free — the claim predicate for head advances and compaction.
+// fault-free — the claim predicate for head advances and compaction. It
+// reads the fused busy bitset (one load, one shift) in every scheduler
+// mode; auditMirrors pins the bits to the authoritative grid and fault
+// flags, and the claim-site panics in claimSeg re-check both against
+// the authoritative state.
 func (n *Network) segUsable(h, l int) bool {
-	return n.occ[h][l] == 0 && !n.segFaulty[h][l] && !n.incFaulty[h]
+	return n.busyBits[l][h>>6]>>(uint(h)&63)&1 == 0
 }
 
 // INCFaulty reports whether a node's INC is currently failed.
@@ -228,23 +232,25 @@ func (n *Network) applyFault(now sim.Tick, ev FaultEvent) {
 			n.faultySegments++
 		}
 		n.segFaulty[h][ev.Level] = true
+		n.refreshFaultBits(h)
 		n.stats.SegmentFailEvents++
 		n.rec.Fault(now, ev)
-		if id := n.occ[h][ev.Level]; id != 0 {
-			n.faultTeardown(now, n.lookupVB(id))
+		if vb := n.occupant(h, ev.Level); vb != nil {
+			n.faultTeardown(now, vb)
 		}
 	case FaultSegmentRepair:
 		if !n.segFaulty[h][ev.Level] {
 			return
 		}
 		n.segFaulty[h][ev.Level] = false
+		n.refreshFaultBits(h)
 		if !n.incFaulty[h] {
 			n.faultySegments--
 			// The repaired segment can enable a downward move for the bus
 			// directly above, exactly like releaseSeg's wake hook.
 			if l := ev.Level + 1; l < n.cfg.Buses {
-				if above := n.occ[h][l]; above != 0 {
-					n.wakeCompaction(n.lookupVB(above))
+				if above := n.occupant(h, l); above != nil {
+					n.wakeCompaction(above)
 				}
 			}
 		}
@@ -255,6 +261,7 @@ func (n *Network) applyFault(now sim.Tick, ev FaultEvent) {
 			return
 		}
 		n.incFaulty[h] = true
+		n.refreshFaultBits(h)
 		for l := range n.occ[h] {
 			if !n.segFaulty[h][l] {
 				n.faultySegments++
@@ -267,8 +274,8 @@ func (n *Network) applyFault(now sim.Tick, ev FaultEvent) {
 		// longer sink data). Taps are scanned over the ID-ordered active
 		// set so both schedulers tear down in the same order.
 		for l := range n.occ[h] {
-			if id := n.occ[h][l]; id != 0 {
-				n.faultTeardown(now, n.lookupVB(id))
+			if vb := n.occupant(h, l); vb != nil {
+				n.faultTeardown(now, vb)
 			}
 		}
 		for _, vb := range n.active {
@@ -284,6 +291,7 @@ func (n *Network) applyFault(now sim.Tick, ev FaultEvent) {
 			return
 		}
 		n.incFaulty[h] = false
+		n.refreshFaultBits(h)
 		for l := range n.occ[h] {
 			if !n.segFaulty[h][l] {
 				n.faultySegments--
@@ -295,8 +303,8 @@ func (n *Network) applyFault(now sim.Tick, ev FaultEvent) {
 		// the usual wake rules resume; waking them is conservative but
 		// identical in both scheduler modes.
 		for l := range n.occ[h] {
-			if id := n.occ[h][l]; id != 0 {
-				n.wakeCompaction(n.lookupVB(id))
+			if vb := n.occupant(h, l); vb != nil {
+				n.wakeCompaction(vb)
 			}
 		}
 	default:
@@ -333,7 +341,7 @@ func (n *Network) faultTeardown(now sim.Tick, vb *VirtualBus) {
 		n.wakeCompaction(vb)
 		vb.AckHop = len(vb.Levels) - 1
 		n.stats.FaultTeardowns++
-		n.rec.VBEvent(now, vb, "fault-teardown")
+		n.recVBEvent(now, vb, "fault-teardown")
 	case VBFackReturning, VBNackReturning, VBFaultReturning:
 		// Already sweeping; nothing extra to do.
 	case VBDone, VBRefused:

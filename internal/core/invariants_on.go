@@ -28,6 +28,13 @@ func (n *Network) checkTickInvariants(now sim.Tick) {
 	if err := n.auditConservation(); err != nil {
 		panic(invariant.Violatef("conservation", int64(now), "%v", err))
 	}
+	// soa-coherence: the structure-of-arrays mirrors (occupancy bitsets,
+	// packed INC status bytes, slot bitsets, wake wheel accounting) agree
+	// with the authoritative pointer structs they shadow. The word-parallel
+	// kernels trust the mirrors; this is what keeps that trust honest.
+	if err := n.auditMirrors(); err != nil {
+		panic(invariant.Violatef("soa-coherence", int64(now), "%v", err))
+	}
 	n.checkRetryBounded(now)
 	n.checkFaultyUnclaimable(now)
 }

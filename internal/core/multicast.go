@@ -48,10 +48,10 @@ func (n *Network) SendMulticast(src NodeID, dsts []NodeID, payload []uint64) (fl
 
 	n.nextMsg++
 	id := n.nextMsg
-	m := flit.Message{ID: id, Src: src, Dst: final, Payload: append([]uint64(nil), payload...)}
-	req := &request{msg: m, enqueued: n.clock.Now(), dsts: ordered}
-	n.pending[src] = append(n.pending[src], req)
-	n.pendingCount++
+	m := flit.Message{ID: id, Src: src, Dst: final, Payload: n.carvePayload(payload)}
+	req := n.allocReq()
+	*req = request{msg: m, enqueued: n.clock.Now(), dsts: ordered}
+	n.queuePush(src, req)
 	n.records = append(n.records, MsgRecord{
 		ID: id, Src: src, Dst: final,
 		Distance:   n.Distance(src, final),

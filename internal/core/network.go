@@ -62,6 +62,11 @@ type Network struct {
 	delivered []flit.Message
 
 	rec Recorder
+	// recOn is false exactly while rec is the no-op recorder; the
+	// per-event hot paths (VB lifecycle events, compaction move records)
+	// check it before assembling recorder payloads, so un-traced runs pay
+	// neither the interface dispatch nor the Figure 7 sequence derivation.
+	recOn bool
 
 	// globalCycle is the Lockstep-mode odd/even cycle counter.
 	globalCycle int64
@@ -97,10 +102,43 @@ type Network struct {
 	// last evaluation (allocated only in Async mode).
 	asyncDirty []bool
 
-	// planBuf and headCand are reusable per-tick buffers that keep the
-	// hot loops allocation-free.
-	planBuf  []plannedMove
-	headCand [3]int
+	// planBuf is a reusable per-tick buffer that keeps the compaction
+	// apply loop allocation-free.
+	planBuf []plannedMove
+
+	// Structure-of-arrays mirrors of the hot per-tick state; see soa.go.
+	// The pointer structs above stay authoritative — these are derived
+	// views maintained at their sources' write sites so the event and
+	// sharded schedulers can run phase kernels as word-parallel scans.
+	occBits      []bitset      // occBits[l] bit h: segment (h,l) occupied
+	faultyBits   []bitset      // faultyBits[l] bit h: segment (h,l) fault-disabled
+	busyBits     []bitset      // busyBits[l] = occBits[l] | faultyBits[l] (segUsable's single load)
+	busyFlat     []uint64      // all busy levels contiguously: level l starts at word l*soaNW
+	soaNW        int           // words per level row in busyFlat (bitWords(Nodes))
+	occVB        []*VirtualBus // occVB[h*k+l]: occupying bus, nil when free
+	extBits      bitset        // slot bits: extending buses
+	bwdBits      bitset        // slot bits: backward-signal buses
+	awakeBits    bitset        // slot bits: compaction-awake buses
+	xferScan     bitset        // slot bits: wheel-woken transfers (forward phase only)
+	pendingBits  bitset        // node bits: non-empty insertion queues
+	pendingSlots []*request    // per-node inline queue slot (see initSoA)
+	incStatus    []uint8       // packed per-INC status bytes (soa.go consts)
+	// xferActive counts buses in VBTransferring/VBFinalPropagating. With
+	// the wake wheel those buses leave the per-tick scans, so the forward
+	// phase's progress flag can no longer be derived from visiting them;
+	// this counter preserves the naive scheduler's report exactly.
+	xferActive int
+	// wheel schedules dormant-transfer wakes (final-flit launch and
+	// arrival); a manual min-heap so pushes and pops stay allocation-free.
+	wheel []wakeEntry
+
+	// reqFree / reqArena recycle request structs (unicast only — a
+	// multicast request's dsts slice outlives insertion by aliasing the
+	// bus's Dsts) and payloadArena carves payload copies, so Send is
+	// allocation-free on the steady path.
+	reqFree      []*request
+	reqArena     []request
+	payloadArena []uint64
 	// sh is the sharded scheduler's runtime (arc-worker pool, per-arc
 	// scratch); nil unless Config.Scheduler == SchedulerSharded resolved
 	// to 2+ arcs (see initShard in sharded.go). When nil, Step takes the
@@ -142,6 +180,9 @@ type request struct {
 	// dsts lists every destination in clockwise order (one entry for
 	// unicast); the last entry is the circuit's final destination.
 	dsts []NodeID
+	// dstBuf inlines the unicast destination list so Send and retry
+	// never allocate one; dsts aliases dstBuf[:1] for unicast.
+	dstBuf [1]NodeID
 }
 
 // NewNetwork builds a network from cfg, applying documented defaults.
@@ -164,6 +205,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 		segFaultyFlat: make([]bool, cfg.Nodes*cfg.Buses),
 		incFaulty:     make([]bool, cfg.Nodes),
 		rec:           nopRecorder{},
+		// Message-scale slices start with one ring's worth of headroom:
+		// workloads submit at least O(Nodes) messages, and paying the
+		// append-doubling memmoves per network shows up in every benchmark
+		// that constructs one per iteration.
+		records:   make([]MsgRecord, 0, cfg.Nodes),
+		payloads:  make([][]uint64, 0, cfg.Nodes),
+		active:    make([]*VirtualBus, 0, cfg.Nodes),
+		wheel:     make([]wakeEntry, 0, cfg.Nodes),
+		delivered: make([]flit.Message, 0, cfg.Nodes),
+		vbFree:    make([]*VirtualBus, 0, cfg.Nodes),
+		reqFree:   make([]*request, 0, cfg.Nodes),
+		planBuf:   make([]plannedMove, 0, cfg.Nodes),
 	}
 	n.naive = cfg.Scheduler == SchedulerNaive
 	if cfg.Scheduler == SchedulerSharded {
@@ -174,11 +227,20 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	if cfg.Recorder != nil {
 		n.rec = cfg.Recorder
+		n.recOn = true
 	}
 	for h := range n.occ {
 		n.occ[h] = n.occFlat[h*cfg.Buses : (h+1)*cfg.Buses : (h+1)*cfg.Buses]
 		n.segFaulty[h] = n.segFaultyFlat[h*cfg.Buses : (h+1)*cfg.Buses : (h+1)*cfg.Buses]
 	}
+	n.initSoA()
+	// idDelay jitters the async CycleFSM countdowns. Lockstep networks
+	// never read it, but the draws must happen unconditionally anyway:
+	// every retry backoff and head-timeout randomization shares this RNG,
+	// so skipping N construction draws would shift the whole stream and
+	// silently change every fixed-seed trajectory (goldens, EXPERIMENTS
+	// numbers) while the scheduler differentials — which share the shifted
+	// stream — kept passing.
 	for i := range n.incs {
 		n.incs[i].idDelay = 1 + n.rng.Intn(cfg.JitterMax)
 	}
@@ -200,9 +262,20 @@ func (n *Network) Now() sim.Tick { return n.clock.Now() }
 func (n *Network) SetRecorder(r Recorder) {
 	if r == nil {
 		n.rec = nopRecorder{}
+		n.recOn = false
 		return
 	}
 	n.rec = r
+	n.recOn = true
+}
+
+// recVBEvent forwards a virtual-bus lifecycle event to the recorder. It
+// exists so the hot routing paths pay a single predictable branch — not
+// an interface dispatch — while no recorder is installed.
+func (n *Network) recVBEvent(now sim.Tick, vb *VirtualBus, kind string) {
+	if n.recOn {
+		n.rec.VBEvent(now, vb, kind)
+	}
 }
 
 // Distance reports the clockwise hop count from src to dst.
@@ -229,10 +302,12 @@ func (n *Network) Send(src, dst NodeID, payload []uint64) (flit.MessageID, error
 	}
 	n.nextMsg++
 	id := n.nextMsg
-	m := flit.Message{ID: id, Src: src, Dst: dst, Payload: append([]uint64(nil), payload...)}
-	req := &request{msg: m, enqueued: n.clock.Now(), dsts: []NodeID{dst}}
-	n.pending[src] = append(n.pending[src], req)
-	n.pendingCount++
+	m := flit.Message{ID: id, Src: src, Dst: dst, Payload: n.carvePayload(payload)}
+	req := n.allocReq()
+	*req = request{msg: m, enqueued: n.clock.Now()}
+	req.dstBuf[0] = dst
+	req.dsts = req.dstBuf[:1]
+	n.queuePush(src, req)
 	n.records = append(n.records, MsgRecord{
 		ID: id, Src: src, Dst: dst,
 		Distance:   n.Distance(src, dst),
@@ -545,7 +620,9 @@ func (n *Network) allocVB() (vb *VirtualBus, levels []int, taps []NodeID, ticks 
 	}
 	vb = &n.vbArena[0]
 	n.vbArena = n.vbArena[1:]
-	return vb, nil, nil, nil
+	// A fresh struct's taps start in its inline tapBuf (the slice header
+	// survives insert's wholesale overwrite — it points into vb itself).
+	return vb, nil, vb.tapBuf[:0], nil
 }
 
 // carveInts returns an int slice with length 0 and capacity c backed by
@@ -579,37 +656,112 @@ func (n *Network) carveTicks(c int) []sim.Tick {
 	return s
 }
 
+// carvePayload copies payload into arena-backed storage so Send stays
+// allocation-free on the steady path. Empty payloads share nil.
+func (n *Network) carvePayload(payload []uint64) []uint64 {
+	c := len(payload)
+	if c == 0 {
+		return nil
+	}
+	if c > 4096 {
+		// Oversized payloads fall back to a dedicated copy.
+		return append([]uint64(nil), payload...)
+	}
+	if len(n.payloadArena) < c {
+		// Amortized arena refill: one 16384-word chunk serves many copies.
+		n.payloadArena = make([]uint64, 16384)
+	}
+	s := n.payloadArena[:c:c]
+	n.payloadArena = n.payloadArena[c:]
+	copy(s, payload)
+	return s
+}
+
+// allocReq hands out a request struct for the caller to overwrite: a
+// recycled one from the freelist (insert parks unicast requests there
+// after copying the destination into the bus) or a slot carved off the
+// chunk arena.
+func (n *Network) allocReq() *request {
+	if m := len(n.reqFree); m > 0 {
+		req := n.reqFree[m-1]
+		n.reqFree[m-1] = nil
+		n.reqFree = n.reqFree[:m-1]
+		return req
+	}
+	if len(n.reqArena) == 0 {
+		//rmbvet:allow hotpath-alloc amortized arena refill: one chunk allocation serves the next 64 requests
+		n.reqArena = make([]request, 64)
+	}
+	req := &n.reqArena[0]
+	n.reqArena = n.reqArena[1:]
+	return req
+}
+
 // setState transitions a bus's lifecycle state, keeping the forward /
-// backward phase-population counters in sync. Every State write on a
-// registered bus must go through here.
+// backward phase-population counters and the SoA phase bitsets in sync.
+// Every State write on a registered bus must go through here (the
+// sharded forward worker's direct T→FP write is the one audited
+// exception: both states sit in the same populations, so every counter
+// and bit is unchanged by it).
 func (n *Network) setState(vb *VirtualBus, s VBState) {
 	switch vb.State {
-	case VBExtending, VBTransferring, VBFinalPropagating:
+	case VBExtending:
 		n.fwdActive--
+		n.extBits.clear(int(vb.slot))
+	case VBTransferring, VBFinalPropagating:
+		n.fwdActive--
+		n.xferActive--
 	case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
 		n.bwdActive--
+		n.bwdBits.clear(int(vb.slot))
 	case VBDone, VBRefused:
 		// Terminal states belong to neither phase population.
 	}
 	vb.State = s
 	switch s {
-	case VBExtending, VBTransferring, VBFinalPropagating:
+	case VBExtending:
 		n.fwdActive++
+		n.extBits.set(int(vb.slot))
+	case VBTransferring, VBFinalPropagating:
+		n.fwdActive++
+		n.xferActive++
 	case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
 		n.bwdActive++
+		n.bwdBits.set(int(vb.slot))
 	case VBDone, VBRefused:
 		// Terminal states belong to neither phase population.
 	}
 }
 
-// addVB registers a new virtual bus in the active set.
+// addVB registers a new virtual bus in the active set. IDs are assigned
+// monotonically and never reused, so the new bus always belongs at the
+// end — the set stays ID-sorted by construction and the bus's slot (its
+// bit index in the SoA phase bitsets) is simply the new length.
 func (n *Network) addVB(vb *VirtualBus) {
-	i := n.searchVB(vb.ID)
-	n.active = append(n.active, nil)
-	copy(n.active[i+1:], n.active[i:])
-	n.active[i] = vb
+	if m := len(n.active); m > 0 && n.active[m-1].ID >= vb.ID {
+		panic(fmt.Sprintf("core: vb%d registered out of ID order after vb%d", vb.ID, n.active[m-1].ID))
+	}
+	n.active = append(n.active, vb)
+	vb.slot = int32(len(n.active) - 1)
+	vb.parityMask, vb.bottomMask = levelMasks(vb.Levels)
+	n.growSlotBits()
+	// insert always registers buses in VBExtending; the other arms admit
+	// the conformance tests' hand-planted established buses.
+	switch vb.State {
+	case VBExtending:
+		n.extBits.set(int(vb.slot))
+		n.fwdActive++
+	case VBTransferring, VBFinalPropagating:
+		n.fwdActive++
+		n.xferActive++
+	case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
+		n.bwdActive++
+		n.bwdBits.set(int(vb.slot))
+	case VBDone, VBRefused:
+		// Terminal states belong to neither phase population.
+	}
+	n.awakeBits.set(int(vb.slot))
 	n.compactAwake++ // a fresh bus starts awake (compactQuiet is zero)
-	n.fwdActive++    // every bus is born extending
 }
 
 // removeVB unregisters a virtual bus that has fully torn down. The bus
@@ -647,6 +799,7 @@ func (n *Network) sweepRemoved() {
 	}
 	n.active = out
 	n.deadVBs = 0
+	n.rebuildSlots()
 }
 
 // wakeCompaction clears a bus's compaction-quiescence streak. Call sites
@@ -656,6 +809,7 @@ func (n *Network) sweepRemoved() {
 func (n *Network) wakeCompaction(vb *VirtualBus) {
 	if vb.compactQuiet >= compactQuietCycles {
 		n.compactAwake++
+		n.awakeBits.set(int(vb.slot))
 	}
 	vb.compactQuiet = 0
 }
@@ -665,34 +819,49 @@ func (n *Network) wakeCompaction(vb *VirtualBus) {
 func (n *Network) hopOf(node NodeID) int { return int(node) }
 
 // segFree reports whether segment l of hop h is unoccupied.
-func (n *Network) segFree(h, l int) bool { return n.occ[h][l] == 0 }
+func (n *Network) segFree(h, l int) bool { return n.occFlat[h*n.cfg.Buses+l] == 0 }
 
-// claimSeg marks segment l of hop h as used by vb. Claiming a faulty
-// segment is a protocol bug: every claim site checks segUsable/faultyAt
-// first, so dead hardware can never carry traffic.
-func (n *Network) claimSeg(h, l int, vb VBID) {
-	if n.occ[h][l] != 0 {
-		panic(fmt.Sprintf("core: segment hop %d level %d already occupied by vb%d, claimed by vb%d", h, l, n.occ[h][l], vb))
+// claimSeg marks segment l of hop h as used by vb, maintaining the
+// occupancy bitset and flat-occupant mirrors alongside the grid.
+// Claiming a faulty segment is a protocol bug: every claim site checks
+// segUsable/faultyAt first, so dead hardware can never carry traffic.
+func (n *Network) claimSeg(h, l int, vb *VirtualBus) {
+	idx := h*n.cfg.Buses + l
+	if n.occFlat[idx] != 0 {
+		panic(fmt.Sprintf("core: segment hop %d level %d already occupied by vb%d, claimed by vb%d", h, l, n.occFlat[idx], vb.ID))
 	}
-	if n.faultyAt(h, l) {
-		panic(fmt.Sprintf("core: faulty segment hop %d level %d claimed by vb%d", h, l, vb))
+	if n.segFaultyFlat[idx] || n.incFaulty[h] {
+		panic(fmt.Sprintf("core: faulty segment hop %d level %d claimed by vb%d", h, l, vb.ID))
 	}
-	n.occ[h][l] = vb
+	n.occFlat[idx] = vb.ID
+	n.occBits[l].set(h)
+	n.busyBits[l].set(h)
+	n.occVB[idx] = vb
 	n.busySegments++
 }
 
 // releaseSeg frees segment l of hop h, validating ownership. Freeing a
 // segment can enable a downward move for the bus on the segment directly
-// above, so that bus is woken for the next compaction cycle.
+// above, so that bus is woken for the next compaction cycle — the flat
+// occupant mirror hands it to us without the binary search lookupVB
+// used to pay here.
 func (n *Network) releaseSeg(h, l int, vb VBID) {
-	if n.occ[h][l] != vb {
-		panic(fmt.Sprintf("core: segment hop %d level %d owned by vb%d, released by vb%d", h, l, n.occ[h][l], vb))
+	idx := h*n.cfg.Buses + l
+	if n.occFlat[idx] != vb {
+		panic(fmt.Sprintf("core: segment hop %d level %d owned by vb%d, released by vb%d", h, l, n.occFlat[idx], vb))
 	}
-	n.occ[h][l] = 0
+	n.occFlat[idx] = 0
+	n.occBits[l].clear(h)
+	if !n.faultyBits[l].has(h) {
+		// A segment that went faulty while occupied stays busy: segUsable
+		// must keep reading it as permanently claimed.
+		n.busyBits[l].clear(h)
+	}
+	n.occVB[idx] = nil
 	n.busySegments--
 	if l+1 < n.cfg.Buses {
-		if above := n.occ[h][l+1]; above != 0 {
-			n.wakeCompaction(n.lookupVB(above))
+		if above := n.occVB[idx+1]; above != nil {
+			n.wakeCompaction(above)
 		}
 	}
 }

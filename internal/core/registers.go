@@ -15,32 +15,44 @@ import (
 // model exists to prove the recorded make-before-break sequences are
 // realizable bit by bit.
 type RegisterFile struct {
-	regs []PortStatus
+	// The k 3-bit codes are packed sixteen to a word in 4-bit fields —
+	// the same packed-register layout the scheduler's SoA mirrors use —
+	// so a whole INC's register bank reads and compares as a handful of
+	// machine words.
+	ports int
+	regs  []uint64
 }
 
 // NewRegisterFile builds a register file for k output ports, all unused.
 func NewRegisterFile(k int) *RegisterFile {
-	return &RegisterFile{regs: make([]PortStatus, k)}
+	return &RegisterFile{ports: k, regs: make([]uint64, (k+15)/16)}
 }
 
 // Get reports the status of output port out.
 func (r *RegisterFile) Get(out int) PortStatus {
-	if out < 0 || out >= len(r.regs) {
+	if out < 0 || out >= r.ports {
 		return StatusUnused
 	}
-	return r.regs[out]
+	return PortStatus(r.regs[out>>4] >> ((uint(out) & 15) * 4) & 0x7)
+}
+
+// put overwrites one packed 4-bit field; callers bounds-check first.
+func (r *RegisterFile) put(out int, s PortStatus) {
+	sh := (uint(out) & 15) * 4
+	w := &r.regs[out>>4]
+	*w = *w&^(0xF<<sh) | uint64(s)<<sh
 }
 
 // Set forces a port's code (used to seed pre-move state); the code must
 // be legal.
 func (r *RegisterFile) Set(out int, s PortStatus) error {
-	if out < 0 || out >= len(r.regs) {
-		return fmt.Errorf("core: register %d outside [0,%d)", out, len(r.regs))
+	if out < 0 || out >= r.ports {
+		return fmt.Errorf("core: register %d outside [0,%d)", out, r.ports)
 	}
 	if !s.Legal() {
 		return fmt.Errorf("core: refusing to set illegal code %s", s.Bits())
 	}
-	r.regs[out] = s
+	r.put(out, s)
 	return nil
 }
 
@@ -66,14 +78,14 @@ func (r *RegisterFile) Connect(out, offset int) error {
 	if err != nil {
 		return err
 	}
-	if out < 0 || out >= len(r.regs) {
-		return fmt.Errorf("core: register %d outside [0,%d)", out, len(r.regs))
+	if out < 0 || out >= r.ports {
+		return fmt.Errorf("core: register %d outside [0,%d)", out, r.ports)
 	}
-	next := r.regs[out] | bit
+	next := r.Get(out) | bit
 	if !next.Legal() {
 		return fmt.Errorf("core: connect would create disallowed code %s on port %d", next.Bits(), out)
 	}
-	r.regs[out] = next
+	r.put(out, next)
 	return nil
 }
 
@@ -85,13 +97,14 @@ func (r *RegisterFile) Disconnect(out, offset int) error {
 	if err != nil {
 		return err
 	}
-	if out < 0 || out >= len(r.regs) {
-		return fmt.Errorf("core: register %d outside [0,%d)", out, len(r.regs))
+	if out < 0 || out >= r.ports {
+		return fmt.Errorf("core: register %d outside [0,%d)", out, r.ports)
 	}
-	if r.regs[out]&bit == 0 {
+	cur := r.Get(out)
+	if cur&bit == 0 {
 		return fmt.Errorf("core: port %d is not fed from offset %+d", out, offset)
 	}
-	r.regs[out] &^= bit
+	r.put(out, cur&^bit)
 	return nil
 }
 

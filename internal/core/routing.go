@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rmb/internal/flit"
 	"rmb/internal/sim"
@@ -26,13 +27,51 @@ type transferProgress struct {
 // the slice surgery), so the active set is stable during the loop and is
 // swept once afterwards — no per-tick defensive copy, and no O(active)
 // pointer shift per individual teardown.
+//
+//rmbvet:hotpath
 func (n *Network) stepBackwardSignals(now sim.Tick) bool {
-	if !n.naive && n.bwdActive == 0 {
+	if n.naive {
+		// Reference kernel: the full-rescan walk over the active set.
+		progress := n.stepBackwardRange(now, 0, len(n.active))
+		n.sweepRemoved()
+		return progress
+	}
+	if n.bwdActive == 0 {
 		// No bus carries a backward signal, so the phase is a no-op (and
 		// no teardown can be pending: only this phase creates dead buses).
 		return false
 	}
-	progress := n.stepBackwardRange(now, 0, len(n.active))
+	// Word-parallel scan over the backward population. Slot order is ID
+	// order (addVB appends, sweeps re-densify), so the bits fire the same
+	// order-sensitive handlers — releaseSeg wake hooks, retry RNG draws —
+	// in exactly the sequence the reference walk does. Handlers only
+	// clear the visited bus's own bit, so the captured word stays valid.
+	progress := false
+	for w := range n.bwdBits {
+		m := n.bwdBits[w]
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			vb := n.active[i]
+			switch vb.State {
+			case VBHackReturning:
+				progress = true
+				vb.AckHop--
+				if vb.AckHop < 0 {
+					n.beginTransfer(now, vb)
+				}
+			case VBFackReturning, VBNackReturning, VBFaultReturning:
+				progress = true
+				n.freeTailHop(vb)
+				vb.AckHop--
+				if vb.AckHop < 0 {
+					n.finishTeardown(now, vb)
+				}
+			case VBExtending, VBTransferring, VBFinalPropagating, VBDone, VBRefused:
+				// Unreachable: bwdBits holds exactly the backward states.
+			}
+		}
+	}
 	n.sweepRemoved()
 	return progress
 }
@@ -45,6 +84,8 @@ func (n *Network) stepBackwardSignals(now sim.Tick) bool {
 // teardowns draw the retry RNG — so the sharded scheduler runs the
 // ranges sequentially in ascending arc order, which is exactly the
 // full-range walk.
+//
+//rmbvet:hotpath
 func (n *Network) stepBackwardRange(now sim.Tick, lo, hi int) bool {
 	progress := false
 	for i := lo; i < hi; i++ {
@@ -84,6 +125,11 @@ func (n *Network) freeTailHop(vb *VirtualBus) {
 	h := int(vb.HopNode(j, n.cfg.Nodes))
 	n.releaseSeg(h, vb.Levels[j], vb.ID)
 	vb.Levels = vb.Levels[:j]
+	if j < 64 {
+		m := ^(uint64(1) << uint(j))
+		vb.parityMask &= m
+		vb.bottomMask &= m
+	}
 	n.wakeCompaction(vb) // the shrunken tail relaxes the downstream ±1 bound
 }
 
@@ -92,13 +138,14 @@ func (n *Network) freeTailHop(vb *VirtualBus) {
 func (n *Network) finishTeardown(now sim.Tick, vb *VirtualBus) {
 	src := &n.incs[vb.Src]
 	src.sendActive--
+	n.refreshSendStatus(vb.Src)
 	switch vb.State {
 	case VBFackReturning:
 		n.setState(vb, VBDone) // removeVB below retires the quiescence slot
-		n.rec.VBEvent(now, vb, "torn-down")
+		n.recVBEvent(now, vb, "torn-down")
 	case VBNackReturning, VBFaultReturning:
 		n.setState(vb, VBRefused)
-		n.rec.VBEvent(now, vb, "torn-down")
+		n.recVBEvent(now, vb, "torn-down")
 		n.scheduleRetry(now, vb)
 	default:
 		panic(fmt.Sprintf("core: finishTeardown on vb%d in state %s", vb.ID, vb.State))
@@ -132,23 +179,29 @@ func (n *Network) scheduleRequeue(now sim.Tick, src NodeID, req *request) {
 	readyAt := now + n.backoffDelay(req.attempts)
 	//rmbvet:allow hotpath-alloc retry-wheel callbacks are closures by design; one per nacked insertion, never on the per-tick fast path
 	n.retries.Schedule(readyAt, func() {
-		n.pending[src] = append(n.pending[src], req)
-		n.pendingCount++
+		n.queuePush(src, req)
 	})
 	n.rec.Requeue(now, req.msg.ID, req.attempts, readyAt)
 }
 
 // scheduleRetry re-queues a refused message after randomized exponential
-// backoff.
+// backoff. The request comes from the freelist/arena and a unicast
+// destination lands in its inline buffer, so the per-nack cost is zero
+// allocations on the common path.
 func (n *Network) scheduleRetry(now sim.Tick, vb *VirtualBus) {
 	rec := n.record(vb.Msg)
-	//rmbvet:allow hotpath-alloc one request object per refused insertion; pooling it would tangle retry-wheel ownership for a per-nack cost
-	req := &request{
+	req := n.allocReq()
+	*req = request{
 		msg:      n.rebuiltMessage(vb),
 		enqueued: rec.Enqueued,
 		attempts: vb.Attempt,
-		//rmbvet:allow hotpath-alloc the retried request must own a copy: the bus and its Dsts backing array are recycled at teardown
-		dsts: append([]NodeID(nil), vb.Dsts...),
+	}
+	if len(vb.Dsts) == 1 {
+		req.dstBuf[0] = vb.Dsts[0]
+		req.dsts = req.dstBuf[:1]
+	} else {
+		//rmbvet:allow hotpath-alloc the retried multicast request must own a copy: the bus and its Dsts backing array are recycled at teardown
+		req.dsts = append([]NodeID(nil), vb.Dsts...)
 	}
 	n.scheduleRequeue(now, vb.Src, req)
 }
@@ -170,74 +223,202 @@ func (n *Network) beginTransfer(now sim.Tick, vb *VirtualBus) {
 	if rec := n.record(vb.Msg); rec != nil {
 		rec.Established = now
 	}
-	n.rec.VBEvent(now, vb, "established")
-	if vb.PayloadLen == 0 {
-		vb.progress.ffLaunchAt = now
-		vb.progress.ffScheduled = true
-	} else if cap(vb.progress.sendTicks) < vb.PayloadLen {
-		// One up-front buffer for the whole transfer instead of append
-		// growth (which memmoves the full history on every doubling).
-		vb.progress.sendTicks = n.carveTicks(vb.PayloadLen)
+	n.recVBEvent(now, vb, "established")
+	if n.naive {
+		// Reference path: the transfer is clocked tick by tick through
+		// clockData/pumpData/windowOpen below.
+		if vb.PayloadLen == 0 {
+			vb.progress.ffLaunchAt = now
+			vb.progress.ffScheduled = true
+		} else if cap(vb.progress.sendTicks) < vb.PayloadLen {
+			// One up-front buffer for the whole transfer instead of append
+			// growth (which memmoves the full history on every doubling).
+			vb.progress.sendTicks = n.carveTicks(vb.PayloadLen)
+		}
+		return
 	}
+	n.scheduleTransfer(now, vb)
+}
+
+// scheduleTransfer precomputes a transfer's entire flit timetable in
+// closed form, so the event and sharded schedulers never visit the bus
+// per tick: the per-tick pump recurrence collapses to
+//
+//	t_0 = now,  t_i = max(t_{i-1} + F, t_{i-W} + 2·span)   (W term when W > 0, i ≥ W)
+//
+// with F the flit cycle and W the Dack window — the i-th flit launches
+// one flit cycle after its predecessor unless flow control holds it
+// until the Dack for flit i−W returns (2·span round trip). The span is
+// constant while the circuit is established (len(Levels) changes only
+// during extension and teardown), so the whole schedule is known at the
+// Hack. The bus then sleeps on the wake wheel and resurfaces exactly
+// twice: at the final-flit launch (t_{L−1}+F) and, rescheduled there, at
+// the final-flit arrival. The naive scheduler keeps the per-tick pump,
+// so the 32-seed differential proves this closed form tick-identical to
+// the incremental clocking, Dack stalls and all.
+func (n *Network) scheduleTransfer(now sim.Tick, vb *VirtualBus) {
+	p := &vb.progress
+	L := vb.PayloadLen
+	if L == 0 {
+		p.ffLaunchAt = now
+		p.ffScheduled = true
+		n.wheelPush(now, vb) // header-only: the final flit launches this tick
+		return
+	}
+	f := sim.Tick(n.cfg.FlitCycle)
+	w := n.cfg.DackWindow
+	if w <= 0 {
+		// No flow-control stalls: the schedule is the arithmetic sequence
+		// t_i = now + i·F, so nothing needs materializing — updateArrivals
+		// recovers any flit's launch tick in closed form from
+		// TransferStart (== now, set by beginTransfer).
+		vb.DataSent = L
+		p.sendTicks = p.sendTicks[:0]
+		p.ffLaunchAt = now + sim.Tick(L)*f
+		p.ffScheduled = true
+		n.wheelPush(p.ffLaunchAt, vb)
+		return
+	}
+	if cap(p.sendTicks) < L {
+		p.sendTicks = n.carveTicks(L)
+	}
+	t := p.sendTicks[:L]
+	rt := sim.Tick(2 * vb.Span())
+	t[0] = now
+	for i := 1; i < L; i++ {
+		cur := t[i-1] + f
+		if i >= w {
+			if a := t[i-w] + rt; a > cur {
+				cur = a
+			}
+		}
+		t[i] = cur
+	}
+	p.sendTicks = t
+	vb.DataSent = L
+	p.ffLaunchAt = t[L-1] + f
+	p.ffScheduled = true
+	n.wheelPush(p.ffLaunchAt, vb)
+}
+
+// launchFinal is the event/sharded handler for a transferring bus's
+// final-flit-launch wake: the tick-for-tick twin of the transition arm
+// of clockData, minus the per-tick pumping the closed-form schedule
+// already did.
+func (n *Network) launchFinal(now sim.Tick, vb *VirtualBus) {
+	n.updateArrivals(now, vb)
+	n.setState(vb, VBFinalPropagating)
+	n.wakeCompaction(vb)
+	vb.progress.ffArriveAt = vb.progress.ffLaunchAt + sim.Tick(vb.Span())
+	n.recVBEvent(now, vb, "final-sent")
+	n.wheelPush(vb.progress.ffArriveAt, vb)
 }
 
 // stepForward advances header flits, clocks data flits, and moves final
 // flits toward the destination.
+//
+//rmbvet:hotpath
 func (n *Network) stepForward(now sim.Tick) bool {
-	if !n.naive && n.fwdActive == 0 {
+	if n.naive {
+		progress := false
+		// Reference kernel: the full-rescan walk over the active set. No
+		// forward-phase handler adds or removes buses, so the active slice
+		// can be ranged directly without a defensive copy.
+		for _, vb := range n.active {
+			switch vb.State {
+			case VBExtending:
+				if n.advanceHead(now, vb) {
+					progress = true
+				}
+			case VBTransferring:
+				if n.clockData(now, vb) {
+					progress = true
+				}
+			case VBFinalPropagating:
+				progress = true
+				n.updateArrivals(now, vb)
+				if now >= vb.progress.ffArriveAt {
+					n.deliver(now, vb)
+				}
+			case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
+				// Backward-path states; advanced by stepBackward.
+			case VBDone, VBRefused:
+				// Terminal states never sit in the active set; the auditor
+				// flags any that linger.
+			}
+		}
+		return progress
+	}
+	if n.fwdActive == 0 {
 		return false // no header, data, or final flit anywhere
 	}
-	progress := false
-	// No forward-phase handler adds or removes buses, so the active slice
-	// can be ranged directly without a defensive copy.
-	for _, vb := range n.active {
-		switch vb.State {
-		case VBExtending:
-			if n.advanceHead(now, vb) {
-				progress = true
+	// A dormant transfer is forward progress every tick it exists — the
+	// reference loop reports true for each transferring/final-propagating
+	// bus it visits — so the population count stands in for the visits
+	// the wake wheel eliminates. Snapshot before the handlers run: no bus
+	// enters the transfer population during the forward phase, so the
+	// phase-start count matches what the reference walk would have seen.
+	progress := n.xferActive > 0
+	n.wakeDue(now)
+	// Word-parallel scan over extending buses merged with wheel-woken
+	// transfers, clearing the ephemeral wake bits as each word is
+	// consumed. Slot order is ID order, so handlers fire in the reference
+	// walk's sequence; a handler only clears its own bus's bits, never a
+	// later bit of the merged word.
+	for w := range n.extBits {
+		m := n.extBits[w] | n.xferScan[w]
+		n.xferScan[w] = 0
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			vb := n.active[i]
+			switch vb.State {
+			case VBExtending:
+				if n.advanceHead(now, vb) {
+					progress = true
+				}
+			case VBTransferring:
+				n.launchFinal(now, vb) // woken at the final-flit launch tick
+			case VBFinalPropagating:
+				n.updateArrivals(now, vb)
+				if now >= vb.progress.ffArriveAt {
+					n.deliver(now, vb)
+				}
+			case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning, VBDone, VBRefused:
+				// Unreachable: the merged word holds extending buses and
+				// wheel-validated transfers only.
 			}
-		case VBTransferring:
-			if n.clockData(now, vb) {
-				progress = true
-			}
-		case VBFinalPropagating:
-			progress = true
-			n.updateArrivals(now, vb)
-			if now >= vb.progress.ffArriveAt {
-				n.deliver(now, vb)
-			}
-		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
-			// Backward-path states; advanced by stepBackward.
-		case VBDone, VBRefused:
-			// Terminal states never sit in the active set; the auditor
-			// flags any that linger.
 		}
 	}
 	return progress
 }
 
 // headCandidates lists the output levels the header may claim next, in
-// preference order, given its current input level. The returned slice
-// aliases a scratch array on the Network and is valid until the next call.
-func (n *Network) headCandidates(in int) []int {
+// preference order, given its current input level. Returned by value —
+// a three-slot array and its fill count — so insertion attempts touch
+// no shared scratch and provably never allocate (see
+// TestHeadCandidatesAllocFree).
+func (n *Network) headCandidates(in int) (cand [3]int32, cn int) {
 	k := n.cfg.Buses
-	c := n.headCand[:0]
 	switch n.cfg.HeadRule {
 	case HeadStrictTop:
-		c = append(c, k-1)
-		return c
+		cand[0] = int32(k - 1)
+		return cand, 1
 	case HeadStraightOnly:
-		c = append(c, in)
-		return c
+		cand[0] = int32(in)
+		return cand, 1
 	default: // HeadFlexible
-		c = append(c, in)
+		cand[0] = int32(in)
+		cn = 1
 		if in-1 >= 0 {
-			c = append(c, in-1)
+			cand[cn] = int32(in - 1)
+			cn++
 		}
 		if in+1 < k {
-			c = append(c, in+1)
+			cand[cn] = int32(in + 1)
+			cn++
 		}
-		return c
+		return cand, cn
 	}
 }
 
@@ -249,12 +430,20 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 	}
 	in := vb.Levels[len(vb.Levels)-1]
 	h := n.hopOf(vb.Head)
-	for _, l := range n.headCandidates(in) {
+	cand, cn := n.headCandidates(in)
+	for _, l32 := range cand[:cn] {
+		l := int(l32)
 		if !n.segUsable(h, l) {
 			continue
 		}
-		n.claimSeg(h, l, vb.ID)
+		n.claimSeg(h, l, vb)
 		vb.Levels = append(vb.Levels, l)
+		if j := len(vb.Levels) - 1; j < 64 {
+			vb.parityMask |= uint64((l+j)&1) << uint(j)
+			if l == 0 {
+				vb.bottomMask |= 1 << uint(j)
+			}
+		}
 		n.wakeCompaction(vb) // the new hop may be immediately switchable
 		head := int(vb.Head) + 1
 		if head >= n.cfg.Nodes {
@@ -262,7 +451,7 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 		}
 		vb.Head = NodeID(head)
 		vb.HeadWait = 0
-		n.rec.VBEvent(now, vb, "extended")
+		n.recVBEvent(now, vb, "extended")
 		if vb.Head == vb.nextTarget() {
 			n.reachTarget(now, vb)
 		}
@@ -276,7 +465,7 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 		n.setState(vb, VBNackReturning)
 		n.wakeCompaction(vb) // leaving VBExtending unpins a strict-top head hop
 		vb.AckHop = len(vb.Levels) - 1
-		n.rec.VBEvent(now, vb, "timeout")
+		n.recVBEvent(now, vb, "timeout")
 	}
 	return false
 }
@@ -290,7 +479,14 @@ func (n *Network) advanceHead(now sim.Tick, vb *VirtualBus) bool {
 func (n *Network) reachTarget(now sim.Tick, vb *VirtualBus) {
 	node := vb.Head
 	inc := &n.incs[node]
-	if inc.recvActive >= n.cfg.MaxRecvPerNode || n.incFaulty[node] {
+	// The event path consults the packed status byte; the naive oracle
+	// keeps reading the authoritative counters, so the 32-seed
+	// differential would surface any drift between the two.
+	refuse := n.incStatus[node]&(incRecvFull|incDown) != 0
+	if n.naive {
+		refuse = inc.recvActive >= n.cfg.MaxRecvPerNode || n.incFaulty[node]
+	}
+	if refuse {
 		if n.incFaulty[node] {
 			n.stats.FaultDestRefusals++
 		}
@@ -299,26 +495,28 @@ func (n *Network) reachTarget(now sim.Tick, vb *VirtualBus) {
 		n.setState(vb, VBNackReturning)
 		n.wakeCompaction(vb)
 		vb.AckHop = len(vb.Levels) - 1
-		n.rec.VBEvent(now, vb, "refused")
+		n.recVBEvent(now, vb, "refused")
 		return
 	}
 	inc.recvActive++
+	n.refreshRecvStatus(node)
 	vb.claimedTaps = append(vb.claimedTaps, node)
 	if node == vb.Dst {
 		n.setState(vb, VBHackReturning)
 		n.wakeCompaction(vb)
 		vb.AckHop = len(vb.Levels) - 1
-		n.rec.VBEvent(now, vb, "accepted")
+		n.recVBEvent(now, vb, "accepted")
 		return
 	}
 	vb.TapIdx++
-	n.rec.VBEvent(now, vb, "tap-accepted")
+	n.recVBEvent(now, vb, "tap-accepted")
 }
 
 // releaseTaps frees every receive port the circuit has claimed.
 func (n *Network) releaseTaps(vb *VirtualBus) {
 	for _, node := range vb.claimedTaps {
 		n.incs[node].recvActive--
+		n.refreshRecvStatus(node)
 	}
 	vb.claimedTaps = vb.claimedTaps[:0]
 	vb.TapIdx = 0
@@ -332,7 +530,7 @@ func (n *Network) clockData(now sim.Tick, vb *VirtualBus) bool {
 		n.setState(vb, VBFinalPropagating)
 		n.wakeCompaction(vb)
 		vb.progress.ffArriveAt = vb.progress.ffLaunchAt + sim.Tick(vb.Span())
-		n.rec.VBEvent(now, vb, "final-sent")
+		n.recVBEvent(now, vb, "final-sent")
 	}
 	return true
 }
@@ -342,6 +540,8 @@ func (n *Network) clockData(now sim.Tick, vb *VirtualBus) bool {
 // the read-only config), so the sharded scheduler's arc workers may call
 // it concurrently on distinct buses; the state transition the final
 // flit triggers stays with the caller.
+//
+//rmbvet:hotpath
 func (n *Network) pumpData(now sim.Tick, vb *VirtualBus) bool {
 	p := &vb.progress
 	if vb.DataSent < vb.PayloadLen {
@@ -375,10 +575,31 @@ func (n *Network) windowOpen(now sim.Tick, vb *VirtualBus) bool {
 }
 
 // updateArrivals advances the destination-arrival cursor: a flit clocked
-// onto the circuit at t is observed by the destination at t + span.
+// onto the circuit at t is observed by the destination at t + span. A
+// closed-form W=0 schedule (scheduleTransfer with the Dack window off)
+// materializes no timetable; its launch ticks are the arithmetic
+// sequence TransferStart + i·F, so the cursor advances by division.
 func (n *Network) updateArrivals(now sim.Tick, vb *VirtualBus) {
 	p := &vb.progress
 	d := sim.Tick(vb.Span())
+	if len(p.sendTicks) == 0 {
+		if vb.DataSent <= p.deliveredIdx {
+			return
+		}
+		lag := now - d - vb.TransferStart
+		if lag < 0 {
+			return
+		}
+		cnt := int(lag/sim.Tick(n.cfg.FlitCycle)) + 1
+		if cnt > vb.DataSent {
+			cnt = vb.DataSent
+		}
+		if cnt > p.deliveredIdx {
+			vb.DataDelivered += cnt - p.deliveredIdx
+			p.deliveredIdx = cnt
+		}
+		return
+	}
 	for p.deliveredIdx < len(p.sendTicks) && p.sendTicks[p.deliveredIdx]+d <= now {
 		p.deliveredIdx++
 		vb.DataDelivered++
@@ -410,7 +631,7 @@ func (n *Network) deliver(now sim.Tick, vb *VirtualBus) {
 	n.setState(vb, VBFackReturning)
 	n.wakeCompaction(vb)
 	vb.AckHop = len(vb.Levels) - 1
-	n.rec.VBEvent(now, vb, "delivered")
+	n.recVBEvent(now, vb, "delivered")
 }
 
 // stepInsertion attempts one insertion per node, scanning from a rotating
@@ -419,53 +640,98 @@ func (n *Network) deliver(now sim.Tick, vb *VirtualBus) {
 // allows: "a request can only be initiated if the top bus segment at that
 // INC is not being used to serve another request".
 func (n *Network) stepInsertion(now sim.Tick) bool {
+	nodes := n.cfg.Nodes
 	if !n.naive && n.pendingCount == 0 {
 		// Nothing queued anywhere; only the rotation (pure bookkeeping)
 		// must still advance to keep fairness identical.
 		n.insertRotate++
-		if n.insertRotate >= n.cfg.Nodes {
+		if n.insertRotate >= nodes {
 			n.insertRotate = 0
 		}
 		return false
 	}
 	progress := false
-	k := n.cfg.Buses
-	nodes := n.cfg.Nodes
-	node := n.insertRotate
-	for i := 0; i < nodes; i++ {
-		if node >= nodes {
-			node = 0
-		}
-		q := n.pending[node]
-		if len(q) > 0 {
-			inc := &n.incs[node]
-			h := n.hopOf(NodeID(node))
-			if n.faultyAt(h, k-1) {
-				// The top segment (or the whole INC) is down: the request is
-				// refused like a Nack and re-enters the randomized-backoff
-				// retry path instead of spinning in the queue.
-				req := q[0]
-				n.pending[node] = q[1:]
-				n.pendingCount--
-				req.attempts++
-				n.stats.FaultInsertRefusals++
-				n.scheduleRequeue(now, NodeID(node), req)
-				progress = true
-			} else if inc.sendActive < n.cfg.MaxSendPerNode && n.segFree(h, k-1) {
-				req := q[0]
-				n.pending[node] = q[1:]
-				n.pendingCount--
-				n.insert(now, NodeID(node), req)
+	if n.naive {
+		// Reference kernel: visit every node in rotation order.
+		node := n.insertRotate
+		for i := 0; i < nodes; i++ {
+			if node >= nodes {
+				node = 0
+			}
+			if n.insertTryNode(now, node) {
 				progress = true
 			}
+			node++
 		}
-		node++
+	} else {
+		// Word-parallel scan over nodes with non-empty queues, split at
+		// the rotation point so the visit order — [rotate, N) then
+		// [0, rotate) — matches the reference walk exactly; insertion
+		// order is observable through bus-ID assignment and the timeout
+		// RNG draw. Retry requeues fire no earlier than the next tick, so
+		// no pending bit is set mid-scan.
+		progress = n.insertScanRange(now, n.insertRotate, nodes)
+		if n.insertScanRange(now, 0, n.insertRotate) {
+			progress = true
+		}
 	}
 	n.insertRotate++
 	if n.insertRotate >= nodes {
 		n.insertRotate = 0
 	}
 	return progress
+}
+
+// insertScanRange walks pendingBits over nodes in [lo, hi), attempting
+// one insertion per flagged node.
+func (n *Network) insertScanRange(now sim.Tick, lo, hi int) bool {
+	progress := false
+	for w := lo >> 6; w<<6 < hi; w++ {
+		m := maskedWord(n.pendingBits, w, lo, hi)
+		for m != 0 {
+			node := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			if n.insertTryNode(now, node) {
+				progress = true
+			}
+		}
+	}
+	return progress
+}
+
+// insertTryNode attempts to insert the head of one node's queue: the
+// shared per-node body of both insertion kernels. A node may insert only
+// when the top bus segment of its INC is usable and its send-port budget
+// allows; a faulty top segment refuses the request into the
+// randomized-backoff retry path like a Nack.
+func (n *Network) insertTryNode(now sim.Tick, node int) bool {
+	if len(n.pending[node]) == 0 {
+		return false
+	}
+	k := n.cfg.Buses
+	h := n.hopOf(NodeID(node))
+	if n.faultyAt(h, k-1) {
+		// The top segment (or the whole INC) is down: the request is
+		// refused like a Nack and re-enters the randomized-backoff
+		// retry path instead of spinning in the queue.
+		req := n.queuePop(node)
+		req.attempts++
+		n.stats.FaultInsertRefusals++
+		n.scheduleRequeue(now, NodeID(node), req)
+		return true
+	}
+	// The event path gates on the packed status byte; the naive oracle
+	// keeps the authoritative counter so drift shows up differentially.
+	sendOK := n.incStatus[node]&incSendFull == 0
+	if n.naive {
+		sendOK = n.incs[node].sendActive < n.cfg.MaxSendPerNode
+	}
+	if sendOK && n.segFree(h, k-1) {
+		req := n.queuePop(node)
+		n.insert(now, NodeID(node), req)
+		return true
+	}
+	return false
 }
 
 // insert places a header flit on the top bus segment leaving src.
@@ -501,15 +767,25 @@ func (n *Network) insert(now sim.Tick, src NodeID, req *request) {
 		// Randomize in [T/2, 3T/2) so contending attempts desynchronize.
 		vb.HeadLimit = n.cfg.HeadTimeout/2 + 1 + n.rng.Intn(n.cfg.HeadTimeout)
 	}
-	n.claimSeg(n.hopOf(src), k-1, vb.ID)
+	if len(req.dsts) == 1 {
+		// Unicast: the destination moves into the bus's inline buffer and
+		// the request (whose dsts aliases its own inline buffer) returns
+		// to the freelist. Multicast keeps aliasing the request's slice,
+		// which therefore must keep its identity.
+		vb.dstBuf[0] = req.dsts[0]
+		vb.Dsts = vb.dstBuf[:1]
+		n.reqFree = append(n.reqFree, req)
+	}
+	n.claimSeg(n.hopOf(src), k-1, vb)
 	n.incs[src].sendActive++
+	n.refreshSendStatus(src)
 	n.addVB(vb)
 	n.stats.Insertions++
 	rec := n.record(req.msg.ID)
 	if rec != nil && rec.FirstInserted == 0 {
 		rec.FirstInserted = now
 	}
-	n.rec.VBEvent(now, vb, "inserted")
+	n.recVBEvent(now, vb, "inserted")
 	if vb.Head == vb.nextTarget() {
 		n.reachTarget(now, vb)
 	}

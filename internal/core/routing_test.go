@@ -267,3 +267,61 @@ func TestPendingRequestsDrainFIFO(t *testing.T) {
 		prev = r.FirstInserted
 	}
 }
+
+func TestHeadCandidatesAllocFree(t *testing.T) {
+	// headCandidates returns its three-slot candidate array by value.
+	// Every insertion attempt and head extension calls it, so a heap
+	// allocation here (the old shared-scratch design risked one whenever
+	// the slice escaped) would dominate saturated-workload profiles.
+	// AllocsPerRun pins it at exactly zero for every head rule.
+	for _, rule := range []HeadRule{HeadFlexible, HeadStrictTop, HeadStraightOnly} {
+		n := mustNetwork(t, Config{Nodes: 8, Buses: 4, Seed: 1, HeadRule: rule})
+		allocs := testing.AllocsPerRun(200, func() {
+			for in := 0; in < 4; in++ {
+				cand, cn := n.headCandidates(in)
+				if cn < 1 || cn > 3 {
+					t.Fatalf("%v: in=%d returned %d candidates", rule, in, cn)
+				}
+				_ = cand
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: headCandidates allocates %.1f times per run, want 0", rule, allocs)
+		}
+	}
+}
+
+func TestHeadCandidatesOrderAndIsolation(t *testing.T) {
+	// HeadFlexible prefers straight, then down, then up (Table 1's cost
+	// order), clipped at the level range edges.
+	n := mustNetwork(t, Config{Nodes: 8, Buses: 4, Seed: 1})
+	cases := []struct {
+		in   int
+		want []int32
+	}{
+		{0, []int32{0, 1}},    // bottom level: no down candidate
+		{1, []int32{1, 0, 2}}, // interior: straight, down, up
+		{3, []int32{3, 2}},    // top level: no up candidate
+	}
+	for _, c := range cases {
+		cand, cn := n.headCandidates(c.in)
+		got := cand[:cn]
+		if len(got) != len(c.want) {
+			t.Fatalf("in=%d: got %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("in=%d: got %v, want %v", c.in, got, c.want)
+			}
+		}
+		// By-value return: clobbering the caller's copy must not leak
+		// into a subsequent call's result.
+		for i := range cand {
+			cand[i] = -99
+		}
+		again, cn2 := n.headCandidates(c.in)
+		if cn2 != cn || again[0] != c.want[0] {
+			t.Fatalf("in=%d: candidate array not isolated across calls: %v", c.in, again[:cn2])
+		}
+	}
+}

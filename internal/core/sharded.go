@@ -41,6 +41,8 @@ package core
 // cheapest phase by profile, so Amdahl losses are small.
 
 import (
+	"math/bits"
+
 	"rmb/internal/shard"
 	"rmb/internal/sim"
 )
@@ -83,27 +85,24 @@ type shardState struct {
 	// scratch[a] is arc a's private kernel output, merged by the
 	// coordinator in arc order after each barrier.
 	scratch []arcScratch
-	// candAll is the reusable concatenation buffer for the insertion
-	// candidate walk.
-	candAll []int32
 }
 
 // arcScratch is one arc's kernel output. Padded so adjacent arcs' hot
-// writes do not share a cache line.
+// writes do not share a cache line. Arc workers never write shared
+// bitset words — adjacent arcs' slot ranges can split a word — so every
+// finding that must land in a shared bitset is recorded here and
+// applied by the sequential commit.
 type arcScratch struct {
-	// progress mirrors the sequential phase's progress flag for the
-	// arc's transferring / final-propagating buses.
-	progress bool
-	// awakeDelta accumulates compactAwake changes the arc observed:
-	// positive from forward-pass wake-ups, negative from compaction
-	// quiescence. Folded into the shared counter at commit.
+	// awakeDelta accumulates the compactAwake decrements from compaction
+	// quiescence the arc observed. Folded into the shared counter at
+	// commit.
 	awakeDelta int
 	// plan is the arc's compaction plan, in bus order within the arc.
 	plan []plannedMove
-	// cand lists the arc's nodes with non-empty insertion queues, in
-	// ascending node order.
-	cand []int32
-	_    [64]byte
+	// quiesced lists the slots whose buses crossed the quiescence
+	// threshold this cycle; the commit clears their awakeBits entries.
+	quiesced []int32
+	_        [64]byte
 }
 
 // initShard resolves the sharded configuration and builds the worker
@@ -154,55 +153,46 @@ func (n *Network) runArcs(par bool, fn func(arc int)) {
 // stepPhasesSharded runs one tick's four phases with the parallel
 // plan / sequential commit structure described in the file comment. The
 // phase order and every observable effect match the sequential path in
-// network.go exactly.
+// network.go exactly. With the SoA kernels, two of the four phases run
+// the event scheduler's word-walks verbatim (backward signals were
+// always sequential; the insertion scan is a bit-walk too cheap to
+// barrier), so the parallel sections shrink to the genuinely heavy
+// kernels: arrival-cursor advancement on wheel-woken transfers and
+// compaction planning.
 func (n *Network) stepPhasesSharded(now sim.Tick) bool {
 	sh := n.sh
 	progress := false
 	par := shardForceParallel || len(n.active)+n.pendingCount >= sh.cutoff
 
-	// Phase 1: backward signals — sequential, in arc order (== the full
-	// ID-order walk). See stepBackwardRange for why.
-	if n.bwdActive > 0 {
-		for a := 0; a < sh.arcs; a++ {
-			lo, hi := n.busRange(a)
-			if n.stepBackwardRange(now, lo, hi) {
-				progress = true
-			}
-		}
-		n.sweepRemoved()
+	// Phase 1: backward signals — sequential by necessity (releases wake
+	// the bus above, teardowns draw the retry RNG), so the event
+	// scheduler's bwdBits word-walk is used as-is.
+	if n.stepBackwardSignals(now) {
+		progress = true
 	}
 
-	// Phase 2: forward. Parallel section A pumps data and tracks final
-	// flits on the arcs' transferring / final-propagating buses, and
-	// piggybacks the insertion candidate scan (pending-queue lengths are
-	// frozen until phase 4 commits). The sequential commit then walks
-	// the whole active set in ID order: extending heads claim segments,
-	// flagged buses emit their events and deliver — the same per-bus
-	// effects, in the same order, as the event scheduler's single pass.
-	fwdWork := n.fwdActive > 0
-	insWork := n.pendingCount > 0
-	if fwdWork || insWork {
-		//rmbvet:allow hotpath-alloc one plan-dispatch closure per tick; hoisting it would park captured phase state on Network for no measured win
-		n.runArcs(par, func(a int) {
-			sc := &sh.scratch[a]
-			if fwdWork {
+	// Phase 2: forward. The wheel wakes this tick's due transfers into
+	// xferScan (sequential — pop order is heap order, but a wake only
+	// sets a bit). The parallel section advances the woken buses'
+	// arrival cursors and performs the population-neutral T→FP
+	// transition, deferring every shared-state effect to shardFlags; the
+	// sequential commit then walks extending buses merged with the woken
+	// set in slot (== ID) order, claiming head segments and emitting the
+	// deferred events — the same per-bus effects, in the same order, as
+	// the event scheduler's single pass.
+	if n.fwdActive > 0 {
+		if n.xferActive > 0 {
+			// Dormant transfers are forward progress every tick they
+			// exist, exactly as the reference loop reports them.
+			progress = true
+		}
+		woken := n.wakeDue(now)
+		if woken > 0 {
+			//rmbvet:allow hotpath-alloc one plan-dispatch closure per tick; hoisting it would park captured phase state on Network for no measured win
+			n.runArcs(par, func(a int) {
 				lo, hi := n.busRange(a)
-				n.forwardArcWorker(now, lo, hi, sc)
-			}
-			if insWork {
-				n.insertScanArc(sh.nodeBounds[a], sh.nodeBounds[a+1], sc)
-			}
-		})
-	}
-	if fwdWork {
-		for a := range sh.scratch {
-			sc := &sh.scratch[a]
-			if sc.progress {
-				progress = true
-				sc.progress = false
-			}
-			n.compactAwake += sc.awakeDelta
-			sc.awakeDelta = 0
+				n.forwardArcWorker(now, lo, hi)
+			})
 		}
 		if n.forwardCommit(now) {
 			progress = true
@@ -218,84 +208,94 @@ func (n *Network) stepPhasesSharded(now sim.Tick) bool {
 		}
 	}
 
-	// Phase 4: insertion — the candidate walk commits in rotation order.
-	if n.insertCommit(now, insWork) {
+	// Phase 4: insertion — the event scheduler's rotation-masked
+	// pendingBits walk, used as-is: insertion is order-sensitive end to
+	// end (bus-ID assignment, RNG draws), so there is nothing left to
+	// parallelize once the scan itself is a bit-walk.
+	if n.stepInsertion(now) {
 		progress = true
 	}
 	return progress
 }
 
-// forwardArcWorker runs the parallel half of the forward phase over
-// active[lo:hi): data pumping on transferring buses and arrival tracking
-// on final-propagating ones. All writes stay on the arc's own buses or
-// in sc; state transitions that would touch shared counters are either
-// phase-population-neutral (Transferring -> FinalPropagating keeps the
-// bus in the forward set, so State is written directly rather than via
-// setState) or deferred to the commit via shardFlags.
-func (n *Network) forwardArcWorker(now sim.Tick, lo, hi int, sc *arcScratch) {
-	for _, vb := range n.active[lo:hi] {
-		switch vb.State {
-		case VBTransferring:
-			sc.progress = true
-			n.updateArrivals(now, vb)
-			if n.pumpData(now, vb) {
+// forwardArcWorker runs the parallel half of the forward phase over the
+// wheel-woken transfers with slots in [lo, hi): arrival-cursor
+// advancement (the O(payload) part) and the population-neutral
+// Transferring -> FinalPropagating transition. All writes stay on the
+// arc's own buses (State is written directly rather than via setState:
+// both states sit in the same phase populations and neither owns a
+// phase bit, so every shared counter and bitset is untouched); effects
+// that must be ordered — events, the wake-wheel push, deliveries — are
+// deferred to the commit via shardFlags. The shared xferScan words are
+// read-only here; the commit consumes and clears them.
+func (n *Network) forwardArcWorker(now sim.Tick, lo, hi int) {
+	for w := lo >> 6; w<<6 < hi; w++ {
+		m := maskedWord(n.xferScan, w, lo, hi)
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			vb := n.active[i]
+			switch vb.State {
+			case VBTransferring:
+				n.updateArrivals(now, vb)
 				vb.State = VBFinalPropagating
-				// wakeCompaction, with the shared-counter half deferred.
-				if vb.compactQuiet >= compactQuietCycles {
-					sc.awakeDelta++
-				}
-				vb.compactQuiet = 0
 				vb.progress.ffArriveAt = vb.progress.ffLaunchAt + sim.Tick(vb.Span())
 				vb.shardFlags |= shardFinalSent
+			case VBFinalPropagating:
+				n.updateArrivals(now, vb)
+				if now >= vb.progress.ffArriveAt {
+					vb.shardFlags |= shardDeliver
+				}
+			case VBExtending, VBHackReturning, VBFackReturning, VBNackReturning,
+				VBFaultReturning, VBDone, VBRefused:
+				// Unreachable: wakeDue admits transfer states only.
 			}
-		case VBFinalPropagating:
-			sc.progress = true
-			n.updateArrivals(now, vb)
-			if now >= vb.progress.ffArriveAt {
-				vb.shardFlags |= shardDeliver
-			}
-		case VBExtending:
-			// Head claims contend across arcs; resolved by the commit
-			// walk in ID order.
-		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
-			// Backward-path states; advanced in phase 1.
-		case VBDone, VBRefused:
-			// Terminal states never survive phase 1's sweep.
 		}
 	}
 }
 
 // forwardCommit is the sequential half of the forward phase: one walk of
-// the active set in bus-ID order, performing exactly the order-sensitive
-// work the event scheduler's forward pass interleaves with the per-bus
+// the extending population merged with the wheel-woken transfers in
+// slot (== bus-ID) order, performing exactly the order-sensitive work
+// the event scheduler's forward pass interleaves with the per-bus
 // kernels — head advances (segment claims, receive-port accounting,
-// timeouts), the flagged final-sent events, and deliveries.
+// timeouts), the flagged final-sent events with their compaction wakes
+// and arrival-wheel pushes, and deliveries. The ephemeral xferScan bits
+// are cleared as each word is consumed.
 func (n *Network) forwardCommit(now sim.Tick) bool {
 	progress := false
-	for _, vb := range n.active {
-		switch vb.State {
-		case VBExtending:
-			if n.advanceHead(now, vb) {
-				progress = true
+	for w := range n.extBits {
+		m := n.extBits[w] | n.xferScan[w]
+		n.xferScan[w] = 0
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			vb := n.active[i]
+			switch vb.State {
+			case VBExtending:
+				if n.advanceHead(now, vb) {
+					progress = true
+				}
+			case VBFinalPropagating:
+				f := vb.shardFlags
+				if f == 0 {
+					continue
+				}
+				vb.shardFlags = 0
+				if f&shardFinalSent != 0 {
+					n.wakeCompaction(vb)
+					n.recVBEvent(now, vb, "final-sent")
+					n.wheelPush(vb.progress.ffArriveAt, vb)
+				}
+				if f&shardDeliver != 0 {
+					n.deliver(now, vb)
+				}
+			case VBTransferring, VBHackReturning, VBFackReturning, VBNackReturning,
+				VBFaultReturning, VBDone, VBRefused:
+				// Unreachable: the merged word holds extending buses and
+				// worker-processed transfers only (a woken Transferring bus
+				// left the state in the worker).
 			}
-		case VBFinalPropagating:
-			f := vb.shardFlags
-			if f == 0 {
-				continue
-			}
-			vb.shardFlags = 0
-			if f&shardFinalSent != 0 {
-				n.rec.VBEvent(now, vb, "final-sent")
-			}
-			if f&shardDeliver != 0 {
-				n.deliver(now, vb)
-			}
-		case VBTransferring:
-			// Fully handled by the arc workers.
-		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
-			// Backward-path states; advanced in phase 1.
-		case VBDone, VBRefused:
-			// Terminal states never survive phase 1's sweep.
 		}
 	}
 	return progress
@@ -322,11 +322,23 @@ func (n *Network) stepCompactionSharded(now sim.Tick, par bool) bool {
 		lo, hi := n.busRange(a)
 		n.compactPlanArc(cycle, lo, hi, &sh.scratch[a])
 	})
-	moved := false
+	// Retire every arc's quiesced buses before applying any plan: the
+	// sequential walk performs all noteQuiescent calls before the first
+	// applyMove, and an applyMove's release hook may re-wake a bus another
+	// arc just marked quiescent — clearing its bit afterwards would strand
+	// an awake bus outside the scan population.
 	for a := range sh.scratch {
 		sc := &sh.scratch[a]
 		n.compactAwake += sc.awakeDelta
 		sc.awakeDelta = 0
+		for _, s := range sc.quiesced {
+			n.awakeBits.clear(int(s))
+		}
+		sc.quiesced = sc.quiesced[:0]
+	}
+	moved := false
+	for a := range sh.scratch {
+		sc := &sh.scratch[a]
 		for _, p := range sc.plan {
 			n.applyMove(now, p.vb, p.hop)
 		}
@@ -338,112 +350,33 @@ func (n *Network) stepCompactionSharded(now sim.Tick, par bool) bool {
 	return moved
 }
 
-// compactPlanArc plans the arc's moves against the pre-cycle snapshot,
-// maintaining each bus's quiescence streak exactly as the sequential
-// scheduler does (the shared-awake half of the bookkeeping lands in
-// sc.awakeDelta).
+// compactPlanArc plans the moves of the awake buses with slots in
+// [lo, hi) against the pre-cycle snapshot, maintaining each bus's
+// quiescence streak exactly as the sequential scheduler does. The
+// shared halves of the bookkeeping — the compactAwake decrement and the
+// awakeBits clear (adjacent arcs can split a bitset word) — land in
+// sc.awakeDelta and sc.quiesced for the commit to apply; the walk reads
+// awakeBits words that only the commit mutates.
 func (n *Network) compactPlanArc(cycle int64, lo, hi int, sc *arcScratch) {
 	cyc := int(cycle & 1)
 	strictTop := n.cfg.HeadRule == HeadStrictTop
 	plan := sc.plan[:0]
-	for _, vb := range n.active[lo:hi] {
-		if vb.compactQuiet >= compactQuietCycles {
-			continue
-		}
-		var planned bool
-		plan, planned = n.planBusMoves(vb, cyc, strictTop, plan)
-		if !planned && vb.compactQuiet < compactQuietCycles {
-			vb.compactQuiet++
-			if vb.compactQuiet == compactQuietCycles {
-				sc.awakeDelta--
+	for w := lo >> 6; w<<6 < hi; w++ {
+		m := maskedWord(n.awakeBits, w, lo, hi)
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			vb := n.active[i]
+			var planned bool
+			plan, planned = n.planBusMoves(vb, cyc, strictTop, plan)
+			if !planned {
+				vb.compactQuiet++
+				if vb.compactQuiet == compactQuietCycles {
+					sc.awakeDelta--
+					sc.quiesced = append(sc.quiesced, int32(i))
+				}
 			}
 		}
 	}
 	sc.plan = plan
-}
-
-// insertScanArc lists the arc's nodes with queued requests, in ascending
-// node order. Queue lengths are frozen for the whole tick until the
-// insertion commit pops them, so this prefilter is exact.
-func (n *Network) insertScanArc(lo, hi int, sc *arcScratch) {
-	sc.cand = sc.cand[:0]
-	for node := lo; node < hi; node++ {
-		if len(n.pending[node]) > 0 {
-			sc.cand = append(sc.cand, int32(node))
-		}
-	}
-}
-
-// insertCommit is the sequential insertion phase over the pre-scanned
-// candidates: the concatenated arc lists are ascending in node ID, and
-// the walk starts at the rotating origin and wraps — visiting exactly
-// the non-empty queues the event scheduler's full scan would visit, in
-// the same order, with the same per-node decision body (and therefore
-// the same RNG draws for refusals and head limits).
-func (n *Network) insertCommit(now sim.Tick, insWork bool) bool {
-	nodes := n.cfg.Nodes
-	if !insWork {
-		// Nothing queued anywhere; only the rotation (pure bookkeeping)
-		// must still advance to keep fairness identical.
-		n.insertRotate++
-		if n.insertRotate >= nodes {
-			n.insertRotate = 0
-		}
-		return false
-	}
-	sh := n.sh
-	all := sh.candAll[:0]
-	for a := range sh.scratch {
-		all = append(all, sh.scratch[a].cand...)
-	}
-	// Lower bound of insertRotate in the ascending candidate list: the
-	// walk order is all[start:], all[:start].
-	lo, hi := 0, len(all)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if int(all[mid]) < n.insertRotate {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	start := lo
-	progress := false
-	k := n.cfg.Buses
-	for i := 0; i < len(all); i++ {
-		j := start + i
-		if j >= len(all) {
-			j -= len(all)
-		}
-		node := int(all[j])
-		q := n.pending[node]
-		if len(q) > 0 {
-			inc := &n.incs[node]
-			h := n.hopOf(NodeID(node))
-			if n.faultyAt(h, k-1) {
-				// The top segment (or the whole INC) is down: the request is
-				// refused like a Nack and re-enters the randomized-backoff
-				// retry path instead of spinning in the queue.
-				req := q[0]
-				n.pending[node] = q[1:]
-				n.pendingCount--
-				req.attempts++
-				n.stats.FaultInsertRefusals++
-				n.scheduleRequeue(now, NodeID(node), req)
-				progress = true
-			} else if inc.sendActive < n.cfg.MaxSendPerNode && n.segFree(h, k-1) {
-				req := q[0]
-				n.pending[node] = q[1:]
-				n.pendingCount--
-				n.insert(now, NodeID(node), req)
-				progress = true
-			}
-		}
-	}
-	sh.candAll = all[:0]
-	n.insertRotate++
-	if n.insertRotate >= nodes {
-		n.insertRotate = 0
-	}
-	return progress
 }

@@ -100,11 +100,10 @@ func (n *Network) INCStatusRegisters(node NodeID) []PortStatus {
 	out := make([]PortStatus, n.cfg.Buses)
 	h := n.hopOf(node)
 	for l := 0; l < n.cfg.Buses; l++ {
-		id := n.occ[h][l]
-		if id == 0 {
+		vb := n.occupant(h, l)
+		if vb == nil {
 			continue
 		}
-		vb := n.lookupVB(id)
 		j := n.hopIndex(vb, h)
 		if j < 0 {
 			continue

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"rmb/internal/sim"
+	"strings"
+	"testing"
+)
+
+// soaMidFlight builds a deterministic network with traffic in several
+// lifecycle stages: eight ring-shift circuits stepped past establishment,
+// one freshly inserted extending bus (node 8), and one queued request
+// behind it. The baseline must audit clean so each corruption test can
+// attribute the failure it then induces to its own mutation.
+func soaMidFlight(t *testing.T) *Network {
+	t.Helper()
+	n := mustNetwork(t, Config{Nodes: 12, Buses: 3, Seed: 7})
+	for s := 0; s < 8; s++ {
+		if _, err := n.Send(NodeID(s), NodeID((s+3)%12), make([]uint64, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	if _, err := n.Send(8, 2, make([]uint64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(8, 3, make([]uint64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	if err := n.auditMirrors(); err != nil {
+		t.Fatalf("mid-flight baseline must audit clean: %v", err)
+	}
+	return n
+}
+
+// findOccupied returns some (hop, level) the occ grid reports occupied.
+func findOccupied(t *testing.T, n *Network) (int, int) {
+	t.Helper()
+	for h := 0; h < n.cfg.Nodes; h++ {
+		for l := 0; l < n.cfg.Buses; l++ {
+			if n.occ[h][l] != 0 {
+				return h, l
+			}
+		}
+	}
+	t.Fatal("no occupied segment in mid-flight network")
+	return 0, 0
+}
+
+// findState returns an active bus in the given state.
+func findState(t *testing.T, n *Network, s VBState) *VirtualBus {
+	t.Helper()
+	for _, vb := range n.active {
+		if vb.State == s {
+			return vb
+		}
+	}
+	t.Fatalf("no active bus in state %s", s)
+	return nil
+}
+
+// TestAuditMirrorsDetectsCorruption proves the soa-coherence check is a
+// live tripwire, not a tautology: for every mirror family, desyncing the
+// mirror from its authoritative source makes auditMirrors fail with a
+// diagnostic naming that family. Each case corrupts a fresh mid-flight
+// network so failures cannot mask each other.
+func TestAuditMirrorsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    string
+		corrupt func(t *testing.T, n *Network)
+	}{
+		{"occBits-cleared", "occBits", func(t *testing.T, n *Network) {
+			h, l := findOccupied(t, n)
+			n.occBits[l].clear(h)
+		}},
+		{"occVB-nilled", "occVB", func(t *testing.T, n *Network) {
+			h, l := findOccupied(t, n)
+			n.occVB[h*n.cfg.Buses+l] = nil
+		}},
+		{"faultyBits-ghost-fault", "faultyBits", func(t *testing.T, n *Network) {
+			h, l := findOccupied(t, n)
+			n.faultyBits[l].set(h)
+		}},
+		{"busyBits-cleared", "busyBits", func(t *testing.T, n *Network) {
+			h, l := findOccupied(t, n)
+			n.busyBits[l].clear(h)
+		}},
+		{"busyFlat-aliases-busyBits", "busyBits", func(t *testing.T, n *Network) {
+			// The planner's flat view shares storage with the per-level
+			// bitsets; corrupting through it must trip the same check.
+			h, l := findOccupied(t, n)
+			n.busyFlat[l*n.soaNW+(h>>6)] &^= 1 << (uint(h) & 63)
+		}},
+		{"slot-misnumbered", "carries slot", func(t *testing.T, n *Network) {
+			n.active[0].slot = 99
+		}},
+		{"parityMask-flipped", "parity/bottom masks", func(t *testing.T, n *Network) {
+			findState(t, n, VBExtending).parityMask ^= 1
+		}},
+		{"bottomMask-stale-high-bit", "parity/bottom masks", func(t *testing.T, n *Network) {
+			findState(t, n, VBExtending).bottomMask ^= 1 << 63
+		}},
+		{"extBits-dropped", "extBits bit", func(t *testing.T, n *Network) {
+			vb := findState(t, n, VBExtending)
+			n.extBits.clear(int(vb.slot))
+		}},
+		{"extBits-stale-past-active", "extBits holds", func(t *testing.T, n *Network) {
+			// A bit beyond len(active) is invisible to the per-bus walk;
+			// the population cross-check must still catch it.
+			n.extBits.set(len(n.active))
+		}},
+		{"awakeBits-dropped", "awakeBits bit", func(t *testing.T, n *Network) {
+			vb := findState(t, n, VBExtending) // fresh bus: compactQuiet 0
+			n.awakeBits.clear(int(vb.slot))
+		}},
+		{"xferScan-leaked-bit", "xferScan word", func(t *testing.T, n *Network) {
+			n.xferScan.set(0)
+		}},
+		{"xferActive-drifted", "xferActive", func(t *testing.T, n *Network) {
+			n.xferActive++
+		}},
+		{"pendingBits-ghost-queue", "pendingBits bit", func(t *testing.T, n *Network) {
+			if len(n.pending[11]) != 0 {
+				t.Fatal("node 11 unexpectedly queues requests")
+			}
+			n.pendingBits.set(11)
+		}},
+		{"pendingBits-dropped-queue", "pendingBits bit", func(t *testing.T, n *Network) {
+			if len(n.pending[8]) == 0 {
+				t.Fatal("node 8 should hold the queued second request")
+			}
+			n.pendingBits.clear(8)
+		}},
+		{"incStatus-ghost-down", "incStatus", func(t *testing.T, n *Network) {
+			n.incStatus[11] ^= incDown
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := soaMidFlight(t)
+			c.corrupt(t, n)
+			err := n.auditMirrors()
+			if err == nil {
+				t.Fatalf("auditMirrors accepted corrupted %s mirror", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("audit error %q does not name %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestWakeWheelOrderingAndStaleEntries exercises the pointer-free wake
+// wheel directly: out-of-order pushes drain in deadline order, entries
+// whose bus was retired before the deadline are skipped via the ID
+// lookup, and a live transferring bus lands in xferScan.
+func TestWakeWheelOrderingAndStaleEntries(t *testing.T) {
+	n := mustNetwork(t, Config{Nodes: 8, Buses: 4, Seed: 1})
+	vb := &VirtualBus{ID: 1, Src: 0, Dst: 3, State: VBTransferring, Levels: []int{3}}
+	n.nextVB = 1
+	n.claimSeg(0, 3, vb)
+	n.addVB(vb)
+	// A registered bus already in a teardown state must not be woken.
+	torn := &VirtualBus{ID: 2, Src: 4, Dst: 6, State: VBNackReturning, Levels: []int{2}}
+	n.nextVB = 2
+	n.claimSeg(4, 2, torn)
+	n.addVB(torn)
+
+	stale := &VirtualBus{ID: 100} // never registered: retired before its deadline
+	n.wheelPush(5, stale)
+	n.wheelPush(3, vb)
+	n.wheelPush(8, &VirtualBus{ID: 101})
+	n.wheelPush(1, &VirtualBus{ID: 102})
+	n.wheelPush(4, torn)
+
+	if woken := n.wakeDue(2); woken != 0 {
+		t.Fatalf("wakeDue(2) woke %d buses; only the stale at=1 entry was due", woken)
+	}
+	if len(n.wheel) != 4 {
+		t.Fatalf("wheel holds %d entries after draining at<=2, want 4", len(n.wheel))
+	}
+	if woken := n.wakeDue(5); woken != 1 {
+		t.Fatalf("wakeDue(5) woke %d buses, want 1 (the live transferring bus)", woken)
+	}
+	if !n.xferScan.has(int(vb.slot)) {
+		t.Fatal("live transferring bus missing from xferScan after its wake")
+	}
+	if n.xferScan.has(int(torn.slot)) {
+		t.Fatal("nack-returning bus must not be woken into xferScan")
+	}
+	if len(n.wheel) != 1 || n.wheel[0].at != 8 {
+		t.Fatalf("wheel should hold only the at=8 entry, got %v", n.wheel)
+	}
+}
+
+// TestWakeWheelHeapProperty drains a larger push sequence one deadline
+// at a time and checks the heap head never goes backwards.
+func TestWakeWheelHeapProperty(t *testing.T) {
+	n := mustNetwork(t, Config{Nodes: 8, Buses: 2, Seed: 1})
+	ats := []int{9, 2, 7, 4, 1, 8, 4, 3, 6, 5}
+	for i, at := range ats {
+		n.wheelPush(sim.Tick(at), &VirtualBus{ID: VBID(1000 + i)})
+	}
+	prev := sim.Tick(0)
+	for len(n.wheel) > 0 {
+		head := n.wheel[0].at
+		if head < prev {
+			t.Fatalf("heap head went backwards: %d after %d", head, prev)
+		}
+		prev = head
+		n.wakeDue(head) // all IDs are stale, so this only pops
+	}
+}

@@ -160,6 +160,32 @@ type VirtualBus struct {
 	// stable and the event-driven scheduler skips it until a wake event;
 	// see Network.wakeCompaction.
 	compactQuiet int8
+
+	// slot is this bus's current index in Network.active — the bit index
+	// the SoA phase bitsets (ext/bwd/awake/xferScan) use for it. Kept
+	// exact by addVB and rebuildSlots; see soa.go.
+	slot int32
+
+	// parityMask bit j holds (Levels[j]+j) & 1 and bottomMask bit j holds
+	// Levels[j] == 0, both for hop offsets j < 64. The compaction planner
+	// combines them into a candidate mask so a cycle only visits hops
+	// whose segment parity can match (and skips bottomed-out hops
+	// outright); see planBusMoves. addVB derives both from Levels, and
+	// every later Levels mutation (advanceHead append, applyMove sink,
+	// freeTailHop pop) updates the affected bit in place.
+	parityMask uint64
+	bottomMask uint64
+
+	// dstBuf inlines the destination list for unicast circuits so insert
+	// and retry never allocate one. Dsts aliases dstBuf[:1] for unicast
+	// and a caller-provided slice for multicast.
+	dstBuf [1]NodeID
+
+	// tapBuf inlines claimedTaps' backing array for circuits with up to
+	// two receive taps (every unicast, most multicasts), so reachTarget's
+	// first tap claim never allocates. Wider fan-outs spill to an
+	// append-grown slice that then recycles with the struct.
+	tapBuf [2]NodeID
 }
 
 // Span reports the number of hops the bus currently occupies.

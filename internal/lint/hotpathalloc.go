@@ -7,24 +7,29 @@ import (
 )
 
 // analyzerHotpathAlloc keeps the per-tick simulation path allocation-free.
-// It roots at every method named Step in internal/core, walks the
-// intra-package call graph beneath them, and flags the constructs that
-// force a heap allocation every tick: make/new calls, slice and map
-// composite literals, heap-escaping &T{...} composites, closures, and
-// append calls whose result escapes the slice it grew (so growth cannot
-// amortize). The arena carve-out helpers and the retry-wheel closure are
-// deliberate amortized allocations and carry audited waivers; everything
-// else on the path must stay on the stack. The audit helpers are excluded
-// — they build maps by design and only run under cfg.Audit or the
-// invariants build tag, never on the measured path.
+// It roots at every method named Step in internal/core plus every
+// function carrying a "//rmbvet:hotpath" doc directive — the SoA scan
+// kernels and wheel/queue helpers declare themselves hot that way, so
+// coverage survives even if a scheduler rework detaches one from Step's
+// intra-package call graph (a method value, a build-tagged caller). From
+// the roots it walks the call graph and flags the constructs that force
+// a heap allocation every tick: make/new calls, slice and map composite
+// literals, heap-escaping &T{...} composites, closures, and append calls
+// whose result escapes the slice it grew (so growth cannot amortize).
+// The arena carve-out helpers and the retry-wheel closure are deliberate
+// amortized allocations and carry audited waivers; everything else on
+// the path must stay on the stack. The audit helpers are excluded — they
+// build maps by design and only run under cfg.Audit or the invariants
+// build tag, never on the measured path.
 func analyzerHotpathAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpath-alloc",
-		Doc: "Functions reachable from a Step method in internal/core must not " +
-			"allocate per tick: no make/new, no slice or map literals, no " +
-			"escaping composites or closures, and append results must feed " +
-			"back into their source slice. Amortized arena refills carry " +
-			"audited rmbvet:allow waivers.",
+		Doc: "Functions reachable from a Step method in internal/core, or " +
+			"marked with a //rmbvet:hotpath directive, must not allocate per " +
+			"tick: no make/new, no slice or map literals, no escaping " +
+			"composites or closures, and append results must feed back into " +
+			"their source slice. Amortized arena refills carry audited " +
+			"rmbvet:allow waivers.",
 	}
 	a.Run = func(m *Module, pkg *Package) []Diagnostic {
 		if !inTier(pkg.Path, "internal/core") {
@@ -35,7 +40,10 @@ func analyzerHotpathAlloc() *Analyzer {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
 				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || fd.Name.Name != "Step" || fd.Recv == nil {
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if (fd.Name.Name != "Step" || fd.Recv == nil) && !hotpathDirective(fd) {
 					continue
 				}
 				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
@@ -119,6 +127,21 @@ func analyzerHotpathAlloc() *Analyzer {
 		return out
 	}
 	return a
+}
+
+// hotpathDirective reports whether the function's doc comment carries a
+// "//rmbvet:hotpath" directive (Go directive form: no space after the
+// slashes). Prose that merely mentions the directive is not one.
+func hotpathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//rmbvet:hotpath" || strings.HasPrefix(c.Text, "//rmbvet:hotpath ") {
+			return true
+		}
+	}
+	return false
 }
 
 // isBuiltin reports whether the call invokes the named Go builtin.

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -13,17 +14,23 @@ import (
 // arc-ordered commit half. The analyzer roots at each function literal
 // handed to a runArcs dispatch, walks the intra-package call graph under
 // it, and flags writes rooted at the dispatching type plus any rng/rec
-// access on the way. The discipline is what makes the sharded scheduler
-// bit-identical to the sequential ones; a single stray write here shows
-// up as a once-in-a-thousand-seeds divergence, which is exactly the class
-// of bug a differential test finds late and an analyzer finds instantly.
+// access on the way. It also taints reference-typed arguments one call
+// deep: when a plan-phase call hands a callee a slice, map, or pointer
+// rooted in shared state (an SoA bitset word view, the occupant mirror,
+// the plan buffer), writes through the receiving parameter are shared
+// writes wearing a local name, and are flagged at the write site. The
+// discipline is what makes the sharded scheduler bit-identical to the
+// sequential ones; a single stray write here shows up as a
+// once-in-a-thousand-seeds divergence, which is exactly the class of bug
+// a differential test finds late and an analyzer finds instantly.
 func analyzerShardCommit() *Analyzer {
 	a := &Analyzer{
 		Name: "shard-commit",
 		Doc: "Code reachable from a runArcs plan closure must not mutate shared " +
-			"network state, draw randomness, or emit recorder events; those " +
-			"belong to the sequential arc-ordered commit. Guards the sharded " +
-			"scheduler's bit-identical-to-sequential guarantee.",
+			"network state, draw randomness, or emit recorder events — nor " +
+			"write through reference-typed arguments that alias shared state; " +
+			"those belong to the sequential arc-ordered commit. Guards the " +
+			"sharded scheduler's bit-identical-to-sequential guarantee.",
 	}
 	a.Run = func(m *Module, pkg *Package) []Diagnostic {
 		if !inTier(pkg.Path, "internal/core") {
@@ -85,6 +92,49 @@ func analyzerShardCommit() *Analyzer {
 		}
 
 		var out []Diagnostic
+		// calleeDecl resolves a call to its same-package declaration.
+		calleeDecl := func(call *ast.CallExpr) *ast.FuncDecl {
+			var obj types.Object
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				obj = pkg.Info.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = pkg.Info.Uses[fun.Sel]
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return nil
+			}
+			return decls[fn]
+		}
+		// paramIdent maps a positional argument to the parameter name that
+		// receives it (nil for unnamed or variadic-overflow arguments).
+		paramIdent := func(fd *ast.FuncDecl, i int) *ast.Ident {
+			for _, field := range fd.Type.Params.List {
+				names := len(field.Names)
+				if names == 0 {
+					names = 1
+				}
+				if i < names {
+					if len(field.Names) == 0 {
+						return nil
+					}
+					return field.Names[i]
+				}
+				i -= names
+			}
+			return nil
+		}
+		// referenceType reports whether writes through a value of this type
+		// can reach the argument's backing storage.
+		referenceType := func(t types.Type) bool {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Pointer:
+				return true
+			}
+			return false
+		}
+		seen := make(map[string]bool) // dedupe repeated calls to one callee
 		flagWrite := func(lhs ast.Expr) {
 			named := sharedRoot(lhs)
 			if named == nil {
@@ -109,6 +159,56 @@ func analyzerShardCommit() *Analyzer {
 				case *ast.IncDecStmt:
 					flagWrite(n.X)
 				case *ast.CallExpr:
+					// One-level argument taint: a reference-typed argument
+					// rooted in shared state makes writes through the
+					// receiving parameter shared writes under a local name.
+					if fd := calleeDecl(n); fd != nil && fd.Body != nil {
+						for i, arg := range n.Args {
+							named := sharedRoot(arg)
+							if named == nil {
+								continue
+							}
+							param := paramIdent(fd, i)
+							if param == nil {
+								continue
+							}
+							obj := pkg.Info.Defs[param]
+							if obj == nil || !referenceType(obj.Type()) {
+								continue
+							}
+							ast.Inspect(fd.Body, func(w ast.Node) bool {
+								var targets []ast.Expr
+								switch w := w.(type) {
+								case *ast.AssignStmt:
+									targets = w.Lhs
+								case *ast.IncDecStmt:
+									targets = []ast.Expr{w.X}
+								default:
+									return true
+								}
+								for _, lhs := range targets {
+									id := rootIdent(lhs)
+									if id == nil || pkg.Info.Uses[id] != obj {
+										continue
+									}
+									if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+										continue // rebinding the local copy
+									}
+									key := fmt.Sprintf("%v:%s", lhs.Pos(), param.Name)
+									if seen[key] {
+										continue
+									}
+									seen[key] = true
+									if d, ok := diag(m, pkg, a.Name, lhs.Pos(),
+										"plan-phase write through parameter %s of %s, which receives shared %s state from an arc worker: writes through plan-phase arguments belong in the sequential commit",
+										param.Name, fd.Name.Name, named.Obj().Name()); ok {
+										out = append(out, d)
+									}
+								}
+								return true
+							})
+						}
+					}
 					sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
 					if !ok || sharedRoot(sel.X) == nil {
 						return true

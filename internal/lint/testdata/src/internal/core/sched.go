@@ -25,17 +25,26 @@ func (s *Sched) runArcs(fn func(a int)) {
 	}
 }
 
-// Tick seeds three shard-commit violations inside the plan closure — a
-// shared-state write, an RNG draw, a recorder event — plus a transitive
-// one through scanArc.
+// Tick seeds four shard-commit violations inside the plan closure — a
+// shared-state write, an RNG draw, a recorder event, and a write through
+// shared backing storage handed to fillArc as an argument — plus a
+// transitive one through scanArc.
 func (s *Sched) Tick() {
 	s.runArcs(func(a int) {
 		s.counter++
 		_ = s.rng.Intn(3)
 		s.rec.Event(a)
 		s.scanArc(a)
+		fillArc(s.buses, a)
 	})
 	s.commit()
+}
+
+// fillArc seeds the writes-through-arguments class: the plan closure
+// hands it shared backing storage, so the parameter write below is a
+// shared write wearing a local name.
+func fillArc(dst []int, a int) {
+	dst[a] = a
 }
 
 // scanArc seeds the transitive class: a shared write in a method only

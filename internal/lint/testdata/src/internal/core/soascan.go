@@ -1,0 +1,18 @@
+package core
+
+// scanOccupancy mirrors an SoA word-scan kernel that is not reachable
+// from any Step method — the rmbvet:hotpath directive roots it in the
+// hotpath-alloc analyzer directly. It deliberately allocates its hit
+// list per call, which the analyzer must flag.
+//
+//rmbvet:hotpath
+func (e *Engine) scanOccupancy(words []uint64) int {
+	hits := make([]int, 0, 8)
+	for w, v := range words {
+		for v != 0 {
+			hits = append(hits, w)
+			v &= v - 1
+		}
+	}
+	return len(hits)
+}

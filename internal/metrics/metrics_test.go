@@ -224,9 +224,9 @@ func TestPercentileNearestRankSmallN(t *testing.T) {
 // bucket's upper edge lands in the overflow bucket, not the last bucket.
 func TestHistogramBucketBoundaries(t *testing.T) {
 	cases := []struct {
-		name       string
-		x          float64
-		bucket     int // -1 means overflow
+		name   string
+		x      float64
+		bucket int // -1 means overflow
 	}{
 		{"zero", 0, 0},
 		{"negative clamps to zero", -3, 0},
