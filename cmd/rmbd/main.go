@@ -1,0 +1,178 @@
+// Command rmbd serves RMB simulations as jobs over HTTP: submit a
+// network config plus workload (and optionally a fault plan) as JSON,
+// poll status, stream the JSONL telemetry trace, and fetch the results
+// when the run completes. Concurrent jobs multiplex over a bounded
+// worker pool with a bounded admission queue; when the queue is full,
+// submissions bounce with 429 + Retry-After instead of piling up.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops,
+// every running job freezes at its next tick boundary, and (with
+// -checkpoint-dir) each frozen job is written to <id>.ckpt — a later
+// rmbd started with the same directory resumes them bit-identically.
+//
+// Usage examples:
+//
+//	rmbd -addr :8080
+//	rmbd -addr :8080 -workers 4 -queue 32
+//	rmbd -addr :8080 -checkpoint-dir /var/lib/rmbd
+//
+//	curl -s localhost:8080/api/v1/jobs -d '{"config":{"Nodes":16,"Buses":4},"workload":{"rate":0.02,"measure":20000},"trace":true}'
+//	curl -s localhost:8080/api/v1/jobs/j1
+//	curl -s localhost:8080/api/v1/jobs/j1/trace
+//	curl -s localhost:8080/api/v1/jobs/j1/result
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rmb/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	queue := flag.Int("queue", 16, "admission queue depth (full queue bounces submissions with 429)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for drain checkpoints; *.ckpt files found at startup are resumed")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *ckptDir, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "rmbd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, ckptDir string, drainTimeout time.Duration) error {
+	m, err := service.NewManager(workers, queue)
+	if err != nil {
+		return err
+	}
+
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+		n, err := resumeFromDir(m, ckptDir)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "rmbd: resumed %d checkpointed job(s) from %s\n", n, ckptDir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		m.Close()
+		return err
+	}
+	srv := &http.Server{Handler: service.NewAPI(m).Handler()}
+	errCh := make(chan error, 1)
+	fmt.Fprintf(os.Stderr, "rmbd: listening on %s (%d workers, queue depth %d)\n", ln.Addr(), workers, queue)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		m.Close()
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "rmbd: %v: draining (timeout %s)\n", sig, drainTimeout)
+	}
+
+	// Drain order matters: stop admitting HTTP traffic first, then freeze
+	// the jobs, then persist. A second signal aborts the wait.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigCh
+		cancel()
+	}()
+
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "rmbd: http shutdown: %v\n", err)
+	}
+
+	if ckptDir == "" {
+		// Nowhere to persist: cancel outright rather than freezing state
+		// that would be dropped on the floor.
+		m.Close()
+		return nil
+	}
+
+	cks, err := m.Drain(ctx)
+	if err != nil {
+		m.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	for i := range cks {
+		if err := writeCheckpointFile(ckptDir, &cks[i]); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rmbd: drained; %d job(s) checkpointed to %s\n", len(cks), ckptDir)
+	return nil
+}
+
+// resumeFromDir admits every *.ckpt in dir and removes the files it
+// consumed (a crash between resume and removal re-resumes the same
+// checkpoint, which is safe: job IDs collide into fresh ones and the
+// run is deterministic either way).
+func resumeFromDir(m *service.Manager, dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		return 0, err
+	}
+	resumed := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return resumed, err
+		}
+		ck, err := service.DecodeCheckpoint(data)
+		if err != nil {
+			return resumed, fmt.Errorf("%s: %w", path, err)
+		}
+		if _, err := m.Resume(*ck); err != nil {
+			if errors.Is(err, service.ErrQueueFull) {
+				// Leave the file for the next start rather than dropping it.
+				fmt.Fprintf(os.Stderr, "rmbd: queue full, leaving %s for next start\n", path)
+				continue
+			}
+			return resumed, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := os.Remove(path); err != nil {
+			return resumed, err
+		}
+		resumed++
+	}
+	return resumed, nil
+}
+
+// writeCheckpointFile persists one drained job as <id>.ckpt, writing
+// through a temp file so a crash never leaves a torn checkpoint behind.
+func writeCheckpointFile(dir string, ck *service.Checkpoint) error {
+	data, err := service.EncodeCheckpoint(ck)
+	if err != nil {
+		return err
+	}
+	dst := filepath.Join(dir, ck.ID+".ckpt")
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}

@@ -1,0 +1,654 @@
+package core
+
+// Full-state checkpointing: WriteCheckpoint serializes a quiescent-
+// between-ticks Network completely enough that ReadCheckpoint rebuilds a
+// network whose future behaviour — every RNG draw, recorder event, stat
+// and delivery — is bit-identical to the original's, which the 32-seed
+// checkpoint differential in checkpoint_test.go pins down. This is
+// distinct from the observational Snapshot (snapshot.go): a Snapshot is a
+// read-only rendering for observers and deliberately omits internals; a
+// checkpoint is the internals.
+//
+// What gets serialized and what gets rebuilt:
+//
+//   - Serialized: the effective Config (recorder excluded, fault plan
+//     cleared — pending fault timers are captured individually), the
+//     clock, the RNG state, every live VirtualBus (including transfer
+//     progress and compaction quiescence), per-INC FSM state and port
+//     counters, the insertion queues, the retry wheel and fault timer
+//     queues (via the serializable payloads attached at their Schedule
+//     sites — closures cannot round-trip), the transfer wake wheel (its
+//     raw heap array, already pointer-free), message records, payloads,
+//     the delivered log, stats, and the Async dirty set.
+//   - Rebuilt on load: the occupancy grid (replayed from each bus's
+//     Levels through claimSeg), every SoA mirror (occ/faulty/busy
+//     bitsets, flat occupant view, phase bitsets, packed INC status),
+//     the phase population counters, fault flag mirrors, and the
+//     allocation pools (which are non-semantic). Audit() then verifies
+//     the reconstruction wholesale, so a corrupt checkpoint surfaces as
+//     an error instead of undefined simulation.
+//
+// The envelope is versioned and checksummed (FNV-64a over the state
+// bytes), so truncation and bit-rot are detected before any state is
+// interpreted. Checkpoints are only valid at tick boundaries — between
+// Step calls — where the per-phase scratch (xferScan, shardFlags, the
+// dead-bus backlog) is provably empty.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"rmb/internal/flit"
+	"rmb/internal/sim"
+)
+
+// CheckpointVersion is the current checkpoint format version. Readers
+// reject other versions outright: the format mirrors internal state, so
+// cross-version migration would be a false promise.
+const CheckpointVersion = 1
+
+// checkpointMagic guards against feeding arbitrary JSON to the reader.
+const checkpointMagic = "rmb-checkpoint"
+
+// checkpointEnvelope is the outer frame: version + checksum + raw state.
+type checkpointEnvelope struct {
+	Magic   string          `json:"magic"`
+	Version int             `json:"version"`
+	Sum     uint64          `json:"sum"`
+	State   json.RawMessage `json:"state"`
+}
+
+// ckptVB serializes one live VirtualBus, exported and unexported fields
+// alike (slot is positional and masks are derived, so neither is stored).
+type ckptVB struct {
+	ID            VBID           `json:"id"`
+	Msg           flit.MessageID `json:"msg"`
+	Src           NodeID         `json:"src"`
+	Dst           NodeID         `json:"dst"`
+	Dsts          []NodeID       `json:"dsts,omitempty"`
+	TapIdx        int            `json:"tapIdx,omitempty"`
+	Taps          []NodeID       `json:"taps,omitempty"`
+	Levels        []int          `json:"levels"`
+	State         uint8          `json:"state"`
+	Head          NodeID         `json:"head"`
+	AckHop        int            `json:"ackHop"`
+	PayloadLen    int            `json:"payloadLen,omitempty"`
+	DataSent      int            `json:"dataSent,omitempty"`
+	DataDelivered int            `json:"dataDelivered,omitempty"`
+	TransferStart sim.Tick       `json:"transferStart,omitempty"`
+	Inserted      sim.Tick       `json:"inserted,omitempty"`
+	Established   sim.Tick       `json:"established,omitempty"`
+	Delivered     sim.Tick       `json:"delivered,omitempty"`
+	Attempt       int            `json:"attempt"`
+	HeadWait      int            `json:"headWait,omitempty"`
+	HeadLimit     int            `json:"headLimit,omitempty"`
+	CompactQuiet  int8           `json:"compactQuiet,omitempty"`
+
+	SendTicks    []sim.Tick `json:"sendTicks,omitempty"`
+	DeliveredIdx int        `json:"deliveredIdx,omitempty"`
+	DackedIdx    int        `json:"dackedIdx,omitempty"`
+	FFLaunchAt   sim.Tick   `json:"ffLaunchAt,omitempty"`
+	FFArriveAt   sim.Tick   `json:"ffArriveAt,omitempty"`
+	FFScheduled  bool       `json:"ffScheduled,omitempty"`
+}
+
+// ckptINC serializes one INC's cycle FSM and port counters.
+type ckptINC struct {
+	OD         bool  `json:"od,omitempty"`
+	OC         bool  `json:"oc,omitempty"`
+	ID         bool  `json:"id,omitempty"`
+	Cycle      int64 `json:"cycle,omitempty"`
+	Phase      uint8 `json:"phase,omitempty"`
+	IDDelay    int   `json:"idDelay"`
+	SendActive int   `json:"sendActive,omitempty"`
+	RecvActive int   `json:"recvActive,omitempty"`
+}
+
+// ckptRequest serializes one queued (or retry-pending) insertion request.
+// The payload is rebuilt from the payload store by message ID.
+type ckptRequest struct {
+	Msg      flit.MessageID `json:"msg"`
+	Enqueued sim.Tick       `json:"enqueued"`
+	Attempts int            `json:"attempts,omitempty"`
+	Dsts     []NodeID       `json:"dsts"`
+}
+
+// ckptRetry is one pending retry-wheel timer, in firing order.
+type ckptRetry struct {
+	At  sim.Tick    `json:"at"`
+	Src NodeID      `json:"src"`
+	Req ckptRequest `json:"req"`
+}
+
+// ckptFault is one pending fault-plan timer, in firing order.
+type ckptFault struct {
+	At sim.Tick   `json:"at"`
+	Ev FaultEvent `json:"ev"`
+}
+
+// ckptWake is one transfer wake-wheel entry, in raw heap-array order
+// (the array is restored verbatim; a valid heap round-trips as itself).
+type ckptWake struct {
+	At sim.Tick `json:"at"`
+	VB VBID     `json:"vb"`
+}
+
+// ckptDelivered is one delivered-log entry; the payload is re-aliased
+// from the payload store on restore.
+type ckptDelivered struct {
+	ID  flit.MessageID `json:"id"`
+	Src NodeID         `json:"src"`
+	Dst NodeID         `json:"dst"`
+}
+
+// ckptState is the complete serialized network.
+type ckptState struct {
+	Cfg          Config          `json:"cfg"`
+	Now          sim.Tick        `json:"now"`
+	RNG          uint64          `json:"rng"`
+	GlobalCycle  int64           `json:"globalCycle"`
+	InsertRotate int             `json:"insertRotate"`
+	NextVB       VBID            `json:"nextVB"`
+	NextMsg      flit.MessageID  `json:"nextMsg"`
+	Stats        Stats           `json:"stats"`
+	SegFaulty    []bool          `json:"segFaulty,omitempty"`
+	INCFaulty    []bool          `json:"incFaulty,omitempty"`
+	INCs         []ckptINC       `json:"incs"`
+	Active       []ckptVB        `json:"active"`
+	Pending      [][]ckptRequest `json:"pending"`
+	Retries      []ckptRetry     `json:"retries,omitempty"`
+	Faults       []ckptFault     `json:"faults,omitempty"`
+	Wheel        []ckptWake      `json:"wheel,omitempty"`
+	Records      []MsgRecord     `json:"records"`
+	Payloads     [][]uint64      `json:"payloads"`
+	Delivered    []ckptDelivered `json:"delivered"`
+	AsyncDirty   []bool          `json:"asyncDirty,omitempty"`
+}
+
+// MarshalCheckpoint serializes the network's complete state. It must be
+// called between Steps (never re-entrantly from a Recorder callback);
+// the network is left untouched.
+func (n *Network) MarshalCheckpoint() ([]byte, error) {
+	if n.deadVBs != 0 {
+		return nil, fmt.Errorf("core: checkpoint mid-phase: %d dead buses await sweeping", n.deadVBs)
+	}
+	st := ckptState{
+		Cfg:          n.checkpointConfig(),
+		Now:          n.clock.Now(),
+		RNG:          n.rng.State(),
+		GlobalCycle:  n.globalCycle,
+		InsertRotate: n.insertRotate,
+		NextVB:       n.nextVB,
+		NextMsg:      n.nextMsg,
+		Stats:        n.stats,
+		Records:      n.records,
+		Payloads:     n.payloads,
+	}
+	if anyTrue(n.segFaultyFlat) {
+		st.SegFaulty = n.segFaultyFlat
+	}
+	if anyTrue(n.incFaulty) {
+		st.INCFaulty = n.incFaulty
+	}
+	if anyTrue(n.asyncDirty) {
+		st.AsyncDirty = n.asyncDirty
+	}
+	st.INCs = make([]ckptINC, len(n.incs))
+	for i := range n.incs {
+		inc := &n.incs[i]
+		st.INCs[i] = ckptINC{
+			OD: inc.fsm.OD, OC: inc.fsm.OC, ID: inc.fsm.ID,
+			Cycle: inc.fsm.Cycle, Phase: uint8(inc.fsm.phase),
+			IDDelay:    inc.idDelay,
+			SendActive: inc.sendActive, RecvActive: inc.recvActive,
+		}
+	}
+	st.Active = make([]ckptVB, len(n.active))
+	for i, vb := range n.active {
+		cv := ckptVB{
+			ID: vb.ID, Msg: vb.Msg, Src: vb.Src, Dst: vb.Dst,
+			TapIdx: vb.TapIdx,
+			Levels: vb.Levels, State: uint8(vb.State),
+			Head: vb.Head, AckHop: vb.AckHop,
+			PayloadLen: vb.PayloadLen, DataSent: vb.DataSent, DataDelivered: vb.DataDelivered,
+			TransferStart: vb.TransferStart,
+			Inserted:      vb.Inserted, Established: vb.Established, Delivered: vb.Delivered,
+			Attempt: vb.Attempt, HeadWait: vb.HeadWait, HeadLimit: vb.HeadLimit,
+			CompactQuiet: vb.compactQuiet,
+			SendTicks:    vb.progress.sendTicks,
+			DeliveredIdx: vb.progress.deliveredIdx, DackedIdx: vb.progress.dackedIdx,
+			FFLaunchAt: vb.progress.ffLaunchAt, FFArriveAt: vb.progress.ffArriveAt,
+			FFScheduled: vb.progress.ffScheduled,
+		}
+		// Dsts is nil for unicast (dstBuf is an insertion-side detail);
+		// claimedTaps round-trips so receive-port ownership survives.
+		if len(vb.Dsts) > 1 {
+			cv.Dsts = vb.Dsts
+		}
+		if len(vb.claimedTaps) > 0 {
+			cv.Taps = vb.claimedTaps
+		}
+		st.Active[i] = cv
+	}
+	st.Pending = make([][]ckptRequest, len(n.pending))
+	for node, q := range n.pending {
+		if len(q) == 0 {
+			continue
+		}
+		out := make([]ckptRequest, len(q))
+		for i, req := range q {
+			out[i] = ckptRequestOf(req)
+		}
+		st.Pending[node] = out
+	}
+	for _, e := range n.retries.Pending() {
+		rp, ok := e.Payload.(retryPayload)
+		if !ok {
+			return nil, fmt.Errorf("core: checkpoint: retry event at %v carries no serializable payload", e.At)
+		}
+		st.Retries = append(st.Retries, ckptRetry{At: e.At, Src: rp.src, Req: ckptRequestOf(rp.req)})
+	}
+	for _, e := range n.faults.Pending() {
+		ev, ok := e.Payload.(FaultEvent)
+		if !ok {
+			return nil, fmt.Errorf("core: checkpoint: fault event at %v carries no serializable payload", e.At)
+		}
+		st.Faults = append(st.Faults, ckptFault{At: e.At, Ev: ev})
+	}
+	for _, w := range n.wheel {
+		st.Wheel = append(st.Wheel, ckptWake{At: w.at, VB: w.id})
+	}
+	for _, m := range n.delivered {
+		st.Delivered = append(st.Delivered, ckptDelivered{ID: m.ID, Src: m.Src, Dst: m.Dst})
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	env := checkpointEnvelope{
+		Magic:   checkpointMagic,
+		Version: CheckpointVersion,
+		Sum:     fnvSum(body),
+		State:   body,
+	}
+	out, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return out, nil
+}
+
+// WriteCheckpoint writes MarshalCheckpoint's output to w, newline
+// terminated (so checkpoints embed cleanly in line-oriented streams).
+func (n *Network) WriteCheckpoint(w io.Writer) error {
+	data, err := n.MarshalCheckpoint()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// checkpointConfig derives the serialized Config: the effective
+// (defaulted) config with live-object and already-captured fields
+// stripped, and the one defaulting round-trip hazard undone — an
+// effective HeadTimeout of 0 means "disabled", which must re-enter
+// withDefaults as HeadTimeoutDisabled or it would default back on.
+func (n *Network) checkpointConfig() Config {
+	cfg := n.cfg
+	cfg.Recorder = nil
+	cfg.Faults = FaultPlan{} // pending fault timers are captured individually
+	if cfg.HeadTimeout == 0 {
+		cfg.HeadTimeout = HeadTimeoutDisabled
+	}
+	return cfg
+}
+
+func ckptRequestOf(req *request) ckptRequest {
+	return ckptRequest{
+		Msg:      req.msg.ID,
+		Enqueued: req.enqueued,
+		Attempts: req.attempts,
+		Dsts:     req.dsts,
+	}
+}
+
+func anyTrue(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// UnmarshalCheckpoint rebuilds a network from MarshalCheckpoint output.
+// The returned network has no recorder installed (attach one with
+// SetRecorder); its future behaviour is bit-identical to the
+// checkpointed original's. Corrupt input — truncation, bit flips,
+// version skew, or internally inconsistent state — returns an error.
+func UnmarshalCheckpoint(data []byte) (*Network, error) {
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("core: checkpoint: decoding envelope: %w", err)
+	}
+	if env.Magic != checkpointMagic {
+		return nil, fmt.Errorf("core: checkpoint: bad magic %q", env.Magic)
+	}
+	if env.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint: version %d not supported (want %d)", env.Version, CheckpointVersion)
+	}
+	if got := fnvSum(env.State); got != env.Sum {
+		return nil, fmt.Errorf("core: checkpoint: checksum mismatch: state hashes to %#x, envelope says %#x", got, env.Sum)
+	}
+	var st ckptState
+	if err := json.Unmarshal(env.State, &st); err != nil {
+		return nil, fmt.Errorf("core: checkpoint: decoding state: %w", err)
+	}
+	return restoreNetwork(&st)
+}
+
+// ReadCheckpoint reads one checkpoint from r (consuming it fully) and
+// rebuilds the network.
+func ReadCheckpoint(r io.Reader) (*Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return UnmarshalCheckpoint(data)
+}
+
+// restoreNetwork rebuilds a live Network from decoded checkpoint state.
+// The order matters: construct fresh (drawing the construction-time RNG
+// stream), overwrite clock/RNG, rebuild buses and claim their segments
+// on a fault-free grid, then apply fault flags, then counters, queues
+// and timers — and finally Audit the whole reconstruction.
+func restoreNetwork(st *ckptState) (*Network, error) {
+	n, err := NewNetwork(st.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: config: %w", err)
+	}
+	cfg := n.cfg
+	if err := validateCkptShape(st, cfg); err != nil {
+		return nil, err
+	}
+
+	n.clock.Reset()
+	n.clock.AdvanceBy(st.Now)
+	n.rng.Restore(st.RNG)
+	n.globalCycle = st.GlobalCycle
+	n.insertRotate = st.InsertRotate
+	n.nextVB = st.NextVB
+	n.nextMsg = st.NextMsg
+	n.stats = st.Stats
+
+	// Message history. Delivered payloads re-alias the canonical store,
+	// matching rebuiltMessage's aliasing in the original process.
+	n.records = append(n.records[:0], st.Records...)
+	n.payloads = append(n.payloads[:0], st.Payloads...)
+	for _, d := range st.Delivered {
+		if d.ID < 1 || int(d.ID) > len(n.payloads) {
+			return nil, fmt.Errorf("core: checkpoint: delivered message %d outside payload store", d.ID)
+		}
+		n.delivered = append(n.delivered, flit.Message{ID: d.ID, Src: d.Src, Dst: d.Dst, Payload: n.payloads[d.ID-1]})
+	}
+
+	// INC state (idDelay overwrites the construction-time draws; the RNG
+	// restore above already accounts for them).
+	for i := range n.incs {
+		ci := st.INCs[i]
+		if ci.Phase > uint8(PhaseDataCleared) {
+			return nil, fmt.Errorf("core: checkpoint: inc%d in unknown FSM phase %d", i, ci.Phase)
+		}
+		n.incs[i] = incState{
+			fsm: CycleFSM{
+				OD: ci.OD, OC: ci.OC, ID: ci.ID,
+				Cycle: ci.Cycle, phase: Phase(ci.Phase),
+			},
+			idDelay:    ci.IDDelay,
+			sendActive: ci.SendActive,
+			recvActive: ci.RecvActive,
+		}
+		n.refreshSendStatus(NodeID(i))
+		n.refreshRecvStatus(NodeID(i))
+	}
+
+	// Live buses, in checkpoint (== ID) order. Segments are claimed on
+	// the still-fault-free grid; fault flags apply afterwards, matching
+	// claimSeg's "never claim dead hardware" invariant while preserving
+	// segments that went faulty after being legitimately occupied.
+	for i := range st.Active {
+		vb, err := restoreVB(n, &st.Active[i])
+		if err != nil {
+			return nil, err
+		}
+		if m := len(n.active); m > 0 && n.active[m-1].ID >= vb.ID {
+			return nil, fmt.Errorf("core: checkpoint: vb%d out of ID order after vb%d", vb.ID, n.active[m-1].ID)
+		}
+		if vb.ID > n.nextVB {
+			return nil, fmt.Errorf("core: checkpoint: live vb%d above the allocation counter %d", vb.ID, n.nextVB)
+		}
+		n.active = append(n.active, vb)
+		n.growSlotBits()
+		for j, l := range vb.Levels {
+			h := int(vb.HopNode(j, cfg.Nodes))
+			if !n.segFree(h, l) {
+				return nil, fmt.Errorf("core: checkpoint: vb%d hop %d claims occupied segment (%d,%d)", vb.ID, j, h, l)
+			}
+			n.claimSeg(h, l, vb)
+		}
+		switch vb.State {
+		case VBExtending:
+			n.fwdActive++
+		case VBTransferring, VBFinalPropagating:
+			n.fwdActive++
+			n.xferActive++
+		case VBHackReturning, VBFackReturning, VBNackReturning, VBFaultReturning:
+			n.bwdActive++
+		case VBDone, VBRefused:
+			return nil, fmt.Errorf("core: checkpoint: terminal vb%d serialized as live", vb.ID)
+		default:
+			return nil, fmt.Errorf("core: checkpoint: vb%d in unknown state %d", vb.ID, uint8(vb.State))
+		}
+		if vb.compactQuiet < compactQuietCycles {
+			n.compactAwake++
+		}
+	}
+	n.rebuildSlots() // slots, masks are set per-bus below; bitsets from states
+
+	// Fault flags after the claims; refreshFaultBits keeps occupied
+	// faulty segments busy, exactly as the live applyFault path does.
+	if st.SegFaulty != nil {
+		copy(n.segFaultyFlat, st.SegFaulty)
+	}
+	if st.INCFaulty != nil {
+		copy(n.incFaulty, st.INCFaulty)
+	}
+	for h := 0; h < cfg.Nodes; h++ {
+		n.refreshFaultBits(h)
+	}
+	n.faultySegments = 0
+	for h := 0; h < cfg.Nodes; h++ {
+		for l := 0; l < cfg.Buses; l++ {
+			if n.faultyAt(h, l) {
+				n.faultySegments++
+			}
+		}
+	}
+
+	// Insertion queues, retry wheel, fault timers, wake wheel.
+	for node, q := range st.Pending {
+		for i := range q {
+			req, err := restoreRequest(n, &q[i])
+			if err != nil {
+				return nil, err
+			}
+			n.queuePush(NodeID(node), req)
+		}
+	}
+	for i := range st.Retries {
+		r := &st.Retries[i]
+		if int(r.Src) < 0 || int(r.Src) >= cfg.Nodes {
+			return nil, fmt.Errorf("core: checkpoint: retry source %d outside the ring", r.Src)
+		}
+		req, err := restoreRequest(n, &r.Req)
+		if err != nil {
+			return nil, err
+		}
+		src := r.Src
+		n.retries.ScheduleEvent(r.At, retryPayload{src: src, req: req}, func() {
+			n.queuePush(src, req)
+		})
+	}
+	for i := range st.Faults {
+		ev := st.Faults[i].Ev
+		if err := (FaultPlan{Events: []FaultEvent{ev}}).Validate(cfg.Nodes, cfg.Buses); err != nil {
+			return nil, fmt.Errorf("core: checkpoint: pending fault: %w", err)
+		}
+		n.faults.ScheduleEvent(st.Faults[i].At, ev, func() { n.applyFault(n.clock.Now(), ev) })
+	}
+	for _, w := range st.Wheel {
+		n.wheel = append(n.wheel, wakeEntry{at: w.At, id: w.VB})
+	}
+	if st.AsyncDirty != nil && n.asyncDirty != nil {
+		copy(n.asyncDirty, st.AsyncDirty)
+	}
+
+	if err := n.Audit(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint: restored state fails audit: %w", err)
+	}
+	return n, nil
+}
+
+// validateCkptShape rejects checkpoints whose array dimensions disagree
+// with the configuration before any state is interpreted.
+func validateCkptShape(st *ckptState, cfg Config) error {
+	if len(st.INCs) != cfg.Nodes {
+		return fmt.Errorf("core: checkpoint: %d INC entries for a %d-node ring", len(st.INCs), cfg.Nodes)
+	}
+	if len(st.Pending) != cfg.Nodes {
+		return fmt.Errorf("core: checkpoint: %d pending queues for a %d-node ring", len(st.Pending), cfg.Nodes)
+	}
+	if st.SegFaulty != nil && len(st.SegFaulty) != cfg.Nodes*cfg.Buses {
+		return fmt.Errorf("core: checkpoint: segment fault map has %d entries, want %d", len(st.SegFaulty), cfg.Nodes*cfg.Buses)
+	}
+	if st.INCFaulty != nil && len(st.INCFaulty) != cfg.Nodes {
+		return fmt.Errorf("core: checkpoint: INC fault map has %d entries, want %d", len(st.INCFaulty), cfg.Nodes)
+	}
+	if st.AsyncDirty != nil && len(st.AsyncDirty) != cfg.Nodes {
+		return fmt.Errorf("core: checkpoint: async dirty map has %d entries, want %d", len(st.AsyncDirty), cfg.Nodes)
+	}
+	if len(st.Records) != len(st.Payloads) {
+		return fmt.Errorf("core: checkpoint: %d records but %d payloads", len(st.Records), len(st.Payloads))
+	}
+	if int(st.NextMsg) != len(st.Records) {
+		return fmt.Errorf("core: checkpoint: next message ID %d but %d records", st.NextMsg, len(st.Records))
+	}
+	if st.Now < 0 {
+		return fmt.Errorf("core: checkpoint: negative clock %d", st.Now)
+	}
+	return nil
+}
+
+// restoreVB rebuilds one live VirtualBus, re-inlining the unicast
+// destination and small-tap buffers the way insert would have.
+func restoreVB(n *Network, cv *ckptVB) (*VirtualBus, error) {
+	cfg := n.cfg
+	if int(cv.Src) < 0 || int(cv.Src) >= cfg.Nodes || int(cv.Dst) < 0 || int(cv.Dst) >= cfg.Nodes {
+		return nil, fmt.Errorf("core: checkpoint: vb%d endpoints %d->%d outside the ring", cv.ID, cv.Src, cv.Dst)
+	}
+	if cv.Msg < 1 || int(cv.Msg) > len(n.payloads) {
+		return nil, fmt.Errorf("core: checkpoint: vb%d carries unknown message %d", cv.ID, cv.Msg)
+	}
+	if len(cv.Levels) == 0 || len(cv.Levels) >= cfg.Nodes {
+		return nil, fmt.Errorf("core: checkpoint: vb%d spans %d hops on a %d-node ring", cv.ID, len(cv.Levels), cfg.Nodes)
+	}
+	vb := &VirtualBus{
+		ID: cv.ID, Msg: cv.Msg, Src: cv.Src, Dst: cv.Dst,
+		TapIdx: cv.TapIdx,
+		State:  VBState(cv.State),
+		Head:   cv.Head, AckHop: cv.AckHop,
+		PayloadLen: cv.PayloadLen, DataSent: cv.DataSent, DataDelivered: cv.DataDelivered,
+		TransferStart: cv.TransferStart,
+		Inserted:      cv.Inserted, Established: cv.Established, Delivered: cv.Delivered,
+		Attempt: cv.Attempt, HeadWait: cv.HeadWait, HeadLimit: cv.HeadLimit,
+		compactQuiet: cv.CompactQuiet,
+	}
+	vb.Levels = append(vb.Levels, cv.Levels...)
+	if err := vb.CheckLevelInvariant(cfg.Buses); err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	vb.parityMask, vb.bottomMask = levelMasks(vb.Levels)
+	if len(cv.Dsts) > 1 {
+		vb.Dsts = append([]NodeID(nil), cv.Dsts...)
+	} else {
+		vb.dstBuf[0] = cv.Dst
+		vb.Dsts = vb.dstBuf[:1]
+	}
+	if len(cv.Taps) > 0 {
+		if len(cv.Taps) <= len(vb.tapBuf) {
+			vb.claimedTaps = vb.tapBuf[:0]
+		}
+		vb.claimedTaps = append(vb.claimedTaps, cv.Taps...)
+	} else {
+		vb.claimedTaps = vb.tapBuf[:0]
+	}
+	// Transfer progress: the sendTicks buffer needs capacity for the full
+	// payload (the naive pump appends up to PayloadLen entries).
+	if c := maxInt(len(cv.SendTicks), cv.PayloadLen); c > 0 {
+		vb.progress.sendTicks = append(n.carveTicks(c), cv.SendTicks...)
+	}
+	vb.progress.deliveredIdx = cv.DeliveredIdx
+	vb.progress.dackedIdx = cv.DackedIdx
+	vb.progress.ffLaunchAt = cv.FFLaunchAt
+	vb.progress.ffArriveAt = cv.FFArriveAt
+	vb.progress.ffScheduled = cv.FFScheduled
+	return vb, nil
+}
+
+// restoreRequest rebuilds one insertion request, re-aliasing its message
+// payload from the canonical store.
+func restoreRequest(n *Network, cr *ckptRequest) (*request, error) {
+	if cr.Msg < 1 || int(cr.Msg) > len(n.payloads) {
+		return nil, fmt.Errorf("core: checkpoint: queued request for unknown message %d", cr.Msg)
+	}
+	if len(cr.Dsts) == 0 {
+		return nil, fmt.Errorf("core: checkpoint: queued request for message %d has no destinations", cr.Msg)
+	}
+	rec := n.records[cr.Msg-1]
+	req := n.allocReq()
+	*req = request{
+		msg:      flit.Message{ID: cr.Msg, Src: rec.Src, Dst: rec.Dst, Payload: n.payloads[cr.Msg-1]},
+		enqueued: cr.Enqueued,
+		attempts: cr.Attempts,
+	}
+	for _, d := range cr.Dsts {
+		if int(d) < 0 || int(d) >= n.cfg.Nodes {
+			return nil, fmt.Errorf("core: checkpoint: queued request for message %d targets node %d outside the ring", cr.Msg, d)
+		}
+	}
+	if len(cr.Dsts) == 1 {
+		req.dstBuf[0] = cr.Dsts[0]
+		req.dsts = req.dstBuf[:1]
+	} else {
+		req.dsts = append([]NodeID(nil), cr.Dsts...)
+	}
+	return req, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -227,7 +227,9 @@ type Config struct {
 	// attach several observers (the trace figures and the telemetry
 	// tracer, say) to one run. Recorders observe; they never influence
 	// the simulation, so a run's trace is identical with or without one.
-	Recorder Recorder
+	// Excluded from JSON: a recorder is a live object, not configuration
+	// data, so serialized configs (rmbd job specs, checkpoints) omit it.
+	Recorder Recorder `json:"-"`
 
 	// Faults schedules deterministic segment and INC fail/repair events
 	// applied through the tick loop (see FaultPlan and ChaosPlan). The

@@ -180,7 +180,9 @@ func (n *Network) InjectFaults(plan FaultPlan) error {
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	for _, ev := range evs {
 		ev := ev
-		n.faults.Schedule(ev.At, func() { n.applyFault(n.clock.Now(), ev) })
+		// The event itself rides along as the payload so the checkpoint
+		// serializer can round-trip pending fault timers (see checkpoint.go).
+		n.faults.ScheduleEvent(ev.At, ev, func() { n.applyFault(n.clock.Now(), ev) })
 	}
 	return nil
 }

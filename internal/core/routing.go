@@ -172,13 +172,22 @@ func (n *Network) backoffDelay(attempt int) sim.Tick {
 	return sim.Tick(1 + n.rng.Intn(backoff))
 }
 
+// retryPayload is the serializable description of a scheduled requeue:
+// the checkpoint serializer reads it off the retry wheel's pending
+// events (closures cannot round-trip) and restore rebuilds an equivalent
+// queuePush closure from it.
+type retryPayload struct {
+	src NodeID
+	req *request
+}
+
 // scheduleRequeue puts a request back on the retry wheel; when the timer
 // fires the request rejoins its source's insertion queue.
 func (n *Network) scheduleRequeue(now sim.Tick, src NodeID, req *request) {
 	n.stats.Retries++
 	readyAt := now + n.backoffDelay(req.attempts)
 	//rmbvet:allow hotpath-alloc retry-wheel callbacks are closures by design; one per nacked insertion, never on the per-tick fast path
-	n.retries.Schedule(readyAt, func() {
+	n.retries.ScheduleEvent(readyAt, retryPayload{src: src, req: req}, func() {
 		n.queuePush(src, req)
 	})
 	n.rec.Requeue(now, req.msg.ID, req.attempts, readyAt)

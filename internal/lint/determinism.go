@@ -18,6 +18,14 @@ import (
 // wall clock into protocol state (held headers, retry bookkeeping),
 // because expiry decisions must be expressible in logical ticks to be
 // testable.
+//
+// Concurrency above the simulator lives outside these tiers, on the far
+// side of the Recorder/Snapshot seam: internal/parallel fans whole
+// independent runs across workers, and internal/service multiplexes
+// simulation jobs over a worker pool where each job owns its network
+// outright. Neither is imported by the strict tier, so their goroutines
+// cannot perturb a run's trace — which is exactly why they need no
+// waivers and stay out of the tier lists above.
 var (
 	strictDeterministicTiers = []string{"internal/core", "internal/sim", "internal/flit", "internal/shard"}
 	clockFreeTiers           = []string{"internal/async"}
@@ -48,9 +56,12 @@ func analyzerDeterminism() *Analyzer {
 			"goroutines (the OS scheduler is a nondeterminism source; fan independent " +
 			"simulations out via internal/parallel instead), and no iteration over " +
 			"protocol-state maps (Go randomizes map order). The sole sanctioned " +
-			"exception is internal/shard's arc-worker pool, whose go statements carry " +
-			"//rmbvet:allow determinism waivers arguing the plan/commit barrier " +
-			"discipline that keeps sharded traces bit-identical to sequential ones. " +
+			"exception inside the tier is internal/shard's arc-worker pool, whose go " +
+			"statements carry //rmbvet:allow determinism waivers arguing the " +
+			"plan/commit barrier discipline that keeps sharded traces bit-identical " +
+			"to sequential ones; above the Recorder/Snapshot seam, internal/parallel " +
+			"(independent runs) and internal/service (job workers, one network per " +
+			"goroutine) may spawn freely because the tier never imports them. " +
 			"The async tier additionally must not read the wall clock into protocol " +
 			"state. Guards the paper's deterministic replay of Tables 1-2 and " +
 			"Figures 5-13.",

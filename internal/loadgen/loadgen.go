@@ -4,8 +4,18 @@
 // load experiments (the classic interconnect evaluation curve) need.
 //
 // Offered load is expressed as the expected number of new messages per
-// node per tick; the generator draws geometric inter-arrival gaps from
-// the deterministic PRNG so runs are reproducible.
+// node per tick. The arrival process is an independent Bernoulli trial
+// per node per tick at that probability — inter-arrival gaps therefore
+// come out geometrically distributed, but the generator consumes exactly
+// one PRNG draw per node per tick (plus the destination draws), not one
+// draw per message. That draw discipline is part of the reproducibility
+// contract: it is what lets a checkpointed run resume mid-stream and
+// consume the identical sequence an uninterrupted run would have.
+//
+// Traffic can be driven in one shot (Run) or incrementally (Driver),
+// which steps one tick at a time and can surrender its tiny resume state
+// (State) alongside a core network checkpoint — the seam rmbd's
+// checkpoint/resume is built on.
 package loadgen
 
 import (
@@ -18,7 +28,12 @@ import (
 
 // Config parameterizes an open-loop run.
 type Config struct {
-	// Rate is the offered load: expected messages per node per tick.
+	// Rate is the offered load: expected messages per node per tick,
+	// which is the per-node per-tick Bernoulli arrival probability. Must
+	// be in (0, 1]: 1 means every node submits every tick (the heaviest
+	// expressible load), and anything above 1 is not a probability — the
+	// generator cannot offer it, so it is rejected rather than silently
+	// clamped.
 	Rate float64
 	// PayloadLen is the data flit count per message.
 	PayloadLen int
@@ -26,7 +41,8 @@ type Config struct {
 	// warmup are excluded from latency statistics.
 	Warmup, Measure sim.Tick
 	// Drain caps the extra ticks allowed to flush in-flight messages
-	// after the measurement window (default 50×Nodes... per message).
+	// after the measurement window. Zero selects the default of
+	// 100×Nodes ticks; negative is rejected.
 	Drain sim.Tick
 	// Pattern chooses destinations (default UniformDest).
 	Pattern DestFn
@@ -35,6 +51,30 @@ type Config struct {
 	// Faults optionally injects a fault schedule before traffic starts
 	// (chaos mode). The plan's ticks are absolute run ticks.
 	Faults core.FaultPlan
+}
+
+// validated checks the configuration and fills defaults (the network is
+// needed for the Drain default).
+func (cfg Config) validated(n *core.Network) (Config, error) {
+	if cfg.Rate <= 0 {
+		return cfg, fmt.Errorf("loadgen: rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Rate > 1 {
+		return cfg, fmt.Errorf("loadgen: rate is a per-node per-tick arrival probability and cannot exceed 1, got %v", cfg.Rate)
+	}
+	if cfg.Measure <= 0 {
+		return cfg, fmt.Errorf("loadgen: measurement window must be positive")
+	}
+	if cfg.Drain < 0 {
+		return cfg, fmt.Errorf("loadgen: drain budget must be non-negative, got %v", cfg.Drain)
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = UniformDest
+	}
+	if cfg.Drain == 0 {
+		cfg.Drain = 100 * sim.Tick(n.Config().Nodes)
+	}
+	return cfg, nil
 }
 
 // DestFn picks a destination for a new message from src on an n-node
@@ -88,71 +128,169 @@ type Result struct {
 	Stats core.Stats
 }
 
-// Run drives the network with open-loop traffic and measures steady-state
-// latency. The network must be freshly constructed.
-func Run(n *core.Network, cfg Config) (Result, error) {
-	if cfg.Rate <= 0 {
-		return Result{}, fmt.Errorf("loadgen: rate must be positive, got %v", cfg.Rate)
-	}
-	if cfg.Measure <= 0 {
-		return Result{}, fmt.Errorf("loadgen: measurement window must be positive")
-	}
-	if cfg.Pattern == nil {
-		cfg.Pattern = UniformDest
-	}
-	if cfg.Drain == 0 {
-		cfg.Drain = 100 * sim.Tick(n.Config().Nodes)
+// State is a Driver's resumable position in the workload: everything the
+// generator holds outside the network itself. Serialized alongside a
+// core checkpoint it lets ResumeDriver continue the identical arrival
+// stream — the simulation clock lives in (and is restored with) the
+// network, so the state is just the PRNG position and the running
+// submission count.
+type State struct {
+	// RNG is the workload PRNG position (sim.RNG.State).
+	RNG uint64
+	// Submitted counts measured-window submissions so far.
+	Submitted int
+}
+
+// Driver drives the open-loop workload one tick at a time, so a caller
+// can interleave traffic generation with cancellation checks, telemetry
+// flushes, or checkpoints. Run is the one-shot wrapper; both produce
+// bit-identical runs for the same network and configuration.
+type Driver struct {
+	n        *core.Network
+	cfg      Config
+	rng      *sim.RNG
+	payload  []uint64
+	end      sim.Tick // warmup + measure
+	deadline sim.Tick // end + drain
+	state    State
+	done     bool
+}
+
+// NewDriver validates the configuration, injects the fault plan (if any)
+// and prepares a driver for a freshly constructed network.
+func NewDriver(n *core.Network, cfg Config) (*Driver, error) {
+	cfg, err := cfg.validated(n)
+	if err != nil {
+		return nil, err
 	}
 	if len(cfg.Faults.Events) > 0 {
 		if err := n.InjectFaults(cfg.Faults); err != nil {
-			return Result{}, fmt.Errorf("loadgen: %w", err)
+			return nil, fmt.Errorf("loadgen: %w", err)
 		}
 	}
-	nodes := n.Config().Nodes
-	rng := sim.NewRNG(cfg.Seed ^ 0x10ad)
-	payload := make([]uint64, cfg.PayloadLen)
+	d := newDriver(n, cfg)
+	d.state.RNG = d.rng.State()
+	return d, nil
+}
 
-	res := Result{OfferedRate: cfg.Rate}
+// ResumeDriver prepares a driver that continues a checkpointed run on a
+// network restored from the matching core checkpoint. The fault plan is
+// NOT re-injected — pending fault timers already live inside the network
+// checkpoint — and the workload PRNG resumes from st rather than the
+// seed, so the arrival stream continues exactly where it stopped.
+func ResumeDriver(n *core.Network, cfg Config, st State) (*Driver, error) {
+	cfg, err := cfg.validated(n)
+	if err != nil {
+		return nil, err
+	}
+	d := newDriver(n, cfg)
+	d.rng.Restore(st.RNG)
+	d.state = st
+	return d, nil
+}
 
-	end := cfg.Warmup + cfg.Measure
-	for now := sim.Tick(0); now < end; now++ {
+func newDriver(n *core.Network, cfg Config) *Driver {
+	return &Driver{
+		n:        n,
+		cfg:      cfg,
+		rng:      sim.NewRNG(cfg.Seed ^ 0x10ad),
+		payload:  make([]uint64, cfg.PayloadLen),
+		end:      cfg.Warmup + cfg.Measure,
+		deadline: cfg.Warmup + cfg.Measure + cfg.Drain,
+	}
+}
+
+// Step advances the run by one tick (injection phase) or one drain hop
+// (which may fast-forward across provably idle stretches). It reports
+// whether the run still has work left; once it returns false the run is
+// complete and Result may be taken.
+func (d *Driver) Step() (bool, error) {
+	if d.done {
+		return false, nil
+	}
+	now := d.n.Now()
+	switch {
+	case now < d.end:
+		nodes := d.n.Config().Nodes
 		for node := 0; node < nodes; node++ {
-			if rng.Float64() >= cfg.Rate {
+			if d.rng.Float64() >= d.cfg.Rate {
 				continue
 			}
-			dst := cfg.Pattern(node, nodes, rng)
-			if _, err := n.Send(core.NodeID(node), core.NodeID(dst), payload); err != nil {
-				return res, err
+			dst := d.cfg.Pattern(node, nodes, d.rng)
+			if _, err := d.n.Send(core.NodeID(node), core.NodeID(dst), d.payload); err != nil {
+				return false, err
 			}
-			if now >= cfg.Warmup {
-				res.Submitted++
+			if now >= d.cfg.Warmup {
+				d.state.Submitted++
 			}
 		}
-		n.Step()
+		d.n.Step()
+	case !d.n.Idle() && now < d.deadline:
+		// Flush the backlog. FastForward lets the drain skip dead air
+		// between retry deadlines (a no-op unless the network is
+		// quiescent-but-armed).
+		d.n.FastForward(d.deadline - now - 1)
+		d.n.Step()
+	default:
+		d.done = true
 	}
-	// Flush the backlog. FastForward lets the drain skip dead air between
-	// retry deadlines (a no-op unless the network is quiescent-but-armed).
-	deadline := end + cfg.Drain
-	for !n.Idle() && n.Now() < deadline {
-		n.FastForward(deadline - n.Now() - 1)
-		n.Step()
-	}
+	d.state.RNG = d.rng.State()
+	return !d.done, nil
+}
+
+// Done reports whether the run has completed (injection and drain).
+func (d *Driver) Done() bool { return d.done }
+
+// Draining reports whether the injection window is over and only the
+// backlog flush remains.
+func (d *Driver) Draining() bool { return !d.done && d.n.Now() >= d.end }
+
+// State returns the driver's resumable position. Valid at any tick
+// boundary; pair it with a core checkpoint taken at the same boundary.
+func (d *Driver) State() State { return d.state }
+
+// Network returns the driven network.
+func (d *Driver) Network() *core.Network { return d.n }
+
+// Result summarizes the run. It is meaningful once Step has returned
+// false (earlier calls summarize the run so far).
+func (d *Driver) Result() Result {
+	n := d.n
+	res := Result{OfferedRate: d.cfg.Rate, Submitted: d.state.Submitted}
 	res.Saturated = !n.Idle()
 
 	// Every record in the run came from a Send above, and its Enqueued
 	// tick is the loop tick it was submitted at — so the warmup filter the
 	// per-ID tracking map used to provide falls out of the record itself.
 	n.EachRecord(func(rec core.MsgRecord) {
-		if rec.Done && rec.Enqueued >= cfg.Warmup {
+		if rec.Done && rec.Enqueued >= d.cfg.Warmup {
 			res.Delivered++
 			res.Latency.Add(float64(rec.DeliverLatency()))
 		}
 	})
-	res.AcceptedRate = float64(res.Delivered) / float64(cfg.Measure) / float64(nodes)
+	res.AcceptedRate = float64(res.Delivered) / float64(d.cfg.Measure) / float64(n.Config().Nodes)
 	st := n.Stats()
-	res.MeanUtilization = st.MeanUtilization(nodes * n.Config().Buses)
+	res.MeanUtilization = st.MeanUtilization(n.Config().Nodes * n.Config().Buses)
 	res.FaultTeardowns = st.FaultTeardowns
 	res.MeanFaultySegments = st.MeanFaultySegments()
 	res.Stats = st
-	return res, nil
+	return res
+}
+
+// Run drives the network with open-loop traffic and measures steady-state
+// latency. The network must be freshly constructed.
+func Run(n *core.Network, cfg Config) (Result, error) {
+	d, err := NewDriver(n, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for {
+		more, err := d.Step()
+		if err != nil {
+			return d.Result(), err
+		}
+		if !more {
+			return d.Result(), nil
+		}
+	}
 }

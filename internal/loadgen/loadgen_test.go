@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"reflect"
 	"testing"
 
 	"rmb/internal/core"
@@ -23,6 +24,126 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(n, Config{Rate: 0.1, Measure: 0}); err == nil {
 		t.Error("zero window accepted")
+	}
+	// Rate is a Bernoulli probability: anything above 1 is unofferable
+	// and must be rejected, not silently clamped.
+	if _, err := Run(n, Config{Rate: 1.5, Measure: 100}); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+	if _, err := Run(n, Config{Rate: 0.1, Measure: 100, Drain: -1}); err == nil {
+		t.Error("negative drain budget accepted")
+	}
+}
+
+// TestRateOneBoundary pins the inclusive upper boundary: Rate == 1.0 is a
+// legal (if brutal) load — every node submits every tick — and must run
+// to completion rather than trip the over-1 rejection.
+func TestRateOneBoundary(t *testing.T) {
+	n := freshNet(t, 4)
+	res, err := Run(n, Config{Rate: 1.0, PayloadLen: 1, Measure: 50, Drain: 100, Seed: 6})
+	if err != nil {
+		t.Fatalf("Rate=1.0 rejected: %v", err)
+	}
+	// 16 nodes × 50 ticks, every trial fires.
+	if want := 16 * 50; res.Submitted != want {
+		t.Fatalf("Rate=1.0 submitted %d messages, want %d", res.Submitted, want)
+	}
+	if !res.Saturated {
+		t.Error("full-rate overload not flagged as saturated")
+	}
+}
+
+// TestDriverMatchesRun proves the incremental Driver and the one-shot Run
+// are the same generator: identical Result (including the latency sample
+// and full network stats) for the same seed and network parameters.
+func TestDriverMatchesRun(t *testing.T) {
+	cfg := Config{Rate: 0.01, PayloadLen: 4, Warmup: 100, Measure: 1000, Seed: 9}
+	want, err := Run(freshNet(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(freshNet(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		more, err := d.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		steps++
+	}
+	if !d.Done() {
+		t.Fatal("driver loop ended but Done() is false")
+	}
+	if steps == 0 {
+		t.Fatal("driver finished without stepping")
+	}
+	got := d.Result()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("driver result diverged from Run:\n got:  %+v\n want: %+v", got, want)
+	}
+}
+
+// TestDriverCheckpointResume is the loadgen half of the checkpoint
+// contract: stopping a driver mid-injection, checkpointing the network
+// plus the driver State, restoring both, and finishing must reproduce the
+// uninterrupted run exactly — including under an active fault plan, whose
+// pending timers ride in the core checkpoint and must not be re-injected
+// on resume.
+func TestDriverCheckpointResume(t *testing.T) {
+	plan := core.ChaosPlan(16, 3, core.ChaosOptions{
+		Seed: 5, Horizon: 2000, SegmentRate: 0.3, INCRate: 0.15,
+		MeanDown: 150, MeanUp: 300,
+	})
+	cfg := Config{Rate: 0.006, PayloadLen: 4, Warmup: 100, Measure: 1200, Drain: 20_000, Seed: 13, Faults: plan}
+
+	want, err := Run(freshNet(t, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := NewDriver(freshNet(t, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if more, err := d.Step(); err != nil {
+			t.Fatal(err)
+		} else if !more {
+			t.Fatal("run completed before the checkpoint tick")
+		}
+	}
+	ckpt, err := d.Network().MarshalCheckpoint()
+	if err != nil {
+		t.Fatalf("MarshalCheckpoint: %v", err)
+	}
+	st := d.State()
+
+	restoredNet, err := core.UnmarshalCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("UnmarshalCheckpoint: %v", err)
+	}
+	d2, err := ResumeDriver(restoredNet, cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		more, err := d2.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	got := d2.Result()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed result diverged from uninterrupted run:\n got:  %+v\n want: %+v", got, want)
 	}
 }
 

@@ -1,9 +1,11 @@
 // Package parallel fans independent simulation runs across worker
 // goroutines with deterministic, index-ordered result collection.
 //
-// Only two packages in this repository may spawn goroutines around
-// simulator state: this one (whole independent runs) and internal/shard
-// (arc workers inside one run, behind audited //rmbvet:allow waivers).
+// Three packages in this repository may spawn goroutines around
+// simulator state: this one (whole independent runs), internal/shard
+// (arc workers inside one run, behind audited //rmbvet:allow waivers),
+// and internal/service (the rmbd job pool, where each worker goroutine
+// owns one network outright for the lifetime of its job).
 // This package preserves determinism by construction: each task index is
 // executed by exactly one worker, every task owns its inputs (its own
 // core.Network, RNG, workload) exclusively, and results land in a slice

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// API wraps a Manager in the rmbd HTTP surface:
+//
+//	POST /api/v1/jobs            submit a JobSpec  → 202 {"id":...}
+//	                             queue full        → 429 + Retry-After
+//	GET  /api/v1/jobs            list job statuses
+//	GET  /api/v1/jobs/{id}       one job's status
+//	GET  /api/v1/jobs/{id}/trace JSONL telemetry captured so far
+//	GET  /api/v1/jobs/{id}/result  completed result → 200, pending → 409
+//	POST /api/v1/jobs/{id}/cancel  request cancellation → 202
+//	POST /api/v1/jobs/{id}/checkpoint  freeze a running job → checkpoint JSON
+//	POST /api/v1/resume          admit a checkpoint → 202 {"id":...}
+//	GET  /healthz                liveness + pool counters
+//
+// Every response is JSON except the trace stream (application/x-ndjson).
+type API struct {
+	m *Manager
+}
+
+// NewAPI builds the HTTP surface over a manager.
+func NewAPI(m *Manager) *API { return &API{m: m} }
+
+// Handler returns the API mux.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", a.submit)
+	mux.HandleFunc("GET /api/v1/jobs", a.list)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", a.status)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", a.trace)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", a.result)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", a.cancel)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/checkpoint", a.checkpoint)
+	mux.HandleFunc("POST /api/v1/resume", a.resume)
+	mux.HandleFunc("GET /healthz", a.healthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeAdmitError maps Submit/Resume failures: backpressure to 429 with
+// a retry hint, drain to 503, anything else to a 400 validation error.
+func writeAdmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	j, err := a.m.Submit(spec)
+	if err != nil {
+		writeAdmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (a *API) resume(w http.ResponseWriter, r *http.Request) {
+	var ck Checkpoint
+	if err := json.NewDecoder(r.Body).Decode(&ck); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding checkpoint: %v", err)})
+		return
+	}
+	j, err := a.m.Resume(ck)
+	if err != nil {
+		writeAdmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.List())
+}
+
+// jobOr404 resolves {id} or writes the 404.
+func (a *API) jobOr404(w http.ResponseWriter, r *http.Request) *Job {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return nil
+	}
+	return j
+}
+
+func (a *API) status(w http.ResponseWriter, r *http.Request) {
+	if j := a.jobOr404(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (a *API) trace(w http.ResponseWriter, r *http.Request) {
+	j := a.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	data, ok := j.Trace()
+	if !ok {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job was not submitted with trace enabled"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = w.Write(data)
+}
+
+func (a *API) result(w http.ResponseWriter, r *http.Request) {
+	j := a.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	res, ok := j.Result()
+	if !ok {
+		st := j.Status()
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf("job %s has no result (state %s)", st.ID, st.State),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	j := a.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (a *API) checkpoint(w http.ResponseWriter, r *http.Request) {
+	j := a.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	ck, err := a.m.Checkpoint(r.Context(), j.ID())
+	if err != nil {
+		if errors.Is(err, ErrNotRunning) {
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ck)
+}
+
+func (a *API) healthz(w http.ResponseWriter, r *http.Request) {
+	states := map[JobState]int{}
+	for _, st := range a.m.List() {
+		states[st.State]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": states})
+}

@@ -1,0 +1,258 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmb/internal/loadgen"
+	"rmb/internal/telemetry"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is stepping the simulation.
+	StateRunning JobState = "running"
+	// StateDone: completed; the result is available.
+	StateDone JobState = "done"
+	// StateFailed: stopped on an error (including deadline overrun).
+	StateFailed JobState = "failed"
+	// StateCanceled: stopped by explicit cancellation.
+	StateCanceled JobState = "canceled"
+	// StateSuspended: checkpointed during a drain; resumable.
+	StateSuspended JobState = "suspended"
+)
+
+// Terminal reports whether the state is final (no worker will touch the
+// job again).
+func (s JobState) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateSuspended:
+		return true
+	}
+	return false
+}
+
+// Status is the externally visible snapshot of a job.
+type Status struct {
+	ID    string   `json:"id"`
+	Name  string   `json:"name,omitempty"`
+	State JobState `json:"state"`
+	// Tick is the simulation clock the worker last reported.
+	Tick int64 `json:"tick"`
+	// Error carries the failure reason for failed jobs.
+	Error string `json:"error,omitempty"`
+	// TraceEvents counts telemetry events captured so far.
+	TraceEvents int64 `json:"traceEvents,omitempty"`
+	// Created/Started/Finished are wall-clock lifecycle timestamps.
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// ckptReply carries a live-checkpoint response back to the requester.
+type ckptReply struct {
+	data []byte
+	err  error
+}
+
+// Job is one simulation run owned by the manager. All simulator state
+// (network, driver) lives exclusively in the worker goroutine; the
+// fields here are the cross-goroutine view, guarded by mu or atomics.
+type Job struct {
+	id      string
+	spec    JobSpec
+	created time.Time
+
+	// resume, when non-nil, restores a checkpointed run instead of
+	// starting fresh.
+	resume *Checkpoint
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// ckptReq asks the worker for a mid-run checkpoint at the next tick
+	// boundary; the worker replies on the channel carried in the request.
+	ckptReq chan chan ckptReply
+
+	tick atomic.Int64
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	result   *loadgen.Result
+	started  *time.Time
+	finished *time.Time
+	// ckpt is the frozen state of a suspended job, collected by Drain.
+	ckpt *Checkpoint
+	// trace capture (nil unless the spec asked for it).
+	traceBuf *bytes.Buffer
+	traceW   *telemetry.Writer
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job for listings and polls.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:      j.id,
+		Name:    j.spec.Name,
+		State:   j.state,
+		Tick:    j.tick.Load(),
+		Error:   j.errMsg,
+		Created: j.created,
+	}
+	if j.started != nil {
+		t := *j.started
+		st.Started = &t
+	}
+	if j.finished != nil {
+		t := *j.finished
+		st.Finished = &t
+	}
+	if j.traceW != nil {
+		st.TraceEvents = j.traceW.Count()
+	}
+	return st
+}
+
+// Result returns the completed result, or ok=false while the job is
+// still pending.
+func (j *Job) Result() (loadgen.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return loadgen.Result{}, false
+	}
+	return *j.result, true
+}
+
+// Trace returns a copy of the JSONL telemetry captured so far and
+// whether tracing is enabled. Safe to call while the job runs.
+func (j *Job) Trace() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.traceBuf == nil {
+		return nil, false
+	}
+	// The writer buffers; flush so the copy includes every event. Sticky
+	// write errors surface in the job's final state, not here (writing to
+	// a bytes.Buffer cannot fail).
+	_ = j.traceW.Flush()
+	return append([]byte(nil), j.traceBuf.Bytes()...), true
+}
+
+// Cancel requests the job stop at the next tick boundary. Queued jobs
+// are canceled before they start.
+func (j *Job) Cancel() { j.cancel() }
+
+// observe is the recorder callback: append one event to the trace under
+// the job lock (the HTTP trace endpoint reads concurrently).
+func (j *Job) observe(e telemetry.Event) {
+	j.mu.Lock()
+	j.traceW.Observe(e)
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued → running (no-op if already canceled).
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	now := time.Now()
+	j.state = StateRunning
+	j.started = &now
+	return true
+}
+
+// finish records a terminal state; result may be nil.
+func (j *Job) finish(state JobState, res *loadgen.Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	now := time.Now()
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = &now
+}
+
+// finishSuspended parks the job's frozen state for Drain to collect.
+func (j *Job) finishSuspended(ck *Checkpoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	now := time.Now()
+	j.state = StateSuspended
+	j.ckpt = ck
+	j.finished = &now
+}
+
+// Checkpoint is the portable frozen form of a job: its spec, the
+// workload generator's position, and the core network checkpoint. The
+// envelope is plain JSON (the core payload carries its own version and
+// checksum framing); Manager.Resume turns it back into a queued job.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	ID      string `json:"id"`
+	// Spec is the original job description; the fault plan inside it is
+	// NOT re-injected on resume (pending fault timers ride in Core).
+	Spec JobSpec `json:"spec"`
+	// Driver is the workload generator's resume state.
+	Driver loadgen.State `json:"driver"`
+	// Core is the core.Network checkpoint (its own self-validating
+	// envelope).
+	Core json.RawMessage `json:"core"`
+}
+
+// CheckpointVersion is the current job-checkpoint envelope version.
+const CheckpointVersion = 1
+
+// EncodeCheckpoint / DecodeCheckpoint are the one encoding used
+// everywhere a job checkpoint crosses a process boundary (HTTP bodies,
+// *.ckpt files), so the wire form and the file form never drift.
+func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
+	return marshalCheckpointBytes(ck)
+}
+
+// DecodeCheckpoint parses bytes produced by EncodeCheckpoint (deep
+// validation happens at Resume, not here).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := unmarshalCheckpointBytes(data, ck); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+func marshalCheckpointBytes(ck *Checkpoint) ([]byte, error) {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding checkpoint: %w", err)
+	}
+	return data, nil
+}
+
+func unmarshalCheckpointBytes(data []byte, ck *Checkpoint) error {
+	if err := json.Unmarshal(data, ck); err != nil {
+		return fmt.Errorf("service: decoding checkpoint: %w", err)
+	}
+	return nil
+}

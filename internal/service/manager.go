@@ -1,0 +1,420 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rmb/internal/core"
+	"rmb/internal/loadgen"
+	"rmb/internal/telemetry"
+)
+
+// Sentinel errors surfaced through the API layer.
+var (
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity; the HTTP layer maps it to 429 + Retry-After.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining is returned by Submit once a drain or close has begun.
+	ErrDraining = errors.New("service: manager is draining")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrNotRunning is returned by Checkpoint for jobs with no live
+	// simulation to serialize.
+	ErrNotRunning = errors.New("service: job is not running")
+)
+
+// Manager multiplexes simulation jobs over a bounded worker pool with a
+// bounded admission queue. Each worker owns one network at a time; the
+// manager itself never touches simulator state.
+type Manager struct {
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue   chan *Job
+	suspend chan struct{}
+	wg      sync.WaitGroup
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string
+	nextID      int
+	closed      bool // no further admissions
+	queueClosed bool
+}
+
+// NewManager starts a pool of workers serving a queue of the given
+// depth. Both must be positive.
+func NewManager(workers, depth int) (*Manager, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("service: worker count must be positive, got %d", workers)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("service: queue depth must be positive, got %d", depth)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, depth),
+		suspend:    make(chan struct{}),
+		jobs:       make(map[string]*Job),
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m, nil
+}
+
+// newJob builds the cross-goroutine job shell (no simulator state yet).
+func (m *Manager) newJob(spec JobSpec, resume *Checkpoint) *Job {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		spec:    spec,
+		created: time.Now(),
+		resume:  resume,
+		ctx:     ctx,
+		cancel:  cancel,
+		ckptReq: make(chan chan ckptReply),
+		state:   StateQueued,
+	}
+	if spec.Trace {
+		j.traceBuf = &bytes.Buffer{}
+		j.traceW = telemetry.NewWriter(j.traceBuf)
+	}
+	return j
+}
+
+// admit registers the job and enqueues it without blocking; the queue
+// being full is the backpressure signal.
+func (m *Manager) admit(j *Job) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrDraining
+	}
+	m.nextID++
+	if j.id == "" {
+		j.id = fmt.Sprintf("j%d", m.nextID)
+	}
+	if _, taken := m.jobs[j.id]; taken {
+		j.id = fmt.Sprintf("j%d", m.nextID)
+	}
+	select {
+	case m.queue <- j:
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Submit validates and admits a new job.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return m.admit(m.newJob(spec, nil))
+}
+
+// Resume admits a job that continues a checkpointed run. The original
+// job ID is kept when free. An empty Core payload marks a job that was
+// suspended before it started; it runs from scratch.
+func (m *Manager) Resume(ck Checkpoint) (*Job, error) {
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("service: checkpoint version %d not supported (want %d)", ck.Version, CheckpointVersion)
+	}
+	if err := ck.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	resume := &ck
+	if len(ck.Core) == 0 {
+		resume = nil
+	}
+	j := m.newJob(ck.Spec, resume)
+	j.id = ck.ID
+	return m.admit(j)
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = m.jobs[id]
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests a job stop; terminal jobs are left untouched.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.Cancel()
+	return nil
+}
+
+// Checkpoint serializes a running job at its next tick boundary without
+// stopping it. Queued or terminal jobs return ErrNotRunning.
+func (m *Manager) Checkpoint(ctx context.Context, id string) (*Checkpoint, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	reply := make(chan ckptReply, 1)
+	select {
+	case j.ckptReq <- reply:
+	case <-j.ctx.Done():
+		return nil, ErrNotRunning
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-reply:
+		if r.err != nil {
+			return nil, r.err
+		}
+		var ck Checkpoint
+		if err := unmarshalCheckpointBytes(r.data, &ck); err != nil {
+			return nil, err
+		}
+		return &ck, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Drain stops admissions, asks every worker to suspend its current job
+// at the next tick boundary, lets the queue empty (queued jobs suspend
+// without starting), and waits for the pool to exit. It returns the
+// checkpoints of every suspended job, ready to persist and Resume in a
+// later process. Respect ctx to bound the wait.
+func (m *Manager) Drain(ctx context.Context) ([]Checkpoint, error) {
+	m.beginShutdown(true)
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+	var cks []Checkpoint
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		if j.state == StateSuspended && j.ckpt != nil {
+			cks = append(cks, *j.ckpt)
+		}
+		j.mu.Unlock()
+	}
+	return cks, nil
+}
+
+// Close cancels every job and stops the pool without checkpointing.
+func (m *Manager) Close() {
+	m.baseCancel()
+	m.beginShutdown(false)
+	m.wg.Wait()
+}
+
+// beginShutdown stops admissions and releases the workers' loops; with
+// suspend=true running jobs checkpoint instead of cancelling.
+func (m *Manager) beginShutdown(suspend bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.closed {
+		m.closed = true
+		if suspend {
+			close(m.suspend)
+		}
+	}
+	if !m.queueClosed {
+		m.queueClosed = true
+		close(m.queue)
+	}
+}
+
+// worker serves jobs until the queue closes and empties.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// suspended reports whether a drain has been requested.
+func (m *Manager) suspended() bool {
+	select {
+	case <-m.suspend:
+		return true
+	default:
+		return false
+	}
+}
+
+// runJob owns one job end to end: build (or restore) the simulator,
+// step it with per-tick cancellation/deadline/checkpoint checks, and
+// record the terminal state. All simulator state stays local to this
+// goroutine; only Status/Result/Trace snapshots cross out, under the
+// job lock.
+func (m *Manager) runJob(j *Job) {
+	// Cancel the job context on every exit path: it releases any timeout
+	// timer, and it is what tells a blocked Checkpoint caller that no
+	// worker will ever pick up its request (ErrNotRunning).
+	defer j.cancel()
+	if j.ctx.Err() != nil {
+		j.finish(StateCanceled, nil, "canceled while queued")
+		return
+	}
+	if m.suspended() {
+		// Drain hit before the job started: suspend it un-run, with an
+		// empty core payload (Resume restarts it from scratch).
+		j.finishSuspended(&Checkpoint{Version: CheckpointVersion, ID: j.id, Spec: j.spec})
+		return
+	}
+	if !j.setRunning() {
+		return
+	}
+
+	var rec core.Recorder
+	if j.spec.Trace {
+		rec = &telemetry.Adapter{Observe: j.observe}
+	}
+
+	var d *loadgen.Driver
+	if j.resume != nil {
+		// Restore: pending fault timers live in the core checkpoint, so
+		// the plan is NOT re-injected, and the driver RNG resumes from
+		// its serialized position.
+		n, err := core.UnmarshalCheckpoint(j.resume.Core)
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			return
+		}
+		n.SetRecorder(rec)
+		lcfg, err := j.spec.Workload.loadgenConfig(core.FaultPlan{})
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			return
+		}
+		d, err = loadgen.ResumeDriver(n, lcfg, j.resume.Driver)
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			return
+		}
+		j.tick.Store(int64(n.Now()))
+	} else {
+		cfg := j.spec.Config
+		cfg.Recorder = rec
+		n, err := core.NewNetwork(cfg)
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			return
+		}
+		lcfg, err := j.spec.Workload.loadgenConfig(j.spec.Faults)
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			return
+		}
+		d, err = loadgen.NewDriver(n, lcfg)
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			return
+		}
+	}
+	defer d.Network().Close()
+
+	// The wall-clock deadline starts when the job starts running, so
+	// queue wait does not eat the budget.
+	ctx := j.ctx
+	if j.spec.TimeoutSec > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutSec)*time.Second)
+		defer cancel()
+	}
+
+	for {
+		// Control plane first, then one tick. Every arm observes the
+		// simulation at a tick boundary, where checkpoints are legal.
+		select {
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				j.finish(StateFailed, nil, "deadline exceeded")
+			} else {
+				j.finish(StateCanceled, nil, "canceled")
+			}
+			return
+		case <-m.suspend:
+			ck, err := m.freezeJob(j, d)
+			if err != nil {
+				j.finish(StateFailed, nil, fmt.Sprintf("suspend: %v", err))
+				return
+			}
+			j.finishSuspended(ck)
+			return
+		case reply := <-j.ckptReq:
+			ck, err := m.freezeJob(j, d)
+			if err != nil {
+				reply <- ckptReply{err: err}
+				continue
+			}
+			data, err := marshalCheckpointBytes(ck)
+			reply <- ckptReply{data: data, err: err}
+			continue
+		default:
+		}
+		more, err := d.Step()
+		j.tick.Store(int64(d.Network().Now()))
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			return
+		}
+		if !more {
+			res := d.Result()
+			j.finish(StateDone, &res, "")
+			return
+		}
+	}
+}
+
+// freezeJob captures the job's full resumable state at the current tick
+// boundary.
+func (m *Manager) freezeJob(j *Job, d *loadgen.Driver) (*Checkpoint, error) {
+	coreCk, err := d.Network().MarshalCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Version: CheckpointVersion,
+		ID:      j.id,
+		Spec:    j.spec,
+		Driver:  d.State(),
+		Core:    coreCk,
+	}, nil
+}

@@ -1,0 +1,128 @@
+// Package service is the multi-run layer above the simulator: it
+// multiplexes many concurrent deterministic simulations over a bounded
+// worker pool, exposes them as jobs (submit, poll, stream telemetry,
+// fetch results, cancel), applies admission control with backpressure,
+// and checkpoints/resumes runs across process restarts via the core
+// checkpoint serializer plus the loadgen driver state.
+//
+// The package lives strictly above the core's Recorder/Snapshot seam:
+// every goroutine here owns its network outright (one job, one network,
+// one worker), observes it only through the recorder it installed, and
+// never shares simulator state across goroutines — which is why a job's
+// trace, stats and RNG stream are bit-identical to the same run executed
+// bare (TestJobMatchesBareRun pins this). The core tiers never import
+// this package; rmbvet's isolation and determinism analyzers keep the
+// seam honest.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"rmb/internal/core"
+	"rmb/internal/loadgen"
+	"rmb/internal/sim"
+)
+
+// WorkloadSpec is the JSON form of a loadgen workload: loadgen.Config
+// with the destination function named rather than passed as code.
+type WorkloadSpec struct {
+	// Rate is the offered load (per-node per-tick arrival probability,
+	// in (0, 1]).
+	Rate float64 `json:"rate"`
+	// PayloadLen is the data flit count per message.
+	PayloadLen int `json:"payloadLen,omitempty"`
+	// Warmup and Measure are tick spans; Drain caps the flush after the
+	// measurement window (0 selects the loadgen default).
+	Warmup  int64 `json:"warmup,omitempty"`
+	Measure int64 `json:"measure"`
+	Drain   int64 `json:"drain,omitempty"`
+	// Pattern names the destination function: "uniform" (default),
+	// "neighbour" or "hotspot".
+	Pattern string `json:"pattern,omitempty"`
+	// Seed drives arrivals and destinations.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// destFn resolves the named pattern.
+func (w WorkloadSpec) destFn() (loadgen.DestFn, error) {
+	switch w.Pattern {
+	case "", "uniform":
+		return loadgen.UniformDest, nil
+	case "neighbour", "neighbor":
+		return loadgen.NeighbourDest, nil
+	case "hotspot":
+		return loadgen.HotspotDest, nil
+	default:
+		return nil, fmt.Errorf("service: unknown traffic pattern %q (want uniform, neighbour or hotspot)", w.Pattern)
+	}
+}
+
+// loadgenConfig lowers the spec into a loadgen.Config; faults is the
+// job-level fault plan.
+func (w WorkloadSpec) loadgenConfig(faults core.FaultPlan) (loadgen.Config, error) {
+	fn, err := w.destFn()
+	if err != nil {
+		return loadgen.Config{}, err
+	}
+	return loadgen.Config{
+		Rate:       w.Rate,
+		PayloadLen: w.PayloadLen,
+		Warmup:     sim.Tick(w.Warmup),
+		Measure:    sim.Tick(w.Measure),
+		Drain:      sim.Tick(w.Drain),
+		Pattern:    fn,
+		Seed:       w.Seed,
+		Faults:     faults,
+	}, nil
+}
+
+// JobSpec is one simulation request: a network, a workload, an optional
+// fault plan, and execution options.
+type JobSpec struct {
+	// Name is an optional human label echoed in status listings.
+	Name string `json:"name,omitempty"`
+	// Config parameterizes the network (core.Config; the Recorder field
+	// does not serialize and is ignored if set).
+	Config core.Config `json:"config"`
+	// Workload is the open-loop traffic description.
+	Workload WorkloadSpec `json:"workload"`
+	// Faults optionally schedules deterministic fail/repair events.
+	Faults core.FaultPlan `json:"faults,omitempty"`
+	// TimeoutSec bounds the job's wall-clock runtime; 0 means unbounded.
+	TimeoutSec int `json:"timeoutSec,omitempty"`
+	// Trace enables JSONL telemetry capture (streamable while running).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// Validate rejects malformed specs before they consume a queue slot. The
+// loadgen knobs are validated by loadgen itself when the job starts, but
+// everything checkable without a network is checked here so a bad spec
+// fails at submit time with a 400, not later with a failed job.
+func (s JobSpec) Validate() error {
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if s.Config.Recorder != nil {
+		return errors.New("service: job config must not carry a recorder; use the trace option")
+	}
+	if s.Workload.Rate <= 0 || s.Workload.Rate > 1 {
+		return fmt.Errorf("service: workload rate must be in (0, 1], got %v", s.Workload.Rate)
+	}
+	if s.Workload.Measure <= 0 {
+		return errors.New("service: workload measurement window must be positive")
+	}
+	if s.Workload.Warmup < 0 || s.Workload.Drain < 0 {
+		return errors.New("service: workload tick spans must be non-negative")
+	}
+	if _, err := s.Workload.destFn(); err != nil {
+		return err
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("service: timeout must be non-negative, got %d", s.TimeoutSec)
+	}
+	if err := s.Faults.Validate(s.Config.Nodes, s.Config.Buses); err != nil {
+		return err
+	}
+	return nil
+}

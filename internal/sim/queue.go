@@ -1,6 +1,9 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // Event is a unit of deferred work scheduled on an EventQueue.
 type Event struct {
@@ -11,6 +14,11 @@ type Event struct {
 	Seq uint64
 	// Fire is the action to run.
 	Fire func()
+	// Payload optionally carries a serializable description of what Fire
+	// will do. Fire closures cannot be checkpointed, so a simulator that
+	// wants to snapshot its pending timers schedules through ScheduleEvent
+	// and reconstructs equivalent closures from the payloads on restore.
+	Payload any
 }
 
 type eventHeap []*Event
@@ -58,6 +66,31 @@ func (q *EventQueue) Len() int { return len(q.h) }
 func (q *EventQueue) Schedule(at Tick, fire func()) {
 	q.seq++
 	heap.Push(&q.h, &Event{At: at, Seq: q.seq, Fire: fire})
+}
+
+// ScheduleEvent enqueues fire to run at tick at, tagging the event with a
+// serializable payload so Pending can describe it for checkpointing.
+func (q *EventQueue) ScheduleEvent(at Tick, payload any, fire func()) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Seq: q.seq, Fire: fire, Payload: payload})
+}
+
+// Pending returns a copy of every pending event in firing order (ascending
+// At, scheduling order within a tick). The copies share Fire and Payload
+// with the live events but the queue itself is untouched; checkpointers
+// walk the result and serialize the payloads.
+func (q *EventQueue) Pending() []Event {
+	out := make([]Event, len(q.h))
+	for i, e := range q.h {
+		out[i] = *e
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
 }
 
 // NextAt reports the tick of the earliest pending event. ok is false when

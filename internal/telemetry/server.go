@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 
 	"rmb/internal/core"
 	"rmb/internal/trace"
@@ -52,26 +54,48 @@ func (o *Observatory) Latest() (*core.Snapshot, core.Stats) {
 	return o.snap, o.stats
 }
 
-// expvarOnce guards process-global expvar registration: expvar.Publish
-// panics on duplicate names, and tests build several observatories.
-var expvarOnce sync.Once
+// expvar registration is process-global (expvar.Publish panics on
+// duplicate names) but observatories are per-run: rmbd serves many
+// simulations from one process, and tests build several observatories.
+// The once therefore registers closures over a swappable current pointer
+// rather than over the first observatory to call Handler — the bug that
+// used to freeze /debug/vars onto the first run forever — and Handler
+// repoints the indirection each time.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.RWMutex
+	expvarCur  *Observatory
+)
+
+func latestForExpvar() core.Stats {
+	expvarMu.RLock()
+	o := expvarCur
+	expvarMu.RUnlock()
+	if o == nil {
+		return core.Stats{}
+	}
+	_, st := o.Latest()
+	return st
+}
 
 // Handler builds the observer mux:
 //
 //	/metrics       Prometheus text exposition (counters + gauges)
 //	/snapshot      occupancy grid + status registers (text art)
 //	/vb            virtual-bus table + sampler summaries
-//	/debug/vars    expvar JSON (includes rmb_delivered / rmb_ticks)
+//	/debug/vars    expvar JSON (includes rmb_delivered / rmb_ticks),
+//	               reflecting the observatory whose Handler ran last
 //	/debug/pprof/  the standard pprof handlers
 func (o *Observatory) Handler() http.Handler {
+	expvarMu.Lock()
+	expvarCur = o
+	expvarMu.Unlock()
 	expvarOnce.Do(func() {
 		expvar.Publish("rmb_ticks", expvar.Func(func() any {
-			_, st := o.Latest()
-			return int64(st.Ticks)
+			return int64(latestForExpvar().Ticks)
 		}))
 		expvar.Publish("rmb_delivered", expvar.Func(func() any {
-			_, st := o.Latest()
-			return st.Delivered
+			return latestForExpvar().Delivered
 		}))
 	})
 
@@ -145,5 +169,22 @@ func StartServer(addr string, o *Observatory) (*Server, error) {
 	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
 }
 
-// Close stops the listener and in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// closeGrace bounds how long Close waits for in-flight handlers before
+// giving up and severing their connections. A variable so the regression
+// test can tighten it without a slow test.
+var closeGrace = 5 * time.Second
+
+// Close stops the listener, lets in-flight handlers finish, and only
+// severs connections still running after a bounded grace period. The old
+// behaviour (http.Server.Close) chopped a /metrics scrape mid-body if the
+// run ended while Prometheus was reading.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Grace exhausted (or the context machinery failed): fall back to
+		// the hard stop so Close never leaks the listener.
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -1,10 +1,14 @@
 package telemetry
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"rmb/internal/core"
 )
@@ -73,6 +77,110 @@ func TestObserverEndpoints(t *testing.T) {
 	}
 	if body := get("/"); !strings.Contains(body, "/metrics") {
 		t.Errorf("index page missing endpoint list:\n%s", body)
+	}
+}
+
+// TestExpvarFollowsLatestObservatory is the regression test for the
+// frozen-expvar bug: the once-registered expvar closures used to capture
+// the first Observatory to build a Handler, so every later run's
+// /debug/vars reported the first run's counters forever. The vars must
+// follow whichever observatory most recently built a handler.
+func TestExpvarFollowsLatestObservatory(t *testing.T) {
+	delivered := func(t *testing.T, addr string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var vars map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+			t.Fatalf("decoding /debug/vars: %v", err)
+		}
+		return fmt.Sprint(vars["rmb_delivered"])
+	}
+
+	first := NewObservatory(nil)
+	first.Publish(nil, core.Stats{Delivered: 7})
+	srv1, err := StartServer("127.0.0.1:0", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := delivered(t, srv1.Addr); got != "7" {
+		t.Fatalf("first observatory reports rmb_delivered=%s, want 7", got)
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := NewObservatory(nil)
+	second.Publish(nil, core.Stats{Delivered: 42})
+	srv2, err := StartServer("127.0.0.1:0", second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got := delivered(t, srv2.Addr); got != "42" {
+		t.Fatalf("second observatory reports rmb_delivered=%s (stale capture of the first run), want 42", got)
+	}
+}
+
+// TestCloseWaitsForSlowHandler pins the graceful-shutdown contract: a
+// response in flight when Close is called is allowed to finish (the old
+// http.Server.Close chopped it mid-body), and Close still returns.
+func TestCloseWaitsForSlowHandler(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "complete")
+	})
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	srv := &Server{Addr: ln.Addr().String(), ln: ln, srv: hs}
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/slow")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(body), err: err}
+	}()
+	<-entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// The handler is still blocked; Close must be waiting, not done.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a handler was still running", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", r.err)
+	}
+	if r.body != "complete" {
+		t.Fatalf("in-flight response truncated: %q", r.body)
 	}
 }
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the rmbd simulation daemon: start it on an
+# ephemeral port, submit a traced job over HTTP, poll it to completion,
+# and fetch the trace stream and the result JSON — the exact sequence a
+# client runs. Then drain the daemon with SIGTERM and check it
+# checkpoints cleanly.
+#
+# Exits non-zero (and prints the offending step) on any failure.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill $daemonpid 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/rmbd" ./cmd/rmbd
+
+"$workdir/rmbd" -addr 127.0.0.1:0 -workers 2 -queue 8 \
+    -checkpoint-dir "$workdir/ckpt" >"$workdir/stdout" 2>"$workdir/stderr" &
+daemonpid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$workdir/stderr")
+    [ -n "$addr" ] && break
+    kill -0 "$daemonpid" 2>/dev/null || { echo "rmbd exited early:"; cat "$workdir/stderr"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "no listen address after 10s"; cat "$workdir/stderr"; exit 1; }
+echo "rmbd at $addr"
+
+spec='{"name":"smoke","config":{"Nodes":16,"Buses":3,"Seed":7},"workload":{"rate":0.02,"measure":5000,"seed":11},"trace":true}'
+id=$(curl -fsS --max-time 10 -d "$spec" "http://$addr/api/v1/jobs" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "FAIL: submit returned no job id"; exit 1; }
+echo "ok   submitted job $id"
+
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -fsS --max-time 10 "http://$addr/api/v1/jobs/$id" \
+        | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$state" = done ] && break
+    case "$state" in failed|canceled) echo "FAIL: job ended $state"; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "FAIL: job not done after 30s (state: $state)"; exit 1; }
+echo "ok   job reached done"
+
+trace=$(curl -fsS --max-time 10 "http://$addr/api/v1/jobs/$id/trace")
+case "$trace" in
+    *'"type":"submit"'*) echo "ok   trace stream carries submit events" ;;
+    *) echo "FAIL: trace missing submit events"; printf '%s\n' "$trace" | head -5; exit 1 ;;
+esac
+
+result=$(curl -fsS --max-time 10 "http://$addr/api/v1/jobs/$id/result")
+case "$result" in
+    *'"Delivered"'*) echo "ok   result JSON carries stats" ;;
+    *) echo "FAIL: result missing stats"; printf '%s\n' "$result" | head -5; exit 1 ;;
+esac
+
+health=$(curl -fsS --max-time 10 "http://$addr/healthz")
+case "$health" in
+    *'"done":1'*) echo "ok   healthz counts the finished job" ;;
+    *) echo "FAIL: healthz missing done count"; printf '%s\n' "$health"; exit 1 ;;
+esac
+
+# Graceful drain: a long-running job should land in the checkpoint dir.
+long='{"name":"long","config":{"Nodes":16,"Buses":2},"workload":{"rate":0.002,"measure":2000000000}}'
+longid=$(curl -fsS --max-time 10 -d "$long" "http://$addr/api/v1/jobs" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$longid" ] || { echo "FAIL: long submit returned no job id"; exit 1; }
+for _ in $(seq 1 100); do
+    tick=$(curl -fsS --max-time 10 "http://$addr/api/v1/jobs/$longid" \
+        | sed -n 's/.*"tick":\([0-9]*\).*/\1/p')
+    [ -n "$tick" ] && [ "$tick" -gt 0 ] && break
+    sleep 0.1
+done
+
+kill -TERM "$daemonpid"
+for _ in $(seq 1 100); do
+    kill -0 "$daemonpid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$daemonpid" 2>/dev/null && { echo "FAIL: rmbd did not exit after SIGTERM"; exit 1; }
+[ -f "$workdir/ckpt/$longid.ckpt" ] || {
+    echo "FAIL: drain left no checkpoint for $longid"; ls "$workdir/ckpt" || true; exit 1; }
+echo "ok   SIGTERM drain checkpointed $longid"
+
+echo "rmbdsmoke: ok"
