@@ -97,12 +97,17 @@ func (m *Manager) admit(j *Job) (*Job, error) {
 	if m.closed {
 		return nil, ErrDraining
 	}
-	m.nextID++
-	if j.id == "" {
-		j.id = fmt.Sprintf("j%d", m.nextID)
-	}
-	if _, taken := m.jobs[j.id]; taken {
-		j.id = fmt.Sprintf("j%d", m.nextID)
+	if _, taken := m.jobs[j.id]; j.id == "" || taken {
+		// The counter can lag behind IDs brought in by Resume, so walk it
+		// past every taken slot; an existing entry is never overwritten.
+		for {
+			m.nextID++
+			id := fmt.Sprintf("j%d", m.nextID)
+			if _, used := m.jobs[id]; !used {
+				j.id = id
+				break
+			}
+		}
 	}
 	select {
 	case m.queue <- j:
@@ -184,6 +189,11 @@ func (m *Manager) Checkpoint(ctx context.Context, id string) (*Checkpoint, error
 	j, err := m.Get(id)
 	if err != nil {
 		return nil, err
+	}
+	// A queued job has no worker listening on ckptReq; without this check
+	// the send below would block for the whole queue wait.
+	if j.Status().State != StateRunning {
+		return nil, ErrNotRunning
 	}
 	reply := make(chan ckptReply, 1)
 	select {
@@ -293,8 +303,16 @@ func (m *Manager) runJob(j *Job) {
 		return
 	}
 	if m.suspended() {
-		// Drain hit before the job started: suspend it un-run, with an
-		// empty core payload (Resume restarts it from scratch).
+		// Drain hit before the job started. A job resumed from a mid-run
+		// checkpoint parks that original checkpoint (its progress lives
+		// there); a fresh job parks an empty core payload, which Resume
+		// runs from scratch.
+		if j.resume != nil {
+			ck := *j.resume
+			ck.ID = j.id
+			j.finishSuspended(&ck)
+			return
+		}
 		j.finishSuspended(&Checkpoint{Version: CheckpointVersion, ID: j.id, Spec: j.spec})
 		return
 	}

@@ -457,6 +457,202 @@ func TestDrainSuspendsJobs(t *testing.T) {
 	}
 }
 
+// TestResumeIDCollision pre-seeds a manager with a resumed job holding
+// an ID the auto-numbering will eventually reach, then submits past it:
+// every job must keep a distinct ID, no m.jobs entry may be overwritten,
+// and the resumed job must stay reachable throughout.
+func TestResumeIDCollision(t *testing.T) {
+	m, err := NewManager(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// An empty-core checkpoint (suspended before it started) with an ID
+	// squarely in auto-numbering territory.
+	resumed, err := m.Resume(Checkpoint{Version: CheckpointVersion, ID: "j2", Spec: smallSpec(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ID() != "j2" {
+		t.Fatalf("resume did not keep its free ID: %q", resumed.ID())
+	}
+
+	jobs := []*Job{resumed}
+	for i := 0; i < 3; i++ {
+		j, err := m.Submit(smallSpec(uint64(51 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.ID()] {
+			t.Fatalf("duplicate job ID %q", j.ID())
+		}
+		seen[j.ID()] = true
+		got, err := m.Get(j.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != j {
+			t.Fatalf("job %q was overwritten in the registry", j.ID())
+		}
+	}
+	if sts := m.List(); len(sts) != len(jobs) {
+		t.Fatalf("List returned %d jobs, want %d", len(sts), len(jobs))
+	}
+	for _, j := range jobs {
+		if st := waitTerminal(t, j); st.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+	}
+}
+
+// TestDrainKeepsQueuedResumeProgress resumes a mid-run checkpoint into a
+// manager whose only worker is busy, so the resumed job never starts,
+// then drains: the drained checkpoint must carry the original core
+// payload (not an empty run-from-scratch one), and resuming it in a
+// third manager must still finish with the uninterrupted oracle result.
+func TestDrainKeepsQueuedResumeProgress(t *testing.T) {
+	spec := mediumSpec(31)
+	bareNet, err := core.NewNetwork(spec.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg, err := spec.Workload.loadgenConfig(spec.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := loadgen.Run(bareNet, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the job mid-run in manager 1.
+	m1, err := NewManager(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Status().Tick < 50 && time.Now().Before(deadline) {
+		if st := j.Status(); st.State.Terminal() {
+			t.Fatalf("job finished before it could be frozen: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ck, err := m1.Checkpoint(ctx, j.ID())
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if len(ck.Core) == 0 {
+		t.Fatal("mid-run checkpoint has no core payload")
+	}
+	j.Cancel()
+	waitTerminal(t, j)
+	m1.Close()
+
+	// Manager 2: the single worker is pinned to an endless job, so the
+	// resumed job sits in the queue until the drain.
+	m2, err := NewManager(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := m2.Submit(longSpec(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for blocker.Status().Tick == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := m2.Resume(*ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.Status().State; st != StateQueued {
+		t.Fatalf("resumed job should be queued behind the blocker, got %s", st)
+	}
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer drainCancel()
+	cks, err := m2.Drain(drainCtx)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	var parked *Checkpoint
+	for i := range cks {
+		if cks[i].ID == queued.ID() {
+			parked = &cks[i]
+		}
+	}
+	if parked == nil {
+		t.Fatalf("drain returned no checkpoint for queued resumed job %q", queued.ID())
+	}
+	if len(parked.Core) == 0 {
+		t.Fatal("drain discarded the resumed job's progress (empty core payload)")
+	}
+
+	// The parked checkpoint still completes to the oracle result.
+	m3, err := NewManager(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	final, err := m3.Resume(*parked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, final); st.State != StateDone {
+		t.Fatalf("re-resumed job ended %s: %s", st.State, st.Error)
+	}
+	got, _ := final.Result()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("drained-while-queued result diverged from uninterrupted run:\n got:  %+v\n want: %+v", got, want)
+	}
+}
+
+// TestCheckpointQueuedJobFailsFast asks for a checkpoint of a job that
+// is still waiting for a worker: the call must return ErrNotRunning
+// immediately instead of blocking until the job starts.
+func TestCheckpointQueuedJobFailsFast(t *testing.T) {
+	m, err := NewManager(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	blocker, err := m.Submit(longSpec(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for blocker.Status().Tick == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := m.Submit(longSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.Status().State; st != StateQueued {
+		t.Fatalf("second job should be queued, got %s", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := m.Checkpoint(ctx, queued.ID()); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("checkpoint of queued job returned %v, want ErrNotRunning", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("checkpoint of queued job blocked for %v", elapsed)
+	}
+}
+
 // TestHTTPAPI walks the full HTTP surface: submit, poll, stream the
 // trace, fetch the result, cancel, checkpoint+resume, and the 429/400/
 // 404/409 error paths.
