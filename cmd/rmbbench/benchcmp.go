@@ -6,18 +6,25 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // benchCmp reads `go test -bench` text from in, compares it against one
 // section of a baseline file (the BENCH_baseline.json layout: named
-// sections, each a BenchReport), and writes a per-benchmark verdict
-// table to out. A benchmark regresses when its best (minimum) ns/op
-// exceeds the section's best by more than the tolerance factor; the
-// minimum over -count repetitions is the comparison point on both sides
-// because scheduling noise only ever inflates a run. Benchmarks present
-// on only one side are reported but never fail the comparison, so the
-// baseline does not have to be regenerated for every added benchmark.
-// Returns the number of regressions.
+// sections, each a BenchReport), and writes a per-metric verdict table
+// to out. Every metric shared by a benchmark and its baseline is gated,
+// not just ns/op — so allocs/op and domain metrics reported via
+// b.ReportMetric (jobs/sec, ticks, ...) are regression-checked too.
+//
+// Direction matters: for "/sec"- and "/s"-suffixed metrics higher is
+// better (a regression is got < base/tolerance, compared best = max over
+// -count repetitions); for everything else — ns/op, B/op, allocs/op —
+// lower is better (a regression is got > base*tolerance, best = min).
+// The best over repetitions is the comparison point on both sides
+// because scheduling noise only ever degrades a run. Benchmarks or
+// metrics present on only one side are reported but never fail the
+// comparison, so the baseline does not have to be regenerated for every
+// added benchmark. Returns the number of regressions.
 func benchCmp(baselinePath, section string, tolerance float64, in io.Reader, out io.Writer) (int, error) {
 	if tolerance <= 0 {
 		return 0, fmt.Errorf("tolerance must be positive, got %g", tolerance)
@@ -26,7 +33,7 @@ func benchCmp(baselinePath, section string, tolerance float64, in io.Reader, out
 	if err != nil {
 		return 0, err
 	}
-	got := minNsPerOp(rep.Runs)
+	got := bestMetrics(rep.Runs)
 
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -51,7 +58,7 @@ func benchCmp(baselinePath, section string, tolerance float64, in io.Reader, out
 	if err := json.Unmarshal(raw, &baseRep); err != nil {
 		return 0, fmt.Errorf("parsing section %q of %s: %w", section, baselinePath, err)
 	}
-	base := minNsPerOp(baseRep.Runs)
+	base := bestMetrics(baseRep.Runs)
 
 	names := make([]string, 0, len(got))
 	for name := range got {
@@ -61,20 +68,41 @@ func benchCmp(baselinePath, section string, tolerance float64, in io.Reader, out
 
 	regressions, compared := 0, 0
 	for _, name := range names {
-		b, ok := base[name]
+		bm, ok := base[name]
 		if !ok {
-			fmt.Fprintf(out, "%-40s %12.0f ns/op  (not in baseline, skipped)\n", name, got[name])
+			fmt.Fprintf(out, "%-40s %12.0f ns/op  (not in baseline, skipped)\n", name, got[name]["ns/op"])
 			continue
 		}
-		compared++
-		ratio := got[name] / b
-		verdict := "ok"
-		if got[name] > b*tolerance {
-			verdict = fmt.Sprintf("REGRESSION (> %gx)", tolerance)
-			regressions++
+		metrics := make([]string, 0, len(got[name]))
+		for metric := range got[name] {
+			metrics = append(metrics, metric)
 		}
-		fmt.Fprintf(out, "%-40s %12.0f ns/op  base %12.0f  x%-6.2f %s\n",
-			name, got[name], b, ratio, verdict)
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			g := got[name][metric]
+			b, ok := bm[metric]
+			if !ok {
+				fmt.Fprintf(out, "%-40s %-10s %14.2f  (metric not in baseline, skipped)\n", name, metric, g)
+				continue
+			}
+			compared++
+			verdict := "ok"
+			if higherIsBetter(metric) {
+				if g < b/tolerance {
+					verdict = fmt.Sprintf("REGRESSION (< base/%g)", tolerance)
+					regressions++
+				}
+			} else if g > b*tolerance {
+				verdict = fmt.Sprintf("REGRESSION (> %gx)", tolerance)
+				regressions++
+			}
+			ratio := 0.0
+			if b != 0 {
+				ratio = g / b
+			}
+			fmt.Fprintf(out, "%-40s %-10s %14.2f  base %14.2f  x%-6.2f %s\n",
+				name, metric, g, b, ratio, verdict)
+		}
 	}
 	if compared == 0 {
 		return 0, fmt.Errorf("no benchmark on stdin matches section %q of %s", section, baselinePath)
@@ -84,17 +112,34 @@ func benchCmp(baselinePath, section string, tolerance float64, in io.Reader, out
 	return regressions, nil
 }
 
-// minNsPerOp reduces repeated runs (-count=N) of each benchmark to its
-// best ns/op; runs without an ns/op metric are ignored.
-func minNsPerOp(runs []BenchRun) map[string]float64 {
-	out := make(map[string]float64)
+// higherIsBetter classifies a metric's direction by its unit: rates
+// ("jobs/sec", "MB/s") improve upward, everything per-op ("ns/op",
+// "allocs/op", domain counts) improves downward.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/sec") || strings.HasSuffix(metric, "/s")
+}
+
+// bestMetrics reduces repeated runs (-count=N) of each benchmark to the
+// best value of every metric it reports — minimum for lower-is-better
+// metrics, maximum for rates.
+func bestMetrics(runs []BenchRun) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
 	for _, r := range runs {
-		ns, ok := r.Metrics["ns/op"]
-		if !ok {
-			continue
+		m := out[r.Name]
+		if m == nil {
+			m = make(map[string]float64, len(r.Metrics))
+			out[r.Name] = m
 		}
-		if cur, seen := out[r.Name]; !seen || ns < cur {
-			out[r.Name] = ns
+		for metric, v := range r.Metrics {
+			cur, seen := m[metric]
+			switch {
+			case !seen:
+				m[metric] = v
+			case higherIsBetter(metric) && v > cur:
+				m[metric] = v
+			case !higherIsBetter(metric) && v < cur:
+				m[metric] = v
+			}
 		}
 	}
 	return out

@@ -96,6 +96,92 @@ func TestBenchCmpErrors(t *testing.T) {
 	}
 }
 
+// writeServiceBaseline mimics a BENCH_baseline.json service section
+// with a rate metric (jobs/sec, higher-better) and allocs/op
+// (lower-better) alongside ns/op.
+func writeServiceBaseline(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "baseline.json")
+	const body = `{
+  "service": {
+    "runs": [
+      { "name": "ServiceThroughput/pooled", "iterations": 50,
+        "metrics": { "ns/op": 2000000, "jobs/sec": 500, "allocs/op": 1200 } },
+      { "name": "ServiceThroughput/pooled", "iterations": 50,
+        "metrics": { "ns/op": 2400000, "jobs/sec": 410, "allocs/op": 1250 } }
+    ]
+  }
+}`
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBenchCmpCustomMetricsOK: healthy numbers across all three metric
+// directions pass, the best-over-count reduction picks min for ns/op
+// and allocs/op but max for jobs/sec, and every shared metric counts as
+// a comparison.
+func TestBenchCmpCustomMetricsOK(t *testing.T) {
+	in := `BenchmarkServiceThroughput/pooled-8  50  2100000 ns/op  480 jobs/sec  1100 allocs/op
+BenchmarkServiceThroughput/pooled-8  50  2600000 ns/op  390 jobs/sec  1300 allocs/op
+BenchmarkServiceThroughput/pooled-8  50  1 extra/op
+`
+	var out strings.Builder
+	regressions, err := benchCmp(writeServiceBaseline(t), "service", 2, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", regressions, out.String())
+	}
+	for _, want := range []string{
+		"jobs/sec", "480.00", // max over count, not min
+		"allocs/op", "1100.00", // min over count
+		"metric not in baseline, skipped", // extra/op rides along unharmed
+		`benchcmp: 3 compared against "service", 0 regression(s)`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBenchCmpRateRegression: a jobs/sec collapse is a regression even
+// though the number merely got smaller — direction-aware gating.
+func TestBenchCmpRateRegression(t *testing.T) {
+	in := "BenchmarkServiceThroughput/pooled-8  50  2100000 ns/op  100 jobs/sec  1100 allocs/op\n"
+	var out strings.Builder
+	regressions, err := benchCmp(writeServiceBaseline(t), "service", 2, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 < 500/2 regresses; ns/op and allocs/op are fine.
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (< base/2)") {
+		t.Errorf("output missing rate-regression verdict:\n%s", out.String())
+	}
+}
+
+// TestBenchCmpAllocRegression: an allocs/op explosion is caught by the
+// same gate that watches ns/op.
+func TestBenchCmpAllocRegression(t *testing.T) {
+	in := "BenchmarkServiceThroughput/pooled-8  50  2100000 ns/op  480 jobs/sec  9000 allocs/op\n"
+	var out strings.Builder
+	regressions, err := benchCmp(writeServiceBaseline(t), "service", 2, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (> 2x)") {
+		t.Errorf("output missing alloc-regression verdict:\n%s", out.String())
+	}
+}
+
 // TestBenchCmpAgainstRepoBaseline pins the tool to the real
 // BENCH_baseline.json layout: the committed file must stay parseable and
 // its sharded section must still carry the smoke benchmark CI compares.

@@ -10,11 +10,22 @@
 // -checkpoint-dir) each frozen job is written to <id>.ckpt — a later
 // rmbd started with the same directory resumes them bit-identically.
 //
+// Serving throughput comes from three layers (see DESIGN.md §15):
+// finished networks park in a per-shape pool and are re-armed in place
+// by Network.Reset instead of rebuilt; completed runs are memoized in a
+// content-addressed cache (the simulator is deterministic, so a
+// resubmitted spec is served instantly, bit-identical, with
+// "cached":true in its status); and traces stream through a pooled
+// zero-allocation JSONL encoder. GET /metrics exposes pool and cache
+// health in Prometheus format; /debug/vars mirrors it via expvar.
+//
 // Usage examples:
 //
 //	rmbd -addr :8080
 //	rmbd -addr :8080 -workers 4 -queue 32
 //	rmbd -addr :8080 -checkpoint-dir /var/lib/rmbd
+//	rmbd -addr :8080 -pool-per-shape 8 -cache-bytes 134217728
+//	rmbd -addr :8080 -pool-per-shape -1 -cache-bytes -1   # disable both
 //
 //	curl -s localhost:8080/api/v1/jobs -d '{"config":{"Nodes":16,"Buses":4},"workload":{"rate":0.02,"measure":20000},"trace":true}'
 //	curl -s localhost:8080/api/v1/jobs/j1
@@ -43,18 +54,26 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
 	queue := flag.Int("queue", 16, "admission queue depth (full queue bounces submissions with 429)")
+	poolPerShape := flag.Int("pool-per-shape", 0, "parked networks kept per (nodes,buses) shape for Reset reuse; 0 = workers, -1 disables pooling")
+	cacheBytes := flag.Int64("cache-bytes", 0, "byte budget for the deterministic run cache; 0 = 64 MiB, -1 disables caching")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for drain checkpoints; *.ckpt files found at startup are resumed")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *ckptDir, *drainTimeout); err != nil {
+	opts := service.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		PoolPerShape: *poolPerShape,
+		CacheBytes:   *cacheBytes,
+	}
+	if err := run(*addr, opts, *ckptDir, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "rmbd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, ckptDir string, drainTimeout time.Duration) error {
-	m, err := service.NewManager(workers, queue)
+func run(addr string, opts service.Options, ckptDir string, drainTimeout time.Duration) error {
+	m, err := service.NewManagerOpts(opts)
 	if err != nil {
 		return err
 	}
@@ -79,7 +98,7 @@ func run(addr string, workers, queue int, ckptDir string, drainTimeout time.Dura
 	}
 	srv := &http.Server{Handler: service.NewAPI(m).Handler()}
 	errCh := make(chan error, 1)
-	fmt.Fprintf(os.Stderr, "rmbd: listening on %s (%d workers, queue depth %d)\n", ln.Addr(), workers, queue)
+	fmt.Fprintf(os.Stderr, "rmbd: listening on %s (%d workers, queue depth %d)\n", ln.Addr(), opts.Workers, opts.QueueDepth)
 	go func() { errCh <- srv.Serve(ln) }()
 
 	sigCh := make(chan os.Signal, 1)

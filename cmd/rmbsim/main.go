@@ -164,7 +164,7 @@ func main() {
 		defer f.Close()
 		eventWriter = telemetry.NewWriter(f)
 		defer func() {
-			if err := eventWriter.Flush(); err != nil {
+			if err := eventWriter.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "rmbsim: %v\n", err)
 			}
 		}()

@@ -279,6 +279,14 @@ func (c Config) Validate() error {
 // HeadTimeoutDisabled disables the head starvation safety valve.
 const HeadTimeoutDisabled = -1
 
+// WithDefaults returns the effective configuration: every zero-valued
+// knob replaced by its documented default, exactly as NewNetwork resolves
+// it (Config() on a live network reports the same thing). Layers that
+// need a canonical form of a config without building a network — the
+// service run cache hashes one to content-address deterministic results —
+// use this so their canonicalization can never drift from construction.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills zero-valued knobs with their documented defaults.
 func (c Config) withDefaults() Config {
 	if c.CompactionPeriod == 0 {

@@ -10,3 +10,9 @@ import "rmb/internal/sim"
 // `invariants` tag is off. CI's bench smoke pins the no-op against
 // BENCH_baseline.json.
 func (n *Network) checkTickInvariants(sim.Tick) {}
+
+// preResetAudit is the default-build half of Reset's corruption canary:
+// a no-op, so pooled-network reuse pays nothing when the `invariants`
+// tag is off. The tagged build (invariants_on.go) audits the outgoing
+// state instead.
+func (n *Network) preResetAudit() error { return nil }

@@ -39,6 +39,15 @@ func (n *Network) checkTickInvariants(now sim.Tick) {
 	n.checkFaultyUnclaimable(now)
 }
 
+// preResetAudit is the `invariants`-build half of Reset's corruption
+// canary: before a network is re-armed for its next run, its *outgoing*
+// state must still pass the full structural audit. A pooled network a
+// previous job poisoned (torn mirrors, broken conservation, counter
+// drift) is thereby caught at the pool boundary — Reset returns the
+// violation and the caller discards the network — instead of leaking
+// corrupted arenas into an unrelated job.
+func (n *Network) preResetAudit() error { return n.Audit() }
+
 // checkRetryBounded asserts the retry wheel cannot grow without bound or
 // stall: it never holds more entries than messages exist, and after this
 // tick's RunDue every remaining deadline is strictly in the future (a

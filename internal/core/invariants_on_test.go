@@ -79,6 +79,57 @@ func TestInvariantHarnessCatchesCorruption(t *testing.T) {
 	})
 }
 
+// TestResetCorruptionCanary proves the pool-boundary canary works: a
+// poisoned network — state a previous job corrupted in any of the ways
+// the structural audit covers — must be refused by Reset under the
+// invariants tag, so the service pool discards it instead of recycling
+// corrupted state into an unrelated job. A healthy twin must still
+// reset cleanly.
+func TestResetCorruptionCanary(t *testing.T) {
+	build := func(t *testing.T) *Network {
+		t.Helper()
+		n, err := NewNetwork(Config{Nodes: 8, Buses: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Send(1, 5, []uint64{7}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			n.Step()
+		}
+		return n
+	}
+
+	poisons := []struct {
+		name    string
+		corrupt func(n *Network)
+	}{
+		{"occ-grid", func(n *Network) { n.occ[3][1] = 12345 }},
+		{"conservation", func(n *Network) { n.pendingCount++ }},
+		{"soa-mirror", func(n *Network) { n.occBits[0].set(6) }},
+		{"inc-status", func(n *Network) { n.incStatus[2] |= incSendFull }},
+	}
+	for _, p := range poisons {
+		t.Run(p.name, func(t *testing.T) {
+			n := build(t)
+			defer n.Close()
+			p.corrupt(n)
+			if err := n.Reset(Config{Nodes: 8, Buses: 2, Seed: 1}); err == nil {
+				t.Fatalf("Reset accepted a network poisoned via %s", p.name)
+			}
+		})
+	}
+
+	t.Run("healthy", func(t *testing.T) {
+		n := build(t)
+		defer n.Close()
+		if err := n.Reset(Config{Nodes: 8, Buses: 2, Seed: 1}); err != nil {
+			t.Fatalf("Reset refused a healthy network: %v", err)
+		}
+	})
+}
+
 // TestInvariantHarnessSoakWithFaults drives the sharded scheduler through
 // chaos fault plans with the harness live: every tick of every seed is
 // audited for occupancy, conservation, retry boundedness and

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rmb/internal/sim"
+)
+
+// TestResetMatchesFresh is the tentpole correctness proof for in-place
+// network reuse: for every seed in the checkpoint zoo (both sync modes,
+// all three schedulers, chaos fault plans, varied protocol knobs), a
+// network that previously ran a *different* dirty workload mid-flight
+// and was then Reset must be indistinguishable from NewNetwork(cfg) —
+// first in its immediate full-state checkpoint bytes, then across a full
+// replayed run with a checkpoint/restore interleaving at the halfway
+// tick: recorded event stream, stats, and final checkpoint bytes all
+// bit-identical to the fresh oracle.
+func TestResetMatchesFresh(t *testing.T) {
+	const half = sim.Tick(400)
+	for seed := uint64(0); seed < 32; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := checkpointZooConfig(seed)
+
+			// Fresh oracle: uninterrupted run from a brand-new network.
+			fresh, err := NewNetwork(cfg)
+			if err != nil {
+				t.Fatalf("NewNetwork: %v", err)
+			}
+			recF := &captureRecorder{}
+			fresh.SetRecorder(recF)
+			wrngF := sim.NewRNG(seed*0x9e3779b9 + 7)
+			driveBernoulliTicks(t, fresh, wrngF, 0, 2*half)
+			finalF, err := fresh.MarshalCheckpoint()
+			if err != nil {
+				t.Fatalf("oracle final checkpoint: %v", err)
+			}
+			statsF := fresh.Stats()
+			fresh.Close()
+
+			// Dirty network: a different zoo config (different seed, fault
+			// plan, scheduler, knobs — same 12x3 shape), abandoned mid-run
+			// with circuits in flight, queues populated and timers pending,
+			// then re-armed in place.
+			dirty, err := NewNetwork(checkpointZooConfig(seed + 13))
+			if err != nil {
+				t.Fatalf("NewNetwork(dirty): %v", err)
+			}
+			driveBernoulliTicks(t, dirty, sim.NewRNG(seed+99), 0, 300)
+			if err := dirty.Reset(cfg); err != nil {
+				t.Fatalf("Reset: %v", err)
+			}
+			n := dirty
+
+			// Construction identity: the reset network's immediate
+			// checkpoint must match a brand-new network's byte for byte —
+			// the strongest single assertion, covering every serialized
+			// field (RNG state, idDelay draws, timer sequence numbers,
+			// fault plans) at once.
+			base, err := NewNetwork(cfg)
+			if err != nil {
+				t.Fatalf("NewNetwork(base): %v", err)
+			}
+			wantCkpt, err := base.MarshalCheckpoint()
+			if err != nil {
+				t.Fatalf("base checkpoint: %v", err)
+			}
+			base.Close()
+			gotCkpt, err := n.MarshalCheckpoint()
+			if err != nil {
+				t.Fatalf("reset checkpoint: %v", err)
+			}
+			if !bytes.Equal(wantCkpt, gotCkpt) {
+				t.Fatalf("reset network's construction checkpoint differs from fresh:\n%s", firstJSONDiff(wantCkpt, gotCkpt))
+			}
+
+			// Replay the oracle's workload on the reset network, crossing a
+			// checkpoint/restore boundary at the halfway tick so reuse and
+			// serialization compose.
+			recR1 := &captureRecorder{}
+			n.SetRecorder(recR1)
+			wrngR := sim.NewRNG(seed*0x9e3779b9 + 7)
+			driveBernoulliTicks(t, n, wrngR, 0, half)
+			mid, err := n.MarshalCheckpoint()
+			if err != nil {
+				t.Fatalf("mid-run checkpoint: %v", err)
+			}
+			n.Close()
+			n2, err := UnmarshalCheckpoint(mid)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			recR2 := &captureRecorder{}
+			n2.SetRecorder(recR2)
+			driveBernoulliTicks(t, n2, wrngR, half, 2*half)
+			finalR, err := n2.MarshalCheckpoint()
+			if err != nil {
+				t.Fatalf("reset-path final checkpoint: %v", err)
+			}
+			statsR := n2.Stats()
+			n2.Close()
+
+			gotEvents := append(append([]string{}, recR1.events...), recR2.events...)
+			if !reflect.DeepEqual(gotEvents, recF.events) {
+				for i := range gotEvents {
+					if i >= len(recF.events) || gotEvents[i] != recF.events[i] {
+						t.Fatalf("event %d diverged on the reset network:\n got:    %s\n oracle: %s", i, gotEvents[i], eventOr(recF.events, i))
+					}
+				}
+				t.Fatalf("event stream diverged (lengths %d vs %d)", len(gotEvents), len(recF.events))
+			}
+			if !reflect.DeepEqual(statsR, statsF) {
+				t.Fatalf("stats diverged:\n got:    %+v\n oracle: %+v", statsR, statsF)
+			}
+			if !bytes.Equal(finalF, finalR) {
+				t.Fatalf("final state diverged on the reset network:\n%s", firstJSONDiff(finalF, finalR))
+			}
+		})
+	}
+}
+
+// TestResetRepeated re-arms one network many times in a row, alternating
+// configs, and requires every incarnation to match its fresh twin — the
+// pool's steady-state usage pattern, where arenas and freelists carry
+// recycled structs from run to run.
+func TestResetRepeated(t *testing.T) {
+	n, err := NewNetwork(checkpointZooConfig(0))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer n.Close()
+	for round := uint64(0); round < 8; round++ {
+		cfg := checkpointZooConfig(round)
+		if err := n.Reset(cfg); err != nil {
+			t.Fatalf("round %d: Reset: %v", round, err)
+		}
+		fresh, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatalf("round %d: NewNetwork: %v", round, err)
+		}
+		recR, recF := &captureRecorder{}, &captureRecorder{}
+		n.SetRecorder(recR)
+		fresh.SetRecorder(recF)
+		driveBernoulliTicks(t, n, sim.NewRNG(round*31+5), 0, 250)
+		driveBernoulliTicks(t, fresh, sim.NewRNG(round*31+5), 0, 250)
+		ckR, err := n.MarshalCheckpoint()
+		if err != nil {
+			t.Fatalf("round %d: reset checkpoint: %v", round, err)
+		}
+		ckF, err := fresh.MarshalCheckpoint()
+		if err != nil {
+			t.Fatalf("round %d: fresh checkpoint: %v", round, err)
+		}
+		fresh.Close()
+		if !reflect.DeepEqual(recR.events, recF.events) {
+			t.Fatalf("round %d: event streams diverged (%d vs %d events)", round, len(recR.events), len(recF.events))
+		}
+		if !bytes.Equal(ckR, ckF) {
+			t.Fatalf("round %d: checkpoints diverged:\n%s", round, firstJSONDiff(ckR, ckF))
+		}
+	}
+}
+
+// TestResetShapeMismatch pins the geometry contract: Reset re-arms
+// fixed-shape storage, so a config with a different ring size or bus
+// count must be refused (the caller builds a new network instead).
+func TestResetShapeMismatch(t *testing.T) {
+	n, err := NewNetwork(Config{Nodes: 8, Buses: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer n.Close()
+	if err := n.Reset(Config{Nodes: 10, Buses: 2, Seed: 1}); err == nil {
+		t.Fatal("Reset accepted a node-count change")
+	}
+	if err := n.Reset(Config{Nodes: 8, Buses: 3, Seed: 1}); err == nil {
+		t.Fatal("Reset accepted a bus-count change")
+	}
+	if err := n.Reset(Config{Nodes: 1, Buses: 0}); err == nil {
+		t.Fatal("Reset accepted an invalid config")
+	}
+	// The failed attempts must not have disturbed the network: it still
+	// runs and matches a fresh twin.
+	if err := n.Reset(Config{Nodes: 8, Buses: 2, Seed: 42}); err != nil {
+		t.Fatalf("Reset after refused attempts: %v", err)
+	}
+	fresh, err := NewNetwork(Config{Nodes: 8, Buses: 2, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer fresh.Close()
+	a, err := n.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("network diverged from fresh after refused Reset attempts:\n%s", firstJSONDiff(a, b))
+	}
+}
+
+// TestResetSchedulerCross re-arms across scheduler modes in every
+// direction (event -> sharded -> naive -> event), proving the sharded
+// worker pool tears down and rebuilds cleanly and the naive flag tracks
+// the config.
+func TestResetSchedulerCross(t *testing.T) {
+	modes := []SchedulerMode{
+		SchedulerEventDriven, SchedulerSharded, SchedulerNaive, SchedulerSharded, SchedulerEventDriven,
+	}
+	n, err := NewNetwork(Config{Nodes: 12, Buses: 3, Seed: 3, Scheduler: SchedulerEventDriven})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer n.Close()
+	for i, m := range modes {
+		cfg := Config{Nodes: 12, Buses: 3, Seed: uint64(i)*7 + 1, Scheduler: m, Workers: 3}
+		if err := n.Reset(cfg); err != nil {
+			t.Fatalf("Reset to %v: %v", m, err)
+		}
+		fresh, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatalf("NewNetwork(%v): %v", m, err)
+		}
+		recR, recF := &captureRecorder{}, &captureRecorder{}
+		n.SetRecorder(recR)
+		fresh.SetRecorder(recF)
+		driveBernoulliTicks(t, n, sim.NewRNG(uint64(i)+17), 0, 200)
+		driveBernoulliTicks(t, fresh, sim.NewRNG(uint64(i)+17), 0, 200)
+		fresh.Close()
+		if !reflect.DeepEqual(recR.events, recF.events) {
+			t.Fatalf("scheduler %v: event streams diverged (%d vs %d events)", m, len(recR.events), len(recF.events))
+		}
+	}
+}

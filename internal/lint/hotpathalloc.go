@@ -8,10 +8,11 @@ import (
 
 // analyzerHotpathAlloc keeps the per-tick simulation path allocation-free.
 // It roots at every method named Step in internal/core plus every
-// function carrying a "//rmbvet:hotpath" doc directive — the SoA scan
-// kernels and wheel/queue helpers declare themselves hot that way, so
-// coverage survives even if a scheduler rework detaches one from Step's
-// intra-package call graph (a method value, a build-tagged caller). From
+// function carrying a "//rmbvet:hotpath" doc directive, in any package —
+// the SoA scan kernels and wheel/queue helpers declare themselves hot
+// that way (so coverage survives even if a scheduler rework detaches one
+// from Step's intra-package call graph), and the telemetry streaming
+// encoder opts in the per-event observe path the same way. From
 // the roots it walks the call graph and flags the constructs that force
 // a heap allocation every tick: make/new calls, slice and map composite
 // literals, heap-escaping &T{...} composites, closures, and append calls
@@ -25,16 +26,14 @@ func analyzerHotpathAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpath-alloc",
 		Doc: "Functions reachable from a Step method in internal/core, or " +
-			"marked with a //rmbvet:hotpath directive, must not allocate per " +
-			"tick: no make/new, no slice or map literals, no escaping " +
-			"composites or closures, and append results must feed back into " +
-			"their source slice. Amortized arena refills carry audited " +
-			"rmbvet:allow waivers.",
+			"marked with a //rmbvet:hotpath directive in any package, must " +
+			"not allocate per tick: no make/new, no slice or map literals, " +
+			"no escaping composites or closures, and append results must " +
+			"feed back into their source slice. Amortized arena refills " +
+			"carry audited rmbvet:allow waivers.",
 	}
 	a.Run = func(m *Module, pkg *Package) []Diagnostic {
-		if !inTier(pkg.Path, "internal/core") {
-			return nil
-		}
+		stepRooted := inTier(pkg.Path, "internal/core")
 		decls := funcDecls(pkg)
 		var roots []reached
 		for _, f := range pkg.Files {
@@ -43,7 +42,7 @@ func analyzerHotpathAlloc() *Analyzer {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				if (fd.Name.Name != "Step" || fd.Recv == nil) && !hotpathDirective(fd) {
+				if (fd.Name.Name != "Step" || fd.Recv == nil || !stepRooted) && !hotpathDirective(fd) {
 					continue
 				}
 				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {

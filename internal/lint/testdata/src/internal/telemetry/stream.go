@@ -1,0 +1,20 @@
+package telemetry
+
+// appendRecord mirrors the streaming JSONL encoder: a directive-marked
+// function OUTSIDE internal/core, so it proves hotpath-alloc roots at
+// //rmbvet:hotpath in any package, not just the Step tier. It seeds the
+// two violations the real encoder must never reintroduce: an append
+// whose result escapes its source slice (a `return append(...)` tail
+// cannot amortize growth against the caller's buffer in the analyzer's
+// view) and a per-call scratch allocation.
+//
+//rmbvet:hotpath
+func appendRecord(dst []byte, at int64, kind string) []byte {
+	scratch := make([]byte, 0, 16)
+	for i := 0; i < len(kind); i++ {
+		scratch = append(scratch, kind[i])
+	}
+	dst = append(dst, scratch...)
+	_ = at
+	return append(dst, '\n')
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"testing"
+
+	"rmb/internal/core"
+)
+
+// benchSpec is the serving benchmark's unit of work: a short but real
+// simulation (warmup, measured window, drain) on a 16×3 ring.
+func benchSpec(seed uint64) JobSpec {
+	return JobSpec{
+		Name:   "bench",
+		Config: core.Config{Nodes: 16, Buses: 3, Seed: seed},
+		Workload: WorkloadSpec{
+			Rate: 0.02, PayloadLen: 4, Warmup: 50, Measure: 500, Seed: seed,
+		},
+	}
+}
+
+// benchServe submits b.N jobs one at a time and waits for each,
+// reporting end-to-end serving throughput. specFor controls whether
+// iterations repeat a spec (cache-hit path) or vary it (forced runs).
+func benchServe(b *testing.B, opts Options, specFor func(i int) JobSpec) {
+	m, err := NewManagerOpts(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+
+	runOne := func(spec JobSpec) {
+		j, err := m.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The job context closes when the worker (or the cache fulfiller)
+		// is completely done with the job — after the network went back to
+		// the pool — so the next iteration sees steady state.
+		<-j.ctx.Done()
+		if st := j.Status(); st.State != StateDone {
+			b.Fatalf("job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+	}
+
+	runOne(specFor(0)) // warm pool and cache outside the timed window
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOne(specFor(i + 1))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// BenchmarkServiceThroughput measures rmbd's serving layers separately:
+//
+//	cold    every job pays NewNetwork — pooling and caching disabled
+//	pooled  unique specs over a warm pool — every job pays Network.Reset
+//	traced  pooled plus full JSONL trace capture through the
+//	        zero-allocation streaming encoder
+//	cached  an identical spec repeated — jobs served from the run cache
+//
+// scripts/bench.sh records these (jobs/sec, allocs/op) in the `service`
+// section of BENCH_baseline.json, and CI gates them via rmbbench
+// -benchcmp's direction-aware comparison.
+func BenchmarkServiceThroughput(b *testing.B) {
+	unique := func(i int) JobSpec { return benchSpec(uint64(i)) }
+	traced := func(i int) JobSpec {
+		s := benchSpec(uint64(i))
+		s.Trace = true
+		return s
+	}
+	repeat := func(int) JobSpec { return benchSpec(42) }
+
+	b.Run("cold", func(b *testing.B) {
+		benchServe(b, Options{Workers: 1, QueueDepth: 4, PoolPerShape: -1, CacheBytes: -1}, unique)
+	})
+	b.Run("pooled", func(b *testing.B) {
+		benchServe(b, Options{Workers: 1, QueueDepth: 4, CacheBytes: -1}, unique)
+	})
+	b.Run("traced", func(b *testing.B) {
+		benchServe(b, Options{Workers: 1, QueueDepth: 4, CacheBytes: -1}, traced)
+	})
+	b.Run("cached", func(b *testing.B) {
+		benchServe(b, Options{Workers: 1, QueueDepth: 4}, repeat)
+	})
+}

@@ -3,7 +3,9 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
+	"log"
 	"net/http"
 )
 
@@ -18,9 +20,12 @@ import (
 //	POST /api/v1/jobs/{id}/cancel  request cancellation → 202
 //	POST /api/v1/jobs/{id}/checkpoint  freeze a running job → checkpoint JSON
 //	POST /api/v1/resume          admit a checkpoint → 202 {"id":...}
-//	GET  /healthz                liveness + pool counters
+//	GET  /healthz                liveness + job/pool/cache counters
+//	GET  /metrics                Prometheus text exposition (pool, cache, jobs)
+//	GET  /debug/vars             expvar JSON (rmbd_pool / rmbd_cache)
 //
-// Every response is JSON except the trace stream (application/x-ndjson).
+// Every response is JSON except the trace stream (application/x-ndjson)
+// and the Prometheus exposition (text/plain).
 type API struct {
 	m *Manager
 }
@@ -40,13 +45,34 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/jobs/{id}/checkpoint", a.checkpoint)
 	mux.HandleFunc("POST /api/v1/resume", a.resume)
 	mux.HandleFunc("GET /healthz", a.healthz)
+	mux.HandleFunc("GET /metrics", a.metrics)
+	registerExpvar(a.m)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
 
+// logf is the API's error sink, swappable in tests.
+var logf = log.Printf
+
+// writeJSON marshals before touching the response: an encoding failure
+// becomes a 500 error body instead of a half-written 200 with a silently
+// dropped error (the old `_ = Encode(v)` bug). Write failures after the
+// status line cannot be reported to the client, so they are logged.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		logf("service: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	// Keep the trailing newline json.Encoder used to emit, so response
+	// bytes are unchanged for well-formed values.
+	data = append(data, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(data); err != nil {
+		logf("service: writing %d response: %v", code, err)
+	}
 }
 
 type errorBody struct {
@@ -178,5 +204,19 @@ func (a *API) healthz(w http.ResponseWriter, r *http.Request) {
 	for _, st := range a.m.List() {
 		states[st.State]++
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": states})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":    true,
+		"jobs":  states,
+		"pool":  a.m.PoolStats(),
+		"cache": a.m.CacheStats(),
+	})
+}
+
+// metrics serves the daemon's serving-health counters (pool, cache,
+// jobs by state) in Prometheus text exposition format 0.0.4.
+func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := writePrometheus(w, a.m); err != nil {
+		logf("service: writing metrics: %v", err)
+	}
 }

@@ -52,6 +52,9 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 	// TraceEvents counts telemetry events captured so far.
 	TraceEvents int64 `json:"traceEvents,omitempty"`
+	// Cached marks a job served from the deterministic run cache instead
+	// of a worker; its result and trace are byte-identical to a fresh run.
+	Cached bool `json:"cached,omitempty"`
 	// Created/Started/Finished are wall-clock lifecycle timestamps.
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -96,6 +99,17 @@ type Job struct {
 	// trace capture (nil unless the spec asked for it).
 	traceBuf *bytes.Buffer
 	traceW   *telemetry.Writer
+
+	// cacheKey is the canonical content address of the spec, set at
+	// Submit time ("" when caching is off or the job was resumed — a
+	// resumed job's trace covers only the post-resume span, so it must
+	// never be memoized).
+	cacheKey string
+	// cached marks a job fulfilled from the run cache; cachedEvents
+	// carries the producing run's trace-event count (the cached trace
+	// bytes never pass through this job's writer).
+	cached       bool
+	cachedEvents int64
 }
 
 // ID returns the job's identifier.
@@ -122,8 +136,9 @@ func (j *Job) Status() Status {
 		st.Finished = &t
 	}
 	if j.traceW != nil {
-		st.TraceEvents = j.traceW.Count()
+		st.TraceEvents = j.traceW.Count() + j.cachedEvents
 	}
+	st.Cached = j.cached
 	return st
 }
 
@@ -190,6 +205,51 @@ func (j *Job) finish(state JobState, res *loadgen.Result, errMsg string) {
 	j.result = res
 	j.errMsg = errMsg
 	j.finished = &now
+	j.closeTraceLocked()
+}
+
+// closeTraceLocked seals the trace writer once no more events can
+// arrive, flushing its final chunk into traceBuf and recycling the
+// pooled chunk buffer. Trace() keeps serving the captured bytes.
+// Callers hold j.mu.
+func (j *Job) closeTraceLocked() {
+	if j.traceW != nil {
+		_ = j.traceW.Close()
+	}
+}
+
+// traceEventCount returns the number of events the job's writer has
+// captured (0 for untraced jobs).
+func (j *Job) traceEventCount() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.traceW == nil {
+		return 0
+	}
+	return j.traceW.Count() + j.cachedEvents
+}
+
+// fulfillFromCache completes the job instantly from a memoized run. The
+// result and trace bytes are copied verbatim from the producing run —
+// the simulator is deterministic, so they are exactly what a worker
+// would have produced.
+func (j *Job) fulfillFromCache(e *cacheEntry) {
+	j.mu.Lock()
+	now := time.Now()
+	res := e.result
+	j.state = StateDone
+	j.result = &res
+	j.started = &now
+	j.finished = &now
+	j.cached = true
+	j.tick.Store(e.finalTick)
+	if j.traceBuf != nil {
+		j.traceBuf.Write(e.trace)
+		j.cachedEvents = e.traceEvents
+	}
+	j.closeTraceLocked()
+	j.mu.Unlock()
+	j.cancel()
 }
 
 // finishSuspended parks the job's frozen state for Drain to collect.
@@ -203,6 +263,7 @@ func (j *Job) finishSuspended(ck *Checkpoint) {
 	j.state = StateSuspended
 	j.ckpt = ck
 	j.finished = &now
+	j.closeTraceLocked()
 }
 
 // Checkpoint is the portable frozen form of a job: its spec, the

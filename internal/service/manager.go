@@ -44,30 +44,94 @@ type Manager struct {
 	nextID      int
 	closed      bool // no further admissions
 	queueClosed bool
+
+	// pool parks finished networks for Reset-based reuse; cache memoizes
+	// completed deterministic runs. Either may be nil (disabled).
+	pool  *netPool
+	cache *runCache
 }
 
+// Options parameterizes a Manager beyond the worker/queue pair.
+type Options struct {
+	// Workers is the worker-pool size; QueueDepth the admission queue
+	// capacity. Both must be positive.
+	Workers    int
+	QueueDepth int
+	// PoolPerShape bounds the parked networks kept per (Nodes, Buses)
+	// shape for Reset-based reuse. Zero selects Workers (a worker can
+	// only ever return one network at a time, so more parked slots than
+	// workers cannot be filled by a single-shape workload); negative
+	// disables pooling entirely.
+	PoolPerShape int
+	// CacheBytes budgets the deterministic run cache (results plus trace
+	// artifacts). Zero selects 64 MiB; negative disables caching.
+	CacheBytes int64
+}
+
+// DefaultCacheBytes is the run-cache budget Options.CacheBytes == 0
+// selects.
+const DefaultCacheBytes = 64 << 20
+
 // NewManager starts a pool of workers serving a queue of the given
-// depth. Both must be positive.
+// depth, with default network pooling and run caching. Both arguments
+// must be positive.
 func NewManager(workers, depth int) (*Manager, error) {
-	if workers < 1 {
-		return nil, fmt.Errorf("service: worker count must be positive, got %d", workers)
+	return NewManagerOpts(Options{Workers: workers, QueueDepth: depth})
+}
+
+// NewManagerOpts starts a manager with explicit serving options.
+func NewManagerOpts(o Options) (*Manager, error) {
+	if o.Workers < 1 {
+		return nil, fmt.Errorf("service: worker count must be positive, got %d", o.Workers)
 	}
-	if depth < 1 {
-		return nil, fmt.Errorf("service: queue depth must be positive, got %d", depth)
+	if o.QueueDepth < 1 {
+		return nil, fmt.Errorf("service: queue depth must be positive, got %d", o.QueueDepth)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, depth),
+		queue:      make(chan *Job, o.QueueDepth),
 		suspend:    make(chan struct{}),
 		jobs:       make(map[string]*Job),
 	}
-	m.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	if o.PoolPerShape >= 0 {
+		per := o.PoolPerShape
+		if per == 0 {
+			per = o.Workers
+		}
+		m.pool = newNetPool(per)
+	}
+	if o.CacheBytes >= 0 {
+		budget := o.CacheBytes
+		if budget == 0 {
+			budget = DefaultCacheBytes
+		}
+		m.cache = newRunCache(budget)
+	}
+	m.wg.Add(o.Workers)
+	for i := 0; i < o.Workers; i++ {
 		go m.worker()
 	}
 	return m, nil
+}
+
+// PoolStats snapshots the network pool's health counters (zero when
+// pooling is disabled).
+func (m *Manager) PoolStats() PoolStats {
+	if m.pool == nil {
+		return PoolStats{}
+	}
+	return m.pool.stats()
+}
+
+// CacheStats snapshots the run cache's health counters (zero when
+// caching is disabled).
+func (m *Manager) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return m.cache.stats()
 }
 
 // newJob builds the cross-goroutine job shell (no simulator state yet).
@@ -89,14 +153,8 @@ func (m *Manager) newJob(spec JobSpec, resume *Checkpoint) *Job {
 	return j
 }
 
-// admit registers the job and enqueues it without blocking; the queue
-// being full is the backpressure signal.
-func (m *Manager) admit(j *Job) (*Job, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, ErrDraining
-	}
+// assignIDLocked gives the job a free ID. Callers hold m.mu.
+func (m *Manager) assignIDLocked(j *Job) {
 	if _, taken := m.jobs[j.id]; j.id == "" || taken {
 		// The counter can lag behind IDs brought in by Resume, so walk it
 		// past every taken slot; an existing entry is never overwritten.
@@ -109,6 +167,17 @@ func (m *Manager) admit(j *Job) (*Job, error) {
 			}
 		}
 	}
+}
+
+// admit registers the job and enqueues it without blocking; the queue
+// being full is the backpressure signal.
+func (m *Manager) admit(j *Job) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrDraining
+	}
+	m.assignIDLocked(j)
 	select {
 	case m.queue <- j:
 		m.jobs[j.id] = j
@@ -119,12 +188,42 @@ func (m *Manager) admit(j *Job) (*Job, error) {
 	}
 }
 
-// Submit validates and admits a new job.
+// admitCached registers a job served from the run cache: it never
+// touches the worker queue (a cache hit must not consume a slot or wait
+// behind real work) and is terminal — done, with the memoized result —
+// the moment admission returns.
+func (m *Manager) admitCached(j *Job, e *cacheEntry) (*Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.assignIDLocked(j)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.mu.Unlock()
+	j.fulfillFromCache(e)
+	return j, nil
+}
+
+// Submit validates and admits a new job. A spec whose canonical content
+// hash matches a completed run is served from the cache: the job comes
+// back already done, carrying the memoized (bit-identical, by simulator
+// determinism) result and trace, with Status.Cached set.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return m.admit(m.newJob(spec, nil))
+	j := m.newJob(spec, nil)
+	if m.cache != nil {
+		if key, err := cacheKey(spec); err == nil {
+			j.cacheKey = key
+			if e, ok := m.cache.get(key, spec.Trace); ok {
+				return m.admitCached(j, e)
+			}
+		}
+	}
+	return m.admit(j)
 }
 
 // Resume admits a job that continues a checkpointed run. The original
@@ -335,6 +434,9 @@ func (m *Manager) runJob(j *Job) {
 			j.finish(StateFailed, nil, err.Error())
 			return
 		}
+		// A restored network is an ordinary network; it parks in the pool
+		// like a pooled-built one once the job ends.
+		defer m.releaseNetwork(n)
 		n.SetRecorder(rec)
 		lcfg, err := j.spec.Workload.loadgenConfig(core.FaultPlan{})
 		if err != nil {
@@ -350,11 +452,12 @@ func (m *Manager) runJob(j *Job) {
 	} else {
 		cfg := j.spec.Config
 		cfg.Recorder = rec
-		n, err := core.NewNetwork(cfg)
+		n, err := m.acquireNetwork(cfg)
 		if err != nil {
 			j.finish(StateFailed, nil, err.Error())
 			return
 		}
+		defer m.releaseNetwork(n)
 		lcfg, err := j.spec.Workload.loadgenConfig(j.spec.Faults)
 		if err != nil {
 			j.finish(StateFailed, nil, err.Error())
@@ -366,7 +469,6 @@ func (m *Manager) runJob(j *Job) {
 			return
 		}
 	}
-	defer d.Network().Close()
 
 	// The wall-clock deadline starts when the job starts running, so
 	// queue wait does not eat the budget.
@@ -416,9 +518,48 @@ func (m *Manager) runJob(j *Job) {
 		if !more {
 			res := d.Result()
 			j.finish(StateDone, &res, "")
+			m.cacheInsert(j, &res, int64(d.Network().Now()))
 			return
 		}
 	}
+}
+
+// acquireNetwork builds or re-arms a network for a fresh run, through
+// the pool when one is configured.
+func (m *Manager) acquireNetwork(cfg core.Config) (*core.Network, error) {
+	if m.pool == nil {
+		return core.NewNetwork(cfg)
+	}
+	return m.pool.acquire(cfg)
+}
+
+// releaseNetwork returns a job's network when the job ends, parking it
+// for reuse when pooling is on.
+func (m *Manager) releaseNetwork(n *core.Network) {
+	if m.pool == nil {
+		if n != nil {
+			n.Close()
+		}
+		return
+	}
+	m.pool.release(n)
+}
+
+// cacheInsert memoizes a completed Submit-path run (resumed jobs carry
+// no cache key: their trace covers only the post-resume span, so they
+// are never memoized).
+func (m *Manager) cacheInsert(j *Job, res *loadgen.Result, finalTick int64) {
+	if m.cache == nil || j.cacheKey == "" {
+		return
+	}
+	e := &cacheEntry{key: j.cacheKey, result: *res, finalTick: finalTick}
+	if j.spec.Trace {
+		trace, _ := j.Trace()
+		e.trace = trace
+		e.hasTrace = true
+		e.traceEvents = j.traceEventCount()
+	}
+	m.cache.put(e)
 }
 
 // freezeJob captures the job's full resumable state at the current tick

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// jobStates is the fixed exposition order for the per-state job gauge.
+var jobStates = []JobState{
+	StateQueued, StateRunning, StateDone,
+	StateFailed, StateCanceled, StateSuspended,
+}
+
+// promMetric is one HELP/TYPE/sample triplet. Metrics are written in a
+// fixed order so scrapes diff cleanly, mirroring telemetry.WritePrometheus.
+type promMetric struct {
+	name, typ, help string
+	value           int64
+}
+
+// serviceMetrics flattens the manager's serving-health counters into
+// exposition order: pool first, then cache, then jobs by state.
+func serviceMetrics(m *Manager) []promMetric {
+	ps := m.PoolStats()
+	cs := m.CacheStats()
+	out := []promMetric{
+		{"rmbd_pool_networks", "gauge", "Parked networks available for Reset-based reuse.", ps.Size},
+		{"rmbd_pool_reuses_total", "counter", "Jobs served by re-arming a parked network.", ps.Reuses},
+		{"rmbd_pool_cold_builds_total", "counter", "Jobs that paid a full network construction.", ps.ColdBuilds},
+		{"rmbd_pool_reset_failures_total", "counter", "Parked networks discarded by a refused Reset.", ps.ResetFailures},
+		{"rmbd_pool_discards_total", "counter", "Released networks dropped because their shape was full.", ps.Discards},
+		{"rmbd_cache_hits_total", "counter", "Submissions served from the deterministic run cache.", cs.Hits},
+		{"rmbd_cache_misses_total", "counter", "Submissions that missed the run cache.", cs.Misses},
+		{"rmbd_cache_evictions_total", "counter", "Run-cache entries evicted by the byte budget.", cs.Evictions},
+		{"rmbd_cache_insertions_total", "counter", "Completed runs memoized into the cache.", cs.Insertions},
+		{"rmbd_cache_bytes", "gauge", "Run-cache bytes in use.", cs.Bytes},
+		{"rmbd_cache_budget_bytes", "gauge", "Configured run-cache byte budget.", cs.Budget},
+		{"rmbd_cache_entries", "gauge", "Live run-cache entries.", int64(cs.Entries)},
+	}
+	counts := map[JobState]int{}
+	for _, st := range m.List() {
+		counts[st.State]++
+	}
+	for _, s := range jobStates {
+		out = append(out, promMetric{
+			name:  fmt.Sprintf(`rmbd_jobs{state=%q}`, s),
+			typ:   "gauge",
+			help:  "Jobs by lifecycle state.",
+			value: int64(counts[s]),
+		})
+	}
+	return out
+}
+
+// writePrometheus renders the serving metrics in text exposition format
+// 0.0.4. The labelled rmbd_jobs series shares one HELP/TYPE header, per
+// the format.
+func writePrometheus(w io.Writer, m *Manager) error {
+	var lastBare string
+	for _, pm := range serviceMetrics(m) {
+		bare := pm.name
+		if i := strings.IndexByte(bare, '{'); i >= 0 {
+			bare = bare[:i]
+		}
+		if bare != lastBare {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", bare, pm.help, bare, pm.typ); err != nil {
+				return err
+			}
+			lastBare = bare
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", pm.name, pm.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expvar registration is process-global (expvar.Publish panics on a
+// duplicate name) but managers are per-run: rmbd restarts its manager
+// across drain/resume cycles and tests build many. As in
+// telemetry/server.go, the once registers closures over a swappable
+// current pointer and API.Handler repoints it each time.
+var (
+	svcExpvarOnce sync.Once
+	svcExpvarMu   sync.RWMutex
+	svcExpvarCur  *Manager
+)
+
+func expvarManager() *Manager {
+	svcExpvarMu.RLock()
+	defer svcExpvarMu.RUnlock()
+	return svcExpvarCur
+}
+
+func registerExpvar(m *Manager) {
+	svcExpvarMu.Lock()
+	svcExpvarCur = m
+	svcExpvarMu.Unlock()
+	svcExpvarOnce.Do(func() {
+		expvar.Publish("rmbd_pool", expvar.Func(func() any {
+			if m := expvarManager(); m != nil {
+				return m.PoolStats()
+			}
+			return PoolStats{}
+		}))
+		expvar.Publish("rmbd_cache", expvar.Func(func() any {
+			if m := expvarManager(); m != nil {
+				return m.CacheStats()
+			}
+			return CacheStats{}
+		}))
+	})
+}

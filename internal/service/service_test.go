@@ -117,7 +117,11 @@ func TestJobMatchesBareRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m, err := NewManager(2, 4)
+	// Cache disabled: both iterations must genuinely execute (a cache hit
+	// would trivially satisfy the comparison). Pooling stays on, so the
+	// second run also proves a Reset-recycled network preserves the
+	// zero-observer-effect contract.
+	m, err := NewManagerOpts(Options{Workers: 2, QueueDepth: 4, CacheBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

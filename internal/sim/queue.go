@@ -62,6 +62,20 @@ func NewEventQueue() *EventQueue {
 // Len reports the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }
 
+// Reset discards every pending event and rewinds the tie-break sequence
+// to zero, leaving the queue exactly as NewEventQueue returns it (the
+// backing array is kept for reuse). Rewinding seq matters for simulators
+// that reset in place: two runs of the same workload must schedule
+// events with identical (At, Seq) pairs or their firing order — and any
+// checkpoint of it — would diverge from a freshly built run.
+func (q *EventQueue) Reset() {
+	for i := range q.h {
+		q.h[i] = nil // release the event references
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
 // Schedule enqueues fire to run at tick at.
 func (q *EventQueue) Schedule(at Tick, fire func()) {
 	q.seq++

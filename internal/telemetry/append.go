@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+// AppendEvent appends the JSON encoding of e to dst and returns the
+// extended slice. The output is byte-for-byte identical to
+// json.Marshal(e) — same field order, same omitempty behaviour, same
+// string escaping (including encoding/json's default HTML escaping of
+// '<', '>' and '&', its \ufffd substitution for invalid UTF-8, and its
+// \u2028 / \u2029 escapes) — a contract pinned by differential tests
+// against encoding/json. Unlike json.Marshal it allocates nothing when
+// dst has capacity, which is what lets the streaming Writer run
+// allocation-free on the simulator's hot observe path.
+//
+//rmbvet:hotpath
+func AppendEvent(dst []byte, e Event) []byte {
+	dst = append(dst, `{"at":`...)
+	dst = strconv.AppendInt(dst, e.At, 10)
+	dst = append(dst, `,"type":`...)
+	dst = appendJSONString(dst, e.Type)
+	if e.Msg != 0 {
+		dst = append(dst, `,"msg":`...)
+		dst = strconv.AppendInt(dst, e.Msg, 10)
+	}
+	if e.VB != 0 {
+		dst = append(dst, `,"vb":`...)
+		dst = strconv.AppendInt(dst, e.VB, 10)
+	}
+	if e.Name != "" {
+		dst = append(dst, `,"name":`...)
+		dst = appendJSONString(dst, e.Name)
+	}
+	if e.State != "" {
+		dst = append(dst, `,"state":`...)
+		dst = appendJSONString(dst, e.State)
+	}
+	if e.Src != 0 {
+		dst = append(dst, `,"src":`...)
+		dst = strconv.AppendInt(dst, int64(e.Src), 10)
+	}
+	if e.Dst != 0 {
+		dst = append(dst, `,"dst":`...)
+		dst = strconv.AppendInt(dst, int64(e.Dst), 10)
+	}
+	if e.Node != 0 {
+		dst = append(dst, `,"node":`...)
+		dst = strconv.AppendInt(dst, int64(e.Node), 10)
+	}
+	if e.Level != 0 {
+		dst = append(dst, `,"level":`...)
+		dst = strconv.AppendInt(dst, int64(e.Level), 10)
+	}
+	if e.Hop != 0 {
+		dst = append(dst, `,"hop":`...)
+		dst = strconv.AppendInt(dst, int64(e.Hop), 10)
+	}
+	if e.From != 0 {
+		dst = append(dst, `,"from":`...)
+		dst = strconv.AppendInt(dst, int64(e.From), 10)
+	}
+	if e.To != 0 {
+		dst = append(dst, `,"to":`...)
+		dst = strconv.AppendInt(dst, int64(e.To), 10)
+	}
+	if e.Span != 0 {
+		dst = append(dst, `,"span":`...)
+		dst = strconv.AppendInt(dst, int64(e.Span), 10)
+	}
+	if e.Attempt != 0 {
+		dst = append(dst, `,"attempt":`...)
+		dst = strconv.AppendInt(dst, int64(e.Attempt), 10)
+	}
+	if e.Payload != 0 {
+		dst = append(dst, `,"payload":`...)
+		dst = strconv.AppendInt(dst, int64(e.Payload), 10)
+	}
+	if e.Fanout != 0 {
+		dst = append(dst, `,"fanout":`...)
+		dst = strconv.AppendInt(dst, int64(e.Fanout), 10)
+	}
+	if e.Distance != 0 {
+		dst = append(dst, `,"distance":`...)
+		dst = strconv.AppendInt(dst, int64(e.Distance), 10)
+	}
+	if e.Ready != 0 {
+		dst = append(dst, `,"ready":`...)
+		dst = strconv.AppendInt(dst, e.Ready, 10)
+	}
+	if e.Cycle != 0 {
+		dst = append(dst, `,"cycle":`...)
+		dst = strconv.AppendInt(dst, e.Cycle, 10)
+	}
+	dst = append(dst, '}')
+	return dst
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal using exactly
+// encoding/json's default escaping rules, so AppendEvent stays
+// byte-compatible with json.Marshal.
+//
+//rmbvet:hotpath
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Remaining control characters, plus the HTML-sensitive
+				// '<', '>' and '&' (all < 0x80, so two hex digits suffice).
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			// Invalid UTF-8: encoding/json substitutes the literal escape.
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			// JSON-legal but JavaScript-hostile line separators.
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
+}

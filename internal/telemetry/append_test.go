@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"rmb/internal/sim"
+)
+
+// appendFixtures exercises every field and every escaping rule the
+// manual encoder must reproduce from encoding/json: omitempty on each
+// field independently, quotes, backslashes, named and numeric control
+// escapes, the default HTML escaping of <, > and &, invalid UTF-8
+// (� substitution), the U+2028/U+2029 JavaScript hazards, and
+// multi-byte runes kept verbatim.
+var appendFixtures = []Event{
+	{},
+	{At: 1, Type: "vb"},
+	{At: -3, Type: "submit", Msg: -9, Src: -1, Dst: -2},
+	{At: 42, Type: "vb", Msg: 7, VB: 3, Name: "inserted", State: "Arming",
+		Src: 1, Dst: 9, Span: 4, Attempt: 2},
+	{At: 100, Type: "move", VB: 5, Node: 3, Hop: 1, From: 2, To: 6},
+	{At: 7, Type: "cycle", Node: 11, Cycle: 19},
+	{At: 8, Type: "fault", Name: "segment-fail", Node: 2, Level: 1},
+	{At: 9, Type: "submit", Msg: 12, Payload: 3, Fanout: 2, Distance: 5},
+	{At: 10, Type: "requeue", Msg: 4, Attempt: 3, Ready: 17},
+	{At: 11, Type: `quote"back\slash`},
+	{At: 12, Type: "ctl\n\r\t\x00\x1f"},
+	{At: 13, Type: "<html> & 'friends'"},
+	{At: 14, Type: "bad\xffutf8\xc3("},
+	{At: 15, Type: "line\u2028and\u2029seps"},
+	{At: 16, Type: "héllo wörld — ✓"},
+	{At: 17, Type: "vb", Name: "\x7f del is legal"},
+	{At: 18, Type: "vb", State: "trailing\\"},
+}
+
+// TestAppendEventMatchesJSONMarshal pins the byte-compatibility
+// contract: for fixtures and a fuzz sweep of generated events,
+// AppendEvent must emit exactly json.Marshal's bytes.
+func TestAppendEventMatchesJSONMarshal(t *testing.T) {
+	check := func(t *testing.T, e Event) {
+		t.Helper()
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got := AppendEvent(nil, e)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendEvent mismatch\n got  %q\n want %q", got, want)
+		}
+		// Appending to a non-empty prefix must not disturb it.
+		pre := AppendEvent([]byte("prefix"), e)
+		if !bytes.Equal(pre, append([]byte("prefix"), want...)) {
+			t.Fatalf("AppendEvent corrupted prefix: %q", pre)
+		}
+	}
+	for i, e := range appendFixtures {
+		t.Run(fmt.Sprintf("fixture-%d", i), func(t *testing.T) { check(t, e) })
+	}
+
+	// Fuzz sweep: pseudo-random field combinations, including hostile
+	// strings, via the repo's deterministic RNG.
+	rng := sim.NewRNG(0xA99E4D)
+	strs := []string{"", "vb", "submit", `a"b`, "c\\d", "x\ny", "<&>",
+		"\xff", "é✓", "\u2028", "p\x01q", "normal-name"}
+	pick := func() string { return strs[rng.Intn(len(strs))] }
+	num := func() int64 { return int64(rng.Intn(7)) - 3 }
+	for i := 0; i < 2000; i++ {
+		check(t, Event{
+			At: num(), Type: pick(), Msg: num(), VB: num(),
+			Name: pick(), State: pick(),
+			Src: int(num()), Dst: int(num()), Node: int(num()), Level: int(num()),
+			Hop: int(num()), From: int(num()), To: int(num()),
+			Span: int(num()), Attempt: int(num()),
+			Payload: int(num()), Fanout: int(num()), Distance: int(num()),
+			Ready: num(), Cycle: num(),
+		})
+	}
+}
+
+// TestWriterZeroAllocSteadyState pins the perf contract the rewrite
+// exists for: once the pooled chunk buffer is warm, Observe allocates
+// nothing per event.
+func TestWriterZeroAllocSteadyState(t *testing.T) {
+	w := NewWriter(io.Discard)
+	defer w.Close()
+	e := Event{At: 5, Type: "vb", Msg: 9, VB: 2, Name: "inserted",
+		State: "Arming", Src: 1, Dst: 7, Span: 3, Attempt: 1}
+	// Warm the buffer past any growth.
+	for i := 0; i < 1000; i++ {
+		w.Observe(e)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { w.Observe(e) }); avg != 0 {
+		t.Fatalf("Observe allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+}
+
+// TestWriterChunkedStreaming verifies both halves of the chunk
+// contract: bytes do reach the sink before Flush once the threshold
+// passes, and the final stream is byte-identical to the bulk encoding.
+func TestWriterChunkedStreaming(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink)
+	e := Event{At: 1, Type: "vb", Name: "inserted", State: "Arming", Span: 2}
+	line, _ := json.Marshal(e)
+	perLine := len(line) + 1
+	n := (writerChunk/perLine + 2) * 3
+	events := make([]Event, n)
+	for i := range events {
+		e.At = int64(i)
+		events[i] = e
+		w.Observe(e)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("no chunk reached the sink before Flush")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var bulk bytes.Buffer
+	if err := WriteEvents(&bulk, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sink.Bytes(), bulk.Bytes()) {
+		t.Fatal("chunked stream differs from bulk encoding")
+	}
+	if w.Count() != int64(n) {
+		t.Fatalf("Count() = %d, want %d", w.Count(), n)
+	}
+}
+
+// TestWriterCloseLifecycle: Close flushes, recycles, and makes the
+// writer inert; it is idempotent and preserves Count and Err.
+func TestWriterCloseLifecycle(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink)
+	w.Observe(Event{At: 1, Type: "vb"})
+	if sink.Len() != 0 {
+		t.Fatal("one small event should still be buffered")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("Close did not flush the final chunk")
+	}
+	got := sink.String()
+	w.Observe(Event{At: 2, Type: "vb"}) // must be ignored
+	_ = w.Flush()
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+	if sink.String() != got {
+		t.Fatal("writes after Close reached the sink")
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count() = %d after close, want 1", w.Count())
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+// TestWriterStickyError: a downstream failure surfaces once, sticks,
+// and suppresses all further writes.
+func TestWriterStickyError(t *testing.T) {
+	boom := errors.New("disk gone")
+	w := NewWriter(&failWriter{err: boom})
+	w.Observe(Event{At: 1, Type: "vb"})
+	if err := w.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("Flush = %v, want wrapped %v", err, boom)
+	}
+	before := w.Err()
+	w.Observe(Event{At: 2, Type: "vb"})
+	if w.Err() != before {
+		t.Fatal("sticky error was replaced")
+	}
+	if err := w.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want wrapped %v", err, boom)
+	}
+}

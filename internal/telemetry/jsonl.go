@@ -5,36 +5,78 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
+// writerChunk is the flush threshold: Observe hands the accumulated
+// bytes to the underlying writer once at least this much has built up,
+// so downstream write syscalls (or bytes.Buffer growth) are amortized
+// over hundreds of events while a lagging consumer still sees data
+// with bounded latency (one Flush call, or ~chunk/avg-event events).
+const writerChunk = 16 << 10
+
+// writerBufPool recycles chunk buffers across Writers: the rmbd serving
+// path builds one Writer per traced job, and pooling keeps steady-state
+// trace capture allocation-free. Buffers start a little over the chunk
+// threshold so the flush check rarely forces a growth re-allocation.
+var writerBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, writerChunk+1024)
+		return &b
+	},
+}
+
 // Writer streams events as JSONL: one JSON object per line, fields in
-// struct order, zero-valued optionals omitted. Errors are sticky so the
-// Observe callback can stay error-free on the hot path; check Err (or
-// Flush's return) once at the end of the run.
+// struct order, zero-valued optionals omitted — bytes identical to the
+// previous json.Encoder implementation (AppendEvent pins that contract
+// against encoding/json). Events accumulate in a pooled buffer and are
+// written out in chunks, so the per-event hot path allocates nothing.
+// Errors are sticky so the Observe callback can stay error-free on the
+// hot path; check Err (or Flush's return) once at the end of the run.
+// Close returns the buffer to the pool; a closed writer ignores further
+// Observe/Flush calls. Writer is not safe for concurrent use (the
+// service layer serializes Observe under the job lock).
 type Writer struct {
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
-	n   int64
+	w      io.Writer
+	buf    *[]byte
+	err    error
+	n      int64
+	closed bool
 }
 
-// NewWriter wraps w in a buffered JSONL event writer.
+// NewWriter wraps w in a chunk-buffered JSONL event writer. Call Close
+// when the stream ends to flush and recycle the internal buffer.
 func NewWriter(w io.Writer) *Writer {
-	bw := bufio.NewWriter(w)
-	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+	return &Writer{w: w, buf: writerBufPool.Get().(*[]byte)}
 }
 
-// Observe writes one event line. It satisfies Adapter.Observe, so
+// Observe appends one event line. It satisfies Adapter.Observe, so
 // Adapter{Observe: w.Observe} records a live run straight to disk.
+//
+//rmbvet:hotpath
 func (w *Writer) Observe(e Event) {
-	if w.err != nil {
+	if w.err != nil || w.closed {
 		return
 	}
-	if err := w.enc.Encode(e); err != nil {
-		w.err = fmt.Errorf("telemetry: writing event %d: %w", w.n, err)
-		return
-	}
+	b := AppendEvent(*w.buf, e)
+	b = append(b, '\n')
+	*w.buf = b
 	w.n++
+	if len(*w.buf) >= writerChunk {
+		w.flushChunk()
+	}
+}
+
+// flushChunk hands the accumulated bytes downstream. Callers have
+// checked closed; the buffer is reused in place.
+func (w *Writer) flushChunk() {
+	if len(*w.buf) == 0 || w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(*w.buf); err != nil {
+		w.err = fmt.Errorf("telemetry: writing event stream at event %d: %w", w.n, err)
+	}
+	*w.buf = (*w.buf)[:0]
 }
 
 // Count reports events written so far.
@@ -43,12 +85,29 @@ func (w *Writer) Count() int64 { return w.n }
 // Err reports the first write error, if any.
 func (w *Writer) Err() error { return w.err }
 
-// Flush drains the buffer and reports the first error of the stream.
+// Flush drains the buffered chunk and reports the first error of the
+// stream. Safe (a no-op) after Close.
 func (w *Writer) Flush() error {
-	if w.err != nil {
+	if !w.closed {
+		w.flushChunk()
+	}
+	return w.err
+}
+
+// Close flushes, recycles the chunk buffer, and makes every later
+// Observe/Flush a no-op. It returns the stream's first error. Close is
+// idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
 		return w.err
 	}
-	return w.bw.Flush()
+	w.flushChunk()
+	w.closed = true
+	b := w.buf
+	w.buf = nil
+	*b = (*b)[:0]
+	writerBufPool.Put(b)
+	return w.err
 }
 
 // WriteEvents writes a captured event slice as JSONL.
@@ -57,7 +116,7 @@ func WriteEvents(w io.Writer, events []Event) error {
 	for _, e := range events {
 		jw.Observe(e)
 	}
-	return jw.Flush()
+	return jw.Close()
 }
 
 // ReadEvents parses a JSONL event stream. Unknown fields are rejected

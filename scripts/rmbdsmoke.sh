@@ -62,6 +62,34 @@ case "$health" in
     *) echo "FAIL: healthz missing done count"; printf '%s\n' "$health"; exit 1 ;;
 esac
 
+# Resubmitting the identical spec must be served from the run cache:
+# the job comes back already done with "cached":true, and its result
+# and trace are byte-identical to the first run's.
+resub=$(curl -fsS --max-time 10 -d "$spec" "http://$addr/api/v1/jobs")
+case "$resub" in
+    *'"cached":true'*) ;;
+    *) echo "FAIL: resubmit not served from cache"; printf '%s\n' "$resub"; exit 1 ;;
+esac
+case "$resub" in
+    *'"state":"done"'*) echo "ok   resubmit served from cache, already done" ;;
+    *) echo "FAIL: cached resubmit not done"; printf '%s\n' "$resub"; exit 1 ;;
+esac
+cid=$(printf '%s' "$resub" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+cresult=$(curl -fsS --max-time 10 "http://$addr/api/v1/jobs/$cid/result")
+[ "$cresult" = "$result" ] || {
+    echo "FAIL: cached result differs from original"
+    printf 'orig:   %s\ncached: %s\n' "$result" "$cresult"; exit 1; }
+ctrace=$(curl -fsS --max-time 10 "http://$addr/api/v1/jobs/$cid/trace")
+[ "$ctrace" = "$trace" ] || { echo "FAIL: cached trace differs from original"; exit 1; }
+echo "ok   cached result and trace byte-identical"
+
+metrics=$(curl -fsS --max-time 10 "http://$addr/metrics")
+case "$metrics" in
+    *'rmbd_cache_hits_total 1'*) echo "ok   /metrics counts the cache hit" ;;
+    *) echo "FAIL: /metrics missing cache hit"
+       printf '%s\n' "$metrics" | grep rmbd_cache || true; exit 1 ;;
+esac
+
 # Graceful drain: a long-running job should land in the checkpoint dir.
 long='{"name":"long","config":{"Nodes":16,"Buses":2},"workload":{"rate":0.002,"measure":2000000000}}'
 longid=$(curl -fsS --max-time 10 -d "$long" "http://$addr/api/v1/jobs" \
