@@ -1,0 +1,241 @@
+// Command rmbdstat summarizes a running rmbd daemon from the outside,
+// using only its public HTTP surface: /metrics (Prometheus text
+// exposition) and /api/v1/jobs (status JSON). One shot by default;
+// -watch re-scrapes on an interval, like a purpose-built `vmstat` for
+// the simulation service.
+//
+// The latency percentiles are estimated from the fixed log-scaled
+// histogram buckets rmbd exports (linear interpolation inside the
+// winning bucket, the same estimate a Prometheus histogram_quantile
+// call would produce), so rmbdstat needs no access to raw samples.
+//
+// Usage:
+//
+//	rmbdstat -addr http://127.0.0.1:8080
+//	rmbdstat -addr 127.0.0.1:8080 -watch 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rmb/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "rmbd base URL (scheme optional)")
+	watch := flag.Duration("watch", 0, "re-scrape interval; 0 = one shot")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	for {
+		s, err := collect(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbdstat: %v\n", err)
+			os.Exit(1)
+		}
+		if *watch > 0 {
+			fmt.Printf("--- %s ---\n", time.Now().Format(time.TimeOnly))
+		}
+		render(os.Stdout, base, s)
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// summary is one scrape's digest of the daemon's serving health.
+type summary struct {
+	// jobs counts jobs by lifecycle state, from /api/v1/jobs.
+	jobs map[string]int
+	// queue/run are the job-phase latency histograms (nil when the
+	// daemon runs with observability off).
+	queue, run *obs.ParsedHistogram
+	// httpRequests totals rmbd_http_request_seconds across all
+	// (route, code) series.
+	httpRequests uint64
+	// Serving-layer counters.
+	cacheHits, cacheMisses float64
+	poolReuses, poolCold   float64
+	// Runtime gauges.
+	goroutines, heapBytes float64
+}
+
+// collect scrapes /metrics and /api/v1/jobs into one summary.
+func collect(c *http.Client, base string) (*summary, error) {
+	s := &summary{jobs: map[string]int{}}
+
+	body, err := get(c, base+"/api/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	var statuses []struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &statuses); err != nil {
+		return nil, fmt.Errorf("decoding job list: %w", err)
+	}
+	for _, st := range statuses {
+		s.jobs[st.State]++
+	}
+
+	body, err = get(c, base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	e, err := obs.ParseExposition(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("parsing /metrics: %w", err)
+	}
+	if s.queue, err = soleHistogram(e, "rmbd_job_queue_seconds"); err != nil {
+		return nil, err
+	}
+	if s.run, err = soleHistogram(e, "rmbd_job_run_seconds"); err != nil {
+		return nil, err
+	}
+	if f := e.Family("rmbd_http_request_seconds"); f != nil {
+		hs, err := f.Histograms()
+		if err != nil {
+			return nil, fmt.Errorf("rmbd_http_request_seconds: %w", err)
+		}
+		for _, h := range hs {
+			s.httpRequests += h.Count
+		}
+	}
+	s.cacheHits = gauge(e, "rmbd_cache_hits_total")
+	s.cacheMisses = gauge(e, "rmbd_cache_misses_total")
+	s.poolReuses = gauge(e, "rmbd_pool_reuses_total")
+	s.poolCold = gauge(e, "rmbd_pool_cold_builds_total")
+	s.goroutines = gauge(e, "rmbd_go_goroutines")
+	s.heapBytes = gauge(e, "rmbd_go_heap_alloc_bytes")
+	return s, nil
+}
+
+func get(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// soleHistogram returns the single unlabelled series of a histogram
+// family, or nil when the family is absent (daemon running -no-obs).
+func soleHistogram(e *obs.Exposition, name string) (*obs.ParsedHistogram, error) {
+	f := e.Family(name)
+	if f == nil {
+		return nil, nil
+	}
+	hs, err := f.Histograms()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(hs) != 1 {
+		return nil, fmt.Errorf("%s: %d series, want 1", name, len(hs))
+	}
+	return &hs[0], nil
+}
+
+// gauge returns the value of a single-sample family (0 when absent).
+func gauge(e *obs.Exposition, name string) float64 {
+	f := e.Family(name)
+	if f == nil || len(f.Samples) == 0 {
+		return 0
+	}
+	return f.Samples[0].Value
+}
+
+func render(w io.Writer, base string, s *summary) {
+	fmt.Fprintf(w, "rmbd %s\n", base)
+	fmt.Fprintf(w, "  jobs     %s\n", jobLine(s.jobs))
+	fmt.Fprintf(w, "  queue    %s\n", latencyLine(s.queue))
+	fmt.Fprintf(w, "  run      %s\n", latencyLine(s.run))
+	fmt.Fprintf(w, "  cache    %s\n", rateLine(s.cacheHits, s.cacheMisses, "hits", "misses", "hit-rate"))
+	fmt.Fprintf(w, "  pool     %s\n", rateLine(s.poolReuses, s.poolCold, "reuses", "cold", "reuse-rate"))
+	fmt.Fprintf(w, "  http     requests=%d\n", s.httpRequests)
+	fmt.Fprintf(w, "  runtime  goroutines=%.0f heap=%s\n", s.goroutines, fmtBytes(s.heapBytes))
+}
+
+// jobLine renders "done=3 running=1" in deterministic state order.
+func jobLine(jobs map[string]int) string {
+	if len(jobs) == 0 {
+		return "none"
+	}
+	states := make([]string, 0, len(jobs))
+	for st := range jobs {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	parts := make([]string, 0, len(states))
+	for _, st := range states {
+		parts = append(parts, fmt.Sprintf("%s=%d", st, jobs[st]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// latencyLine renders p50/p95/p99 from histogram buckets.
+func latencyLine(h *obs.ParsedHistogram) string {
+	if h == nil {
+		return "no histogram (daemon running without observability?)"
+	}
+	if h.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("p50=%s p95=%s p99=%s (n=%d)",
+		fmtSeconds(h.Quantile(0.50)),
+		fmtSeconds(h.Quantile(0.95)),
+		fmtSeconds(h.Quantile(0.99)),
+		h.Count)
+}
+
+// rateLine renders "hits=3 misses=9 hit-rate=25.0%".
+func rateLine(a, b float64, aName, bName, rateName string) string {
+	line := fmt.Sprintf("%s=%.0f %s=%.0f", aName, a, bName, b)
+	if a+b > 0 {
+		line += fmt.Sprintf(" %s=%.1f%%", rateName, 100*a/(a+b))
+	}
+	return line
+}
+
+// fmtSeconds renders a latency in the natural unit (µs/ms/s).
+func fmtSeconds(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	}
+	return fmt.Sprintf("%.2fs", sec)
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB", b)
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rmb/internal/service"
+)
+
+// startDaemon serves a real manager over httptest — rmbdstat's scrape
+// path is exercised against the exact bytes rmbd would serve.
+func startDaemon(t *testing.T, opts service.Options) (*httptest.Server, *service.Manager) {
+	t.Helper()
+	m, err := service.NewManagerOpts(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewAPI(m).Handler())
+	t.Cleanup(func() { ts.Close(); m.Close() })
+	return ts, m
+}
+
+func runJob(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	spec := `{"name":"stat","config":{"Nodes":8,"Buses":2,"Seed":3},"workload":{"rate":0.05,"measure":2000,"seed":5}}`
+	resp, err := ts.Client().Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", st.ID, st.State)
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job %s ended %s", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := ts.Client().Get(ts.URL + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+}
+
+func TestCollectAgainstLiveDaemon(t *testing.T) {
+	ts, _ := startDaemon(t, service.Options{Workers: 2, QueueDepth: 8})
+	runJob(t, ts)
+
+	s, err := collect(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.jobs["done"] < 1 {
+		t.Fatalf("jobs = %v, want at least one done", s.jobs)
+	}
+	if s.queue == nil || s.run == nil {
+		t.Fatal("job-phase histograms missing from /metrics")
+	}
+	if s.run.Count < 1 || s.queue.Count < 1 {
+		t.Fatalf("histogram counts queue=%d run=%d, want >=1", s.queue.Count, s.run.Count)
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if v := s.run.Quantile(q); v <= 0 {
+			t.Errorf("run p%.0f = %g, want > 0", q*100, v)
+		}
+	}
+	if p50, p99 := s.run.Quantile(0.50), s.run.Quantile(0.99); p99 < p50 {
+		t.Errorf("p99 %g < p50 %g", p99, p50)
+	}
+	// collect itself hit /api/v1/jobs before /metrics, and the job run
+	// made several requests — the HTTP histogram must have seen them.
+	if s.httpRequests == 0 {
+		t.Error("http request histogram empty")
+	}
+	if s.goroutines <= 0 || s.heapBytes <= 0 {
+		t.Errorf("runtime gauges missing: goroutines=%g heap=%g", s.goroutines, s.heapBytes)
+	}
+
+	var buf strings.Builder
+	render(&buf, ts.URL, s)
+	out := buf.String()
+	for _, want := range []string{"jobs", "done=", "p50=", "p95=", "p99=", "hit-rate=", "goroutines="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCollectNoObs: a daemon running -no-obs still answers both
+// endpoints; rmbdstat degrades to counters instead of failing.
+func TestCollectNoObs(t *testing.T) {
+	ts, _ := startDaemon(t, service.Options{Workers: 1, QueueDepth: 4, DisableObs: true})
+	runJob(t, ts)
+
+	s, err := collect(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.queue != nil || s.run != nil {
+		t.Error("no-obs daemon should expose no job histograms")
+	}
+	if s.jobs["done"] < 1 {
+		t.Fatalf("jobs = %v, want at least one done", s.jobs)
+	}
+	var buf strings.Builder
+	render(&buf, ts.URL, s)
+	if !strings.Contains(buf.String(), "no histogram") {
+		t.Errorf("render should flag missing histograms:\n%s", buf.String())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{500e-6, "500µs"},
+		{0.0123, "12.3ms"},
+		{2.5, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtSeconds(c.sec); got != c.want {
+			t.Errorf("fmtSeconds(%g) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+	if got := jobLine(map[string]int{"running": 2, "done": 5}); got != "done=5 running=2" {
+		t.Errorf("jobLine = %q", got)
+	}
+	if got := jobLine(nil); got != "none" {
+		t.Errorf("jobLine(nil) = %q", got)
+	}
+	if got := rateLine(1, 3, "hits", "misses", "hit-rate"); got != "hits=1 misses=3 hit-rate=25.0%" {
+		t.Errorf("rateLine = %q", got)
+	}
+	if got := fmtBytes(3.5 * (1 << 20)); got != "3.5MiB" {
+		t.Errorf("fmtBytes = %q", got)
+	}
+}

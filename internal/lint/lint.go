@@ -35,6 +35,10 @@
 //   - hotpath-alloc: functions reachable from a Step method in
 //     internal/core must not allocate per tick (make/new, slice/map
 //     literals, escaping composites and closures, non-amortizing append).
+//   - structured-log: the serving tier (internal/service) logs only
+//     through its configured *slog.Logger — no process-global log.Printf,
+//     no fmt stdout printing — so the daemon's structured log stream stays
+//     parseable and a logger-less embedding stays silent.
 //   - waiver-audit: every rmbvet:allow directive must name a known
 //     analyzer, carry a reason of at least two words, and still suppress
 //     a live finding; stale waivers are findings themselves.
@@ -94,6 +98,7 @@ func Analyzers() []*Analyzer {
 		analyzerShardCommit(),
 		analyzerStatsExhaustive(),
 		analyzerHotpathAlloc(),
+		analyzerStructuredLog(),
 		// waiver-audit re-runs the suite with waivers ignored, so it goes
 		// last and is the one analyzer whose findings cannot be waived.
 		analyzerWaiverAudit(),

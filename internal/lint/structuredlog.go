@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// structuredLogTiers are the packages whose diagnostics must flow
+// through the slog-based observability layer. The cmd tiers keep plain
+// stderr printing (usage errors, startup banners); the service library
+// may be embedded in any process and must not write to process-global
+// sinks behind its host's back.
+var structuredLogTiers = []string{"internal/service"}
+
+// fmtPrintFuncs are the fmt functions that write to process stdout —
+// fmt.Fprintf to an explicit writer and fmt.Sprintf are fine.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func analyzerStructuredLog() *Analyzer {
+	a := &Analyzer{
+		Name: "structured-log",
+		Doc: "The serving tier (internal/service) must log through the " +
+			"manager's slog.Logger, never the process-global log package or " +
+			"fmt stdout printing. The daemon's structured log stream is an " +
+			"operational surface — rmbdsmoke greps it, operators filter it by " +
+			"level and attribute — and one stray log.Printf bypasses the " +
+			"-log-level/-log-format contract and interleaves unparseable " +
+			"text into it. It also keeps the library embeddable: a host " +
+			"process that disables logging (Options.Logger == nil) must get " +
+			"silence, not surprise writes to its stderr.",
+	}
+	a.Run = func(m *Module, pkg *Package) []Diagnostic {
+		if !inTier(pkg.Path, structuredLogTiers...) {
+			return nil
+		}
+		var out []Diagnostic
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "log":
+					if d, ok := diag(m, pkg, a.Name, call.Pos(),
+						"log.%s bypasses the structured slog layer; log through the manager's *slog.Logger (Options.Logger)", fn.Name()); ok {
+						out = append(out, d)
+					}
+				case "fmt":
+					if fmtPrintFuncs[fn.Name()] {
+						if d, ok := diag(m, pkg, a.Name, call.Pos(),
+							"fmt.%s writes to process stdout from the serving tier; log through the manager's *slog.Logger or write to an explicit io.Writer", fn.Name()); ok {
+							out = append(out, d)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}

@@ -1,0 +1,18 @@
+// Package service seeds the structured-log violations: the serving tier
+// must log through its configured *slog.Logger, so both a process-global
+// log call and an fmt stdout print are findings here. The fmt.Fprintf to
+// an explicit writer and the fmt.Sprintf are legal and must NOT fire.
+package service
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+func handle(w io.Writer, id string) {
+	log.Printf("job %s admitted", id)
+	fmt.Println("job done:", id)
+	msg := fmt.Sprintf("job %s", id)
+	fmt.Fprintf(w, "%s\n", msg)
+}

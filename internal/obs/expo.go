@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteHistogram renders one histogram series set — the
+// `_bucket`/`_sum`/`_count` triplet — in Prometheus text exposition
+// format 0.0.4. labels is the pre-rendered extra label text (e.g.
+// `route="submit",code="202"`) or "" for an unlabelled histogram; the
+// `le` label is appended after it. The caller writes the HELP/TYPE
+// header once per family (several label sets share one header).
+func WriteHistogram(w io.Writer, name, labels string, s Snapshot) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, c := range s.Cumulative {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, leLabels[i], c); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, s.Count)
+	return err
+}
+
+// WriteHistogramHeader writes the HELP/TYPE framing for a histogram
+// family.
+func WriteHistogramHeader(w io.Writer, name, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	return err
+}
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix.
+	Name string
+	// Labels holds the parsed label pairs (empty map when unlabelled).
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: the HELP/TYPE header plus every sample
+// attached to it. For histograms the family name is the base name and
+// the samples carry _bucket/_sum/_count suffixes.
+type Family struct {
+	Name string
+	Help string
+	// Type is the TYPE line's value: counter, gauge, histogram, ...
+	Type    string
+	Samples []Sample
+}
+
+// Exposition is a parsed Prometheus text scrape.
+type Exposition struct {
+	// Families in encounter order.
+	Families []*Family
+	byName   map[string]*Family
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *Family {
+	return e.byName[name]
+}
+
+// histogramSuffixes strips a histogram sample suffix from a name,
+// returning the base family name and whether a suffix was present.
+func histogramBase(name string) (string, bool) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			return base, true
+		}
+	}
+	return name, false
+}
+
+// ParseExposition parses Prometheus text exposition format 0.0.4: HELP
+// and TYPE comment lines open a family; sample lines attach to the
+// family they name (histogram samples attach through their base name).
+// It is strict about structure — a sample whose family never declared
+// HELP/TYPE, a malformed label set, or an unparseable value is an error
+// — because the parser doubles as the exposition-validity oracle in the
+// service tests and as rmbdstat's scrape reader.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{byName: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseComment(line, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.parseSample(line, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Exposition) parseComment(line string, lineNo int) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		// Free-form comments are legal; ignore them.
+		return nil
+	}
+	name := fields[2]
+	f := e.byName[name]
+	if f == nil {
+		f = &Family{Name: name}
+		e.byName[name] = f
+		e.Families = append(e.Families, f)
+	}
+	rest := ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	switch fields[1] {
+	case "HELP":
+		if f.Help != "" {
+			return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+		}
+		if f.Type != "" {
+			return fmt.Errorf("line %d: HELP for %s after its TYPE (format requires HELP first)", lineNo, name)
+		}
+		if rest == "" {
+			return fmt.Errorf("line %d: empty HELP text for %s", lineNo, name)
+		}
+		f.Help = rest
+	case "TYPE":
+		if f.Type != "" {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+		}
+		switch rest {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+		}
+		f.Type = rest
+	}
+	return nil
+}
+
+func (e *Exposition) parseSample(line string, lineNo int) error {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	labels := map[string]string{}
+	if rest[0] == '{' {
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return fmt.Errorf("line %d: unterminated label set in %q", lineNo, line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:close])
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rest = rest[close+1:]
+	}
+	valText := strings.TrimSpace(rest)
+	if valText == "" {
+		return fmt.Errorf("line %d: sample %s has no value", lineNo, name)
+	}
+	val, err := parseValue(valText)
+	if err != nil {
+		return fmt.Errorf("line %d: sample %s: %w", lineNo, name, err)
+	}
+	famName := name
+	if base, ok := histogramBase(name); ok {
+		if f := e.byName[base]; f != nil && f.Type == "histogram" {
+			famName = base
+		}
+	}
+	f := e.byName[famName]
+	if f == nil {
+		return fmt.Errorf("line %d: sample %s has no HELP/TYPE header", lineNo, name)
+	}
+	f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: val})
+	return nil
+}
+
+// parseValue accepts the exposition value grammar: Go float syntax plus
+// the +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` (trailing comma tolerated, as the
+// format allows).
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", key)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("label %s: unterminated value", key)
+		}
+		val, err := strconv.Unquote(rest[:i+1])
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %v", key, err)
+		}
+		out[key] = val
+		s = rest[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// ParsedHistogram is one label set's worth of histogram samples
+// reassembled from a scrape: ascending finite bounds, cumulative
+// counts (one longer than Bounds, +Inf last), and the sum/count pair.
+type ParsedHistogram struct {
+	// Labels are the sample labels minus `le`.
+	Labels map[string]string
+	Bounds []float64
+	// Cumulative[i] counts observations <= Bounds[i]; the final entry
+	// is the +Inf total.
+	Cumulative []uint64
+	Sum        float64
+	Count      uint64
+}
+
+// Quantile estimates the q-quantile in seconds (see Snapshot.Quantile).
+func (h ParsedHistogram) Quantile(q float64) float64 {
+	return quantileCumulative(h.Bounds, h.Cumulative, q)
+}
+
+// labelKey renders a label map (minus `le`) canonically for grouping.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+// Histograms reassembles and validates a histogram family's label sets.
+// Each returned histogram is checked for the invariants the exposition
+// format promises: bounds strictly ascending, cumulative counts
+// non-decreasing, a terminal le="+Inf" bucket, _count equal to the +Inf
+// bucket, and a _sum/_count pair present (with _sum zero whenever
+// _count is zero). A violation is an error naming the offending series.
+func (f *Family) Histograms() ([]ParsedHistogram, error) {
+	if f.Type != "histogram" {
+		return nil, fmt.Errorf("%s: TYPE is %q, not histogram", f.Name, f.Type)
+	}
+	type partial struct {
+		hist      *ParsedHistogram
+		haveSum   bool
+		haveCount bool
+		infSeen   bool
+	}
+	parts := map[string]*partial{}
+	var order []string
+	get := func(labels map[string]string) *partial {
+		k := labelKey(labels)
+		p := parts[k]
+		if p == nil {
+			bare := map[string]string{}
+			for lk, lv := range labels {
+				if lk != "le" {
+					bare[lk] = lv
+				}
+			}
+			p = &partial{hist: &ParsedHistogram{Labels: bare}}
+			parts[k] = p
+			order = append(order, k)
+		}
+		return p
+	}
+	for _, s := range f.Samples {
+		p := get(s.Labels)
+		switch {
+		case s.Name == f.Name+"_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("%s_bucket%v: missing le label", f.Name, s.Labels)
+			}
+			if s.Value < 0 || s.Value != math.Trunc(s.Value) {
+				return nil, fmt.Errorf("%s_bucket{le=%q}: count %g is not a non-negative integer", f.Name, le, s.Value)
+			}
+			if le == "+Inf" {
+				p.infSeen = true
+				p.hist.Cumulative = append(p.hist.Cumulative, uint64(s.Value))
+				continue
+			}
+			if p.infSeen {
+				return nil, fmt.Errorf("%s_bucket{le=%q}: bucket after the +Inf terminal", f.Name, le)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s_bucket: bad le %q: %v", f.Name, le, err)
+			}
+			p.hist.Bounds = append(p.hist.Bounds, bound)
+			p.hist.Cumulative = append(p.hist.Cumulative, uint64(s.Value))
+		case s.Name == f.Name+"_sum":
+			p.haveSum = true
+			p.hist.Sum = s.Value
+		case s.Name == f.Name+"_count":
+			p.haveCount = true
+			p.hist.Count = uint64(s.Value)
+		default:
+			return nil, fmt.Errorf("%s: unexpected sample %s in histogram family", f.Name, s.Name)
+		}
+	}
+	out := make([]ParsedHistogram, 0, len(order))
+	for _, k := range order {
+		p := parts[k]
+		h := p.hist
+		series := f.Name
+		if k != "" {
+			series = fmt.Sprintf("%s{%s}", f.Name, strings.TrimSuffix(k, ","))
+		}
+		if !p.infSeen {
+			return nil, fmt.Errorf("%s: no le=\"+Inf\" terminal bucket", series)
+		}
+		if !p.haveSum || !p.haveCount {
+			return nil, fmt.Errorf("%s: missing _sum or _count", series)
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return nil, fmt.Errorf("%s: bucket bounds not ascending at le=%g", series, h.Bounds[i])
+			}
+		}
+		for i := 1; i < len(h.Cumulative); i++ {
+			if h.Cumulative[i] < h.Cumulative[i-1] {
+				return nil, fmt.Errorf("%s: cumulative bucket counts decrease at index %d", series, i)
+			}
+		}
+		if h.Count != h.Cumulative[len(h.Cumulative)-1] {
+			return nil, fmt.Errorf("%s: _count %d != +Inf bucket %d", series, h.Count, h.Cumulative[len(h.Cumulative)-1])
+		}
+		if h.Count == 0 && h.Sum != 0 {
+			return nil, fmt.Errorf("%s: _sum %g with zero _count", series, h.Sum)
+		}
+		if h.Count > 0 && (math.IsNaN(h.Sum) || h.Sum < 0) {
+			return nil, fmt.Errorf("%s: _sum %g invalid for a latency histogram", series, h.Sum)
+		}
+		out = append(out, *h)
+	}
+	return out, nil
+}

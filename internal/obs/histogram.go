@@ -1,0 +1,187 @@
+// Package obs is the serving-tier observability toolkit: alloc-free
+// latency histograms with fixed log-scaled buckets, Prometheus text
+// exposition rendering for them, a parser for the same format, and
+// quantile estimation over cumulative bucket counts.
+//
+// The package sits strictly outside the simulator. Nothing here touches
+// logical sim.Tick time: every duration is wall-clock serving time
+// (queue wait, run time, HTTP request time), which is exactly the data
+// a front tier needs to route, shed and back off across rmbd backends
+// — the delay/throughput characterization the interconnect-evaluation
+// literature applies to MINs, applied to the serving layer itself.
+//
+// Recording is allocation-free by construction: a Histogram is a fixed
+// array of atomic counters plus an atomic nanosecond sum, so Observe
+// performs two atomic adds and one bit-scan and never allocates
+// (histogram_test.go pins this with testing.AllocsPerRun). That is what
+// lets the service layer observe every job and every HTTP request
+// without perturbing the throughput numbers the CI benchcmp gate
+// defends.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket i has
+// upper bound 2^i microseconds, so the buckets cover 1µs .. ~67s in
+// exact powers of two; everything slower lands in the +Inf bucket.
+// The bounds are fixed for every histogram in the process: cross-series
+// arithmetic (aggregating several backends' scrapes) never has to align
+// mismatched bucket layouts.
+const NumBuckets = 26
+
+// bounds[i] is bucket i's inclusive upper bound in seconds.
+var bounds [NumBuckets]float64
+
+// leLabels[i] is the Prometheus `le` label text for bucket i;
+// leLabels[NumBuckets] is "+Inf". Precomputed so rendering a scrape
+// never formats floats for bounds.
+var leLabels [NumBuckets + 1]string
+
+func init() {
+	for i := 0; i < NumBuckets; i++ {
+		bounds[i] = float64(uint64(1)<<uint(i)) * 1e-6
+		leLabels[i] = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+	}
+	leLabels[NumBuckets] = "+Inf"
+}
+
+// Bounds returns the shared bucket upper bounds in seconds (ascending,
+// excluding +Inf). The returned slice is a copy.
+func Bounds() []float64 {
+	out := make([]float64, NumBuckets)
+	copy(out, bounds[:])
+	return out
+}
+
+// Histogram is a fixed-bucket log-scaled latency histogram safe for
+// concurrent use. The zero value is ready; Observe is allocation-free
+// and lock-free (independent atomic adds), so it can sit on serving hot
+// paths without a benchmark-visible cost.
+type Histogram struct {
+	// counts[i] holds the count for bucket i; counts[NumBuckets] is the
+	// +Inf overflow bucket. Per-bucket (not cumulative) so Observe is a
+	// single add; Snapshot accumulates.
+	counts [NumBuckets + 1]atomic.Uint64
+	// sumNanos accumulates observed durations. Nanoseconds as int64
+	// (not float bits) so concurrent adds need no CAS loop; ~292 years
+	// of observed latency fit before overflow.
+	sumNanos atomic.Int64
+	count    atomic.Uint64
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= 2^i µs, computed by bit scan rather than search. Sub-microsecond
+// (and negative, which cannot happen for phase spans) durations clamp
+// to bucket 0; anything past the last bound overflows to +Inf.
+func bucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	// us <= 2^i  ⇔  us-1 < 2^i  ⇔  bits.Len64(us-1) <= i, so the
+	// smallest such i is bits.Len64(us-1).
+	i := bits.Len64(us - 1)
+	if i >= NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations (a clock that went
+// backwards between stamps) are clamped to zero rather than corrupting
+// the sum.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Snapshot is a point-in-time copy of a histogram, in the cumulative
+// form Prometheus exposes: Cumulative[i] counts observations with value
+// <= bounds[i], Cumulative[NumBuckets] equals Count.
+type Snapshot struct {
+	Cumulative [NumBuckets + 1]uint64
+	// Sum is the total observed time in seconds; Count the number of
+	// observations.
+	Sum   float64
+	Count uint64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes
+// may land between bucket reads — a scrape is a statistical view, not a
+// linearizable one — but the cumulative sequence is always monotone and
+// the terminal bucket always equals the bucket-sum, because both are
+// derived from the same reads.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	// The +Inf cumulative bucket is the count by definition of the
+	// exposition format; deriving Count from the same reads (rather
+	// than h.count) keeps _count consistent with _bucket{le="+Inf"}
+	// even mid-Observe.
+	s.Count = cum
+	s.Sum = float64(h.sumNanos.Load()) / float64(time.Second)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds from the
+// snapshot by linear interpolation inside the holding bucket, the same
+// estimate prometheus's histogram_quantile computes. Returns 0 for an
+// empty histogram. Estimates in the +Inf bucket clamp to the largest
+// finite bound (there is no upper edge to interpolate toward).
+func (s Snapshot) Quantile(q float64) float64 {
+	return quantileCumulative(bounds[:], s.Cumulative[:], q)
+}
+
+// quantileCumulative is the shared bucket-quantile estimator: bnds are
+// the finite upper bounds (ascending, seconds) and cum the cumulative
+// counts, one longer than bnds with the +Inf total last.
+func quantileCumulative(bnds []float64, cum []uint64, q float64) float64 {
+	if len(cum) == 0 || len(cum) != len(bnds)+1 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(bnds) {
+			// Landed in +Inf: no finite upper edge, clamp.
+			return bnds[len(bnds)-1]
+		}
+		lower, lowerCount := 0.0, uint64(0)
+		if i > 0 {
+			lower, lowerCount = bnds[i-1], cum[i-1]
+		}
+		width := bnds[i] - lower
+		inBucket := float64(c - lowerCount)
+		if inBucket <= 0 || math.IsInf(width, 1) {
+			return bnds[i]
+		}
+		return lower + width*(rank-float64(lowerCount))/inBucket
+	}
+	return bnds[len(bnds)-1]
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserveAllocFree pins the alloc-free recording contract: the
+// serving layer calls Observe on every job phase and HTTP request, so a
+// single allocation here would multiply across the fleet and show up in
+// the benchcmp-gated allocs/op.
+func TestObserveAllocFree(t *testing.T) {
+	h := &Histogram{}
+	d := 37 * time.Microsecond
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(d)
+		d += 997 * time.Nanosecond
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = h.Snapshot()
+	}); allocs != 0 {
+		t.Fatalf("Snapshot allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-5 * time.Second, 0}, // clamped by Observe, but index must not panic
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{1024 * time.Microsecond, 10},
+		{time.Second, 20}, // 2^20 µs = 1.048576s is the first bound >= 1s
+		{67 * time.Second, NumBuckets},
+		{time.Hour, NumBuckets},
+	}
+	for _, c := range cases {
+		d := c.d
+		if d < 0 {
+			d = 0
+		}
+		if got := bucketIndex(d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestBoundsShape locks the bucket layout: strictly ascending powers of
+// two of a microsecond, with labels that parse back to the same bound.
+func TestBoundsShape(t *testing.T) {
+	b := Bounds()
+	if len(b) != NumBuckets {
+		t.Fatalf("Bounds() has %d entries, want %d", len(b), NumBuckets)
+	}
+	for i, bound := range b {
+		want := float64(uint64(1)<<uint(i)) * 1e-6
+		if bound != want {
+			t.Errorf("bound %d = %g, want %g", i, bound, want)
+		}
+		if i > 0 && bound <= b[i-1] {
+			t.Errorf("bounds not ascending at %d", i)
+		}
+		parsed, err := strconv.ParseFloat(leLabels[i], 64)
+		if err != nil || parsed != bound {
+			t.Errorf("le label %q does not round-trip bound %g", leLabels[i], bound)
+		}
+	}
+	if leLabels[NumBuckets] != "+Inf" {
+		t.Errorf("terminal le label = %q", leLabels[NumBuckets])
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	h := &Histogram{}
+	ds := []time.Duration{
+		0, time.Microsecond, 10 * time.Microsecond, time.Millisecond,
+		5 * time.Millisecond, time.Second, 90 * time.Second,
+	}
+	var wantSum time.Duration
+	for _, d := range ds {
+		h.Observe(d)
+		wantSum += d
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(ds)) {
+		t.Fatalf("count %d, want %d", s.Count, len(ds))
+	}
+	if got := s.Cumulative[NumBuckets]; got != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", got, s.Count)
+	}
+	for i := 1; i <= NumBuckets; i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatalf("cumulative counts decrease at %d", i)
+		}
+	}
+	if math.Abs(s.Sum-wantSum.Seconds()) > 1e-9 {
+		t.Fatalf("sum %g, want %g", s.Sum, wantSum.Seconds())
+	}
+}
+
+// TestConcurrentObserve runs under -race in CI (the obs package is in
+// the race tier): concurrent observers and snapshotters must be safe,
+// and the final snapshot exact once they stop.
+func TestConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	const workers, per = 8, 5000
+	var observers sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // concurrent scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				for i := 1; i < len(s.Cumulative); i++ {
+					if s.Cumulative[i] < s.Cumulative[i-1] {
+						t.Error("mid-flight snapshot not monotone")
+						return
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		observers.Add(1)
+		go func(w int) {
+			defer observers.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	observers.Wait()
+	close(stop)
+	<-scraperDone
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations spread evenly at 1ms: everything lands in the
+	// le=1.024ms bucket (index 10), so every quantile interpolates
+	// inside it.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		lo, hi := 512e-6, 1024e-6
+		if got < lo || got > hi {
+			t.Errorf("q%g = %g, want within (%g, %g]", q, got, lo, hi)
+		}
+	}
+	if (Snapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+
+	// A bimodal distribution: p50 must sit in the fast mode's bucket
+	// range, p99 in the slow mode's.
+	h2 := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h2.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(time.Second)
+	}
+	s2 := h2.Snapshot()
+	if p50 := s2.Quantile(0.50); p50 > 130e-6 {
+		t.Errorf("bimodal p50 = %g, want <= 128µs bound", p50)
+	}
+	if p99 := s2.Quantile(0.99); p99 < 0.5 {
+		t.Errorf("bimodal p99 = %g, want in the ~1s bucket", p99)
+	}
+}

@@ -1,7 +1,10 @@
 package service
 
 import (
+	"io"
+	"log/slog"
 	"testing"
+	"time"
 
 	"rmb/internal/core"
 )
@@ -59,6 +62,9 @@ func benchServe(b *testing.B, opts Options, specFor func(i int) JobSpec) {
 //	traced  pooled plus full JSONL trace capture through the
 //	        zero-allocation streaming encoder
 //	cached  an identical spec repeated — jobs served from the run cache
+//	obs     pooled plus the full observability layer: Debug structured
+//	        logging, slow-job warnings on every job, phase timings and
+//	        latency histograms — the cost of watching the service
 //
 // scripts/bench.sh records these (jobs/sec, allocs/op) in the `service`
 // section of BENCH_baseline.json, and CI gates them via rmbbench
@@ -83,5 +89,12 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	})
 	b.Run("cached", func(b *testing.B) {
 		benchServe(b, Options{Workers: 1, QueueDepth: 4}, repeat)
+	})
+	b.Run("obs", func(b *testing.B) {
+		benchServe(b, Options{
+			Workers: 1, QueueDepth: 4, CacheBytes: -1,
+			Logger:  slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug})),
+			SlowJob: time.Nanosecond,
+		}, unique)
 	})
 }

@@ -59,6 +59,9 @@ type Status struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+	// Timings is the phase-span decomposition of the job's serving
+	// lifecycle (nil when the manager runs with observability off).
+	Timings *Timings `json:"timings,omitempty"`
 }
 
 // ckptReply carries a live-checkpoint response back to the requester.
@@ -110,6 +113,16 @@ type Job struct {
 	// bytes never pass through this job's writer).
 	cached       bool
 	cachedEvents int64
+
+	// Observability state (absent when the manager runs with
+	// DisableObs). obsOn is set once at construction and never written
+	// again; the rest is guarded by mu. enqueued/runStart are the
+	// monotonic anchors for the queue-wait and run phases.
+	obsOn      bool
+	hasTimings bool
+	timings    Timings
+	enqueued   time.Time
+	runStart   time.Time
 }
 
 // ID returns the job's identifier.
@@ -139,7 +152,23 @@ func (j *Job) Status() Status {
 		st.TraceEvents = j.traceW.Count() + j.cachedEvents
 	}
 	st.Cached = j.cached
+	if j.hasTimings {
+		t := j.timings
+		st.Timings = &t
+	}
 	return st
+}
+
+// stampTimings applies one phase update under the job lock; a no-op
+// when observability is off, so call sites need no gating.
+func (j *Job) stampTimings(f func(*Timings)) {
+	if !j.obsOn {
+		return
+	}
+	j.mu.Lock()
+	j.hasTimings = true
+	f(&j.timings)
+	j.mu.Unlock()
 }
 
 // Result returns the completed result, or ok=false while the job is
@@ -180,32 +209,67 @@ func (j *Job) observe(e telemetry.Event) {
 	j.mu.Unlock()
 }
 
-// setRunning transitions queued → running (no-op if already canceled).
-func (j *Job) setRunning() bool {
+// setRunning transitions queued → running (no-op if already canceled),
+// stamping the queue-wait phase. The returned duration feeds the queue
+// histogram (0 when observability is off).
+func (j *Job) setRunning() (time.Duration, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
-		return false
+		return 0, false
 	}
 	now := time.Now()
 	j.state = StateRunning
 	j.started = &now
-	return true
+	var wait time.Duration
+	if j.obsOn && !j.enqueued.IsZero() {
+		wait = now.Sub(j.enqueued)
+		j.timings.QueueWaitSec = wait.Seconds()
+		j.hasTimings = true
+	}
+	return wait, true
 }
 
-// finish records a terminal state; result may be nil.
-func (j *Job) finish(state JobState, res *loadgen.Result, errMsg string) {
+// markRunStart anchors the run phase: the worker calls it after the
+// simulator is built (pool acquire and driver construction are their
+// own phases), immediately before the tick loop.
+func (j *Job) markRunStart() {
+	if !j.obsOn {
+		return
+	}
+	j.mu.Lock()
+	j.runStart = time.Now()
+	j.mu.Unlock()
+}
+
+// finish records a terminal state; result may be nil. It returns the
+// run-phase duration for the histogram and slow-job check (0 if the
+// job never entered its tick loop, or on a repeated finish).
+func (j *Job) finish(state JobState, res *loadgen.Result, errMsg string) time.Duration {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		return
+		return 0
 	}
 	now := time.Now()
 	j.state = state
 	j.result = res
 	j.errMsg = errMsg
 	j.finished = &now
+	runDur := j.stampRunLocked(now)
 	j.closeTraceLocked()
+	return runDur
+}
+
+// stampRunLocked closes the run phase at now. Callers hold j.mu.
+func (j *Job) stampRunLocked(now time.Time) time.Duration {
+	if !j.obsOn || j.runStart.IsZero() {
+		return 0
+	}
+	d := now.Sub(j.runStart)
+	j.timings.RunSec = d.Seconds()
+	j.hasTimings = true
+	return d
 }
 
 // closeTraceLocked seals the trace writer once no more events can
@@ -213,9 +277,17 @@ func (j *Job) finish(state JobState, res *loadgen.Result, errMsg string) {
 // pooled chunk buffer. Trace() keeps serving the captured bytes.
 // Callers hold j.mu.
 func (j *Job) closeTraceLocked() {
-	if j.traceW != nil {
-		_ = j.traceW.Close()
+	if j.traceW == nil {
+		return
 	}
+	if !j.obsOn {
+		_ = j.traceW.Close()
+		return
+	}
+	start := time.Now()
+	_ = j.traceW.Close()
+	j.timings.TraceStreamSec += time.Since(start).Seconds()
+	j.hasTimings = true
 }
 
 // traceEventCount returns the number of events the job's writer has
@@ -246,6 +318,13 @@ func (j *Job) fulfillFromCache(e *cacheEntry) {
 	if j.traceBuf != nil {
 		j.traceBuf.Write(e.trace)
 		j.cachedEvents = e.traceEvents
+		if j.obsOn {
+			j.timings.TraceStreamSec += time.Since(now).Seconds()
+		}
+	}
+	if j.obsOn {
+		j.timings.NetworkSource = "cache"
+		j.hasTimings = true
 	}
 	j.closeTraceLocked()
 	j.mu.Unlock()
@@ -263,6 +342,7 @@ func (j *Job) finishSuspended(ck *Checkpoint) {
 	j.state = StateSuspended
 	j.ckpt = ck
 	j.finished = &now
+	j.stampRunLocked(now)
 	j.closeTraceLocked()
 }
 

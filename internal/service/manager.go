@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -49,6 +50,13 @@ type Manager struct {
 	// completed deterministic runs. Either may be nil (disabled).
 	pool  *netPool
 	cache *runCache
+
+	// hist aggregates job phase spans into /metrics histograms; nil
+	// with DisableObs. logger is the structured serving log sink; nil
+	// disables logging. slowJob is the warn threshold for the run phase.
+	hist    *svcHist
+	logger  *slog.Logger
+	slowJob time.Duration
 }
 
 // Options parameterizes a Manager beyond the worker/queue pair.
@@ -66,6 +74,17 @@ type Options struct {
 	// CacheBytes budgets the deterministic run cache (results plus trace
 	// artifacts). Zero selects 64 MiB; negative disables caching.
 	CacheBytes int64
+	// Logger receives structured serving logs (job lifecycle, HTTP
+	// requests, slow-job warnings). Nil disables logging entirely.
+	Logger *slog.Logger
+	// SlowJob is the run-phase duration past which a completed job
+	// logs a warning; zero disables the check.
+	SlowJob time.Duration
+	// DisableObs turns off per-job phase timing and the latency
+	// histograms. Its purpose is the zero-observer-effect
+	// differential: results, traces and checkpoints must be
+	// byte-identical either way, so production leaves it off.
+	DisableObs bool
 }
 
 // DefaultCacheBytes is the run-cache budget Options.CacheBytes == 0
@@ -109,6 +128,11 @@ func NewManagerOpts(o Options) (*Manager, error) {
 		}
 		m.cache = newRunCache(budget)
 	}
+	if !o.DisableObs {
+		m.hist = &svcHist{}
+	}
+	m.logger = o.Logger
+	m.slowJob = o.SlowJob
 	m.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
 		go m.worker()
@@ -145,6 +169,7 @@ func (m *Manager) newJob(spec JobSpec, resume *Checkpoint) *Job {
 		cancel:  cancel,
 		ckptReq: make(chan chan ckptReply),
 		state:   StateQueued,
+		obsOn:   m.hist != nil,
 	}
 	if spec.Trace {
 		j.traceBuf = &bytes.Buffer{}
@@ -178,6 +203,12 @@ func (m *Manager) admit(j *Job) (*Job, error) {
 		return nil, ErrDraining
 	}
 	m.assignIDLocked(j)
+	if j.obsOn {
+		// The queue-wait anchor. Set before the channel send: a worker
+		// can pick the job up the instant it lands in the queue, and
+		// the job is invisible to everyone else until then.
+		j.enqueued = time.Now()
+	}
 	select {
 	case m.queue <- j:
 		m.jobs[j.id] = j
@@ -211,19 +242,49 @@ func (m *Manager) admitCached(j *Job, e *cacheEntry) (*Job, error) {
 // back already done, carrying the memoized (bit-identical, by simulator
 // determinism) result and trace, with Status.Cached set.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	j := m.newJob(spec, nil)
+	var lookup time.Duration
 	if m.cache != nil {
-		if key, err := cacheKey(spec); err == nil {
+		lookupStart := time.Now()
+		key, err := cacheKey(spec)
+		var hit *cacheEntry
+		var ok bool
+		if err == nil {
 			j.cacheKey = key
-			if e, ok := m.cache.get(key, spec.Trace); ok {
-				return m.admitCached(j, e)
+			hit, ok = m.cache.get(key, spec.Trace)
+		}
+		lookup = time.Since(lookupStart)
+		if ok {
+			j2, err := m.admitCached(j, hit)
+			if err != nil {
+				return nil, err
 			}
+			j2.stampTimings(func(t *Timings) {
+				t.CacheLookupSec = lookup.Seconds()
+				t.AdmissionSec = time.Since(start).Seconds()
+			})
+			if lg := m.jobLog(j2); lg != nil {
+				lg.Info("job served from cache", slog.Int64("tick", j2.tick.Load()))
+			}
+			return j2, nil
 		}
 	}
-	return m.admit(j)
+	j, err := m.admit(j)
+	if err != nil {
+		return nil, err
+	}
+	j.stampTimings(func(t *Timings) {
+		t.CacheLookupSec = lookup.Seconds()
+		t.AdmissionSec = time.Since(start).Seconds()
+	})
+	if lg := m.jobLog(j); lg != nil {
+		lg.Debug("job admitted")
+	}
+	return j, nil
 }
 
 // Resume admits a job that continues a checkpointed run. The original
@@ -240,9 +301,20 @@ func (m *Manager) Resume(ck Checkpoint) (*Job, error) {
 	if len(ck.Core) == 0 {
 		resume = nil
 	}
+	start := time.Now()
 	j := m.newJob(ck.Spec, resume)
 	j.id = ck.ID
-	return m.admit(j)
+	j, err := m.admit(j)
+	if err != nil {
+		return nil, err
+	}
+	j.stampTimings(func(t *Timings) {
+		t.AdmissionSec = time.Since(start).Seconds()
+	})
+	if lg := m.jobLog(j); lg != nil {
+		lg.Debug("job resumed from checkpoint")
+	}
+	return j, nil
 }
 
 // Get returns a job by ID.
@@ -398,7 +470,7 @@ func (m *Manager) runJob(j *Job) {
 	// worker will ever pick up its request (ErrNotRunning).
 	defer j.cancel()
 	if j.ctx.Err() != nil {
-		j.finish(StateCanceled, nil, "canceled while queued")
+		m.finishJob(j, StateCanceled, nil, "canceled while queued")
 		return
 	}
 	if m.suspended() {
@@ -415,8 +487,12 @@ func (m *Manager) runJob(j *Job) {
 		j.finishSuspended(&Checkpoint{Version: CheckpointVersion, ID: j.id, Spec: j.spec})
 		return
 	}
-	if !j.setRunning() {
+	queueWait, ok := j.setRunning()
+	if !ok {
 		return
+	}
+	if m.hist != nil {
+		m.hist.queue.Observe(queueWait)
 	}
 
 	var rec core.Recorder
@@ -425,50 +501,72 @@ func (m *Manager) runJob(j *Job) {
 	}
 
 	var d *loadgen.Driver
+	var source string
 	if j.resume != nil {
 		// Restore: pending fault timers live in the core checkpoint, so
 		// the plan is NOT re-injected, and the driver RNG resumes from
 		// its serialized position.
+		restoreStart := time.Now()
 		n, err := core.UnmarshalCheckpoint(j.resume.Core)
 		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
+			m.finishJob(j, StateFailed, nil, err.Error())
 			return
 		}
+		source = "restore"
+		j.stampTimings(func(t *Timings) {
+			t.NetworkSource = source
+			t.PoolAcquireSec = time.Since(restoreStart).Seconds()
+		})
 		// A restored network is an ordinary network; it parks in the pool
 		// like a pooled-built one once the job ends.
 		defer m.releaseNetwork(n)
 		n.SetRecorder(rec)
 		lcfg, err := j.spec.Workload.loadgenConfig(core.FaultPlan{})
 		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
+			m.finishJob(j, StateFailed, nil, err.Error())
 			return
 		}
 		d, err = loadgen.ResumeDriver(n, lcfg, j.resume.Driver)
 		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
+			m.finishJob(j, StateFailed, nil, err.Error())
 			return
 		}
 		j.tick.Store(int64(n.Now()))
 	} else {
 		cfg := j.spec.Config
 		cfg.Recorder = rec
-		n, err := m.acquireNetwork(cfg)
+		acquireStart := time.Now()
+		n, reused, err := m.acquireNetwork(cfg)
 		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
+			m.finishJob(j, StateFailed, nil, err.Error())
 			return
 		}
+		source = "cold"
+		if reused {
+			source = "reuse"
+		}
+		j.stampTimings(func(t *Timings) {
+			t.NetworkSource = source
+			t.PoolAcquireSec = time.Since(acquireStart).Seconds()
+		})
 		defer m.releaseNetwork(n)
 		lcfg, err := j.spec.Workload.loadgenConfig(j.spec.Faults)
 		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
+			m.finishJob(j, StateFailed, nil, err.Error())
 			return
 		}
 		d, err = loadgen.NewDriver(n, lcfg)
 		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
+			m.finishJob(j, StateFailed, nil, err.Error())
 			return
 		}
 	}
+	if lg := m.jobLog(j); lg != nil {
+		lg.Debug("job started",
+			slog.String("network", source),
+			slog.Duration("queueWait", queueWait))
+	}
+	j.markRunStart()
 
 	// The wall-clock deadline starts when the job starts running, so
 	// queue wait does not eat the budget.
@@ -485,15 +583,15 @@ func (m *Manager) runJob(j *Job) {
 		select {
 		case <-ctx.Done():
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				j.finish(StateFailed, nil, "deadline exceeded")
+				m.finishJob(j, StateFailed, nil, "deadline exceeded")
 			} else {
-				j.finish(StateCanceled, nil, "canceled")
+				m.finishJob(j, StateCanceled, nil, "canceled")
 			}
 			return
 		case <-m.suspend:
 			ck, err := m.freezeJob(j, d)
 			if err != nil {
-				j.finish(StateFailed, nil, fmt.Sprintf("suspend: %v", err))
+				m.finishJob(j, StateFailed, nil, fmt.Sprintf("suspend: %v", err))
 				return
 			}
 			j.finishSuspended(ck)
@@ -512,12 +610,12 @@ func (m *Manager) runJob(j *Job) {
 		more, err := d.Step()
 		j.tick.Store(int64(d.Network().Now()))
 		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
+			m.finishJob(j, StateFailed, nil, err.Error())
 			return
 		}
 		if !more {
 			res := d.Result()
-			j.finish(StateDone, &res, "")
+			m.finishJob(j, StateDone, &res, "")
 			m.cacheInsert(j, &res, int64(d.Network().Now()))
 			return
 		}
@@ -525,10 +623,12 @@ func (m *Manager) runJob(j *Job) {
 }
 
 // acquireNetwork builds or re-arms a network for a fresh run, through
-// the pool when one is configured.
-func (m *Manager) acquireNetwork(cfg core.Config) (*core.Network, error) {
+// the pool when one is configured. reused reports whether a parked
+// network answered (the "reuse" vs "cold" timing label).
+func (m *Manager) acquireNetwork(cfg core.Config) (n *core.Network, reused bool, err error) {
 	if m.pool == nil {
-		return core.NewNetwork(cfg)
+		n, err = core.NewNetwork(cfg)
+		return n, false, err
 	}
 	return m.pool.acquire(cfg)
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"rmb/internal/obs"
 )
 
 // jobStates is the fixed exposition order for the per-state job gauge.
@@ -56,9 +58,11 @@ func serviceMetrics(m *Manager) []promMetric {
 }
 
 // writePrometheus renders the serving metrics in text exposition format
-// 0.0.4. The labelled rmbd_jobs series shares one HELP/TYPE header, per
-// the format.
-func writePrometheus(w io.Writer, m *Manager) error {
+// 0.0.4: counters and gauges first, then the latency histograms, then
+// the runtime gauges. The labelled rmbd_jobs series shares one
+// HELP/TYPE header, per the format. hh may be nil (no HTTP histograms
+// wired, e.g. a manager used without an API).
+func writePrometheus(w io.Writer, m *Manager, hh *httpHist) error {
 	var lastBare string
 	for _, pm := range serviceMetrics(m) {
 		bare := pm.name
@@ -73,6 +77,59 @@ func writePrometheus(w io.Writer, m *Manager) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", pm.name, pm.value); err != nil {
 			return err
+		}
+	}
+	if err := writeHistogramMetrics(w, m, hh); err != nil {
+		return err
+	}
+	return writeRuntimeMetrics(w)
+}
+
+// writeHistogramMetrics renders the job-phase and HTTP-request latency
+// histograms. Nothing is written when the manager runs with DisableObs;
+// empty (zero-count) job histograms ARE written so dashboards see the
+// series from the first scrape, but zero-count (route,code) cells are
+// skipped — the full matrix would be hundreds of dead series.
+func writeHistogramMetrics(w io.Writer, m *Manager, hh *httpHist) error {
+	if m.hist == nil {
+		return nil
+	}
+	jobHists := []struct {
+		name, help string
+		h          *obs.Histogram
+	}{
+		{"rmbd_job_queue_seconds", "Time jobs spend queued before a worker picks them up.", &m.hist.queue},
+		{"rmbd_job_run_seconds", "Worker tick-loop duration per job.", &m.hist.run},
+	}
+	for _, jh := range jobHists {
+		if err := obs.WriteHistogramHeader(w, jh.name, jh.help); err != nil {
+			return err
+		}
+		if err := obs.WriteHistogram(w, jh.name, "", jh.h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if hh == nil {
+		return nil
+	}
+	const httpName = "rmbd_http_request_seconds"
+	wroteHeader := false
+	for rt := route(0); rt < numRoutes; rt++ {
+		for ci := 0; ci < numCodes; ci++ {
+			s := hh.h[rt][ci].Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			if !wroteHeader {
+				if err := obs.WriteHistogramHeader(w, httpName, "HTTP request latency by route and status code."); err != nil {
+					return err
+				}
+				wroteHeader = true
+			}
+			labels := fmt.Sprintf(`route=%q,code=%q`, routeNames[rt], codeLabels[ci])
+			if err := obs.WriteHistogram(w, httpName, labels, s); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,446 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rmb/internal/core"
+	"rmb/internal/loadgen"
+	"rmb/internal/obs"
+)
+
+// obsOnOptions is maximal observability: histograms, a Debug-level
+// logger, and a slow-job threshold low enough that every job trips the
+// warning path. The differential tests run this against DisableObs to
+// prove none of it reaches the simulation.
+func obsOnOptions() Options {
+	return Options{
+		Workers: 1, QueueDepth: 4, CacheBytes: -1,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug})),
+		SlowJob: time.Nanosecond,
+	}
+}
+
+// runThrough runs one spec to completion and returns its result and
+// trace bytes.
+func runThrough(t *testing.T, m *Manager, spec JobSpec) (loadgen.Result, []byte) {
+	t.Helper()
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j); st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	res, ok := j.Result()
+	if !ok {
+		t.Fatal("done job has no result")
+	}
+	trace, _ := j.Trace()
+	return res, trace
+}
+
+// TestObservabilityDifferential is the zero-observer-effect proof for
+// the serving tier: across 32 seeds of a traced chaos workload, a
+// manager running with full observability (phase timings, histograms,
+// Debug logging, slow-job warnings on every job) must produce results
+// and trace streams byte-identical to a manager with observability
+// disabled. Phase stamping happens outside the tick loop and logging
+// happens off the simulation state, and this is the test that keeps it
+// that way.
+func TestObservabilityDifferential(t *testing.T) {
+	on, err := NewManagerOpts(obsOnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	off, err := NewManagerOpts(Options{Workers: 1, QueueDepth: 4, CacheBytes: -1, DisableObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+
+	for seed := uint64(0); seed < 32; seed++ {
+		spec := chaosSpec(seed)
+		resOn, traceOn := runThrough(t, on, spec)
+		resOff, traceOff := runThrough(t, off, spec)
+		if !reflect.DeepEqual(resOn, resOff) {
+			t.Fatalf("seed %d: results diverge with observability on:\n on:  %+v\n off: %+v", seed, resOn, resOff)
+		}
+		if !bytes.Equal(traceOn, traceOff) {
+			t.Fatalf("seed %d: trace streams diverge with observability on (%d vs %d bytes)", seed, len(traceOn), len(traceOff))
+		}
+	}
+}
+
+// TestObsCheckpointDifferential proves checkpoints carry no
+// observability state: a job frozen mid-run inside a fully-instrumented
+// manager, resumed inside a manager with observability disabled, must
+// finish with the exact result of an uninterrupted bare run.
+func TestObsCheckpointDifferential(t *testing.T) {
+	spec := mediumSpec(9)
+
+	bareNet, err := core.NewNetwork(spec.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg, err := spec.Workload.loadgenConfig(spec.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := loadgen.Run(bareNet, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1, err := NewManagerOpts(obsOnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Status().Tick < 50 && time.Now().Before(deadline) {
+		if st := j.Status(); st.State.Terminal() {
+			t.Fatalf("job finished before it could be frozen: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ck, err := m1.Checkpoint(ctx, j.ID())
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	j.Cancel()
+	waitTerminal(t, j)
+	m1.Close()
+
+	m2, err := NewManagerOpts(Options{Workers: 1, QueueDepth: 4, DisableObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	resumed, err := m2.Resume(*ck)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if st := waitTerminal(t, resumed); st.State != StateDone {
+		t.Fatalf("resumed job ended %s: %s", st.State, st.Error)
+	}
+	got, ok := resumed.Result()
+	if !ok {
+		t.Fatal("resumed job has no result")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpoint written under observability resumed to a different result:\n got:  %+v\n want: %+v", got, want)
+	}
+	if st := resumed.Status(); st.Timings != nil {
+		t.Fatalf("DisableObs manager surfaced timings: %+v", st.Timings)
+	}
+}
+
+// TestTimingsBlock checks the phase-span decomposition surfaces in job
+// status: a fresh run stamps admission/queue/acquire/run, a cache hit
+// reports source "cache", and DisableObs keeps the block absent from
+// the JSON entirely.
+func TestTimingsBlock(t *testing.T) {
+	m, err := NewManagerOpts(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	j, err := m.Submit(smallSpec(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.Timings == nil {
+		t.Fatal("done job has no timings block")
+	}
+	tm := st.Timings
+	if tm.AdmissionSec <= 0 {
+		t.Errorf("AdmissionSec = %g, want > 0", tm.AdmissionSec)
+	}
+	if tm.CacheLookupSec <= 0 {
+		t.Errorf("CacheLookupSec = %g, want > 0 (caching is on)", tm.CacheLookupSec)
+	}
+	if tm.RunSec <= 0 {
+		t.Errorf("RunSec = %g, want > 0", tm.RunSec)
+	}
+	if tm.PoolAcquireSec <= 0 {
+		t.Errorf("PoolAcquireSec = %g, want > 0", tm.PoolAcquireSec)
+	}
+	if tm.NetworkSource != "cold" && tm.NetworkSource != "reuse" {
+		t.Errorf("NetworkSource = %q, want cold or reuse", tm.NetworkSource)
+	}
+	if tm.QueueWaitSec < 0 {
+		t.Errorf("QueueWaitSec = %g, want >= 0", tm.QueueWaitSec)
+	}
+
+	// Identical resubmit: served by the run cache, no simulator at all.
+	cj, err := m.Submit(smallSpec(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst := waitTerminal(t, cj)
+	if !cst.Cached || cst.Timings == nil {
+		t.Fatalf("resubmit not a cache hit with timings: %+v", cst)
+	}
+	if cst.Timings.NetworkSource != "cache" {
+		t.Errorf("cached NetworkSource = %q, want cache", cst.Timings.NetworkSource)
+	}
+	if cst.Timings.RunSec != 0 {
+		t.Errorf("cached RunSec = %g, want 0 (no tick loop ran)", cst.Timings.RunSec)
+	}
+
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"timings"`) || !strings.Contains(string(data), `"networkSource"`) {
+		t.Errorf("status JSON missing timings block: %s", data)
+	}
+
+	// DisableObs: the block must be absent, not zeroed.
+	moff, err := NewManagerOpts(Options{Workers: 1, QueueDepth: 4, DisableObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer moff.Close()
+	oj, err := moff.Submit(smallSpec(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ost := waitTerminal(t, oj)
+	if ost.Timings != nil {
+		t.Fatalf("DisableObs job has timings: %+v", ost.Timings)
+	}
+	odata, err := json.Marshal(ost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(odata), "timings") {
+		t.Errorf("DisableObs status JSON leaks timings key: %s", odata)
+	}
+}
+
+// TestMetricsExpositionValid drives real traffic through the HTTP API
+// and then validates the complete /metrics output with the strict
+// exposition parser: HELP/TYPE pairing, bucket monotonicity, the
+// le="+Inf" terminal, and _sum/_count consistency for every histogram
+// family — not a substring probe.
+func TestMetricsExpositionValid(t *testing.T) {
+	m, err := NewManagerOpts(Options{Workers: 2, QueueDepth: 8,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewAPI(m).Handler())
+	defer ts.Close()
+
+	// Traffic: a traced run, a cache-hit resubmit, and a 404.
+	spec := chaosSpec(5)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		j, err := m.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+	}
+	if resp, err := http.Get(ts.URL + "/api/v1/jobs/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("expected 404, got %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := obs.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, raw)
+	}
+
+	// Every histogram family must pass full structural validation.
+	histograms := 0
+	for _, f := range e.Families {
+		if f.Type != "histogram" {
+			continue
+		}
+		histograms++
+		if _, err := f.Histograms(); err != nil {
+			t.Errorf("family %s invalid: %v", f.Name, err)
+		}
+	}
+	if histograms < 3 {
+		t.Errorf("only %d histogram families exposed, want >= 3", histograms)
+	}
+
+	for _, name := range []string{
+		"rmbd_job_queue_seconds", "rmbd_job_run_seconds", "rmbd_http_request_seconds",
+		"rmbd_pool_reuses_total", "rmbd_cache_hits_total", "rmbd_jobs",
+		"rmbd_go_goroutines", "rmbd_go_heap_alloc_bytes",
+	} {
+		if e.Family(name) == nil {
+			t.Errorf("family %s missing from /metrics", name)
+		}
+	}
+
+	runHists, err := e.Family("rmbd_job_run_seconds").Histograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runHists) != 1 || runHists[0].Count < 1 {
+		t.Fatalf("run histogram did not record the job: %+v", runHists)
+	}
+	if p50 := runHists[0].Quantile(0.5); p50 <= 0 {
+		t.Errorf("run p50 = %g, want > 0", p50)
+	}
+
+	// The 404 we provoked must appear as a labelled series.
+	httpHists, err := e.Family("rmbd_http_request_seconds").Histograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found404 := false
+	for _, h := range httpHists {
+		if h.Labels["route"] == "status" && h.Labels["code"] == "404" {
+			found404 = true
+			if h.Count < 1 {
+				t.Error("status/404 series has zero count")
+			}
+		}
+		if h.Count == 0 {
+			t.Errorf("zero-count series %v should have been skipped", h.Labels)
+		}
+	}
+	if !found404 {
+		t.Error("route=status,code=404 series missing")
+	}
+}
+
+// TestNoObsMetricsStillValid: with DisableObs the exposition drops the
+// latency histograms but stays strictly parseable (counters, gauges and
+// runtime metrics remain).
+func TestNoObsMetricsStillValid(t *testing.T) {
+	m, err := NewManagerOpts(Options{Workers: 1, QueueDepth: 4, DisableObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewAPI(m).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	e, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("no-obs /metrics invalid: %v", err)
+	}
+	if e.Family("rmbd_job_run_seconds") != nil {
+		t.Error("DisableObs still exposes the run histogram")
+	}
+	if e.Family("rmbd_pool_networks") == nil || e.Family("rmbd_go_goroutines") == nil {
+		t.Error("no-obs exposition lost its counters or runtime gauges")
+	}
+}
+
+// TestPprofMounted checks the satellite wiring: the standard pprof
+// handlers answer on the API mux.
+func TestPprofMounted(t *testing.T) {
+	m, err := NewManagerOpts(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewAPI(m).Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPRequestLogging: the middleware emits one parseable structured
+// line per request with route, status and duration attributes.
+func TestHTTPRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	m, err := NewManagerOpts(Options{Workers: 1, QueueDepth: 4, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewAPI(m).Handler())
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	var line struct {
+		Msg    string `json:"msg"`
+		Route  string `json:"route"`
+		Status int    `json:"status"`
+	}
+	found := false
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if err := json.Unmarshal([]byte(l), &line); err != nil {
+			t.Fatalf("log line is not JSON: %q", l)
+		}
+		if line.Msg == "http request" && line.Route == "healthz" && line.Status == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no healthz request log line in:\n%s", buf.String())
+	}
+}

@@ -43,10 +43,11 @@ func newNetPool(perShape int) *netPool {
 
 // acquire returns a network configured per cfg: a parked same-shape
 // network re-armed with Reset when one is available, else a fresh build.
-// A Reset failure (the invariants-tag corruption canary, or a config the
-// network cannot take) discards the parked network and falls back to a
-// fresh build — corrupted state never reaches a job.
-func (p *netPool) acquire(cfg core.Config) (*core.Network, error) {
+// reused reports which path answered (the job-timings "reuse" vs "cold"
+// label). A Reset failure (the invariants-tag corruption canary, or a
+// config the network cannot take) discards the parked network and falls
+// back to a fresh build — corrupted state never reaches a job.
+func (p *netPool) acquire(cfg core.Config) (*core.Network, bool, error) {
 	key := poolKey{cfg.Nodes, cfg.Buses}
 	for {
 		p.mu.Lock()
@@ -66,10 +67,11 @@ func (p *netPool) acquire(cfg core.Config) (*core.Network, error) {
 			continue
 		}
 		p.reuses.Add(1)
-		return n, nil
+		return n, true, nil
 	}
 	p.coldBuilds.Add(1)
-	return core.NewNetwork(cfg)
+	n, err := core.NewNetwork(cfg)
+	return n, false, err
 }
 
 // release parks a finished network for reuse, or drops it when the

@@ -90,6 +90,49 @@ case "$metrics" in
        printf '%s\n' "$metrics" | grep rmbd_cache || true; exit 1 ;;
 esac
 
+# The latency histograms must expose proper bucket series: a bucket line
+# with an le label, the +Inf terminal, and matching _sum/_count samples.
+for series in rmbd_job_run_seconds rmbd_job_queue_seconds rmbd_http_request_seconds; do
+    case "$metrics" in
+        *"${series}_bucket{"*'le="+Inf"'*) ;;
+        *) echo "FAIL: /metrics missing ${series}_bucket le=+Inf series"
+           printf '%s\n' "$metrics" | grep "$series" | head -5 || true; exit 1 ;;
+    esac
+    case "$metrics" in
+        *"${series}_sum"*) ;;
+        *) echo "FAIL: /metrics missing ${series}_sum"; exit 1 ;;
+    esac
+done
+echo "ok   /metrics exposes latency histogram series"
+
+# The job status must carry the phase-timing decomposition.
+timings=$(curl -fsS --max-time 10 "http://$addr/api/v1/jobs/$id")
+case "$timings" in
+    *'"timings"'*'"runSec"'*) echo "ok   job status carries phase timings" ;;
+    *) echo "FAIL: job status missing timings block"; printf '%s\n' "$timings"; exit 1 ;;
+esac
+
+# The daemon logs structured lines: every HTTP request above emits one
+# slog record with route/status attributes on stderr.
+if grep -q 'msg="http request".*route=metrics.*status=200' "$workdir/stderr"; then
+    echo "ok   structured request log present"
+else
+    echo "FAIL: no structured log line for the metrics scrape"
+    tail -5 "$workdir/stderr"; exit 1
+fi
+
+# rmbdstat summarizes the daemon from its public surface alone.
+go build -o "$workdir/rmbdstat" ./cmd/rmbdstat
+stat=$("$workdir/rmbdstat" -addr "$addr")
+case "$stat" in
+    *'p50='*'p95='*'p99='*) echo "ok   rmbdstat reports latency percentiles" ;;
+    *) echo "FAIL: rmbdstat output missing percentiles"; printf '%s\n' "$stat"; exit 1 ;;
+esac
+case "$stat" in
+    *'hit-rate='*) echo "ok   rmbdstat reports cache hit rate" ;;
+    *) echo "FAIL: rmbdstat output missing cache hit rate"; printf '%s\n' "$stat"; exit 1 ;;
+esac
+
 # Graceful drain: a long-running job should land in the checkpoint dir.
 long='{"name":"long","config":{"Nodes":16,"Buses":2},"workload":{"rate":0.002,"measure":2000000000}}'
 longid=$(curl -fsS --max-time 10 -d "$long" "http://$addr/api/v1/jobs" \
